@@ -1,0 +1,137 @@
+//! Regenerates the **§IV-C on-edge performance** results: trains the
+//! proposed CNN, applies int8 post-training quantization, verifies the
+//! accuracy is unchanged, and fits the model onto the STM32F722
+//! deployment model (flash / RAM / latency envelope).
+//!
+//! ```text
+//! cargo run --release -p prefall-bench --bin edge_perf
+//! ```
+
+use prefall_bench::paper_edge;
+use prefall_core::cv::{subject_folds, train_on_sets, CvConfig};
+use prefall_core::metrics::{Confusion, TableMetrics};
+use prefall_core::models::ModelKind;
+use prefall_core::pipeline::{Pipeline, PipelineConfig};
+use prefall_imu::dataset::{Dataset, DatasetConfig};
+use prefall_mcu::deploy::deploy;
+use prefall_mcu::export::to_c_header;
+use prefall_mcu::target::McuTarget;
+use prefall_nn::quant::QuantizedNetwork;
+use prefall_nn::train::predict_proba;
+
+fn main() {
+    let mut dataset_cfg = DatasetConfig {
+        kfall_subjects: 4,
+        self_collected_subjects: 4,
+        trials_per_task: 1,
+        duration_scale: 0.5,
+        seed: 2025,
+    };
+    if let Ok(n) = std::env::var("PREFALL_KFALL").map(|v| v.parse().unwrap_or(4)) {
+        dataset_cfg.kfall_subjects = n;
+    }
+    if let Ok(n) = std::env::var("PREFALL_SELF").map(|v| v.parse().unwrap_or(4)) {
+        dataset_cfg.self_collected_subjects = n;
+    }
+    let mut cv = CvConfig::paper_scaled(8);
+    cv.folds = 2;
+    cv.val_subjects = 1;
+    if let Ok(n) = std::env::var("PREFALL_EPOCHS").map(|v| v.parse().unwrap_or(8)) {
+        cv.epochs = n;
+    }
+
+    eprintln!("edge_perf: training the 400 ms proposed CNN on a held-out split...");
+    let dataset = Dataset::generate(&dataset_cfg).expect("dataset");
+    let pipeline = Pipeline::new(PipelineConfig::paper_400ms()).expect("pipeline");
+    let full = pipeline.segment_set(dataset.trials());
+    let splits =
+        subject_folds(&dataset.subject_ids(), cv.folds, cv.val_subjects, cv.seed).expect("folds");
+    let split = &splits[0];
+    let train_set = full.filter_subjects(&split.train);
+    let val_set = full.filter_subjects(&split.val);
+    let test_set = full.filter_subjects(&split.test);
+    let test_labels = test_set.y.clone();
+    let test_x_raw = test_set.x.clone();
+
+    let (mut net, _preds, _epochs) = train_on_sets(
+        &pipeline,
+        train_set.clone(),
+        val_set,
+        test_set,
+        ModelKind::ProposedCnn,
+        &cv,
+        7,
+    )
+    .expect("training");
+
+    // Re-derive the normaliser exactly as train_on_sets does (it fits on
+    // the augmented training set; for calibration the raw one is fine).
+    let norm = pipeline.fit_normalizer(&train_set);
+    let normalize =
+        |xs: &[Vec<f32>]| -> Vec<Vec<f32>> { xs.iter().map(|x| norm.apply(x)).collect() };
+    let calib = normalize(&train_set.x[..train_set.x.len().min(256)]);
+    let test_x = normalize(&test_x_raw);
+
+    // Quantize and compare.
+    let qnet = QuantizedNetwork::from_network(&mut net, &calib).expect("quantization");
+    let float_probs = predict_proba(&mut net, &test_x);
+    let quant_probs: Vec<f32> = test_x.iter().map(|x| qnet.predict_proba(x)).collect();
+    let float_m =
+        TableMetrics::from_confusion(&Confusion::from_probs(&float_probs, &test_labels, 0.5));
+    let quant_m =
+        TableMetrics::from_confusion(&Confusion::from_probs(&quant_probs, &test_labels, 0.5));
+    let agreement = float_probs
+        .iter()
+        .zip(&quant_probs)
+        .filter(|(f, q)| (**f >= 0.5) == (**q >= 0.5))
+        .count() as f64
+        / float_probs.len().max(1) as f64
+        * 100.0;
+
+    println!("=== §IV-C (reproduced): quantization ===");
+    println!("model parameters        : {}", net.param_count());
+    println!("float  Acc/Prec/Rec/F1  : {float_m}");
+    println!("int8   Acc/Prec/Rec/F1  : {quant_m}");
+    println!("float↔int8 agreement    : {agreement:.2} % of test segments");
+    println!();
+
+    // Deployment envelope.
+    let target = McuTarget::stm32f722();
+    let d = deploy(&qnet, &target, 40, 9).expect("fits the STM32F722");
+    println!("=== §IV-C (reproduced): deployment on {} ===", target.name);
+    println!(
+        "model flash : {:7.2} KiB   (paper: {:.2} KiB)",
+        d.model_flash_bytes as f64 / 1024.0,
+        paper_edge::MODEL_KIB
+    );
+    println!(
+        "total ram   : {:7.2} KiB   (paper: {:.2} KiB)",
+        d.ram_bytes as f64 / 1024.0,
+        paper_edge::RAM_KIB
+    );
+    println!(
+        "inference   : {:7.2} ms ± {:.2} ms   (paper: {:.0} ms ± {:.0} ms)",
+        d.inference_ms,
+        d.inference_jitter_ms,
+        paper_edge::INFERENCE_MS,
+        paper_edge::JITTER_MS
+    );
+    println!(
+        "fusion      : {:7.2} ms   (paper: {:.0} ms)",
+        d.fusion_ms,
+        paper_edge::FUSION_MS
+    );
+    println!(
+        "deadline    : total {:.2} ms per 200 ms hop → real-time: {}",
+        d.total_latency_ms(),
+        if d.meets_deadline(200.0) { "yes" } else { "NO" }
+    );
+
+    let header = to_c_header(&qnet, "prefall_model");
+    println!(
+        "C export    : {} bytes of weights → {} KiB header ({} lines)",
+        qnet.weight_blob().len(),
+        header.len() / 1024,
+        header.lines().count()
+    );
+}

@@ -1,0 +1,106 @@
+//! **Table I context**: the threshold-based detector family that the
+//! related-work table contrasts with learned models. Evaluates the
+//! classic free-fall threshold detector (refs \[10\], \[11\]) at event
+//! level — with the same 150 ms pre-impact deadline the CNN must meet —
+//! next to the proposed CNN.
+//!
+//! ```text
+//! cargo run --release -p prefall-bench --bin table1_context
+//! ```
+
+use prefall_core::events::EventReport;
+use prefall_core::experiment::{Experiment, ExperimentConfig};
+use prefall_core::models::ModelKind;
+use prefall_core::threshold::{evaluate_threshold, ThresholdConfig, ThresholdDetector};
+use prefall_imu::dataset::Dataset;
+
+fn main() {
+    let mut config = ExperimentConfig::table3_default().with_env_overrides();
+    config.windows_ms = vec![400.0];
+    config.models = vec![ModelKind::ProposedCnn];
+
+    let dataset = Dataset::generate(&config.dataset).expect("dataset");
+
+    println!("=== Table I context: threshold detectors vs the proposed CNN (event level) ===");
+    println!(
+        "{:<34} {:>9} {:>9} {:>9} {:>9}",
+        "Detector", "Acc %", "Prec %", "Rec %", "F1 %"
+    );
+    println!("{}", "-".repeat(75));
+
+    for (name, cfg) in [
+        (
+            "Threshold 0.60 g × 30 ms [11]",
+            ThresholdConfig {
+                freefall_g: 0.60,
+                min_duration_samples: 3,
+                gyro_gate_rads: 0.0,
+            },
+        ),
+        (
+            "Threshold 0.50 g × 50 ms [10]",
+            ThresholdConfig {
+                freefall_g: 0.50,
+                min_duration_samples: 5,
+                gyro_gate_rads: 0.0,
+            },
+        ),
+        (
+            "Threshold 0.60 g + gyro gate",
+            ThresholdConfig {
+                freefall_g: 0.60,
+                min_duration_samples: 3,
+                gyro_gate_rads: 0.8,
+            },
+        ),
+    ] {
+        let report = evaluate_threshold(&ThresholdDetector::new(cfg), dataset.trials());
+        println!(
+            "{:<34} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            name,
+            report.accuracy_pct(),
+            report.precision_pct(),
+            report.recall_pct(),
+            report.f1_pct()
+        );
+    }
+
+    eprintln!("training the proposed CNN for the comparison row...");
+    // The CNN is operated at the paper's FP-minimising point, not at
+    // the raw 0.5 sigmoid midpoint.
+    let threshold: f32 = std::env::var("PREFALL_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.95);
+    let exp_report = Experiment::new(config).run().expect("cnn run");
+    let cell = exp_report
+        .cell(ModelKind::ProposedCnn, 400.0)
+        .expect("cell");
+    let events = EventReport::from_predictions(&cell.cv.all_predictions(), threshold);
+    // Event-level confusion for the CNN.
+    let falls: usize = events.fall_tasks.values().map(|s| s.events).sum();
+    let detected: usize = events.fall_tasks.values().map(|s| s.flagged).sum();
+    let adls: usize = events.adl_tasks.values().map(|s| s.events).sum();
+    let fps: usize = events.adl_tasks.values().map(|s| s.flagged).sum();
+    let acc = (detected + adls - fps) as f64 / (falls + adls) as f64 * 100.0;
+    let rec = detected as f64 / falls.max(1) as f64 * 100.0;
+    let prec = detected as f64 / (detected + fps).max(1) as f64 * 100.0;
+    let f1 = if prec + rec > 0.0 {
+        2.0 * prec * rec / (prec + rec)
+    } else {
+        0.0
+    };
+    println!(
+        "{:<34} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+        "CNN (Proposed), 400 ms", acc, prec, rec, f1
+    );
+    println!();
+    println!(
+        "Note: as in the paper's Table I, tuned threshold detectors remain competitive at \
+raw event-level detection (their published rows reach F1 94-98). The CNN's case is made \
+elsewhere: it solves the harder 150 ms-truncated task, offers a tunable \
+false-positive/recall trade for airbag control, and its false activations concentrate on \
+movements (jumps, collapses) that threshold rules cannot separate without gates that then \
+miss low-rotation falls from height."
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Table II**: the 44-task activity catalogue with class,
+//! fall category, risk grouping and KFall membership.
+//!
+//! ```text
+//! cargo run -p prefall-bench --bin table2_activities
+//! ```
+
+use prefall_imu::activity::{Activity, ActivityClass, FallCategory, RiskGroup};
+
+fn main() {
+    println!("=== Table II (reproduced): activities of the combined protocol ===");
+    println!(
+        "{:<5} {:<6} {:<13} {:<7} {:<6} description",
+        "Task", "class", "category", "group", "KFall"
+    );
+    println!("{}", "-".repeat(100));
+    for a in Activity::catalog() {
+        let class = match a.class {
+            ActivityClass::Adl => "ADL",
+            ActivityClass::Fall => "FALL",
+        };
+        let category = match a.fall_category {
+            Some(FallCategory::FromWalking) => "from-walking",
+            Some(FallCategory::FromSitting) => "from-sitting",
+            Some(FallCategory::FromStanding) => "from-standing",
+            Some(FallCategory::FromHeight) => "from-height",
+            None => "-",
+        };
+        let group = match a.risk_group {
+            Some(RiskGroup::Red) => "red",
+            Some(RiskGroup::Green) => "green",
+            None => "-",
+        };
+        println!(
+            "{:<5} {:<6} {:<13} {:<7} {:<6} {}",
+            a.id,
+            class,
+            category,
+            group,
+            if a.in_kfall { "yes" } else { "no" },
+            a.description
+        );
+    }
+    let adls = Activity::adls().count();
+    let falls = Activity::falls().count();
+    let kfall_tasks = Activity::catalog().iter().filter(|a| a.in_kfall).count();
+    println!("{}", "-".repeat(100));
+    println!(
+        "{adls} ADL types, {falls} fall types ({kfall_tasks} tasks shared with KFall; tasks 37-44 are construction-site extensions)"
+    );
+}

@@ -1,0 +1,78 @@
+//! Regenerates **Table III**: segment-level comparison of MLP, LSTM,
+//! ConvLSTM2D and the proposed CNN at 200/300/400 ms windows with 50 %
+//! overlap, under subject-independent 5-fold CV.
+//!
+//! ```text
+//! cargo run --release -p prefall-bench --bin table3
+//! PREFALL_KFALL=32 PREFALL_SELF=29 PREFALL_EPOCHS=50 cargo run --release -p prefall-bench --bin table3
+//! ```
+
+use prefall_bench::paper_table3;
+use prefall_core::experiment::{Experiment, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::table3_default().with_env_overrides();
+    eprintln!(
+        "table3: {} KFall + {} self-collected subjects, {} folds, {} epochs (set PREFALL_* to rescale)",
+        config.dataset.kfall_subjects,
+        config.dataset.self_collected_subjects,
+        config.cv.folds,
+        config.cv.epochs
+    );
+
+    let experiment = Experiment::new(config.clone());
+    let report = match experiment.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("=== Table III (reproduced) — measured vs paper ===");
+    println!(
+        "{:<16} {:>7} | {:>8} {:>9} {:>8} {:>8} | {:>8} {:>9} {:>8} {:>8}",
+        "Model", "window", "Acc", "Prec", "Rec", "F1", "Acc*", "Prec*", "Rec*", "F1*"
+    );
+    println!("{}", "-".repeat(110));
+    for cell in &report.cells {
+        let m = &cell.metrics;
+        let paper = paper_table3(cell.model.name(), cell.window_ms);
+        let (pa, pp, pr, pf) = paper.unwrap_or((f64::NAN, f64::NAN, f64::NAN, f64::NAN));
+        println!(
+            "{:<16} {:>4.0} ms | {:>8.2} {:>9.2} {:>8.2} {:>8.2} | {:>8.2} {:>9.2} {:>8.2} {:>8.2}",
+            cell.model.name(),
+            cell.window_ms,
+            m.accuracy,
+            m.precision,
+            m.recall,
+            m.f1,
+            pa,
+            pp,
+            pr,
+            pf
+        );
+    }
+    println!("(* = values reported in the paper; absolute numbers differ on the synthetic substrate — the ordering and window-size trend are the reproduction target)");
+    println!();
+    println!("{report}");
+
+    // Shape checks the paper's narrative rests on (non-fatal warnings).
+    let f1_of = |model: prefall_core::models::ModelKind, w: f64| {
+        report.cell(model, w).map(|c| c.metrics.f1).unwrap_or(0.0)
+    };
+    use prefall_core::models::ModelKind::*;
+    let cnn400 = f1_of(ProposedCnn, 400.0);
+    for (name, other) in [
+        ("MLP", f1_of(Mlp, 400.0)),
+        ("LSTM", f1_of(Lstm, 400.0)),
+        ("ConvLSTM2D", f1_of(ConvLstm2d, 400.0)),
+    ] {
+        if cnn400 <= other {
+            eprintln!("warning: CNN (Proposed) F1 {cnn400:.2} did not beat {name} ({other:.2}) at 400 ms in this run");
+        }
+    }
+    if f1_of(ProposedCnn, 400.0) <= f1_of(ProposedCnn, 200.0) {
+        eprintln!("warning: 400 ms did not beat 200 ms for the proposed CNN in this run");
+    }
+}

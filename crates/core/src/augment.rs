@@ -1,0 +1,261 @@
+//! §III-C data augmentation: time warping and window warping of falling
+//! segments.
+//!
+//! Both act on a `[T × C]` segment channel-wise:
+//!
+//! * **time warping** distorts the whole time axis along a smooth random
+//!   warp curve (Um et al., 2017) — simulating faster/slower sampling of
+//!   the same fall;
+//! * **window warping** picks a random sub-window and plays it back at
+//!   0.5× or 2× speed (Rashid & Louis, 2019) — simulating a fall whose
+//!   middle unfolds quicker or slower — then resamples to the original
+//!   length.
+
+use crate::pipeline::SegmentSet;
+use prefall_dsp::interp::{resample_linear, warp};
+use prefall_imu::rng::GenRng;
+
+/// Extracts channel `c` of a row-major `[T × C]` segment.
+fn channel_of(seg: &[f32], channels: usize, c: usize) -> Vec<f32> {
+    seg.iter().skip(c).step_by(channels).copied().collect()
+}
+
+/// Rebuilds a row-major segment from per-channel series.
+fn interleave(chans: &[Vec<f32>]) -> Vec<f32> {
+    let t = chans[0].len();
+    let c_n = chans.len();
+    let mut out = Vec::with_capacity(t * c_n);
+    for ti in 0..t {
+        for ch in chans {
+            out.push(ch[ti]);
+        }
+    }
+    out
+}
+
+/// Builds a smooth, monotone warp path of `len` fractional positions
+/// into `[0, len-1]`, with random log-normal speed knots.
+fn warp_path(len: usize, strength: f64, rng: &mut GenRng) -> Vec<f64> {
+    let knots = 4;
+    // Random per-knot speeds, interpolated linearly, then integrated.
+    let speeds: Vec<f64> = (0..knots)
+        .map(|_| (rng.normal(0.0, strength)).exp())
+        .collect();
+    let mut pos = Vec::with_capacity(len);
+    let mut acc = 0.0;
+    for i in 0..len {
+        let u = i as f64 / (len - 1).max(1) as f64 * (knots - 1) as f64;
+        let k = (u.floor() as usize).min(knots - 2);
+        let frac = u - k as f64;
+        let speed = speeds[k] * (1.0 - frac) + speeds[k + 1] * frac;
+        pos.push(acc);
+        acc += speed;
+    }
+    // Normalise so the path spans exactly [0, len-1].
+    let last = *pos.last().expect("non-empty") + 1e-12;
+    pos.iter().map(|&p| p / last * (len - 1) as f64).collect()
+}
+
+/// Time warping: resamples every channel along one shared smooth warp
+/// path. `strength` ~ 0.2 gives gentle distortion.
+///
+/// # Panics
+///
+/// Panics if the segment length is not a multiple of `channels`.
+pub fn time_warp_segment(
+    seg: &[f32],
+    channels: usize,
+    strength: f64,
+    rng: &mut GenRng,
+) -> Vec<f32> {
+    assert!(seg.len().is_multiple_of(channels), "segment shape mismatch");
+    let t = seg.len() / channels;
+    let path = warp_path(t, strength, rng);
+    let warped: Vec<Vec<f32>> = (0..channels)
+        .map(|c| warp(&channel_of(seg, channels, c), &path))
+        .collect();
+    interleave(&warped)
+}
+
+/// Window warping: a random sub-window (25–50 % of the segment) is
+/// played at 0.5× or 2× speed, and the result is resampled back to the
+/// original length.
+///
+/// # Panics
+///
+/// Panics if the segment length is not a multiple of `channels`.
+pub fn window_warp_segment(seg: &[f32], channels: usize, rng: &mut GenRng) -> Vec<f32> {
+    assert!(seg.len().is_multiple_of(channels), "segment shape mismatch");
+    let t = seg.len() / channels;
+    if t < 8 {
+        return seg.to_vec();
+    }
+    let w_len = rng.uniform_usize(t / 4, t / 2);
+    let w_start = rng.uniform_usize(0, t - w_len);
+    let speed_up = rng.chance(0.5);
+
+    let out: Vec<Vec<f32>> = (0..channels)
+        .map(|c| {
+            let ch = channel_of(seg, channels, c);
+            let head = &ch[..w_start];
+            let mid = &ch[w_start..w_start + w_len];
+            let tail = &ch[w_start + w_len..];
+            let mid_len = if speed_up {
+                (w_len / 2).max(2)
+            } else {
+                w_len * 2
+            };
+            let mid_warped = resample_linear(mid, mid_len);
+            let mut full = Vec::with_capacity(head.len() + mid_warped.len() + tail.len());
+            full.extend_from_slice(head);
+            full.extend_from_slice(&mid_warped);
+            full.extend_from_slice(tail);
+            resample_linear(&full, t)
+        })
+        .collect();
+    interleave(&out)
+}
+
+/// Augments the positive (falling) segments of a training set in place:
+/// each positive segment gains `factor` warped variants, alternating
+/// time warping and window warping, as the paper applies both.
+///
+/// Augmented copies inherit the source segment's metadata.
+pub fn augment_positives(set: &mut SegmentSet, factor: usize, seed: u64) {
+    if factor == 0 {
+        return;
+    }
+    let mut rng = GenRng::seed_from_u64(seed);
+    let positive_idx: Vec<usize> = (0..set.len()).filter(|&i| set.y[i] > 0.5).collect();
+    for &i in &positive_idx {
+        for k in 0..factor {
+            let aug = if k % 2 == 0 {
+                time_warp_segment(&set.x[i], set.channels, 0.25, &mut rng)
+            } else {
+                window_warp_segment(&set.x[i], set.channels, &mut rng)
+            };
+            set.x.push(aug);
+            set.y.push(1.0);
+            set.meta.push(set.meta[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{SegmentLabel, SegmentMeta};
+    use prefall_imu::activity::TaskId;
+    use prefall_imu::subject::SubjectId;
+
+    fn demo_segment(t: usize, channels: usize) -> Vec<f32> {
+        let mut seg = Vec::with_capacity(t * channels);
+        for i in 0..t {
+            for c in 0..channels {
+                seg.push((i as f32 * 0.3 + c as f32).sin());
+            }
+        }
+        seg
+    }
+
+    #[test]
+    fn time_warp_preserves_shape_and_endpoints_roughly() {
+        let seg = demo_segment(40, 9);
+        let mut rng = GenRng::seed_from_u64(3);
+        let warped = time_warp_segment(&seg, 9, 0.25, &mut rng);
+        assert_eq!(warped.len(), seg.len());
+        // Endpoints anchored (warp path spans [0, T-1]).
+        for c in 0..9 {
+            assert!((warped[c] - seg[c]).abs() < 0.05, "channel {c} start");
+        }
+        // But the interior actually moved.
+        let diff: f32 = warped.iter().zip(&seg).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 0.1, "warp was a no-op");
+    }
+
+    #[test]
+    fn window_warp_preserves_shape() {
+        let seg = demo_segment(40, 9);
+        let mut rng = GenRng::seed_from_u64(5);
+        let warped = window_warp_segment(&seg, 9, &mut rng);
+        assert_eq!(warped.len(), seg.len());
+        let diff: f32 = warped.iter().zip(&seg).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 0.1);
+    }
+
+    #[test]
+    fn window_warp_short_segment_is_identity() {
+        let seg = demo_segment(4, 2);
+        let mut rng = GenRng::seed_from_u64(7);
+        assert_eq!(window_warp_segment(&seg, 2, &mut rng), seg);
+    }
+
+    #[test]
+    fn warp_keeps_values_in_plausible_range() {
+        // Warping interpolates — no wild extrapolation beyond data range.
+        let seg = demo_segment(40, 3);
+        let (lo, hi) = seg
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let mut rng = GenRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let w = time_warp_segment(&seg, 3, 0.3, &mut rng);
+            for &v in &w {
+                assert!(v >= lo - 0.3 && v <= hi + 0.3, "{v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    fn tiny_set() -> SegmentSet {
+        let meta = |label| SegmentMeta {
+            subject: SubjectId(0),
+            task: TaskId::new(30).unwrap(),
+            trial_index: 0,
+            start: 0,
+            label,
+        };
+        SegmentSet {
+            window: 20,
+            channels: 9,
+            x: vec![
+                demo_segment(20, 9),
+                demo_segment(20, 9),
+                demo_segment(20, 9),
+            ],
+            y: vec![0.0, 1.0, 1.0],
+            meta: vec![
+                meta(SegmentLabel::Adl),
+                meta(SegmentLabel::Falling),
+                meta(SegmentLabel::Falling),
+            ],
+        }
+    }
+
+    #[test]
+    fn augment_positives_multiplies_minority_class() {
+        let mut set = tiny_set();
+        augment_positives(&mut set, 2, 9);
+        assert_eq!(set.len(), 3 + 2 * 2);
+        assert_eq!(set.positives(), 2 + 4);
+        // Negative count unchanged.
+        assert_eq!(set.y.iter().filter(|&&y| y < 0.5).count(), 1);
+        assert_eq!(set.x.len(), set.meta.len());
+    }
+
+    #[test]
+    fn augment_factor_zero_is_noop() {
+        let mut set = tiny_set();
+        let before = set.clone();
+        augment_positives(&mut set, 0, 9);
+        assert_eq!(set, before);
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let mut a = tiny_set();
+        let mut b = tiny_set();
+        augment_positives(&mut a, 3, 21);
+        augment_positives(&mut b, 3, 21);
+        assert_eq!(a, b);
+    }
+}

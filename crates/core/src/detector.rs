@@ -1,0 +1,534 @@
+//! The real-time streaming detector and the airbag trigger controller.
+//!
+//! This is the deployment-side counterpart of the training pipeline: raw
+//! accelerometer/gyroscope samples stream in at 100 Hz; the detector
+//! runs the on-edge preprocessing (complementary-filter fusion, causal
+//! Butterworth low-pass) sample by sample, and every hop it classifies
+//! the trailing window. A positive classification triggers the airbag,
+//! which needs 150 ms to reach full extension.
+
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::CoreError;
+use prefall_dsp::biquad::SosFilter;
+use prefall_dsp::butterworth::Butterworth;
+use prefall_dsp::fusion::ComplementaryFilter;
+use prefall_dsp::stats::Normalizer;
+use prefall_imu::channel::{Channel, NUM_CHANNELS};
+use prefall_imu::trial::{Trial, FUSION_ALPHA};
+use prefall_imu::{AIRBAG_INFLATION_SAMPLES, SAMPLE_PERIOD_MS, SAMPLE_RATE_HZ};
+use prefall_nn::network::Network;
+use prefall_nn::quant::QuantizedNetwork;
+use std::collections::VecDeque;
+
+/// Streaming detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Preprocessing configuration (window, overlap, filter).
+    pub pipeline: PipelineConfig,
+    /// Decision threshold on the sigmoid output.
+    pub threshold: f32,
+    /// Number of consecutive positive windows required to trigger
+    /// (1 = trigger on the first positive window).
+    pub consecutive: usize,
+}
+
+impl DetectorConfig {
+    /// The paper's deployed configuration: 400 ms windows, 50 % overlap,
+    /// trigger on the first positive window.
+    pub fn paper_400ms() -> Self {
+        Self {
+            pipeline: PipelineConfig::paper_400ms(),
+            threshold: 0.5,
+            consecutive: 1,
+        }
+    }
+}
+
+/// The inference engine a detector runs: the float training network or
+/// the int8 model actually deployed on the microcontroller.
+#[derive(Debug)]
+pub enum Engine {
+    /// Float inference (development/evaluation).
+    Float(Network),
+    /// int8 inference — what the STM32 firmware executes.
+    Quantized(QuantizedNetwork),
+}
+
+impl Engine {
+    /// Flattened input length expected by the engine.
+    pub fn input_len(&self) -> usize {
+        match self {
+            Engine::Float(n) => n.input_len(),
+            Engine::Quantized(q) => q.input_len(),
+        }
+    }
+
+    /// Sigmoid probability for one preprocessed segment.
+    pub fn predict_proba(&mut self, segment: &[f32]) -> f32 {
+        match self {
+            Engine::Float(n) => prefall_nn::loss::sigmoid(n.forward(segment)[0]),
+            Engine::Quantized(q) => q.predict_proba(segment),
+        }
+    }
+}
+
+impl From<Network> for Engine {
+    fn from(n: Network) -> Self {
+        Engine::Float(n)
+    }
+}
+
+impl From<QuantizedNetwork> for Engine {
+    fn from(q: QuantizedNetwork) -> Self {
+        Engine::Quantized(q)
+    }
+}
+
+/// A streaming pre-impact fall detector wrapping a trained network.
+#[derive(Debug)]
+pub struct StreamingDetector {
+    engine: Engine,
+    normalizer: Normalizer,
+    config: DetectorConfig,
+    filters: Vec<SosFilter>,
+    fusion: ComplementaryFilter,
+    window: VecDeque<[f32; NUM_CHANNELS]>,
+    samples_seen: usize,
+    positives_in_a_row: usize,
+}
+
+impl StreamingDetector {
+    /// Creates a detector from a trained network (or a quantized model
+    /// via [`Engine`]'s `From` impls) and its fitted normaliser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the engine input does
+    /// not match the configured window, or the filter design fails.
+    pub fn new(
+        engine: impl Into<Engine>,
+        normalizer: Normalizer,
+        config: DetectorConfig,
+    ) -> Result<Self, CoreError> {
+        let engine = engine.into();
+        let window = config.pipeline.segmentation.window();
+        if engine.input_len() != window * NUM_CHANNELS {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "engine expects {} inputs, window provides {}",
+                    engine.input_len(),
+                    window * NUM_CHANNELS
+                ),
+            });
+        }
+        let design = Butterworth::lowpass(
+            config.pipeline.filter_order,
+            config.pipeline.filter_cutoff_hz,
+            SAMPLE_RATE_HZ,
+        )?;
+        Ok(Self {
+            engine,
+            normalizer,
+            config,
+            filters: (0..NUM_CHANNELS).map(|_| design.to_filter()).collect(),
+            fusion: ComplementaryFilter::new(SAMPLE_RATE_HZ, FUSION_ALPHA),
+            window: VecDeque::with_capacity(window),
+            samples_seen: 0,
+            positives_in_a_row: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Resets all streaming state (filters, fusion, window).
+    pub fn reset(&mut self) {
+        for f in &mut self.filters {
+            f.reset();
+        }
+        self.fusion.reset();
+        self.window.clear();
+        self.samples_seen = 0;
+        self.positives_in_a_row = 0;
+    }
+
+    /// Feeds one raw 100 Hz sample (accelerometer in g, gyroscope in
+    /// rad/s). Returns the window probability when a full hop completed,
+    /// `None` otherwise.
+    pub fn push_sample(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> Option<f32> {
+        // On-edge sensor fusion, exactly like the acquisition firmware.
+        let euler = self.fusion.update(
+            [
+                f64::from(accel[0]),
+                f64::from(accel[1]),
+                f64::from(accel[2]),
+            ],
+            [f64::from(gyro[0]), f64::from(gyro[1]), f64::from(gyro[2])],
+        );
+        let raw = [
+            accel[0],
+            accel[1],
+            accel[2],
+            gyro[0],
+            gyro[1],
+            gyro[2],
+            euler.pitch as f32,
+            euler.roll as f32,
+            euler.yaw as f32,
+        ];
+        let mut row = [0.0f32; NUM_CHANNELS];
+        for (c, (f, &v)) in self.filters.iter_mut().zip(&raw).enumerate() {
+            row[c] = f.process(v);
+        }
+
+        let w = self.config.pipeline.segmentation.window();
+        if self.window.len() == w {
+            self.window.pop_front();
+        }
+        self.window.push_back(row);
+        self.samples_seen += 1;
+
+        let hop = self.config.pipeline.segmentation.hop();
+        if self.window.len() < w || !(self.samples_seen - w).is_multiple_of(hop) {
+            return None;
+        }
+
+        // Assemble, normalise, classify.
+        let mut seg = Vec::with_capacity(w * NUM_CHANNELS);
+        for r in &self.window {
+            seg.extend_from_slice(r);
+        }
+        self.normalizer.apply_in_place(&mut seg);
+        let prob = self.engine.predict_proba(&seg);
+        if prob >= self.config.threshold {
+            self.positives_in_a_row += 1;
+        } else {
+            self.positives_in_a_row = 0;
+        }
+        Some(prob)
+    }
+
+    /// Whether the trigger condition (N consecutive positive windows) is
+    /// currently met.
+    pub fn trigger_armed(&self) -> bool {
+        self.positives_in_a_row >= self.config.consecutive
+    }
+}
+
+/// Airbag state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AirbagState {
+    /// Waiting for a trigger.
+    Idle,
+    /// Gas generator fired; counting down the 150 ms inflation.
+    Inflating {
+        /// Sample index at which the trigger fired.
+        triggered_at: usize,
+    },
+    /// Fully inflated.
+    Inflated {
+        /// Sample index at which the trigger fired.
+        triggered_at: usize,
+        /// Sample index at which full extension was reached.
+        full_at: usize,
+    },
+}
+
+/// The wearable airbag model: fires once, takes 150 ms to inflate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AirbagController {
+    state: AirbagState,
+}
+
+impl Default for AirbagController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AirbagController {
+    /// A fresh, idle airbag.
+    pub fn new() -> Self {
+        Self {
+            state: AirbagState::Idle,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AirbagState {
+        self.state
+    }
+
+    /// Advances time to sample `now`, firing if `trigger` is set.
+    /// Returns the new state.
+    pub fn step(&mut self, now: usize, trigger: bool) -> AirbagState {
+        self.state = match self.state {
+            AirbagState::Idle if trigger => AirbagState::Inflating { triggered_at: now },
+            AirbagState::Inflating { triggered_at }
+                if now >= triggered_at + AIRBAG_INFLATION_SAMPLES =>
+            {
+                AirbagState::Inflated {
+                    triggered_at,
+                    full_at: triggered_at + AIRBAG_INFLATION_SAMPLES,
+                }
+            }
+            s => s,
+        };
+        self.state
+    }
+
+    /// Whether the wearer is protected at the given impact sample (the
+    /// bag reached full extension in time).
+    pub fn protects_at(&self, impact: usize) -> bool {
+        match self.state {
+            AirbagState::Inflated { full_at, .. } => full_at <= impact,
+            AirbagState::Inflating { triggered_at } => {
+                triggered_at + AIRBAG_INFLATION_SAMPLES <= impact
+            }
+            AirbagState::Idle => false,
+        }
+    }
+}
+
+/// Outcome of streaming one trial through a detector + airbag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// Sample index where the detector fired, if it did.
+    pub triggered_at: Option<usize>,
+    /// The trial's impact index, if it is a fall.
+    pub impact: Option<usize>,
+    /// Milliseconds between trigger and impact (negative = after
+    /// impact), when both exist.
+    pub lead_time_ms: Option<f64>,
+    /// For falls: did the airbag reach full extension before impact?
+    pub protected: Option<bool>,
+    /// For ADLs: did the detector fire at all (false activation)?
+    pub false_activation: bool,
+}
+
+/// Streams a trial sample-by-sample through the detector and airbag.
+pub fn run_on_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome {
+    detector.reset();
+    let mut airbag = AirbagController::new();
+    let mut triggered_at = None;
+
+    let ax = trial.channel(Channel::AccelX);
+    let ay = trial.channel(Channel::AccelY);
+    let az = trial.channel(Channel::AccelZ);
+    let gx = trial.channel(Channel::GyroX);
+    let gy = trial.channel(Channel::GyroY);
+    let gz = trial.channel(Channel::GyroZ);
+
+    for i in 0..trial.len() {
+        let _ = detector.push_sample([ax[i], ay[i], az[i]], [gx[i], gy[i], gz[i]]);
+        let fire = detector.trigger_armed() && triggered_at.is_none();
+        if fire {
+            triggered_at = Some(i);
+        }
+        airbag.step(i, fire);
+    }
+
+    let impact = trial.impact();
+    let lead_time_ms = match (triggered_at, impact) {
+        (Some(t), Some(im)) => Some((im as f64 - t as f64) * SAMPLE_PERIOD_MS),
+        _ => None,
+    };
+    let protected = impact.map(|im| airbag.protects_at(im));
+    TrialOutcome {
+        triggered_at,
+        impact,
+        lead_time_ms,
+        protected,
+        false_activation: !trial.is_fall() && triggered_at.is_some(),
+    }
+}
+
+/// Convenience: builds a streaming detector from a pipeline + training
+/// artifacts produced by [`crate::cv::train_on_sets`].
+pub fn detector_from_parts(
+    pipeline: &Pipeline,
+    net: Network,
+    normalizer: Normalizer,
+    threshold: f32,
+) -> Result<StreamingDetector, CoreError> {
+    StreamingDetector::new(
+        net,
+        normalizer,
+        DetectorConfig {
+            pipeline: *pipeline.config(),
+            threshold,
+            consecutive: 1,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelKind;
+    use prefall_dsp::segment::Overlap;
+
+    fn dummy_detector(window_ms: f64) -> StreamingDetector {
+        let cfg = DetectorConfig {
+            pipeline: PipelineConfig::paper(window_ms, Overlap::Half),
+            threshold: 0.5,
+            consecutive: 1,
+        };
+        let w = cfg.pipeline.segmentation.window();
+        let net = ModelKind::ProposedCnn.build(w, 9, 1).unwrap();
+        StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap()
+    }
+
+    #[test]
+    fn emits_probability_every_hop() {
+        let mut d = dummy_detector(200.0); // window 20, hop 10
+        let mut emissions = Vec::new();
+        for i in 0..60 {
+            let p = d.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+            if p.is_some() {
+                emissions.push(i);
+            }
+        }
+        // First at sample index 19 (window filled), then every 10.
+        assert_eq!(emissions, vec![19, 29, 39, 49, 59]);
+    }
+
+    #[test]
+    fn rejects_mismatched_network() {
+        let cfg = DetectorConfig::paper_400ms(); // window 40
+        let net = ModelKind::ProposedCnn.build(20, 9, 1).unwrap();
+        assert!(StreamingDetector::new(net, Normalizer::identity(9), cfg).is_err());
+    }
+
+    #[test]
+    fn reset_restores_cadence() {
+        let mut d = dummy_detector(200.0);
+        for _ in 0..25 {
+            let _ = d.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+        }
+        d.reset();
+        let mut first = None;
+        for i in 0..30 {
+            if d.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]).is_some() {
+                first = Some(i);
+                break;
+            }
+        }
+        assert_eq!(first, Some(19));
+    }
+
+    #[test]
+    fn quantized_engine_streams_like_float() {
+        use prefall_nn::quant::QuantizedNetwork;
+        let cfg = DetectorConfig {
+            pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+            threshold: 0.5,
+            consecutive: 1,
+        };
+        let w = cfg.pipeline.segmentation.window();
+        let mut net = ModelKind::ProposedCnn.build(w, 9, 7).unwrap();
+        // Calibrate on plausible filtered/normalised ranges.
+        let calib: Vec<Vec<f32>> = (0..32)
+            .map(|k| {
+                (0..w * 9)
+                    .map(|i| (((i + 7 * k) as f32) * 0.13).sin() * 2.0)
+                    .collect()
+            })
+            .collect();
+        let qnet = QuantizedNetwork::from_network(&mut net, &calib).unwrap();
+
+        let mut float_d = StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap();
+        let mut quant_d = StreamingDetector::new(qnet, Normalizer::identity(9), cfg).unwrap();
+
+        let mut max_dev = 0.0f32;
+        for i in 0..120 {
+            let t = i as f32 / 100.0;
+            let a = [
+                0.1 * (6.0 * t).sin(),
+                0.1 * (5.0 * t).cos(),
+                1.0 + 0.2 * (7.0 * t).sin(),
+            ];
+            let g = [0.3 * (4.0 * t).sin(), 0.2 * (3.0 * t).cos(), 0.0];
+            let pf = float_d.push_sample(a, g);
+            let pq = quant_d.push_sample(a, g);
+            assert_eq!(pf.is_some(), pq.is_some(), "emission cadence matches");
+            if let (Some(f), Some(q)) = (pf, pq) {
+                max_dev = max_dev.max((f - q).abs());
+            }
+        }
+        assert!(max_dev < 0.12, "float/int8 streaming deviation {max_dev}");
+    }
+
+    #[test]
+    fn consecutive_requirement_delays_arming() {
+        let cfg = DetectorConfig {
+            pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+            threshold: 0.0, // every window counts as positive
+            consecutive: 3,
+        };
+        let w = cfg.pipeline.segmentation.window();
+        let net = ModelKind::ProposedCnn.build(w, 9, 1).unwrap();
+        let mut d = StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap();
+        let mut armed_at = None;
+        for i in 0..60 {
+            let _ = d.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+            if d.trigger_armed() && armed_at.is_none() {
+                armed_at = Some(i);
+            }
+        }
+        // Windows complete at 19, 29, 39 → third positive arms at 39.
+        assert_eq!(armed_at, Some(39));
+    }
+
+    #[test]
+    fn airbag_inflates_after_150ms() {
+        let mut bag = AirbagController::new();
+        assert_eq!(bag.state(), AirbagState::Idle);
+        bag.step(100, true);
+        assert!(matches!(
+            bag.state(),
+            AirbagState::Inflating { triggered_at: 100 }
+        ));
+        bag.step(110, false);
+        assert!(matches!(bag.state(), AirbagState::Inflating { .. }));
+        bag.step(115, false);
+        assert!(matches!(
+            bag.state(),
+            AirbagState::Inflated {
+                triggered_at: 100,
+                full_at: 115
+            }
+        ));
+    }
+
+    #[test]
+    fn protection_requires_full_inflation_before_impact() {
+        let mut bag = AirbagController::new();
+        bag.step(100, true);
+        bag.step(120, false);
+        assert!(bag.protects_at(115), "exactly at full extension");
+        assert!(bag.protects_at(130));
+        assert!(!bag.protects_at(110), "impact during inflation");
+        assert!(
+            !AirbagController::new().protects_at(1000),
+            "never triggered"
+        );
+    }
+
+    #[test]
+    fn airbag_fires_only_once() {
+        let mut bag = AirbagController::new();
+        bag.step(50, true);
+        bag.step(60, true); // second trigger ignored
+        bag.step(70, false);
+        assert!(matches!(
+            bag.state(),
+            AirbagState::Inflated {
+                triggered_at: 50,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,305 @@
+//! §IV-B event-level evaluation (Table IV).
+//!
+//! "A falling/non-falling event is composed of several segments. …it is
+//! enough to correctly classify one segment to effectively predict the
+//! fall. Similarly, a single misclassification of a segment belonging to
+//! a non-falling event may cause the useless activation of the safety
+//! system." Performance must therefore be analysed **per event**:
+//!
+//! * Table IVa — % of fall events with *no* positively classified
+//!   usable falling segment (missed falls);
+//! * Table IVb — % of ADL events with *any* positively classified
+//!   segment (false activations), split into red (unconventional for
+//!   at-risk wearers) and green (everyday) tasks.
+
+use crate::pipeline::{SegmentLabel, SegmentMeta};
+use prefall_imu::activity::{Activity, ActivityClass, RiskGroup};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Event identity: one (subject, task, repetition) trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct EventKey {
+    subject: u16,
+    task: u8,
+    trial_index: u16,
+}
+
+/// Flagging statistics for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TaskEventStats {
+    /// Number of events (trials) of the task seen in the test folds.
+    pub events: usize,
+    /// Events where the detector fired (detections for falls, false
+    /// activations for ADLs).
+    pub flagged: usize,
+}
+
+impl TaskEventStats {
+    /// Fraction of events flagged.
+    pub fn rate(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.events as f64
+        }
+    }
+}
+
+/// The Table IV analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventReport {
+    /// Per fall-task detection statistics (IVa reports `1 − rate`).
+    pub fall_tasks: BTreeMap<u8, TaskEventStats>,
+    /// Per ADL-task false-activation statistics (IVb).
+    pub adl_tasks: BTreeMap<u8, TaskEventStats>,
+    /// Decision threshold used.
+    pub threshold: f32,
+}
+
+impl EventReport {
+    /// Builds the event analysis from per-segment test predictions.
+    ///
+    /// A fall event counts as detected when any of its `Falling`
+    /// segments scores ≥ threshold; an ADL event counts as a false
+    /// activation when any of its segments does.
+    pub fn from_predictions(preds: &[(SegmentMeta, f32)], threshold: f32) -> Self {
+        let mut events: BTreeMap<EventKey, (bool, bool)> = BTreeMap::new(); // (is_fall_task, flagged)
+        for (meta, prob) in preds {
+            let key = EventKey {
+                subject: meta.subject.0,
+                task: meta.task.get(),
+                trial_index: meta.trial_index,
+            };
+            let activity = Activity::from_task(meta.task.get()).expect("valid task");
+            let is_fall_task = activity.class == ActivityClass::Fall;
+            let entry = events.entry(key).or_insert((is_fall_task, false));
+            let fires = *prob >= threshold;
+            let counts = if is_fall_task {
+                // Only pre-impact (usable) falling segments save the wearer.
+                meta.label == SegmentLabel::Falling && fires
+            } else {
+                fires
+            };
+            entry.1 |= counts;
+        }
+
+        let mut fall_tasks: BTreeMap<u8, TaskEventStats> = BTreeMap::new();
+        let mut adl_tasks: BTreeMap<u8, TaskEventStats> = BTreeMap::new();
+        for (key, (is_fall, flagged)) in events {
+            let map = if is_fall {
+                &mut fall_tasks
+            } else {
+                &mut adl_tasks
+            };
+            let stats = map.entry(key.task).or_default();
+            stats.events += 1;
+            if flagged {
+                stats.flagged += 1;
+            }
+        }
+        Self {
+            fall_tasks,
+            adl_tasks,
+            threshold,
+        }
+    }
+
+    /// Table IVa: miss percentage for one fall task.
+    pub fn fall_miss_pct(&self, task: u8) -> Option<f64> {
+        self.fall_tasks.get(&task).map(|s| (1.0 - s.rate()) * 100.0)
+    }
+
+    /// Table IVb: false-activation percentage for one ADL task.
+    pub fn adl_fp_pct(&self, task: u8) -> Option<f64> {
+        self.adl_tasks.get(&task).map(|s| s.rate() * 100.0)
+    }
+
+    /// Pooled miss percentage over all fall events ("All actions" row of
+    /// IVa; paper: 4.17 %).
+    pub fn overall_fall_miss_pct(&self) -> f64 {
+        let events: usize = self.fall_tasks.values().map(|s| s.events).sum();
+        let detected: usize = self.fall_tasks.values().map(|s| s.flagged).sum();
+        if events == 0 {
+            0.0
+        } else {
+            (events - detected) as f64 / events as f64 * 100.0
+        }
+    }
+
+    /// Pooled false-activation percentage over all ADL events ("All
+    /// actions" row of IVb; paper: 2.04 %).
+    pub fn overall_adl_fp_pct(&self) -> f64 {
+        let events: usize = self.adl_tasks.values().map(|s| s.events).sum();
+        let flagged: usize = self.adl_tasks.values().map(|s| s.flagged).sum();
+        if events == 0 {
+            0.0
+        } else {
+            flagged as f64 / events as f64 * 100.0
+        }
+    }
+
+    /// Pooled ADL false-activation percentage for one risk group
+    /// (paper: red 3.34 %, green 0.46 %).
+    pub fn risk_group_fp_pct(&self, group: RiskGroup) -> f64 {
+        let mut events = 0usize;
+        let mut flagged = 0usize;
+        for (task, stats) in &self.adl_tasks {
+            let a = Activity::from_task(*task).expect("valid task");
+            if a.risk_group == Some(group) {
+                events += stats.events;
+                flagged += stats.flagged;
+            }
+        }
+        if events == 0 {
+            0.0
+        } else {
+            flagged as f64 / events as f64 * 100.0
+        }
+    }
+
+    /// Fall tasks ordered by miss rate, descending (Table IVa order).
+    pub fn fall_tasks_by_miss(&self) -> Vec<(u8, f64)> {
+        let mut v: Vec<(u8, f64)> = self
+            .fall_tasks
+            .keys()
+            .map(|&t| (t, self.fall_miss_pct(t).expect("present")))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// ADL tasks ordered by false-activation rate, descending
+    /// (Table IVb order).
+    pub fn adl_tasks_by_fp(&self) -> Vec<(u8, f64)> {
+        let mut v: Vec<(u8, f64)> = self
+            .adl_tasks
+            .keys()
+            .map(|&t| (t, self.adl_fp_pct(t).expect("present")))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_imu::activity::TaskId;
+    use prefall_imu::subject::SubjectId;
+
+    fn meta(subject: u16, task: u8, trial: u16, label: SegmentLabel) -> SegmentMeta {
+        SegmentMeta {
+            subject: SubjectId(subject),
+            task: TaskId::new(task).unwrap(),
+            trial_index: trial,
+            start: 0,
+            label,
+        }
+    }
+
+    #[test]
+    fn one_positive_segment_detects_the_fall() {
+        // Fall trial (task 30) with three segments: two misses, one hit.
+        let preds = vec![
+            (meta(0, 30, 0, SegmentLabel::Falling), 0.1),
+            (meta(0, 30, 0, SegmentLabel::Falling), 0.9),
+            (meta(0, 30, 0, SegmentLabel::Adl), 0.2),
+        ];
+        let r = EventReport::from_predictions(&preds, 0.5);
+        assert_eq!(r.fall_miss_pct(30), Some(0.0));
+        assert_eq!(r.overall_fall_miss_pct(), 0.0);
+    }
+
+    #[test]
+    fn fall_with_no_positive_segments_is_missed() {
+        let preds = vec![
+            (meta(0, 30, 0, SegmentLabel::Falling), 0.4),
+            (meta(0, 30, 0, SegmentLabel::Falling), 0.2),
+        ];
+        let r = EventReport::from_predictions(&preds, 0.5);
+        assert_eq!(r.fall_miss_pct(30), Some(100.0));
+    }
+
+    #[test]
+    fn pre_fall_positive_does_not_count_as_detection() {
+        // Only a pre-fall (Adl-labelled) segment fires: too early to be
+        // a usable pre-impact trigger for this event.
+        let preds = vec![
+            (meta(0, 30, 0, SegmentLabel::Adl), 0.99),
+            (meta(0, 30, 0, SegmentLabel::Falling), 0.1),
+        ];
+        let r = EventReport::from_predictions(&preds, 0.5);
+        assert_eq!(r.fall_miss_pct(30), Some(100.0));
+    }
+
+    #[test]
+    fn single_segment_fp_flags_the_adl_event() {
+        let preds = vec![
+            (meta(0, 6, 0, SegmentLabel::Adl), 0.2),
+            (meta(0, 6, 0, SegmentLabel::Adl), 0.7),
+            (meta(1, 6, 0, SegmentLabel::Adl), 0.1),
+        ];
+        let r = EventReport::from_predictions(&preds, 0.5);
+        // Subject 0's walk is a false activation; subject 1's is clean.
+        assert_eq!(r.adl_fp_pct(6), Some(50.0));
+        assert_eq!(r.overall_adl_fp_pct(), 50.0);
+    }
+
+    #[test]
+    fn distinct_trials_are_distinct_events() {
+        let preds = vec![
+            (meta(0, 6, 0, SegmentLabel::Adl), 0.9),
+            (meta(0, 6, 1, SegmentLabel::Adl), 0.1),
+        ];
+        let r = EventReport::from_predictions(&preds, 0.5);
+        assert_eq!(r.adl_tasks[&6].events, 2);
+        assert_eq!(r.adl_tasks[&6].flagged, 1);
+    }
+
+    #[test]
+    fn risk_groups_pool_correctly() {
+        // Task 44 is red, task 6 is green.
+        let preds = vec![
+            (meta(0, 44, 0, SegmentLabel::Adl), 0.9), // red, flagged
+            (meta(1, 44, 0, SegmentLabel::Adl), 0.1), // red, clean
+            (meta(0, 6, 0, SegmentLabel::Adl), 0.1),  // green, clean
+        ];
+        let r = EventReport::from_predictions(&preds, 0.5);
+        assert_eq!(r.risk_group_fp_pct(RiskGroup::Red), 50.0);
+        assert_eq!(r.risk_group_fp_pct(RiskGroup::Green), 0.0);
+    }
+
+    #[test]
+    fn orderings_are_descending() {
+        let preds = vec![
+            (meta(0, 30, 0, SegmentLabel::Falling), 0.9), // detected
+            (meta(0, 31, 0, SegmentLabel::Falling), 0.1), // missed
+            (meta(0, 6, 0, SegmentLabel::Adl), 0.9),      // fp
+            (meta(0, 7, 0, SegmentLabel::Adl), 0.1),      // clean
+        ];
+        let r = EventReport::from_predictions(&preds, 0.5);
+        let falls = r.fall_tasks_by_miss();
+        assert_eq!(falls[0], (31, 100.0));
+        let adls = r.adl_tasks_by_fp();
+        assert_eq!(adls[0], (6, 100.0));
+    }
+
+    #[test]
+    fn empty_predictions_are_safe() {
+        let r = EventReport::from_predictions(&[], 0.5);
+        assert_eq!(r.overall_fall_miss_pct(), 0.0);
+        assert_eq!(r.overall_adl_fp_pct(), 0.0);
+        assert!(r.fall_tasks_by_miss().is_empty());
+        assert_eq!(r.risk_group_fp_pct(RiskGroup::Red), 0.0);
+    }
+
+    #[test]
+    fn threshold_changes_flagging() {
+        let preds = vec![(meta(0, 6, 0, SegmentLabel::Adl), 0.6)];
+        let strict = EventReport::from_predictions(&preds, 0.9);
+        let loose = EventReport::from_predictions(&preds, 0.5);
+        assert_eq!(strict.overall_adl_fp_pct(), 0.0);
+        assert_eq!(loose.overall_adl_fp_pct(), 100.0);
+    }
+}

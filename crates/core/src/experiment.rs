@@ -1,0 +1,322 @@
+//! Reproducible experiment orchestration.
+//!
+//! The benchmark binaries (Table III, Table IV, sweeps, ablations) all
+//! run through [`Experiment`]: one generated dataset, a grid of
+//! (model × window) cells, subject-independent CV per cell.
+//!
+//! Scale knobs honour environment variables so the same binaries serve
+//! quick runs and paper-scale runs:
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `PREFALL_KFALL` / `PREFALL_SELF` | subjects per source |
+//! | `PREFALL_EPOCHS` | max training epochs |
+//! | `PREFALL_FOLDS` | CV folds |
+//! | `PREFALL_TRIALS` | trials per task |
+//! | `PREFALL_SEED` | master seed |
+
+use crate::cv::{run_cv, CvConfig, CvOutcome};
+use crate::metrics::TableMetrics;
+use crate::models::ModelKind;
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::CoreError;
+use prefall_dsp::segment::Overlap;
+use prefall_imu::dataset::{Dataset, DatasetConfig, DatasetStats};
+
+/// Full experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Dataset generation parameters.
+    pub dataset: DatasetConfig,
+    /// Window lengths to evaluate, in ms.
+    pub windows_ms: Vec<f64>,
+    /// Overlap (the paper's grid fixes 50 % for Table III).
+    pub overlap: Overlap,
+    /// Models to evaluate.
+    pub models: Vec<ModelKind>,
+    /// Cross-validation protocol.
+    pub cv: CvConfig,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+impl ExperimentConfig {
+    /// A minutes-scale Table III default: a reduced subject pool and
+    /// epoch budget, full model × window grid, 5-fold protocol.
+    pub fn table3_default() -> Self {
+        Self {
+            dataset: DatasetConfig {
+                kfall_subjects: 6,
+                self_collected_subjects: 6,
+                trials_per_task: 1,
+                duration_scale: 0.5,
+                seed: 2025,
+            },
+            windows_ms: vec![200.0, 300.0, 400.0],
+            overlap: Overlap::Half,
+            models: ModelKind::ALL.to_vec(),
+            cv: CvConfig {
+                folds: 5,
+                val_subjects: 2,
+                epochs: 8,
+                ..CvConfig::paper_scaled(8)
+            },
+        }
+    }
+
+    /// A seconds-scale configuration for tests and the quickstart
+    /// example: one window, the proposed CNN only.
+    pub fn fast() -> Self {
+        Self {
+            dataset: DatasetConfig {
+                kfall_subjects: 2,
+                self_collected_subjects: 2,
+                trials_per_task: 1,
+                duration_scale: 0.4,
+                seed: 7,
+            },
+            windows_ms: vec![200.0],
+            overlap: Overlap::Half,
+            models: vec![ModelKind::ProposedCnn],
+            cv: CvConfig::fast(),
+        }
+    }
+
+    /// Applies the `PREFALL_*` environment overrides.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(n) = env_usize("PREFALL_KFALL") {
+            self.dataset.kfall_subjects = n;
+        }
+        if let Some(n) = env_usize("PREFALL_SELF") {
+            self.dataset.self_collected_subjects = n;
+        }
+        if let Some(n) = env_usize("PREFALL_TRIALS") {
+            self.dataset.trials_per_task = n.max(1);
+        }
+        if let Some(n) = env_usize("PREFALL_EPOCHS") {
+            self.cv.epochs = n.max(1);
+        }
+        if let Some(n) = env_usize("PREFALL_FOLDS") {
+            self.cv.folds = n.max(2);
+        }
+        if let Some(s) = env_u64("PREFALL_SEED") {
+            self.dataset.seed = s;
+            self.cv.seed = s ^ 0xFA11;
+        }
+        self
+    }
+}
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The model evaluated.
+    pub model: ModelKind,
+    /// Window length in ms.
+    pub window_ms: f64,
+    /// Mean Table III columns over folds.
+    pub metrics: TableMetrics,
+    /// The full CV outcome (fold details, test predictions).
+    pub cv: CvOutcome,
+}
+
+/// A completed experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Every (model × window) cell, in model-major order.
+    pub cells: Vec<CellResult>,
+    /// Statistics of the generated dataset.
+    pub dataset_stats: DatasetStats,
+    /// Overlap used.
+    pub overlap: Overlap,
+}
+
+impl ExperimentReport {
+    /// Finds a cell.
+    pub fn cell(&self, model: ModelKind, window_ms: f64) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.model == model && (c.window_ms - window_ms).abs() < 1e-9)
+    }
+}
+
+impl std::fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let windows: Vec<f64> = {
+            let mut w: Vec<f64> = self.cells.iter().map(|c| c.window_ms).collect();
+            w.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            w.dedup();
+            w
+        };
+        writeln!(
+            f,
+            "segment-level results ({} overlap); columns: Accuracy Precision Recall F1 (%, macro)",
+            self.overlap
+        )?;
+        write!(f, "{:<16}", "Model")?;
+        for w in &windows {
+            write!(f, " | {:>6.0} ms segment size       ", w)?;
+        }
+        writeln!(f)?;
+        let mut models: Vec<ModelKind> = Vec::new();
+        for c in &self.cells {
+            if !models.contains(&c.model) {
+                models.push(c.model);
+            }
+        }
+        for m in models {
+            write!(f, "{:<16}", m.name())?;
+            for w in &windows {
+                match self.cell(m, *w) {
+                    Some(c) => write!(f, " | {}", c.metrics)?,
+                    None => write!(f, " | {:>27}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        write!(
+            f,
+            "dataset: {} trials ({} falls), {} segments-equivalent samples, {:.2}% falling",
+            self.dataset_stats.trials,
+            self.dataset_stats.fall_trials,
+            self.dataset_stats.samples,
+            self.dataset_stats.falling_fraction * 100.0
+        )
+    }
+}
+
+/// An experiment runner.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates a runner.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Generates the dataset once (shared across all grid cells).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-generation errors.
+    pub fn dataset(&self) -> Result<Dataset, CoreError> {
+        Ok(Dataset::generate(&self.config.dataset)?)
+    }
+
+    /// Runs one grid cell on a pre-generated dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and CV errors.
+    pub fn run_cell(
+        &self,
+        dataset: &Dataset,
+        model: ModelKind,
+        window_ms: f64,
+    ) -> Result<CellResult, CoreError> {
+        let pipeline = Pipeline::new(PipelineConfig {
+            segmentation: prefall_dsp::segment::Segmentation::from_millis(
+                window_ms,
+                prefall_imu::SAMPLE_RATE_HZ,
+                self.config.overlap,
+            )?,
+            ..PipelineConfig::paper_400ms()
+        })?;
+        let cv = run_cv(dataset, &pipeline, model, &self.config.cv)?;
+        Ok(CellResult {
+            model,
+            window_ms,
+            metrics: cv.mean,
+            cv,
+        })
+    }
+
+    /// Runs the full grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any cell failure.
+    pub fn run(&self) -> Result<ExperimentReport, CoreError> {
+        let dataset = self.dataset()?;
+        let total = self.config.models.len() * self.config.windows_ms.len();
+        let mut cells = Vec::new();
+        for &model in &self.config.models {
+            for &window_ms in &self.config.windows_ms {
+                let started = std::time::Instant::now();
+                eprintln!(
+                    "[{}/{}] {} @ {:.0} ms ...",
+                    cells.len() + 1,
+                    total,
+                    model.name(),
+                    window_ms
+                );
+                let cell = self.run_cell(&dataset, model, window_ms)?;
+                eprintln!(
+                    "[{}/{}] {} @ {:.0} ms: F1 {:.2}% ({:.0} s)",
+                    cells.len() + 1,
+                    total,
+                    model.name(),
+                    window_ms,
+                    cell.metrics.f1,
+                    started.elapsed().as_secs_f64()
+                );
+                cells.push(cell);
+            }
+        }
+        Ok(ExperimentReport {
+            cells,
+            dataset_stats: dataset.stats(),
+            overlap: self.config.overlap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_experiment_runs_end_to_end() {
+        let report = Experiment::new(ExperimentConfig::fast()).run().unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = report.cell(ModelKind::ProposedCnn, 200.0).unwrap();
+        assert!(cell.metrics.accuracy > 70.0);
+        let text = report.to_string();
+        assert!(text.contains("CNN (Proposed)"));
+        assert!(text.contains("200 ms"));
+    }
+
+    #[test]
+    fn env_overrides_apply() {
+        // Serialised access: env vars are process-global.
+        std::env::set_var("PREFALL_EPOCHS", "3");
+        std::env::set_var("PREFALL_FOLDS", "4");
+        let cfg = ExperimentConfig::table3_default().with_env_overrides();
+        assert_eq!(cfg.cv.epochs, 3);
+        assert_eq!(cfg.cv.folds, 4);
+        std::env::remove_var("PREFALL_EPOCHS");
+        std::env::remove_var("PREFALL_FOLDS");
+    }
+
+    #[test]
+    fn table3_default_covers_the_grid() {
+        let cfg = ExperimentConfig::table3_default();
+        assert_eq!(cfg.models.len(), 4);
+        assert_eq!(cfg.windows_ms, vec![200.0, 300.0, 400.0]);
+        assert_eq!(cfg.cv.folds, 5);
+    }
+}

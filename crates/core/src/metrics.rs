@@ -1,0 +1,285 @@
+//! Segment-level classification metrics.
+//!
+//! Table III reports Accuracy, Precision, Recall and F1 — the
+//! precision/recall/F1 columns are **macro-averaged** over the two
+//! classes (visible from the MLP row, where a near-degenerate classifier
+//! scores recall ≈ 50). Both macro and positive-class variants are
+//! provided.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives (falling predicted falling).
+    pub tp: usize,
+    /// False positives (ADL predicted falling).
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives (falling predicted ADL).
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction.
+    pub fn push(&mut self, predicted_positive: bool, actually_positive: bool) {
+        match (predicted_positive, actually_positive) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Builds from probabilities and labels at a threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_probs(probs: &[f32], labels: &[f32], threshold: f32) -> Self {
+        assert_eq!(probs.len(), labels.len(), "length mismatch");
+        let mut c = Self::new();
+        for (&p, &y) in probs.iter().zip(labels) {
+            c.push(p >= threshold, y > 0.5);
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Positive-class precision.
+    pub fn precision_pos(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Positive-class recall (sensitivity).
+    pub fn recall_pos(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Positive-class F1.
+    pub fn f1_pos(&self) -> f64 {
+        f1(self.precision_pos(), self.recall_pos())
+    }
+
+    /// Negative-class precision.
+    pub fn precision_neg(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fn_)
+    }
+
+    /// Negative-class recall (specificity).
+    pub fn recall_neg(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Negative-class F1.
+    pub fn f1_neg(&self) -> f64 {
+        f1(self.precision_neg(), self.recall_neg())
+    }
+
+    /// Macro-averaged precision (what Table III reports).
+    pub fn macro_precision(&self) -> f64 {
+        0.5 * (self.precision_pos() + self.precision_neg())
+    }
+
+    /// Macro-averaged recall.
+    pub fn macro_recall(&self) -> f64 {
+        0.5 * (self.recall_pos() + self.recall_neg())
+    }
+
+    /// Macro-averaged F1.
+    pub fn macro_f1(&self) -> f64 {
+        0.5 * (self.f1_pos() + self.f1_neg())
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn f1(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// The four Table III columns, as percentages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableMetrics {
+    /// Accuracy %.
+    pub accuracy: f64,
+    /// Macro precision %.
+    pub precision: f64,
+    /// Macro recall %.
+    pub recall: f64,
+    /// Macro F1 %.
+    pub f1: f64,
+}
+
+impl TableMetrics {
+    /// Extracts the Table III columns from a confusion matrix.
+    pub fn from_confusion(c: &Confusion) -> Self {
+        Self {
+            accuracy: c.accuracy() * 100.0,
+            precision: c.macro_precision() * 100.0,
+            recall: c.macro_recall() * 100.0,
+            f1: c.macro_f1() * 100.0,
+        }
+    }
+
+    /// Mean over several folds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn mean(items: &[TableMetrics]) -> Self {
+        assert!(!items.is_empty(), "cannot average zero folds");
+        let n = items.len() as f64;
+        Self {
+            accuracy: items.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            precision: items.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: items.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: items.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for TableMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:6.2} {:6.2} {:6.2} {:6.2}",
+            self.accuracy, self.precision, self.recall, self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let mut c = Confusion::new();
+        for _ in 0..10 {
+            c.push(true, true);
+        }
+        for _ in 0..90 {
+            c.push(false, false);
+        }
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.macro_precision(), 1.0);
+        assert_eq!(c.macro_recall(), 1.0);
+        assert_eq!(c.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_all_negative_matches_mlp_row_shape() {
+        // Predicting everything negative on a 3.5% positive set: high
+        // accuracy, macro recall exactly 50% — the paper's MLP row.
+        let mut c = Confusion::new();
+        for _ in 0..35 {
+            c.push(false, true);
+        }
+        for _ in 0..965 {
+            c.push(false, false);
+        }
+        assert!((c.accuracy() - 0.965).abs() < 1e-9);
+        assert!((c.macro_recall() - 0.5).abs() < 1e-9);
+        assert!(c.macro_precision() < 0.5);
+        assert!(c.macro_f1() < 0.52);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        let c = Confusion {
+            tp: 8,
+            fp: 2,
+            tn: 85,
+            fn_: 5,
+        };
+        assert!((c.precision_pos() - 0.8).abs() < 1e-9);
+        assert!((c.recall_pos() - 8.0 / 13.0).abs() < 1e-9);
+        assert!((c.recall_neg() - 85.0 / 87.0).abs() < 1e-9);
+        let f1 = c.f1_pos();
+        let expect = 2.0 * 0.8 * (8.0 / 13.0) / (0.8 + 8.0 / 13.0);
+        assert!((f1 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_probs_thresholding() {
+        let c = Confusion::from_probs(&[0.9, 0.4, 0.6, 0.1], &[1.0, 1.0, 0.0, 0.0], 0.5);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 1);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero_not_nan() {
+        let c = Confusion::new();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Confusion {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.fn_, 8);
+    }
+
+    #[test]
+    fn table_metrics_mean_and_display() {
+        let a = TableMetrics {
+            accuracy: 90.0,
+            precision: 80.0,
+            recall: 70.0,
+            f1: 74.0,
+        };
+        let b = TableMetrics {
+            accuracy: 92.0,
+            precision: 84.0,
+            recall: 74.0,
+            f1: 78.0,
+        };
+        let m = TableMetrics::mean(&[a, b]);
+        assert!((m.accuracy - 91.0).abs() < 1e-9);
+        assert!((m.f1 - 76.0).abs() < 1e-9);
+        assert!(m.to_string().contains("91.00"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Persistence of trained detector bundles.
+//!
+//! A deployable detector is more than weights: it needs the exact
+//! preprocessing configuration and the normaliser fitted on its training
+//! data. [`DetectorBundle`] packages all three into one binary blob so a
+//! detector trained today can be reloaded bit-identically tomorrow (or
+//! shipped next to the firmware image).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "PFDB" | u32 version
+//! | u8 model kind | u32 window | u32 channels | u64 init seed
+//! | pipeline: f64 cutoff, u32 order, u32 window, u8 overlap,
+//!   f64 pos_overlap, f64 discard_margin, u32 airbag_budget
+//! | normalizer: u32 n, f32 means × n, f32 stds × n
+//! | u32 weight-blob len | weight blob (prefall-nn serialize format)
+//! ```
+
+use crate::models::ModelKind;
+use crate::pipeline::PipelineConfig;
+use crate::CoreError;
+use bytes::{Buf, BufMut, BytesMut};
+use prefall_dsp::segment::{Overlap, Segmentation};
+use prefall_dsp::stats::Normalizer;
+use prefall_nn::network::Network;
+use prefall_nn::serialize::{load_weights, save_weights};
+
+const MAGIC: &[u8; 4] = b"PFDB";
+const VERSION: u32 = 1;
+
+/// A self-contained, serialisable trained detector.
+#[derive(Debug)]
+pub struct DetectorBundle {
+    /// Which architecture the weights belong to.
+    pub model: ModelKind,
+    /// Window length in samples.
+    pub window: usize,
+    /// Channels per snapshot.
+    pub channels: usize,
+    /// Weight-init seed used to rebuild the architecture.
+    pub init_seed: u64,
+    /// Preprocessing configuration.
+    pub pipeline: PipelineConfig,
+    /// The training-set normaliser.
+    pub normalizer: Normalizer,
+    /// The trained network.
+    pub network: Network,
+}
+
+fn model_tag(m: ModelKind) -> u8 {
+    match m {
+        ModelKind::Mlp => 0,
+        ModelKind::Lstm => 1,
+        ModelKind::ConvLstm2d => 2,
+        ModelKind::ProposedCnn => 3,
+        ModelKind::MonolithicCnn => 4,
+    }
+}
+
+fn model_from_tag(t: u8) -> Option<ModelKind> {
+    Some(match t {
+        0 => ModelKind::Mlp,
+        1 => ModelKind::Lstm,
+        2 => ModelKind::ConvLstm2d,
+        3 => ModelKind::ProposedCnn,
+        4 => ModelKind::MonolithicCnn,
+        _ => return None,
+    })
+}
+
+fn overlap_tag(o: Overlap) -> u8 {
+    match o {
+        Overlap::None => 0,
+        Overlap::Quarter => 1,
+        Overlap::Half => 2,
+        Overlap::ThreeQuarters => 3,
+        // `Overlap` is non-exhaustive; new grid values need a new tag.
+        _ => unreachable!("unknown overlap variant"),
+    }
+}
+
+fn overlap_from_tag(t: u8) -> Option<Overlap> {
+    Some(match t {
+        0 => Overlap::None,
+        1 => Overlap::Quarter,
+        2 => Overlap::Half,
+        3 => Overlap::ThreeQuarters,
+        _ => return None,
+    })
+}
+
+impl DetectorBundle {
+    /// Serialises the bundle.
+    pub fn to_bytes(&mut self) -> Vec<u8> {
+        let weights = save_weights(&mut self.network);
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u8(model_tag(self.model));
+        buf.put_u32_le(self.window as u32);
+        buf.put_u32_le(self.channels as u32);
+        buf.put_u64_le(self.init_seed);
+
+        let p = &self.pipeline;
+        buf.put_f64_le(p.filter_cutoff_hz);
+        buf.put_u32_le(p.filter_order as u32);
+        buf.put_u32_le(p.segmentation.window() as u32);
+        buf.put_u8(overlap_tag(p.segmentation.overlap()));
+        buf.put_f64_le(p.positive_overlap);
+        buf.put_f64_le(p.discard_margin_s);
+        buf.put_u32_le(p.airbag_budget_samples as u32);
+
+        buf.put_u32_le(self.normalizer.channels() as u32);
+        for &m in self.normalizer.means() {
+            buf.put_f32_le(m);
+        }
+        for &s in self.normalizer.stds() {
+            buf.put_f32_le(s);
+        }
+
+        buf.put_u32_le(weights.len() as u32);
+        buf.put_slice(&weights);
+        buf.to_vec()
+    }
+
+    /// Deserialises a bundle, rebuilding the architecture and loading
+    /// the weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for malformed blobs and
+    /// propagates model/weight errors.
+    pub fn from_bytes(blob: &[u8]) -> Result<Self, CoreError> {
+        let mut buf = blob;
+        let bad = |reason: &str| CoreError::InvalidConfig {
+            reason: format!("detector bundle: {reason}"),
+        };
+        if buf.remaining() < 8 || &buf[..4] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        buf.advance(4);
+        if buf.get_u32_le() != VERSION {
+            return Err(bad("unsupported version"));
+        }
+        if buf.remaining() < 1 + 4 + 4 + 8 {
+            return Err(bad("truncated header"));
+        }
+        let model = model_from_tag(buf.get_u8()).ok_or_else(|| bad("unknown model tag"))?;
+        let window = buf.get_u32_le() as usize;
+        let channels = buf.get_u32_le() as usize;
+        let init_seed = buf.get_u64_le();
+
+        if buf.remaining() < 8 + 4 + 4 + 1 + 8 + 8 + 4 {
+            return Err(bad("truncated pipeline config"));
+        }
+        let filter_cutoff_hz = buf.get_f64_le();
+        let filter_order = buf.get_u32_le() as usize;
+        let seg_window = buf.get_u32_le() as usize;
+        let overlap = overlap_from_tag(buf.get_u8()).ok_or_else(|| bad("unknown overlap tag"))?;
+        let positive_overlap = buf.get_f64_le();
+        let discard_margin_s = buf.get_f64_le();
+        let airbag_budget_samples = buf.get_u32_le() as usize;
+        let segmentation = Segmentation::new(seg_window, overlap)?;
+        let pipeline = PipelineConfig {
+            filter_cutoff_hz,
+            filter_order,
+            segmentation,
+            positive_overlap,
+            discard_margin_s,
+            airbag_budget_samples,
+        };
+
+        if buf.remaining() < 4 {
+            return Err(bad("truncated normalizer"));
+        }
+        let n = buf.get_u32_le() as usize;
+        if buf.remaining() < n * 8 + 4 {
+            return Err(bad("truncated normalizer data"));
+        }
+        let means: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
+        let stds: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
+        let normalizer = Normalizer::from_parts(means, stds)
+            .map_err(|reason| bad(&format!("normalizer: {reason}")))?;
+
+        let wlen = buf.get_u32_le() as usize;
+        if buf.remaining() < wlen {
+            return Err(bad("truncated weights"));
+        }
+        let mut network = model.build(window, channels, init_seed)?;
+        load_weights(&mut network, &buf[..wlen])?;
+
+        Ok(Self {
+            model,
+            window,
+            channels,
+            init_seed,
+            pipeline,
+            normalizer,
+            network,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_imu::SAMPLE_RATE_HZ;
+
+    fn bundle() -> DetectorBundle {
+        let window = 20;
+        let net = ModelKind::ProposedCnn.build(window, 9, 5).unwrap();
+        DetectorBundle {
+            model: ModelKind::ProposedCnn,
+            window,
+            channels: 9,
+            init_seed: 5,
+            pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+            normalizer: Normalizer::identity(9),
+            network: net,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour_and_config() {
+        let mut b = bundle();
+        let x: Vec<f32> = (0..180).map(|i| (i as f32 * 0.1).sin()).collect();
+        let before = b.network.forward(&x);
+        let blob = b.to_bytes();
+        let mut back = DetectorBundle::from_bytes(&blob).unwrap();
+        assert_eq!(back.model, ModelKind::ProposedCnn);
+        assert_eq!(back.window, 20);
+        assert_eq!(back.pipeline, b.pipeline);
+        assert_eq!(back.normalizer, b.normalizer);
+        assert_eq!(back.network.forward(&x), before);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mut b = bundle();
+        let blob = b.to_bytes();
+        assert!(DetectorBundle::from_bytes(b"short").is_err());
+        let mut bad_magic = blob.clone();
+        bad_magic[0] = b'X';
+        assert!(DetectorBundle::from_bytes(&bad_magic).is_err());
+        let mut truncated = blob.clone();
+        truncated.truncate(blob.len() / 2);
+        assert!(DetectorBundle::from_bytes(&truncated).is_err());
+        let mut bad_model = blob;
+        bad_model[8] = 99;
+        assert!(DetectorBundle::from_bytes(&bad_model).is_err());
+    }
+
+    #[test]
+    fn sample_rate_is_implied_not_stored() {
+        // The bundle assumes the global 100 Hz rate; document-by-test.
+        assert_eq!(SAMPLE_RATE_HZ, 100.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Fig. 1 — fall-stage annotation of a trial.
+//!
+//! The figure shows the accelerometer-magnitude trace of one fall with
+//! the pre-fall phase (green), the falling phase (red), the last 150 ms
+//! before impact (yellow), the impact (violet cross) and the post-fall
+//! phase (orange). This module produces that series for any trial.
+
+use prefall_dsp::stats::magnitude_series;
+use prefall_imu::channel::Channel;
+use prefall_imu::csv::PhaseLabel;
+use prefall_imu::trial::Trial;
+use prefall_imu::SAMPLE_PERIOD_MS;
+
+/// One point of the Fig. 1 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasePoint {
+    /// Time since trial start, in milliseconds.
+    pub t_ms: f64,
+    /// Accelerometer magnitude in g.
+    pub accel_mag: f32,
+    /// The fall stage at this sample.
+    pub phase: PhaseLabel,
+}
+
+/// Produces the annotated accelerometer-magnitude series of a trial.
+pub fn phase_series(trial: &Trial) -> Vec<PhasePoint> {
+    let mag = magnitude_series(
+        trial.channel(Channel::AccelX),
+        trial.channel(Channel::AccelY),
+        trial.channel(Channel::AccelZ),
+    );
+    mag.into_iter()
+        .enumerate()
+        .map(|(i, m)| PhasePoint {
+            t_ms: i as f64 * SAMPLE_PERIOD_MS,
+            accel_mag: m,
+            phase: PhaseLabel::of(trial, i),
+        })
+        .collect()
+}
+
+/// Summary of the phase durations of a fall trial (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseDurations {
+    /// Pre-fall activity length.
+    pub pre_ms: f64,
+    /// Usable falling length (fall start → impact − 150 ms).
+    pub falling_ms: f64,
+    /// The inflation budget actually present (≤ 150 ms).
+    pub inflation_ms: f64,
+    /// Post-impact length.
+    pub post_ms: f64,
+}
+
+/// Measures the phase durations of a trial.
+pub fn phase_durations(trial: &Trial) -> PhaseDurations {
+    let mut d = PhaseDurations::default();
+    for i in 0..trial.len() {
+        let bucket = match PhaseLabel::of(trial, i) {
+            PhaseLabel::Pre => &mut d.pre_ms,
+            PhaseLabel::Falling => &mut d.falling_ms,
+            PhaseLabel::Inflation => &mut d.inflation_ms,
+            PhaseLabel::Impact | PhaseLabel::Post => &mut d.post_ms,
+        };
+        *bucket += SAMPLE_PERIOD_MS;
+    }
+    d
+}
+
+/// Renders the series as a compact ASCII plot (for the `figure1`
+/// binary): one row per `stride` samples, bar length ∝ magnitude.
+pub fn ascii_plot(series: &[PhasePoint], stride: usize, max_g: f32) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8}  {:>6}  phase      magnitude", "t (ms)", "g");
+    for p in series.iter().step_by(stride.max(1)) {
+        let bar_len = ((p.accel_mag / max_g).clamp(0.0, 1.0) * 50.0) as usize;
+        let marker = match p.phase {
+            PhaseLabel::Pre => '.',
+            PhaseLabel::Falling => '#',
+            PhaseLabel::Inflation => '!',
+            PhaseLabel::Impact => 'X',
+            PhaseLabel::Post => 'o',
+        };
+        let _ = writeln!(
+            out,
+            "{:>8.0}  {:>6.2}  {:<9}  |{}",
+            p.t_ms,
+            p.accel_mag,
+            p.phase.as_str(),
+            marker.to_string().repeat(bar_len.max(1))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_imu::dataset::Dataset;
+
+    fn fall_trial() -> Trial {
+        let ds = Dataset::combined_scaled(0, 1, 19).unwrap();
+        ds.trials()
+            .iter()
+            .find(|t| t.is_fall() && t.usable_fall_range().is_some())
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn series_covers_whole_trial_in_order() {
+        let t = fall_trial();
+        let s = phase_series(&t);
+        assert_eq!(s.len(), t.len());
+        assert_eq!(s[0].t_ms, 0.0);
+        assert!((s[1].t_ms - 10.0).abs() < 1e-9, "100 Hz spacing");
+        // All five stages appear for a long-enough fall.
+        for want in [
+            PhaseLabel::Pre,
+            PhaseLabel::Falling,
+            PhaseLabel::Inflation,
+            PhaseLabel::Impact,
+            PhaseLabel::Post,
+        ] {
+            assert!(s.iter().any(|p| p.phase == want), "missing {want:?}");
+        }
+    }
+
+    #[test]
+    fn inflation_budget_measures_150ms() {
+        let t = fall_trial();
+        let d = phase_durations(&t);
+        assert!((d.inflation_ms - 150.0).abs() < 1e-6, "{:?}", d);
+        assert!(d.pre_ms > 0.0);
+        assert!(d.falling_ms > 0.0);
+        assert!(d.post_ms > 0.0);
+        // The paper: falls generally take 150–1100 ms onset→impact.
+        let total_fall = d.falling_ms + d.inflation_ms;
+        assert!(
+            (150.0..=1200.0).contains(&total_fall),
+            "fall {total_fall} ms"
+        );
+    }
+
+    #[test]
+    fn ascii_plot_renders_phases() {
+        let t = fall_trial();
+        let s = phase_series(&t);
+        let plot = ascii_plot(&s, 5, 4.0);
+        assert!(plot.contains("falling"));
+        assert!(plot.contains("inflation"));
+        assert!(plot.lines().count() > 10);
+    }
+
+    #[test]
+    fn adl_trial_is_all_pre() {
+        let ds = Dataset::combined_scaled(0, 1, 19).unwrap();
+        let t = ds.trials().iter().find(|t| !t.is_fall()).unwrap();
+        let d = phase_durations(t);
+        assert_eq!(d.falling_ms, 0.0);
+        assert_eq!(d.inflation_ms, 0.0);
+        assert_eq!(d.post_ms, 0.0);
+        assert!(d.pre_ms > 0.0);
+    }
+}

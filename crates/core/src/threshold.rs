@@ -1,0 +1,256 @@
+//! Threshold-based pre-impact detection (the Table I baseline family,
+//! after de Sousa et al. \[10\] and Jung et al. \[11\]).
+//!
+//! These detectors watch the accelerometer magnitude for the free-fall
+//! signature — a sustained drop below a threshold (classically ~0.6 g) —
+//! optionally combined with a gyro-rate gate. They are far cheaper than
+//! any network but trade away precision, which is exactly the trade-off
+//! Table I documents.
+
+use prefall_dsp::stats::magnitude_series;
+use prefall_imu::channel::Channel;
+use prefall_imu::trial::Trial;
+use prefall_imu::AIRBAG_INFLATION_SAMPLES;
+use serde::{Deserialize, Serialize};
+
+/// Threshold detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdConfig {
+    /// Free-fall threshold on the accelerometer magnitude, in g.
+    pub freefall_g: f32,
+    /// Minimum consecutive sub-threshold samples before triggering.
+    pub min_duration_samples: usize,
+    /// Optional additional gate: a minimum peak gyro magnitude (rad/s)
+    /// within the free-fall window (0 disables the gate).
+    pub gyro_gate_rads: f32,
+}
+
+impl Default for ThresholdConfig {
+    fn default() -> Self {
+        Self {
+            freefall_g: 0.60,
+            min_duration_samples: 3,
+            gyro_gate_rads: 0.0,
+        }
+    }
+}
+
+/// A threshold-based pre-impact fall detector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ThresholdDetector {
+    config: ThresholdConfig,
+}
+
+impl ThresholdDetector {
+    /// Creates a detector.
+    pub fn new(config: ThresholdConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ThresholdConfig {
+        &self.config
+    }
+
+    /// Returns the sample index of the first trigger over raw magnitude
+    /// and gyro-magnitude series, or `None`.
+    pub fn first_trigger(&self, accel_mag: &[f32], gyro_mag: &[f32]) -> Option<usize> {
+        let mut run = 0usize;
+        for i in 0..accel_mag.len() {
+            if accel_mag[i] < self.config.freefall_g {
+                run += 1;
+                if run >= self.config.min_duration_samples {
+                    if self.config.gyro_gate_rads > 0.0 {
+                        let start = i + 1 - run;
+                        let peak = gyro_mag[start..=i].iter().fold(0.0f32, |a, &g| a.max(g));
+                        if peak < self.config.gyro_gate_rads {
+                            continue;
+                        }
+                    }
+                    return Some(i);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// Runs the detector on a trial, returning the trigger index.
+    pub fn detect(&self, trial: &Trial) -> Option<usize> {
+        let am = magnitude_series(
+            trial.channel(Channel::AccelX),
+            trial.channel(Channel::AccelY),
+            trial.channel(Channel::AccelZ),
+        );
+        let gm = magnitude_series(
+            trial.channel(Channel::GyroX),
+            trial.channel(Channel::GyroY),
+            trial.channel(Channel::GyroZ),
+        );
+        self.first_trigger(&am, &gm)
+    }
+}
+
+/// Event-level evaluation of a threshold detector (Table I context).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThresholdReport {
+    /// Fall trials evaluated.
+    pub falls_total: usize,
+    /// Falls triggered early enough (before impact − 150 ms).
+    pub falls_detected: usize,
+    /// ADL trials evaluated.
+    pub adls_total: usize,
+    /// ADL trials with a (false) trigger.
+    pub adls_false_positive: usize,
+}
+
+impl ThresholdReport {
+    /// Event-level accuracy %.
+    pub fn accuracy_pct(&self) -> f64 {
+        let correct = self.falls_detected + (self.adls_total - self.adls_false_positive);
+        let total = self.falls_total + self.adls_total;
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Event-level recall (fall detection rate) %.
+    pub fn recall_pct(&self) -> f64 {
+        if self.falls_total == 0 {
+            0.0
+        } else {
+            self.falls_detected as f64 / self.falls_total as f64 * 100.0
+        }
+    }
+
+    /// Event-level precision %.
+    pub fn precision_pct(&self) -> f64 {
+        let predicted = self.falls_detected + self.adls_false_positive;
+        if predicted == 0 {
+            0.0
+        } else {
+            self.falls_detected as f64 / predicted as f64 * 100.0
+        }
+    }
+
+    /// Event-level F1 %.
+    pub fn f1_pct(&self) -> f64 {
+        let p = self.precision_pct();
+        let r = self.recall_pct();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Evaluates a threshold detector over trials: a fall counts as detected
+/// only when the trigger lands in the *usable* window (at least 150 ms
+/// before impact); any ADL trigger is a false positive.
+pub fn evaluate_threshold(detector: &ThresholdDetector, trials: &[Trial]) -> ThresholdReport {
+    let mut report = ThresholdReport::default();
+    for trial in trials {
+        match (trial.is_fall(), detector.detect(trial)) {
+            (true, Some(t)) => {
+                report.falls_total += 1;
+                let deadline = trial.impact().expect("fall has impact") - AIRBAG_INFLATION_SAMPLES;
+                if t < deadline {
+                    report.falls_detected += 1;
+                }
+            }
+            (true, None) => report.falls_total += 1,
+            (false, Some(_)) => {
+                report.adls_total += 1;
+                report.adls_false_positive += 1;
+            }
+            (false, None) => report.adls_total += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_imu::dataset::Dataset;
+
+    #[test]
+    fn triggers_on_sustained_freefall_only() {
+        let d = ThresholdDetector::default();
+        let gyro = vec![0.0f32; 10];
+        // A single dip does not trigger.
+        let one_dip = vec![1.0, 1.0, 0.3, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(d.first_trigger(&one_dip, &gyro), None);
+        // Three consecutive sub-threshold samples do.
+        let fall = vec![1.0, 1.0, 0.4, 0.3, 0.2, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(d.first_trigger(&fall, &gyro), Some(4));
+    }
+
+    #[test]
+    fn gyro_gate_blocks_rotation_free_freefall() {
+        let cfg = ThresholdConfig {
+            gyro_gate_rads: 1.0,
+            ..ThresholdConfig::default()
+        };
+        let d = ThresholdDetector::new(cfg);
+        let mag = vec![1.0, 0.3, 0.3, 0.3, 0.3, 1.0];
+        let quiet_gyro = vec![0.1f32; 6];
+        let spinning_gyro = vec![0.1, 2.0, 2.0, 2.0, 2.0, 0.1];
+        assert_eq!(
+            d.first_trigger(&mag, &quiet_gyro),
+            None,
+            "jump-like event gated out"
+        );
+        assert!(d.first_trigger(&mag, &spinning_gyro).is_some());
+    }
+
+    #[test]
+    fn detects_most_synthetic_falls_pre_impact() {
+        let ds = Dataset::combined_scaled(0, 2, 31).unwrap();
+        let d = ThresholdDetector::default();
+        let report = evaluate_threshold(&d, ds.trials());
+        assert!(report.falls_total > 30);
+        assert!(
+            report.recall_pct() > 60.0,
+            "threshold recall {:.1}%",
+            report.recall_pct()
+        );
+    }
+
+    #[test]
+    fn false_positives_come_from_jumpy_adls() {
+        // The threshold detector cannot tell a jump's flight from a
+        // fall — the weakness the paper's Table I narrative leans on.
+        let ds = Dataset::combined_scaled(0, 3, 37).unwrap();
+        let d = ThresholdDetector::default();
+        let mut jump_like_fp = 0;
+        for t in ds.trials().iter().filter(|t| !t.is_fall()) {
+            if d.detect(t).is_some() && matches!(t.task.get(), 4 | 44) {
+                jump_like_fp += 1;
+            }
+        }
+        assert!(
+            jump_like_fp > 0,
+            "expected jump tasks to fool the threshold"
+        );
+    }
+
+    #[test]
+    fn report_math() {
+        let r = ThresholdReport {
+            falls_total: 10,
+            falls_detected: 9,
+            adls_total: 90,
+            adls_false_positive: 9,
+        };
+        assert!((r.accuracy_pct() - 90.0).abs() < 1e-9);
+        assert!((r.recall_pct() - 90.0).abs() < 1e-9);
+        assert!((r.precision_pct() - 50.0).abs() < 1e-9);
+        assert!(r.f1_pct() > 60.0);
+        assert_eq!(ThresholdReport::default().accuracy_pct(), 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Operating-point analysis: ROC/PR curves, AUC, and the paper's
+//! FP-minimising threshold selection.
+//!
+//! §IV-B: "we configured our model to minimize false positives, even at
+//! the cost of missing the detection of some actual falls". This module
+//! makes that choice explicit: sweep the decision threshold over the
+//! validation predictions and pick the highest-precision point subject
+//! to a miss-rate budget, at the *event* level where it matters.
+
+use crate::events::EventReport;
+use crate::pipeline::SegmentMeta;
+use serde::{Deserialize, Serialize};
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+    /// True-positive rate (recall).
+    pub tpr: f64,
+    /// False-positive rate.
+    pub fpr: f64,
+}
+
+/// Computes the segment-level ROC curve over (probability, label) pairs,
+/// sorted by descending threshold, with endpoints at (0,0) and (1,1).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn roc_curve(probs: &[f32], labels: &[f32]) -> Vec<RocPoint> {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return vec![
+            RocPoint {
+                threshold: 1.0,
+                tpr: 0.0,
+                fpr: 0.0,
+            },
+            RocPoint {
+                threshold: 0.0,
+                tpr: 1.0,
+                fpr: 1.0,
+            },
+        ];
+    }
+
+    let mut pairs: Vec<(f32, bool)> = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| (p, y > 0.5))
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite probabilities"));
+
+    let mut points = vec![RocPoint {
+        threshold: f32::INFINITY,
+        tpr: 0.0,
+        fpr: 0.0,
+    }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < pairs.len() {
+        let t = pairs[i].0;
+        // Consume all pairs tied at this threshold.
+        while i < pairs.len() && pairs[i].0 == t {
+            if pairs[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: t,
+            tpr: tp as f64 / n_pos as f64,
+            fpr: fp as f64 / n_neg as f64,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal).
+pub fn auc(points: &[RocPoint]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0)
+        .sum()
+}
+
+/// Result of the event-level operating-point search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// The chosen decision threshold.
+    pub threshold: f32,
+    /// Fall-event miss percentage at this threshold.
+    pub fall_miss_pct: f64,
+    /// ADL-event false-activation percentage at this threshold.
+    pub adl_fp_pct: f64,
+}
+
+/// Sweeps thresholds over per-segment test/validation predictions and
+/// returns the point with the **fewest ADL false activations** whose
+/// fall-event miss rate stays within `max_miss_pct` — the paper's
+/// "minimize false positives" policy. Falls back to the
+/// lowest-miss-rate point when no threshold satisfies the budget.
+pub fn pick_fp_minimising_threshold(
+    preds: &[(SegmentMeta, f32)],
+    max_miss_pct: f64,
+) -> OperatingPoint {
+    let candidates: Vec<f32> = (1..100).map(|k| k as f32 / 100.0).collect();
+    let mut best: Option<OperatingPoint> = None;
+    let mut fallback: Option<OperatingPoint> = None;
+    for t in candidates {
+        let report = EventReport::from_predictions(preds, t);
+        let op = OperatingPoint {
+            threshold: t,
+            fall_miss_pct: report.overall_fall_miss_pct(),
+            adl_fp_pct: report.overall_adl_fp_pct(),
+        };
+        if op.fall_miss_pct <= max_miss_pct {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    op.adl_fp_pct < b.adl_fp_pct
+                        || (op.adl_fp_pct == b.adl_fp_pct && op.fall_miss_pct < b.fall_miss_pct)
+                }
+            };
+            if better {
+                best = Some(op);
+            }
+        }
+        let lower_miss = match fallback {
+            None => true,
+            Some(f) => {
+                op.fall_miss_pct < f.fall_miss_pct
+                    || (op.fall_miss_pct == f.fall_miss_pct && op.adl_fp_pct < f.adl_fp_pct)
+            }
+        };
+        if lower_miss {
+            fallback = Some(op);
+        }
+    }
+    best.or(fallback).expect("candidate grid is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SegmentLabel;
+    use prefall_imu::activity::TaskId;
+    use prefall_imu::subject::SubjectId;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let probs = vec![0.9, 0.8, 0.2, 0.1];
+        let labels = vec![1.0, 1.0, 0.0, 0.0];
+        let roc = roc_curve(&probs, &labels);
+        assert!((auc(&roc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_scores_have_auc_half() {
+        // Alternating identical scores: ties processed together.
+        let probs = vec![0.5; 100];
+        let labels: Vec<f32> = (0..100).map(|i| (i % 2) as f32).collect();
+        let roc = roc_curve(&probs, &labels);
+        assert!((auc(&roc) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_scores_have_auc_zero() {
+        let probs = vec![0.1, 0.2, 0.8, 0.9];
+        let labels = vec![1.0, 1.0, 0.0, 0.0];
+        let roc = roc_curve(&probs, &labels);
+        assert!(auc(&roc) < 1e-9);
+    }
+
+    #[test]
+    fn roc_is_monotone_and_ends_at_one_one() {
+        let probs: Vec<f32> = (0..50).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+        let labels: Vec<f32> = (0..50).map(|i| ((i * 7) % 3 == 0) as u8 as f32).collect();
+        let roc = roc_curve(&probs, &labels);
+        for w in roc.windows(2) {
+            assert!(w[1].tpr >= w[0].tpr - 1e-12);
+            assert!(w[1].fpr >= w[0].fpr - 1e-12);
+        }
+        let last = roc.last().unwrap();
+        assert!((last.tpr - 1.0).abs() < 1e-12);
+        assert!((last.fpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_class_is_safe() {
+        let roc = roc_curve(&[0.4, 0.6], &[1.0, 1.0]);
+        assert_eq!(roc.len(), 2);
+        assert!(auc(&roc).is_finite());
+    }
+
+    fn meta(task: u8, trial: u16, label: SegmentLabel) -> SegmentMeta {
+        SegmentMeta {
+            subject: SubjectId(0),
+            task: TaskId::new(task).unwrap(),
+            trial_index: trial,
+            start: 0,
+            label,
+        }
+    }
+
+    #[test]
+    fn threshold_search_minimises_fp_within_miss_budget() {
+        // Two fall events with scores 0.9 / 0.6 and three ADL events
+        // with max scores 0.7 / 0.3 / 0.1.
+        let preds = vec![
+            (meta(30, 0, SegmentLabel::Falling), 0.9),
+            (meta(30, 1, SegmentLabel::Falling), 0.6),
+            (meta(6, 0, SegmentLabel::Adl), 0.7),
+            (meta(6, 1, SegmentLabel::Adl), 0.3),
+            (meta(6, 2, SegmentLabel::Adl), 0.1),
+        ];
+        // Budget 0 % misses → threshold must stay ≤ 0.6 → FP unavoidable.
+        let strict = pick_fp_minimising_threshold(&preds, 0.0);
+        assert!(strict.threshold <= 0.6);
+        assert_eq!(strict.fall_miss_pct, 0.0);
+        // Budget 50 % misses → can push past the 0.7 ADL event.
+        let relaxed = pick_fp_minimising_threshold(&preds, 50.0);
+        assert!(relaxed.threshold > 0.7, "threshold {}", relaxed.threshold);
+        assert_eq!(relaxed.adl_fp_pct, 0.0);
+        assert!(relaxed.fall_miss_pct <= 50.0);
+    }
+
+    #[test]
+    fn impossible_budget_falls_back_to_lowest_miss() {
+        let preds = vec![
+            (meta(30, 0, SegmentLabel::Falling), 0.005), // undetectable
+            (meta(6, 0, SegmentLabel::Adl), 0.9),
+        ];
+        let op = pick_fp_minimising_threshold(&preds, 0.0);
+        // No threshold catches the fall; fallback picks the lowest-miss
+        // (here: all candidates miss it, so any is fine) without panic.
+        assert!(op.threshold > 0.0);
+        assert_eq!(op.fall_miss_pct, 100.0);
+    }
+}

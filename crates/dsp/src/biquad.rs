@@ -1,0 +1,325 @@
+//! Second-order IIR sections (biquads) and cascades of them.
+//!
+//! Filters designed by [`crate::butterworth`] are factored into
+//! second-order sections, which are far more numerically robust than a
+//! single high-order direct-form filter. Each [`Biquad`] runs in
+//! transposed direct form II, the standard choice for streaming float
+//! filters.
+
+use crate::complex::Complex;
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of one second-order section.
+///
+/// Transfer function (with `a0` normalised to 1):
+///
+/// ```text
+///          b0 + b1 z⁻¹ + b2 z⁻²
+/// H(z) = ------------------------
+///          1 + a1 z⁻¹ + a2 z⁻²
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiquadCoeffs {
+    /// Feed-forward coefficient `b0`.
+    pub b0: f64,
+    /// Feed-forward coefficient `b1`.
+    pub b1: f64,
+    /// Feed-forward coefficient `b2`.
+    pub b2: f64,
+    /// Feedback coefficient `a1`.
+    pub a1: f64,
+    /// Feedback coefficient `a2`.
+    pub a2: f64,
+}
+
+impl BiquadCoeffs {
+    /// The identity (pass-through) section.
+    pub const IDENTITY: BiquadCoeffs = BiquadCoeffs {
+        b0: 1.0,
+        b1: 0.0,
+        b2: 0.0,
+        a1: 0.0,
+        a2: 0.0,
+    };
+
+    /// Returns `true` when both poles lie strictly inside the unit circle.
+    ///
+    /// Uses the triangle stability criterion: `|a2| < 1` and
+    /// `|a1| < 1 + a2`.
+    pub fn is_stable(&self) -> bool {
+        self.a2.abs() < 1.0 && self.a1.abs() < 1.0 + self.a2
+    }
+
+    /// Complex frequency response at normalised angular frequency
+    /// `omega` (radians/sample, `0..=π`).
+    pub fn response(&self, omega: f64) -> Complex {
+        let z1 = Complex::cis(-omega);
+        let z2 = Complex::cis(-2.0 * omega);
+        let num = Complex::from_real(self.b0) + z1.scale(self.b1) + z2.scale(self.b2);
+        let den = Complex::from_real(1.0) + z1.scale(self.a1) + z2.scale(self.a2);
+        num / den
+    }
+
+    /// DC gain of the section (`H(z)` at `z = 1`).
+    pub fn dc_gain(&self) -> f64 {
+        (self.b0 + self.b1 + self.b2) / (1.0 + self.a1 + self.a2)
+    }
+}
+
+/// A streaming biquad in transposed direct form II.
+///
+/// # Example
+///
+/// ```
+/// use prefall_dsp::biquad::{Biquad, BiquadCoeffs};
+///
+/// let mut bq = Biquad::new(BiquadCoeffs::IDENTITY);
+/// assert_eq!(bq.process(0.5), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Biquad {
+    coeffs: BiquadCoeffs,
+    s1: f64,
+    s2: f64,
+}
+
+impl Biquad {
+    /// Creates a biquad with zeroed internal state.
+    pub fn new(coeffs: BiquadCoeffs) -> Self {
+        Self {
+            coeffs,
+            s1: 0.0,
+            s2: 0.0,
+        }
+    }
+
+    /// The section coefficients.
+    pub fn coeffs(&self) -> &BiquadCoeffs {
+        &self.coeffs
+    }
+
+    /// Filters one sample.
+    pub fn process(&mut self, x: f32) -> f32 {
+        let x = f64::from(x);
+        let c = &self.coeffs;
+        let y = c.b0 * x + self.s1;
+        self.s1 = c.b1 * x - c.a1 * y + self.s2;
+        self.s2 = c.b2 * x - c.a2 * y;
+        y as f32
+    }
+
+    /// Resets the internal delay line to zero.
+    pub fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+    }
+}
+
+/// A cascade of second-order sections forming one higher-order filter.
+///
+/// Produced by [`crate::butterworth::Butterworth::into_filter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SosFilter {
+    sections: Vec<Biquad>,
+}
+
+impl SosFilter {
+    /// Builds a cascade from section coefficients.
+    pub fn new<I>(sections: I) -> Self
+    where
+        I: IntoIterator<Item = BiquadCoeffs>,
+    {
+        Self {
+            sections: sections.into_iter().map(Biquad::new).collect(),
+        }
+    }
+
+    /// Number of second-order sections in the cascade.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// The coefficient list, in processing order.
+    pub fn coeffs(&self) -> Vec<BiquadCoeffs> {
+        self.sections.iter().map(|s| *s.coeffs()).collect()
+    }
+
+    /// Filters one sample through every section.
+    pub fn process(&mut self, x: f32) -> f32 {
+        self.sections.iter_mut().fold(x, |acc, s| s.process(acc))
+    }
+
+    /// Filters an entire slice, returning a new vector (causal, stateful).
+    pub fn process_slice(&mut self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.process(x)).collect()
+    }
+
+    /// Resets the state of every section.
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+
+    /// `true` when every section is stable.
+    pub fn is_stable(&self) -> bool {
+        self.sections.iter().all(|s| s.coeffs().is_stable())
+    }
+
+    /// Cascade frequency response at normalised angular frequency `omega`.
+    pub fn response(&self, omega: f64) -> Complex {
+        self.sections
+            .iter()
+            .fold(Complex::from_real(1.0), |acc, s| {
+                acc * s.coeffs().response(omega)
+            })
+    }
+
+    /// Magnitude response at a physical frequency, given the sampling rate.
+    pub fn magnitude_at(&self, freq_hz: f64, sample_rate_hz: f64) -> f64 {
+        let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate_hz;
+        self.response(omega).norm()
+    }
+
+    /// Zero-phase filtering: runs the cascade forward, then backward.
+    ///
+    /// Doubles the effective attenuation and cancels group delay; only
+    /// usable offline (the whole signal must be available). The filter's
+    /// streaming state is left reset afterwards.
+    ///
+    /// The signal edges are extended by odd reflection (the same strategy
+    /// as SciPy's `filtfilt`) to reduce startup transients.
+    pub fn filtfilt(&mut self, xs: &[f32]) -> Vec<f32> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let pad = (3 * 2 * self.num_sections().max(1)).min(xs.len().saturating_sub(1));
+        // Odd reflection about the first and last samples.
+        let first = xs[0];
+        let last = xs[xs.len() - 1];
+        let mut extended = Vec::with_capacity(xs.len() + 2 * pad);
+        for i in (1..=pad).rev() {
+            extended.push(2.0 * first - xs[i]);
+        }
+        extended.extend_from_slice(xs);
+        for i in 1..=pad {
+            extended.push(2.0 * last - xs[xs.len() - 1 - i]);
+        }
+
+        self.reset();
+        let mut fwd = self.process_slice(&extended);
+        self.reset();
+        fwd.reverse();
+        let mut bwd = self.process_slice(&fwd);
+        self.reset();
+        bwd.reverse();
+        bwd[pad..pad + xs.len()].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterworth::Butterworth;
+
+    #[test]
+    fn identity_biquad_passes_through() {
+        let mut bq = Biquad::new(BiquadCoeffs::IDENTITY);
+        for i in 0..10 {
+            let x = i as f32 * 0.25 - 1.0;
+            assert_eq!(bq.process(x), x);
+        }
+    }
+
+    #[test]
+    fn identity_coeffs_properties() {
+        let c = BiquadCoeffs::IDENTITY;
+        assert!(c.is_stable());
+        assert!((c.dc_gain() - 1.0).abs() < 1e-15);
+        assert!((c.response(1.0).norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unstable_section_detected() {
+        let c = BiquadCoeffs {
+            b0: 1.0,
+            b1: 0.0,
+            b2: 0.0,
+            a1: 0.0,
+            a2: 1.5, // pole outside the unit circle
+        };
+        assert!(!c.is_stable());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let design = Butterworth::lowpass(2, 5.0, 100.0).unwrap();
+        let mut f = design.into_filter();
+        let a: Vec<f32> = (0..50).map(|i| (i as f32 * 0.2).sin()).collect();
+        let y1 = f.process_slice(&a);
+        f.reset();
+        let y2 = f.process_slice(&a);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn cascade_response_is_product_of_sections() {
+        let design = Butterworth::lowpass(4, 5.0, 100.0).unwrap();
+        let f = design.into_filter();
+        let omega = 0.4;
+        let prod = f
+            .coeffs()
+            .iter()
+            .fold(1.0, |acc, c| acc * c.response(omega).norm());
+        assert!((f.response(omega).norm() - prod).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filtfilt_has_zero_phase_on_low_frequency_sine() {
+        let design = Butterworth::lowpass(4, 5.0, 100.0).unwrap();
+        let mut f = design.into_filter();
+        // 1 Hz sine at 100 Hz: well inside the passband.
+        let xs: Vec<f32> = (0..400)
+            .map(|i| (2.0 * std::f32::consts::PI * 1.0 * i as f32 / 100.0).sin())
+            .collect();
+        let ys = f.filtfilt(&xs);
+        // Compare mid-section samples: no delay, amplitude preserved.
+        for i in 100..300 {
+            assert!(
+                (ys[i] - xs[i]).abs() < 0.02,
+                "sample {i}: {} vs {}",
+                ys[i],
+                xs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn filtfilt_empty_input() {
+        let design = Butterworth::lowpass(4, 5.0, 100.0).unwrap();
+        let mut f = design.into_filter();
+        assert!(f.filtfilt(&[]).is_empty());
+    }
+
+    #[test]
+    fn filtfilt_short_input_does_not_panic() {
+        let design = Butterworth::lowpass(4, 5.0, 100.0).unwrap();
+        let mut f = design.into_filter();
+        let out = f.filtfilt(&[1.0, 2.0, 3.0]);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn filtfilt_attenuates_high_frequency_more_than_single_pass() {
+        let design = Butterworth::lowpass(4, 5.0, 100.0).unwrap();
+        let mut f = design.into_filter();
+        // 25 Hz sine: deep in the stopband.
+        let xs: Vec<f32> = (0..500)
+            .map(|i| (2.0 * std::f32::consts::PI * 25.0 * i as f32 / 100.0).sin())
+            .collect();
+        let ys = f.filtfilt(&xs);
+        let rms = |v: &[f32]| (v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32).sqrt();
+        assert!(rms(&ys[100..400]) < 1e-4 * rms(&xs[100..400]));
+    }
+}

@@ -1,0 +1,333 @@
+//! Butterworth low-pass filter design.
+//!
+//! The paper pre-processes every inertial channel with a **4th-order
+//! Butterworth low-pass filter at 5 Hz** (100 Hz sampling). This module
+//! designs such filters for arbitrary order and cutoff using the classic
+//! analog-prototype + bilinear-transform procedure and factors the result
+//! into second-order sections for robust execution.
+//!
+//! Design procedure:
+//!
+//! 1. Place the `n` analog Butterworth poles uniformly on the left half of
+//!    a circle of radius `ω_c` (the *prewarped* cutoff
+//!    `ω_c = 2·fs·tan(π·fc/fs)`).
+//! 2. Pair complex-conjugate poles into analog second-order sections with
+//!    unity DC gain (odd orders get one first-order section).
+//! 3. Apply the bilinear transform `s = 2·fs·(1−z⁻¹)/(1+z⁻¹)` to each
+//!    section.
+
+use crate::biquad::{BiquadCoeffs, SosFilter};
+use crate::complex::Complex;
+use crate::DspError;
+use serde::{Deserialize, Serialize};
+
+/// A designed Butterworth low-pass filter, represented as second-order
+/// sections.
+///
+/// # Example
+///
+/// ```
+/// use prefall_dsp::butterworth::Butterworth;
+///
+/// # fn main() -> Result<(), prefall_dsp::DspError> {
+/// let design = Butterworth::lowpass(4, 5.0, 100.0)?;
+/// // Butterworth magnitude is 1/√2 at the cutoff frequency.
+/// let filter = design.into_filter();
+/// let mag = filter.magnitude_at(5.0, 100.0);
+/// assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Butterworth {
+    order: usize,
+    cutoff_hz: f64,
+    sample_rate_hz: f64,
+    sections: Vec<BiquadCoeffs>,
+}
+
+impl Butterworth {
+    /// Designs a low-pass Butterworth filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidOrder`] for `order == 0`,
+    /// [`DspError::InvalidSampleRate`] for non-positive or non-finite
+    /// rates, and [`DspError::InvalidCutoff`] unless
+    /// `0 < cutoff_hz < sample_rate_hz / 2`.
+    pub fn lowpass(order: usize, cutoff_hz: f64, sample_rate_hz: f64) -> Result<Self, DspError> {
+        if order == 0 {
+            return Err(DspError::InvalidOrder { order });
+        }
+        if !(sample_rate_hz.is_finite() && sample_rate_hz > 0.0) {
+            return Err(DspError::InvalidSampleRate { sample_rate_hz });
+        }
+        if !(cutoff_hz.is_finite() && cutoff_hz > 0.0 && cutoff_hz < sample_rate_hz / 2.0) {
+            return Err(DspError::InvalidCutoff {
+                cutoff_hz,
+                sample_rate_hz,
+            });
+        }
+
+        let fs = sample_rate_hz;
+        let k = 2.0 * fs; // bilinear-transform constant
+                          // Prewarped analog cutoff so the digital filter hits -3 dB exactly
+                          // at `cutoff_hz`.
+        let wc = k * (std::f64::consts::PI * cutoff_hz / fs).tan();
+
+        let mut sections = Vec::with_capacity(order.div_ceil(2));
+
+        // Conjugate pole pairs. Pole angles for a Butterworth prototype:
+        // θ_m = π/2 + π(2m+1)/(2n), m = 0..n/2 (upper-half-plane poles).
+        let n = order as f64;
+        for m in 0..order / 2 {
+            let theta = std::f64::consts::FRAC_PI_2
+                + std::f64::consts::PI * (2.0 * m as f64 + 1.0) / (2.0 * n);
+            let pole = Complex::cis(theta).scale(wc);
+            // Analog section: H(s) = wc² / (s² + a1·s + a0),
+            // a1 = -2·Re(p), a0 = |p|² = wc².
+            let a1 = -2.0 * pole.re;
+            let a0 = pole.norm_sqr();
+            sections.push(bilinear_second_order(wc * wc, a1, a0, k));
+        }
+
+        // Odd order: one real pole at s = -wc.
+        if order % 2 == 1 {
+            sections.push(bilinear_first_order(wc, k));
+        }
+
+        Ok(Self {
+            order,
+            cutoff_hz,
+            sample_rate_hz,
+            sections,
+        })
+    }
+
+    /// Filter order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Cutoff frequency in Hz (-3 dB point).
+    pub fn cutoff_hz(&self) -> f64 {
+        self.cutoff_hz
+    }
+
+    /// Sampling rate in Hz the filter was designed for.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// The second-order-section coefficients, in processing order.
+    pub fn sections(&self) -> &[BiquadCoeffs] {
+        &self.sections
+    }
+
+    /// Consumes the design, producing a streaming [`SosFilter`].
+    pub fn into_filter(self) -> SosFilter {
+        SosFilter::new(self.sections)
+    }
+
+    /// Builds a streaming filter without consuming the design.
+    pub fn to_filter(&self) -> SosFilter {
+        SosFilter::new(self.sections.iter().copied())
+    }
+}
+
+/// Bilinear transform of `H(s) = num / (s² + a1·s + a0)`.
+fn bilinear_second_order(num: f64, a1: f64, a0: f64, k: f64) -> BiquadCoeffs {
+    let d0 = k * k + a1 * k + a0;
+    BiquadCoeffs {
+        b0: num / d0,
+        b1: 2.0 * num / d0,
+        b2: num / d0,
+        a1: (2.0 * a0 - 2.0 * k * k) / d0,
+        a2: (k * k - a1 * k + a0) / d0,
+    }
+}
+
+/// Bilinear transform of the first-order section `H(s) = wc / (s + wc)`,
+/// expressed as a degenerate biquad.
+fn bilinear_first_order(wc: f64, k: f64) -> BiquadCoeffs {
+    let d0 = k + wc;
+    BiquadCoeffs {
+        b0: wc / d0,
+        b1: wc / d0,
+        b2: 0.0,
+        a1: (wc - k) / d0,
+        a2: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 100.0;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            Butterworth::lowpass(0, 5.0, FS),
+            Err(DspError::InvalidOrder { .. })
+        ));
+        assert!(matches!(
+            Butterworth::lowpass(4, 0.0, FS),
+            Err(DspError::InvalidCutoff { .. })
+        ));
+        assert!(matches!(
+            Butterworth::lowpass(4, 50.0, FS),
+            Err(DspError::InvalidCutoff { .. })
+        ));
+        assert!(matches!(
+            Butterworth::lowpass(4, 60.0, FS),
+            Err(DspError::InvalidCutoff { .. })
+        ));
+        assert!(matches!(
+            Butterworth::lowpass(4, 5.0, 0.0),
+            Err(DspError::InvalidSampleRate { .. })
+        ));
+        assert!(matches!(
+            Butterworth::lowpass(4, 5.0, f64::NAN),
+            Err(DspError::InvalidSampleRate { .. })
+        ));
+    }
+
+    #[test]
+    fn section_count_matches_order() {
+        for order in 1..=8 {
+            let d = Butterworth::lowpass(order, 5.0, FS).unwrap();
+            assert_eq!(d.sections().len(), order.div_ceil(2), "order {order}");
+        }
+    }
+
+    #[test]
+    fn dc_gain_is_unity() {
+        for order in 1..=8 {
+            let f = Butterworth::lowpass(order, 5.0, FS).unwrap().into_filter();
+            let g = f.magnitude_at(0.0, FS);
+            assert!((g - 1.0).abs() < 1e-12, "order {order}: dc gain {g}");
+        }
+    }
+
+    #[test]
+    fn minus_three_db_at_cutoff() {
+        for order in 1..=8 {
+            for cutoff in [2.0, 5.0, 10.0, 20.0] {
+                let f = Butterworth::lowpass(order, cutoff, FS)
+                    .unwrap()
+                    .into_filter();
+                let g = f.magnitude_at(cutoff, FS);
+                assert!(
+                    (g - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9,
+                    "order {order} cutoff {cutoff}: gain {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_is_monotonically_decreasing() {
+        let f = Butterworth::lowpass(4, 5.0, FS).unwrap().into_filter();
+        let mut prev = f.magnitude_at(0.0, FS);
+        for i in 1..50 {
+            let g = f.magnitude_at(i as f64, FS);
+            assert!(g <= prev + 1e-12, "not monotone at {i} Hz: {g} > {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn rolloff_rate_matches_order() {
+        // An n-th order Butterworth rolls off ~6n dB/octave far above the
+        // cutoff. Compare the gain at 20 Hz and 40 Hz for the 4th-order
+        // 5 Hz design: expect close to 24 dB of additional attenuation
+        // (the bilinear transform compresses toward Nyquist, so allow
+        // extra attenuation but not less).
+        let f = Butterworth::lowpass(4, 5.0, 400.0).unwrap().into_filter();
+        let g20 = f.magnitude_at(20.0, 400.0);
+        let g40 = f.magnitude_at(40.0, 400.0);
+        let db = 20.0 * (g20 / g40).log10();
+        assert!(db > 22.0 && db < 27.0, "rolloff {db} dB/octave");
+    }
+
+    #[test]
+    fn all_sections_stable() {
+        for order in 1..=10 {
+            for cutoff in [0.5, 5.0, 30.0, 49.0] {
+                let f = Butterworth::lowpass(order, cutoff, FS)
+                    .unwrap()
+                    .into_filter();
+                assert!(f.is_stable(), "order {order}, cutoff {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_response_decays() {
+        let mut f = Butterworth::lowpass(4, 5.0, FS).unwrap().into_filter();
+        let mut impulse = vec![0.0f32; 600];
+        impulse[0] = 1.0;
+        let h = f.process_slice(&impulse);
+        let head: f32 = h[..300].iter().map(|x| x.abs()).sum();
+        let tail: f32 = h[300..].iter().map(|x| x.abs()).sum();
+        assert!(tail < 1e-6 * head.max(1e-12), "tail energy {tail}");
+    }
+
+    #[test]
+    fn step_response_settles_to_one() {
+        let mut f = Butterworth::lowpass(4, 5.0, FS).unwrap().into_filter();
+        let step = vec![1.0f32; 500];
+        let y = f.process_slice(&step);
+        assert!((y[499] - 1.0).abs() < 1e-4, "settled to {}", y[499]);
+    }
+
+    #[test]
+    fn removes_high_frequency_noise_preserves_low() {
+        // 1 Hz signal + 30 Hz noise; the 5 Hz LP must keep the former and
+        // kill the latter.
+        let mut f = Butterworth::lowpass(4, 5.0, FS).unwrap().into_filter();
+        let xs: Vec<f32> = (0..1000)
+            .map(|i| {
+                let t = i as f32 / FS as f32;
+                (2.0 * std::f32::consts::PI * 1.0 * t).sin()
+                    + 0.5 * (2.0 * std::f32::consts::PI * 30.0 * t).sin()
+            })
+            .collect();
+        let ys = f.process_slice(&xs);
+        // Compare against the clean 1 Hz component, allowing the filter's
+        // small passband delay (~ a few samples at 1 Hz).
+        let clean: Vec<f32> = (0..1000)
+            .map(|i| (2.0 * std::f32::consts::PI * 1.0 * (i as f32 / FS as f32)).sin())
+            .collect();
+        let err_rms = {
+            let mut best = f32::MAX;
+            for delay in 0..12 {
+                let e: f32 = (200..900)
+                    .map(|i| (ys[i] - clean[i - delay]).powi(2))
+                    .sum::<f32>()
+                    / 700.0;
+                best = best.min(e.sqrt());
+            }
+            best
+        };
+        assert!(err_rms < 0.05, "residual rms {err_rms}");
+    }
+
+    #[test]
+    fn to_filter_equals_into_filter() {
+        let d = Butterworth::lowpass(4, 5.0, FS).unwrap();
+        let f1 = d.to_filter();
+        let f2 = d.into_filter();
+        assert_eq!(f1.coeffs(), f2.coeffs());
+    }
+
+    #[test]
+    fn design_metadata_preserved() {
+        let d = Butterworth::lowpass(4, 5.0, FS).unwrap();
+        assert_eq!(d.order(), 4);
+        assert_eq!(d.cutoff_hz(), 5.0);
+        assert_eq!(d.sample_rate_hz(), FS);
+    }
+}

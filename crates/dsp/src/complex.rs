@@ -1,0 +1,163 @@
+//! A minimal complex-number type used by filter design and frequency
+//! response evaluation.
+//!
+//! Only the operations the crate actually needs are provided; this is not a
+//! general-purpose complex library.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use prefall_dsp::complex::Complex;
+///
+/// let i = Complex::new(0.0, 1.0);
+/// assert!((i * i - Complex::new(-1.0, 0.0)).norm() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The complex number `re + 0i`.
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — a point on the unit circle at angle `theta` radians.
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`, cheaper than [`Complex::norm`].
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert!(close(z + Complex::default(), z));
+        assert!(close(z * Complex::from_real(1.0), z));
+        assert!(close(z - z, Complex::default()));
+        assert!(close(z / z, Complex::from_real(1.0)));
+    }
+
+    #[test]
+    fn norm_of_3_4_is_5() {
+        assert!((Complex::new(3.0, 4.0).norm() - 5.0).abs() < 1e-15);
+        assert!((Complex::new(3.0, 4.0).norm_sqr() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let z = Complex::cis(k as f64 * 0.39);
+            assert!((z.norm() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn conjugate_product_is_norm_squared() {
+        let z = Complex::new(1.5, -2.5);
+        let p = z * z.conj();
+        assert!((p.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(p.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(-1.0, 0.5);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn neg_and_from_real() {
+        let z: Complex = 2.5f64.into();
+        assert_eq!(-z, Complex::new(-2.5, 0.0));
+    }
+}

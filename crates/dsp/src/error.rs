@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by signal-processing routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A filter order of zero (or otherwise unusable) was requested.
+    InvalidOrder {
+        /// The rejected order.
+        order: usize,
+    },
+    /// The cutoff frequency is not strictly between 0 and the Nyquist rate.
+    InvalidCutoff {
+        /// The rejected cutoff frequency in Hz.
+        cutoff_hz: f64,
+        /// The sampling rate in Hz the cutoff was checked against.
+        sample_rate_hz: f64,
+    },
+    /// The sampling rate is not a positive finite number.
+    InvalidSampleRate {
+        /// The rejected sampling rate in Hz.
+        sample_rate_hz: f64,
+    },
+    /// A segmentation configuration was rejected.
+    InvalidSegmentation {
+        /// Human-readable reason the configuration is unusable.
+        reason: String,
+    },
+    /// An input signal was too short or empty for the requested operation.
+    SignalTooShort {
+        /// Number of samples required.
+        required: usize,
+        /// Number of samples provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidOrder { order } => {
+                write!(f, "invalid filter order {order}; order must be at least 1")
+            }
+            DspError::InvalidCutoff {
+                cutoff_hz,
+                sample_rate_hz,
+            } => write!(
+                f,
+                "cutoff {cutoff_hz} Hz must lie strictly between 0 and the Nyquist \
+                 frequency {} Hz",
+                sample_rate_hz / 2.0
+            ),
+            DspError::InvalidSampleRate { sample_rate_hz } => {
+                write!(
+                    f,
+                    "sample rate {sample_rate_hz} Hz must be positive and finite"
+                )
+            }
+            DspError::InvalidSegmentation { reason } => {
+                write!(f, "invalid segmentation configuration: {reason}")
+            }
+            DspError::SignalTooShort { required, actual } => write!(
+                f,
+                "signal too short: {actual} samples provided, {required} required"
+            ),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DspError::InvalidOrder { order: 0 };
+        let msg = e.to_string();
+        assert!(msg.contains("order"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+
+    #[test]
+    fn cutoff_error_mentions_nyquist() {
+        let e = DspError::InvalidCutoff {
+            cutoff_hz: 60.0,
+            sample_rate_hz: 100.0,
+        };
+        assert!(e.to_string().contains("50"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Complementary-filter sensor fusion: Euler angles from accelerometer and
+//! gyroscope.
+//!
+//! The paper's acquisition firmware "computed on the edge the Eulerian
+//! angle data (pitch, roll, yaw)" from the accelerometer and gyroscope at
+//! every 10 ms snapshot. A complementary filter is the standard
+//! lightweight way to do this on a Cortex-M class device: the gyroscope is
+//! integrated for short-term accuracy and blended with the
+//! accelerometer-derived gravity direction for long-term stability; yaw is
+//! gyro-only (no magnetometer on the board).
+
+use serde::{Deserialize, Serialize};
+
+/// Euler angles in radians.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EulerAngles {
+    /// Rotation about the lateral axis (nose up/down), radians.
+    pub pitch: f64,
+    /// Rotation about the longitudinal axis (lean left/right), radians.
+    pub roll: f64,
+    /// Rotation about the vertical axis (heading), radians.
+    pub yaw: f64,
+}
+
+impl EulerAngles {
+    /// Creates Euler angles from components, in radians.
+    pub const fn new(pitch: f64, roll: f64, yaw: f64) -> Self {
+        Self { pitch, roll, yaw }
+    }
+}
+
+/// A complementary attitude filter.
+///
+/// # Example
+///
+/// ```
+/// use prefall_dsp::fusion::ComplementaryFilter;
+///
+/// let mut fusion = ComplementaryFilter::new(100.0, 0.98);
+/// // A body at rest with gravity on +Z: pitch and roll converge to 0.
+/// let mut angles = Default::default();
+/// for _ in 0..200 {
+///     angles = fusion.update([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+/// }
+/// assert!(angles.pitch.abs() < 1e-6);
+/// assert!(angles.roll.abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplementaryFilter {
+    dt: f64,
+    alpha: f64,
+    state: EulerAngles,
+    initialised: bool,
+}
+
+impl ComplementaryFilter {
+    /// Creates a filter for the given sampling rate.
+    ///
+    /// `alpha` is the gyro-trust coefficient in `[0, 1]`; `0.98` is a
+    /// common choice at 100 Hz (gyro time constant ≈ 0.5 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive and finite, or `alpha`
+    /// is outside `[0, 1]`.
+    pub fn new(sample_rate_hz: f64, alpha: f64) -> Self {
+        assert!(
+            sample_rate_hz.is_finite() && sample_rate_hz > 0.0,
+            "sample rate must be positive and finite"
+        );
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Self {
+            dt: 1.0 / sample_rate_hz,
+            alpha,
+            state: EulerAngles::default(),
+            initialised: false,
+        }
+    }
+
+    /// Current attitude estimate.
+    pub fn angles(&self) -> EulerAngles {
+        self.state
+    }
+
+    /// Resets the filter to the uninitialised state.
+    pub fn reset(&mut self) {
+        self.state = EulerAngles::default();
+        self.initialised = false;
+    }
+
+    /// Processes one snapshot.
+    ///
+    /// `accel` is the specific force in any consistent unit (only the
+    /// direction matters); `gyro` is the angular rate in rad/s, both in
+    /// the body frame `[x, y, z]` with `+z` nominally opposing gravity
+    /// when upright.
+    pub fn update(&mut self, accel: [f64; 3], gyro: [f64; 3]) -> EulerAngles {
+        let [ax, ay, az] = accel;
+        let [gx, gy, gz] = gyro;
+
+        // Attitude from the accelerometer alone (valid when the specific
+        // force is dominated by gravity).
+        let acc_pitch = (-ax).atan2((ay * ay + az * az).sqrt());
+        let acc_roll = ay.atan2(az);
+
+        if !self.initialised {
+            // Bootstrap directly from the accelerometer.
+            self.state = EulerAngles::new(acc_pitch, acc_roll, 0.0);
+            self.initialised = true;
+            return self.state;
+        }
+
+        // Gyro integration, then blend with the accelerometer estimate.
+        let gyro_pitch = self.state.pitch + gy * self.dt;
+        let gyro_roll = self.state.roll + gx * self.dt;
+        let a = self.alpha;
+        self.state.pitch = a * gyro_pitch + (1.0 - a) * acc_pitch;
+        self.state.roll = a * gyro_roll + (1.0 - a) * acc_roll;
+        // No magnetometer: yaw is pure integration (drifts slowly, which
+        // is acceptable for sub-second fall windows).
+        self.state.yaw += gz * self.dt;
+        self.state
+    }
+
+    /// Runs the filter over whole channels, returning
+    /// `(pitch, roll, yaw)` series. All six input channels must share one
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel lengths differ.
+    #[allow(clippy::type_complexity)]
+    pub fn process_channels(
+        &mut self,
+        accel: [&[f32]; 3],
+        gyro: [&[f32]; 3],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let len = accel[0].len();
+        assert!(
+            accel.iter().chain(gyro.iter()).all(|c| c.len() == len),
+            "all channels must have equal length"
+        );
+        let mut pitch = Vec::with_capacity(len);
+        let mut roll = Vec::with_capacity(len);
+        let mut yaw = Vec::with_capacity(len);
+        for t in 0..len {
+            let a = [
+                f64::from(accel[0][t]),
+                f64::from(accel[1][t]),
+                f64::from(accel[2][t]),
+            ];
+            let g = [
+                f64::from(gyro[0][t]),
+                f64::from(gyro[1][t]),
+                f64::from(gyro[2][t]),
+            ];
+            let e = self.update(a, g);
+            pitch.push(e.pitch as f32);
+            roll.push(e.roll as f32);
+            yaw.push(e.yaw as f32);
+        }
+        (pitch, roll, yaw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = ComplementaryFilter::new(100.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn rejects_bad_rate() {
+        let _ = ComplementaryFilter::new(-1.0, 0.98);
+    }
+
+    #[test]
+    fn level_at_rest() {
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        let mut e = EulerAngles::default();
+        for _ in 0..500 {
+            e = f.update([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+        }
+        assert!(e.pitch.abs() < 1e-9);
+        assert!(e.roll.abs() < 1e-9);
+        assert!(e.yaw.abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_tilt_converges_to_accel_attitude() {
+        // Gravity seen along +X means the body pitched nose-down by 90°.
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        let mut e = EulerAngles::default();
+        for _ in 0..2000 {
+            e = f.update([-1.0, 0.0, 0.0], [0.0, 0.0, 0.0]);
+        }
+        assert!((e.pitch - FRAC_PI_2).abs() < 1e-3, "pitch {}", e.pitch);
+    }
+
+    #[test]
+    fn first_sample_bootstraps_from_accel() {
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        let e = f.update([0.0, 1.0, 1.0], [0.0, 0.0, 0.0]);
+        // roll = atan2(1, 1) = 45° immediately, no slow convergence.
+        assert!((e.roll - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gyro_integration_tracks_fast_rotation() {
+        // Constant 90°/s pitch rate for 1 s with accel staying put: the
+        // high-alpha filter should report close to the integrated value.
+        let mut f = ComplementaryFilter::new(100.0, 0.995);
+        f.update([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]); // bootstrap level
+        let mut e = EulerAngles::default();
+        for _ in 0..100 {
+            e = f.update([0.0, 0.0, 1.0], [0.0, FRAC_PI_2, 0.0]);
+        }
+        assert!(
+            e.pitch > 0.5 * FRAC_PI_2,
+            "integrated pitch too small: {}",
+            e.pitch
+        );
+    }
+
+    #[test]
+    fn yaw_integrates_gyro_z() {
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        f.update([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+        let mut e = EulerAngles::default();
+        for _ in 0..100 {
+            e = f.update([0.0, 0.0, 1.0], [0.0, 0.0, 1.0]); // 1 rad/s
+        }
+        assert!((e.yaw - 1.0).abs() < 1e-9, "yaw {}", e.yaw);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        f.update([0.5, 0.5, 0.7], [1.0, 1.0, 1.0]);
+        f.reset();
+        assert_eq!(f.angles(), EulerAngles::default());
+    }
+
+    #[test]
+    fn process_channels_shapes() {
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        let a = vec![0.0f32; 50];
+        let z = vec![1.0f32; 50];
+        let g = vec![0.0f32; 50];
+        let (p, r, y) = f.process_channels([&a, &a, &z], [&g, &g, &g]);
+        assert_eq!(p.len(), 50);
+        assert_eq!(r.len(), 50);
+        assert_eq!(y.len(), 50);
+        assert!(p.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn process_channels_ragged_panics() {
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        let a = vec![0.0f32; 50];
+        let b = vec![0.0f32; 49];
+        let _ = f.process_channels([&a, &a, &a], [&a, &a, &b]);
+    }
+
+    #[test]
+    fn angles_bounded_under_noisy_input() {
+        // Even with erratic inputs pitch/roll remain bounded (they are
+        // blends of bounded accel estimates and short integrations).
+        let mut f = ComplementaryFilter::new(100.0, 0.9);
+        let mut x = 0.123f64;
+        for _ in 0..5000 {
+            x = (x * 9301.0 + 49297.0) % 233280.0;
+            let r1 = x / 233280.0 - 0.5;
+            let e = f.update([r1, -r1, 0.5 + r1], [r1 * 5.0, -r1 * 3.0, r1]);
+            assert!(e.pitch.abs() < std::f64::consts::PI);
+            assert!(e.roll.abs() < std::f64::consts::PI + 1.0);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Interpolation and resampling primitives.
+//!
+//! These back the paper's two augmentations: *time warping* (resample a
+//! series along a smoothly distorted time axis) and *window warping*
+//! (speed a random sub-window up or down). Both need fractional-index
+//! sampling of a discrete series, provided here as linear and Catmull–Rom
+//! interpolation.
+
+/// Samples a series at a fractional index by linear interpolation.
+///
+/// Indices are clamped to the valid range, so callers may pass slightly
+/// out-of-bounds positions produced by warping functions.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn sample_linear(xs: &[f32], pos: f64) -> f32 {
+    assert!(!xs.is_empty(), "cannot sample an empty series");
+    let last = (xs.len() - 1) as f64;
+    let p = pos.clamp(0.0, last);
+    let i = p.floor() as usize;
+    let frac = (p - i as f64) as f32;
+    if i + 1 >= xs.len() {
+        xs[xs.len() - 1]
+    } else {
+        xs[i] * (1.0 - frac) + xs[i + 1] * frac
+    }
+}
+
+/// Samples a series at a fractional index by Catmull–Rom cubic
+/// interpolation (smoother than linear; used by time warping so warped
+/// falls keep their curvature).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn sample_catmull_rom(xs: &[f32], pos: f64) -> f32 {
+    assert!(!xs.is_empty(), "cannot sample an empty series");
+    if xs.len() < 4 {
+        return sample_linear(xs, pos);
+    }
+    let last = (xs.len() - 1) as f64;
+    let p = pos.clamp(0.0, last);
+    let i = (p.floor() as usize).min(xs.len() - 2);
+    let t = (p - i as f64) as f32;
+
+    let p1 = xs[i];
+    let p2 = xs[i + 1];
+    // Ghost points beyond the ends are linearly extrapolated so the spline
+    // reproduces linear data exactly, including the edge segments.
+    let p0 = if i == 0 { 2.0 * p1 - p2 } else { xs[i - 1] };
+    let p3 = if i + 2 >= xs.len() {
+        2.0 * p2 - p1
+    } else {
+        xs[i + 2]
+    };
+
+    let t2 = t * t;
+    let t3 = t2 * t;
+    0.5 * ((2.0 * p1)
+        + (-p0 + p2) * t
+        + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t2
+        + (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * t3)
+}
+
+/// Resamples a series to a new length with linear interpolation, mapping
+/// endpoints onto endpoints.
+///
+/// Returns an empty vector when `new_len == 0`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty and `new_len > 0`.
+pub fn resample_linear(xs: &[f32], new_len: usize) -> Vec<f32> {
+    resample_with(xs, new_len, sample_linear)
+}
+
+/// Resamples a series to a new length with Catmull–Rom interpolation.
+///
+/// Returns an empty vector when `new_len == 0`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty and `new_len > 0`.
+pub fn resample_catmull_rom(xs: &[f32], new_len: usize) -> Vec<f32> {
+    resample_with(xs, new_len, sample_catmull_rom)
+}
+
+fn resample_with(xs: &[f32], new_len: usize, f: fn(&[f32], f64) -> f32) -> Vec<f32> {
+    if new_len == 0 {
+        return Vec::new();
+    }
+    assert!(!xs.is_empty(), "cannot resample an empty series");
+    if new_len == 1 {
+        return vec![xs[0]];
+    }
+    let scale = (xs.len() - 1) as f64 / (new_len - 1) as f64;
+    (0..new_len).map(|i| f(xs, i as f64 * scale)).collect()
+}
+
+/// Resamples a series along an arbitrary monotone time map: output sample
+/// `i` is the input sampled at `positions[i]` (fractional indices into
+/// `xs`).
+///
+/// This is the core of *time warping*: the caller supplies the distorted
+/// time axis.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty and `positions` is not.
+pub fn warp(xs: &[f32], positions: &[f64]) -> Vec<f32> {
+    positions
+        .iter()
+        .map(|&p| sample_catmull_rom(xs, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_sampling_basics() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(sample_linear(&xs, 0.0), 0.0);
+        assert_eq!(sample_linear(&xs, 3.0), 3.0);
+        assert!((sample_linear(&xs, 1.5) - 1.5).abs() < 1e-7);
+        // Clamping.
+        assert_eq!(sample_linear(&xs, -2.0), 0.0);
+        assert_eq!(sample_linear(&xs, 9.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn linear_empty_panics() {
+        let _ = sample_linear(&[], 0.0);
+    }
+
+    #[test]
+    fn catmull_rom_interpolates_knots_exactly() {
+        let xs = [0.0, 2.0, 1.0, 3.0, -1.0, 0.5];
+        for (i, &x) in xs.iter().enumerate() {
+            let y = sample_catmull_rom(&xs, i as f64);
+            assert!((y - x).abs() < 1e-6, "knot {i}: {y} vs {x}");
+        }
+    }
+
+    #[test]
+    fn catmull_rom_reproduces_linear_data() {
+        let xs: Vec<f32> = (0..10).map(|i| 2.0 * i as f32 + 1.0).collect();
+        for k in 0..90 {
+            let p = k as f64 * 0.1;
+            let y = sample_catmull_rom(&xs, p);
+            assert!((f64::from(y) - (2.0 * p + 1.0)).abs() < 1e-5, "at {p}: {y}");
+        }
+    }
+
+    #[test]
+    fn catmull_rom_short_series_falls_back_to_linear() {
+        let xs = [1.0, 3.0];
+        assert!((sample_catmull_rom(&xs, 0.5) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn resample_identity_length() {
+        let xs: Vec<f32> = (0..20).map(|i| (i as f32 * 0.37).sin()).collect();
+        let ys = resample_linear(&xs, 20);
+        for (a, b) in xs.iter().zip(&ys) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let xs = [5.0, 1.0, -3.0, 8.0, 2.0];
+        for len in [2, 3, 7, 50] {
+            for f in [resample_linear, resample_catmull_rom] {
+                let ys = f(&xs, len);
+                assert_eq!(ys.len(), len);
+                assert!((ys[0] - 5.0).abs() < 1e-6);
+                assert!((ys[len - 1] - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn resample_degenerate_lengths() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(resample_linear(&xs, 0).is_empty());
+        assert_eq!(resample_linear(&xs, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn upsample_then_downsample_roundtrips_smooth_signal() {
+        let xs: Vec<f32> = (0..50)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 50.0).sin())
+            .collect();
+        let up = resample_catmull_rom(&xs, 200);
+        let down = resample_catmull_rom(&up, 50);
+        for (a, b) in xs.iter().zip(&down) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warp_with_identity_positions_is_identity() {
+        let xs: Vec<f32> = (0..30).map(|i| (i as f32).cos()).collect();
+        let pos: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys = warp(&xs, &pos);
+        for (a, b) in xs.iter().zip(&ys) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn warp_speedup_halves_length() {
+        let xs: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        // 2x speedup: sample every other index.
+        let pos: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+        let ys = warp(&xs, &pos);
+        assert_eq!(ys.len(), 20);
+        assert!((ys[5] - 10.0).abs() < 1e-5);
+    }
+}

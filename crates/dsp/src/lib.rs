@@ -1,0 +1,51 @@
+//! Signal-processing substrate for the pre-impact fall-detection
+//! reproduction.
+//!
+//! This crate implements, from scratch, every signal-processing primitive
+//! the paper's methodology section relies on:
+//!
+//! * [`butterworth`] — IIR Butterworth low-pass design via the bilinear
+//!   transform (the paper uses a 4th-order, 5 Hz low-pass at 100 Hz).
+//! * [`biquad`] — second-order-section cascades for streaming, numerically
+//!   robust filtering, plus zero-phase offline filtering.
+//! * [`segment`] — sliding-window segmentation with configurable overlap
+//!   (the paper sweeps 100–400 ms windows and 0–75 % overlap).
+//! * [`fusion`] — complementary-filter sensor fusion computing Euler angles
+//!   (pitch, roll, yaw) from accelerometer + gyroscope, as done "on the
+//!   edge" in the paper's acquisition system.
+//! * [`rotation`] — 3-D vectors/matrices and Rodrigues' rotation formula,
+//!   used to align the KFall sensor frame with the self-collected frame.
+//! * [`interp`] — linear and Catmull–Rom resampling shared by the
+//!   time-warping augmentations.
+//! * [`stats`] — summary statistics and z-score normalisation.
+//!
+//! # Example
+//!
+//! ```
+//! use prefall_dsp::butterworth::Butterworth;
+//!
+//! # fn main() -> Result<(), prefall_dsp::DspError> {
+//! // The paper's pre-processing filter: 4th order, 5 Hz cutoff, 100 Hz rate.
+//! let design = Butterworth::lowpass(4, 5.0, 100.0)?;
+//! let mut filter = design.into_filter();
+//! let noisy: Vec<f32> = (0..200).map(|i| (i as f32 * 0.1).sin()).collect();
+//! let smooth: Vec<f32> = noisy.iter().map(|&x| filter.process(x)).collect();
+//! assert_eq!(smooth.len(), noisy.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod biquad;
+pub mod butterworth;
+pub mod complex;
+pub mod fusion;
+pub mod interp;
+pub mod rotation;
+pub mod segment;
+pub mod stats;
+
+mod error;
+
+pub use error::DspError;

@@ -1,0 +1,357 @@
+//! 3-D vectors, rotation matrices and Rodrigues' rotation formula.
+//!
+//! The paper aligns the sensor orientation of the KFall dataset with the
+//! self-collected dataset "using a rotation matrix computed through
+//! Rodrigues' rotation formula". This module provides exactly that
+//! machinery: axis–angle rotations and the rotation taking one unit vector
+//! onto another.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D vector of `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+    /// Unit X.
+    pub const X: Vec3 = Vec3::new(1.0, 0.0, 0.0);
+    /// Unit Y.
+    pub const Y: Vec3 = Vec3::new(0.0, 1.0, 0.0);
+    /// Unit Z.
+    pub const Z: Vec3 = Vec3::new(0.0, 0.0, 1.0);
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for a
+    /// (near-)zero vector.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self.scale(1.0 / n))
+        }
+    }
+
+    /// Multiplies every component by `k`.
+    pub fn scale(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(v: [f64; 3]) -> Self {
+        Vec3::new(v[0], v[1], v[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+/// A 3×3 rotation (or general linear) matrix in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use prefall_dsp::rotation::{Mat3, Vec3};
+///
+/// // Rotate X onto Y around Z by 90°.
+/// let r = Mat3::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2).unwrap();
+/// let y = r.apply(Vec3::X);
+/// assert!((y - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Row-major entries `m[row][col]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Rodrigues' rotation formula: the rotation of `angle` radians about
+    /// the given axis.
+    ///
+    /// `R = I + sin(θ)·K + (1 − cos(θ))·K²` where `K` is the cross-product
+    /// matrix of the unit axis.
+    ///
+    /// Returns `None` when `axis` is (near-)zero.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Option<Mat3> {
+        let u = axis.normalized()?;
+        let (s, c) = angle.sin_cos();
+        let k = Mat3 {
+            m: [[0.0, -u.z, u.y], [u.z, 0.0, -u.x], [-u.y, u.x, 0.0]],
+        };
+        let k2 = k.mul(&k);
+        let mut r = Mat3::IDENTITY;
+        for i in 0..3 {
+            for j in 0..3 {
+                r.m[i][j] += s * k.m[i][j] + (1.0 - c) * k2.m[i][j];
+            }
+        }
+        Some(r)
+    }
+
+    /// The rotation that takes unit direction `from` onto unit direction
+    /// `to` (inputs are normalised internally).
+    ///
+    /// This is how the KFall sensor frame is aligned to the self-collected
+    /// frame: `from` is KFall's gravity/placement axis, `to` ours.
+    ///
+    /// Returns `None` when either vector is (near-)zero. Antiparallel
+    /// vectors are handled by rotating π about an arbitrary perpendicular
+    /// axis.
+    pub fn rotation_between(from: Vec3, to: Vec3) -> Option<Mat3> {
+        let a = from.normalized()?;
+        let b = to.normalized()?;
+        let c = a.dot(b);
+        let axis = a.cross(b);
+        if axis.norm() < 1e-12 {
+            if c > 0.0 {
+                return Some(Mat3::IDENTITY);
+            }
+            // Antiparallel: rotate π about any axis perpendicular to `a`.
+            let perp = if a.x.abs() < 0.9 {
+                a.cross(Vec3::X)
+            } else {
+                a.cross(Vec3::Y)
+            };
+            return Mat3::from_axis_angle(perp, std::f64::consts::PI);
+        }
+        let angle = axis.norm().atan2(c);
+        Mat3::from_axis_angle(axis, angle)
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    pub fn mul(&self, rhs: &Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.m[i][k] * rhs.m[k][j]).sum();
+            }
+        }
+        Mat3 { m: out }
+    }
+
+    /// Matrix–vector product.
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Transpose (the inverse, for a rotation matrix).
+    pub fn transpose(&self) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in self.m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[j][i] = v;
+            }
+        }
+        Mat3 { m: out }
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// `true` when the matrix is orthonormal with determinant +1 (a proper
+    /// rotation), within `tol`.
+    pub fn is_rotation(&self, tol: f64) -> bool {
+        let rt = self.transpose();
+        let id = self.mul(&rt);
+        let mut ok = (self.det() - 1.0).abs() < tol;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                ok &= (id.m[i][j] - expect).abs() < tol;
+            }
+        }
+        ok
+    }
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn vec3_basics() {
+        let v = Vec3::new(1.0, 2.0, 2.0);
+        assert!((v.norm() - 3.0).abs() < 1e-14);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert!(Vec3::ZERO.normalized().is_none());
+        let arr: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(arr), v);
+    }
+
+    #[test]
+    fn axis_angle_quarter_turns() {
+        let r = Mat3::from_axis_angle(Vec3::Z, FRAC_PI_2).unwrap();
+        assert!((r.apply(Vec3::X) - Vec3::Y).norm() < 1e-12);
+        assert!((r.apply(Vec3::Y) - Vec3::new(-1.0, 0.0, 0.0)).norm() < 1e-12);
+        // Z is invariant.
+        assert!((r.apply(Vec3::Z) - Vec3::Z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn zero_angle_is_identity() {
+        let r = Mat3::from_axis_angle(Vec3::new(0.3, -0.4, 0.86), 0.0).unwrap();
+        assert!(r.is_rotation(1e-12));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r.m[i][j] - Mat3::IDENTITY.m[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_axis_rejected() {
+        assert!(Mat3::from_axis_angle(Vec3::ZERO, 1.0).is_none());
+    }
+
+    #[test]
+    fn rodrigues_matrices_are_proper_rotations() {
+        for (axis, angle) in [
+            (Vec3::new(1.0, 1.0, 1.0), 0.7),
+            (Vec3::new(-2.0, 0.5, 0.1), 2.9),
+            (Vec3::Y, PI),
+            (Vec3::new(0.0, 0.0, -3.0), -1.3),
+        ] {
+            let r = Mat3::from_axis_angle(axis, angle).unwrap();
+            assert!(r.is_rotation(1e-10), "axis {axis:?} angle {angle}");
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_angles() {
+        let r = Mat3::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 1.1).unwrap();
+        let a = Vec3::new(0.2, -0.5, 0.8);
+        let b = Vec3::new(1.0, 0.3, -0.7);
+        assert!((r.apply(a).norm() - a.norm()).abs() < 1e-12);
+        assert!((r.apply(a).dot(r.apply(b)) - a.dot(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_between_aligns_vectors() {
+        let cases = [
+            (Vec3::X, Vec3::Y),
+            (Vec3::new(1.0, 1.0, 0.0), Vec3::Z),
+            (Vec3::new(0.1, -0.2, 0.97), Vec3::new(-0.5, 0.5, 0.3)),
+        ];
+        for (from, to) in cases {
+            let r = Mat3::rotation_between(from, to).unwrap();
+            let got = r.apply(from.normalized().unwrap());
+            let want = to.normalized().unwrap();
+            assert!((got - want).norm() < 1e-10, "{from:?} -> {to:?}");
+            assert!(r.is_rotation(1e-10));
+        }
+    }
+
+    #[test]
+    fn rotation_between_parallel_is_identity() {
+        let r = Mat3::rotation_between(Vec3::X, Vec3::X.scale(5.0)).unwrap();
+        assert!((r.apply(Vec3::Y) - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_between_antiparallel() {
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.6, -0.3, 0.74)] {
+            let r = Mat3::rotation_between(v, v.scale(-1.0)).unwrap();
+            let u = v.normalized().unwrap();
+            assert!((r.apply(u) + u).norm() < 1e-10, "{v:?}");
+            assert!(r.is_rotation(1e-10));
+        }
+    }
+
+    #[test]
+    fn rotation_between_zero_rejected() {
+        assert!(Mat3::rotation_between(Vec3::ZERO, Vec3::X).is_none());
+        assert!(Mat3::rotation_between(Vec3::X, Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::from_axis_angle(Vec3::new(0.3, 0.5, -1.0), 0.9).unwrap();
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        let back = r.transpose().apply(r.apply(v));
+        assert!((back - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn kfall_alignment_scenario() {
+        // KFall wears the sensor with +X pointing down the spine; ours has
+        // +Z pointing down. Aligning gravity readings across datasets:
+        let kfall_gravity = Vec3::new(1.0, 0.0, 0.0);
+        let ours_gravity = Vec3::new(0.0, 0.0, 1.0);
+        let r = Mat3::rotation_between(kfall_gravity, ours_gravity).unwrap();
+        // A pure-gravity KFall accelerometer sample maps onto ours.
+        let mapped = r.apply(Vec3::new(9.81, 0.0, 0.0));
+        assert!((mapped - Vec3::new(0.0, 0.0, 9.81)).norm() < 1e-9);
+    }
+}

@@ -1,0 +1,329 @@
+//! Sliding-window segmentation with configurable overlap.
+//!
+//! The paper segments the filtered 9-channel stream into fixed-length
+//! windows ("segments"), sweeping window sizes from 100 ms to 400 ms and
+//! overlaps from 0 % to 75 % in 25 % steps. A segment of `n` snapshots and
+//! `m` features is an `n × m` matrix; the best configuration reported is
+//! 400 ms with 50 % overlap.
+
+use crate::DspError;
+use serde::{Deserialize, Serialize};
+
+/// Overlap between consecutive windows, expressed as a fraction of the
+/// window length.
+///
+/// Only the paper's grid values are representable, which keeps every
+/// downstream configuration honest about what was actually evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Overlap {
+    /// No overlap: the hop equals the window length.
+    None,
+    /// 25 % overlap.
+    Quarter,
+    /// 50 % overlap (the paper's chosen configuration).
+    Half,
+    /// 75 % overlap.
+    ThreeQuarters,
+}
+
+impl Overlap {
+    /// All grid values, in increasing order.
+    pub const ALL: [Overlap; 4] = [
+        Overlap::None,
+        Overlap::Quarter,
+        Overlap::Half,
+        Overlap::ThreeQuarters,
+    ];
+
+    /// The overlap as a fraction in `[0, 1)`.
+    pub fn fraction(self) -> f64 {
+        match self {
+            Overlap::None => 0.0,
+            Overlap::Quarter => 0.25,
+            Overlap::Half => 0.5,
+            Overlap::ThreeQuarters => 0.75,
+        }
+    }
+
+    /// Hop size (stride) in samples for a given window length.
+    ///
+    /// Always at least 1.
+    pub fn hop(self, window: usize) -> usize {
+        let kept = (window as f64 * (1.0 - self.fraction())).round() as usize;
+        kept.max(1)
+    }
+}
+
+impl std::fmt::Display for Overlap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0}%", self.fraction() * 100.0)
+    }
+}
+
+/// Segmentation configuration: window length and overlap.
+///
+/// # Example
+///
+/// ```
+/// use prefall_dsp::segment::{Overlap, Segmentation};
+///
+/// # fn main() -> Result<(), prefall_dsp::DspError> {
+/// // The paper's best configuration: 400 ms at 100 Hz, 50 % overlap.
+/// let seg = Segmentation::new(40, Overlap::Half)?;
+/// assert_eq!(seg.hop(), 20);
+/// let windows: Vec<_> = seg.windows(100).collect();
+/// assert_eq!(windows.first(), Some(&(0..40)));
+/// assert_eq!(windows.last(), Some(&(60..100)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segmentation {
+    window: usize,
+    overlap: Overlap,
+}
+
+impl Segmentation {
+    /// Creates a segmentation configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidSegmentation`] when `window == 0`.
+    pub fn new(window: usize, overlap: Overlap) -> Result<Self, DspError> {
+        if window == 0 {
+            return Err(DspError::InvalidSegmentation {
+                reason: "window length must be at least 1 sample".to_string(),
+            });
+        }
+        Ok(Self { window, overlap })
+    }
+
+    /// Convenience constructor from a duration in milliseconds and a
+    /// sampling rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidSegmentation`] when the duration rounds
+    /// to zero samples, and [`DspError::InvalidSampleRate`] for a
+    /// non-positive rate.
+    pub fn from_millis(
+        window_ms: f64,
+        sample_rate_hz: f64,
+        overlap: Overlap,
+    ) -> Result<Self, DspError> {
+        if !(sample_rate_hz.is_finite() && sample_rate_hz > 0.0) {
+            return Err(DspError::InvalidSampleRate { sample_rate_hz });
+        }
+        let window = (window_ms * sample_rate_hz / 1000.0).round() as usize;
+        Self::new(window, overlap)
+    }
+
+    /// Window length in samples.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Overlap setting.
+    pub fn overlap(&self) -> Overlap {
+        self.overlap
+    }
+
+    /// Hop (stride) between consecutive window starts, in samples.
+    pub fn hop(&self) -> usize {
+        self.overlap.hop(self.window)
+    }
+
+    /// Window duration in milliseconds for a given sampling rate.
+    pub fn window_ms(&self, sample_rate_hz: f64) -> f64 {
+        self.window as f64 * 1000.0 / sample_rate_hz
+    }
+
+    /// Number of complete windows available in a signal of `len` samples.
+    pub fn num_windows(&self, len: usize) -> usize {
+        if len < self.window {
+            0
+        } else {
+            (len - self.window) / self.hop() + 1
+        }
+    }
+
+    /// Iterator over the sample ranges of every complete window.
+    pub fn windows(&self, len: usize) -> Windows {
+        Windows {
+            next_start: 0,
+            window: self.window,
+            hop: self.hop(),
+            len,
+        }
+    }
+
+    /// Extracts segments from a multi-channel signal laid out as one
+    /// `Vec<f32>` per channel, returning `[window × channels]` row-major
+    /// matrices (the paper's `n × m` segment matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channels have different lengths.
+    pub fn extract(&self, channels: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if channels.is_empty() {
+            return Vec::new();
+        }
+        let len = channels[0].len();
+        assert!(
+            channels.iter().all(|c| c.len() == len),
+            "all channels must have equal length"
+        );
+        self.windows(len)
+            .map(|range| {
+                let mut seg = Vec::with_capacity(self.window * channels.len());
+                for t in range {
+                    for ch in channels {
+                        seg.push(ch[t]);
+                    }
+                }
+                seg
+            })
+            .collect()
+    }
+}
+
+/// Iterator over window sample ranges produced by
+/// [`Segmentation::windows`].
+#[derive(Debug, Clone)]
+pub struct Windows {
+    next_start: usize,
+    window: usize,
+    hop: usize,
+    len: usize,
+}
+
+impl Iterator for Windows {
+    type Item = std::ops::Range<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_start + self.window > self.len {
+            return None;
+        }
+        let r = self.next_start..self.next_start + self.window;
+        self.next_start += self.hop;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.next_start + self.window > self.len {
+            0
+        } else {
+            (self.len - self.window - self.next_start) / self.hop + 1
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Windows {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_window() {
+        assert!(Segmentation::new(0, Overlap::None).is_err());
+    }
+
+    #[test]
+    fn from_millis_matches_paper_configurations() {
+        let fs = 100.0;
+        for (ms, expect) in [(100.0, 10), (200.0, 20), (300.0, 30), (400.0, 40)] {
+            let s = Segmentation::from_millis(ms, fs, Overlap::Half).unwrap();
+            assert_eq!(s.window(), expect, "{ms} ms");
+            assert!((s.window_ms(fs) - ms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_millis_rejects_zero_duration_and_bad_rate() {
+        assert!(Segmentation::from_millis(1.0, 100.0, Overlap::None).is_err());
+        assert!(Segmentation::from_millis(100.0, 0.0, Overlap::None).is_err());
+    }
+
+    #[test]
+    fn hop_for_each_overlap() {
+        assert_eq!(Overlap::None.hop(40), 40);
+        assert_eq!(Overlap::Quarter.hop(40), 30);
+        assert_eq!(Overlap::Half.hop(40), 20);
+        assert_eq!(Overlap::ThreeQuarters.hop(40), 10);
+        // Hop never collapses to zero even for tiny windows.
+        assert_eq!(Overlap::ThreeQuarters.hop(1), 1);
+    }
+
+    #[test]
+    fn window_count_formula() {
+        let s = Segmentation::new(40, Overlap::Half).unwrap();
+        assert_eq!(s.num_windows(39), 0);
+        assert_eq!(s.num_windows(40), 1);
+        assert_eq!(s.num_windows(59), 1);
+        assert_eq!(s.num_windows(60), 2);
+        assert_eq!(s.num_windows(100), 4);
+    }
+
+    #[test]
+    fn windows_iterator_matches_num_windows() {
+        for window in [10, 20, 30, 40] {
+            for overlap in Overlap::ALL {
+                let s = Segmentation::new(window, overlap).unwrap();
+                for len in [0, 5, 40, 63, 100, 997] {
+                    let n = s.windows(len).count();
+                    assert_eq!(n, s.num_windows(len), "w={window} o={overlap} len={len}");
+                    assert_eq!(s.windows(len).len(), n, "ExactSizeIterator");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_are_in_bounds_and_strided() {
+        let s = Segmentation::new(30, Overlap::Half).unwrap();
+        let ranges: Vec<_> = s.windows(200).collect();
+        for (i, r) in ranges.iter().enumerate() {
+            assert_eq!(r.len(), 30);
+            assert!(r.end <= 200);
+            assert_eq!(r.start, i * 15);
+        }
+    }
+
+    #[test]
+    fn extract_is_row_major_time_by_channel() {
+        let ch0: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let ch1: Vec<f32> = (0..10).map(|i| 100.0 + i as f32).collect();
+        let s = Segmentation::new(4, Overlap::Half).unwrap();
+        let segs = s.extract(&[ch0, ch1]);
+        assert_eq!(segs.len(), 4);
+        // First segment rows: t=0..4, columns: [ch0, ch1].
+        assert_eq!(segs[0][0], 0.0);
+        assert_eq!(segs[0][1], 100.0);
+        assert_eq!(segs[0][2], 1.0);
+        assert_eq!(segs[0][3], 101.0);
+        // Second segment starts at t=2.
+        assert_eq!(segs[1][0], 2.0);
+    }
+
+    #[test]
+    fn extract_empty_channels() {
+        let s = Segmentation::new(4, Overlap::None).unwrap();
+        assert!(s.extract(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn extract_panics_on_ragged_channels() {
+        let s = Segmentation::new(4, Overlap::None).unwrap();
+        let _ = s.extract(&[vec![0.0; 10], vec![0.0; 9]]);
+    }
+
+    #[test]
+    fn display_overlap() {
+        assert_eq!(Overlap::Half.to_string(), "50%");
+        assert_eq!(Overlap::None.to_string(), "0%");
+    }
+}

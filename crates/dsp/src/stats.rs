@@ -1,0 +1,290 @@
+//! Summary statistics and normalisation helpers.
+//!
+//! Used by the preprocessing pipeline (per-channel z-score normalisation
+//! fitted on training data only) and by the threshold baseline detector
+//! (vector magnitudes, rolling extrema).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; `0.0` for slices shorter than 2.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32;
+    var.sqrt()
+}
+
+/// Root mean square; `0.0` for an empty slice.
+pub fn rms(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| x * x).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Euclidean magnitude of a 3-axis sample.
+pub fn magnitude3(x: f32, y: f32, z: f32) -> f32 {
+    (x * x + y * y + z * z).sqrt()
+}
+
+/// Element-wise magnitude series of three equally long channels.
+///
+/// # Panics
+///
+/// Panics if the channels have different lengths.
+pub fn magnitude_series(x: &[f32], y: &[f32], z: &[f32]) -> Vec<f32> {
+    assert!(
+        x.len() == y.len() && y.len() == z.len(),
+        "all channels must have equal length"
+    );
+    x.iter()
+        .zip(y)
+        .zip(z)
+        .map(|((&a, &b), &c)| magnitude3(a, b, c))
+        .collect()
+}
+
+/// Per-channel z-score normalisation parameters, fitted on training data
+/// and then frozen (so the test fold never leaks statistics).
+///
+/// # Example
+///
+/// ```
+/// use prefall_dsp::stats::Normalizer;
+///
+/// // Three rows of two channels: channel 0 has mean 2, channel 1 mean 20.
+/// let train = vec![vec![1.0f32, 10.0, 2.0, 20.0, 3.0, 30.0]];
+/// let norm = Normalizer::fit(&train, 2);
+/// let z = norm.apply(&[2.0, 20.0]);
+/// assert!(z[0].abs() < 1e-6 && z[1].abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits per-channel mean and standard deviation over row-major
+    /// `[rows × channels]` samples. Rows may come from many segments
+    /// concatenated together.
+    ///
+    /// Channels with zero variance get `std = 1` so normalisation is a
+    /// no-op rather than a division by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or any sample length is not a multiple
+    /// of `channels`.
+    pub fn fit(samples: &[Vec<f32>], channels: usize) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        let mut sums = vec![0.0f64; channels];
+        let mut sq_sums = vec![0.0f64; channels];
+        let mut count = 0usize;
+        for s in samples {
+            assert!(
+                s.len().is_multiple_of(channels),
+                "sample length {} is not a multiple of {channels}",
+                s.len()
+            );
+            for row in s.chunks_exact(channels) {
+                for (c, &v) in row.iter().enumerate() {
+                    sums[c] += f64::from(v);
+                    sq_sums[c] += f64::from(v) * f64::from(v);
+                }
+                count += 1;
+            }
+        }
+        let n = count.max(1) as f64;
+        let means: Vec<f32> = sums.iter().map(|&s| (s / n) as f32).collect();
+        let stds: Vec<f32> = sq_sums
+            .iter()
+            .zip(&sums)
+            .map(|(&sq, &s)| {
+                let var = (sq / n - (s / n) * (s / n)).max(0.0);
+                let sd = var.sqrt() as f32;
+                if sd < 1e-6 {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// An identity normaliser (zero mean, unit std) for `channels`
+    /// channels.
+    pub fn identity(channels: usize) -> Self {
+        Self {
+            means: vec![0.0; channels],
+            stds: vec![1.0; channels],
+        }
+    }
+
+    /// Reassembles a normaliser from stored parameters (deserialisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when lengths differ, the channel count is
+    /// zero, or any std is not strictly positive and finite.
+    pub fn from_parts(means: Vec<f32>, stds: Vec<f32>) -> Result<Self, String> {
+        if means.is_empty() || means.len() != stds.len() {
+            return Err(format!(
+                "means/stds length mismatch: {} vs {}",
+                means.len(),
+                stds.len()
+            ));
+        }
+        if let Some(bad) = stds.iter().find(|s| !(s.is_finite() && **s > 0.0)) {
+            return Err(format!("invalid standard deviation {bad}"));
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Per-channel means.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Per-channel standard deviations.
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+
+    /// Normalises one row-major `[rows × channels]` sample into a new
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample length is not a multiple of the channel count.
+    pub fn apply(&self, sample: &[f32]) -> Vec<f32> {
+        let mut out = sample.to_vec();
+        self.apply_in_place(&mut out);
+        out
+    }
+
+    /// Normalises a sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample length is not a multiple of the channel count.
+    pub fn apply_in_place(&self, sample: &mut [f32]) {
+        let c = self.channels();
+        assert!(
+            sample.len().is_multiple_of(c),
+            "sample length {} is not a multiple of {c}",
+            sample.len()
+        );
+        for row in sample.chunks_exact_mut(c) {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[i]) / self.stds[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_rms_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+        assert!((rms(&[3.0, 4.0]) - (12.5f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn magnitude_pythagoras() {
+        assert!((magnitude3(3.0, 4.0, 0.0) - 5.0).abs() < 1e-6);
+        assert!((magnitude3(1.0, 2.0, 2.0) - 3.0).abs() < 1e-6);
+        let m = magnitude_series(&[3.0, 0.0], &[4.0, 0.0], &[0.0, 1.0]);
+        assert_eq!(m, vec![5.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn magnitude_series_ragged_panics() {
+        let _ = magnitude_series(&[1.0], &[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn normalizer_zero_mean_unit_std() {
+        let samples = vec![
+            vec![1.0f32, 100.0, 2.0, 200.0],
+            vec![3.0, 300.0, 4.0, 400.0],
+        ];
+        let norm = Normalizer::fit(&samples, 2);
+        // Apply to the training data itself and verify statistics.
+        let mut all = Vec::new();
+        for s in &samples {
+            all.extend(norm.apply(s));
+        }
+        let ch0: Vec<f32> = all.iter().step_by(2).copied().collect();
+        let ch1: Vec<f32> = all.iter().skip(1).step_by(2).copied().collect();
+        assert!(mean(&ch0).abs() < 1e-5);
+        assert!(mean(&ch1).abs() < 1e-5);
+        assert!((std_dev(&ch0) - 1.0).abs() < 1e-4);
+        assert!((std_dev(&ch1) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalizer_constant_channel_is_noop_scaled() {
+        let samples = vec![vec![5.0f32, 1.0, 5.0, 2.0, 5.0, 3.0]];
+        let norm = Normalizer::fit(&samples, 2);
+        assert_eq!(norm.stds()[0], 1.0); // degenerate std clamped
+        let z = norm.apply(&[5.0, 2.0]);
+        assert!(z[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_normalizer_is_identity() {
+        let norm = Normalizer::identity(3);
+        let x = vec![1.0f32, -2.0, 3.5];
+        assert_eq!(norm.apply(&x), x);
+        assert_eq!(norm.channels(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn normalizer_apply_wrong_width_panics() {
+        let norm = Normalizer::identity(3);
+        let _ = norm.apply(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn normalizer_fit_wrong_width_panics() {
+        let _ = Normalizer::fit(&[vec![1.0, 2.0, 3.0]], 2);
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let norm = Normalizer::fit(&[vec![1.0f32, 2.0, 3.0, 4.0]], 2);
+        let x = vec![2.5f32, 3.5];
+        let a = norm.apply(&x);
+        let mut b = x.clone();
+        norm.apply_in_place(&mut b);
+        assert_eq!(a, b);
+    }
+}

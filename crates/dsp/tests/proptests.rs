@@ -1,0 +1,113 @@
+//! Crate-local property tests for the DSP primitives.
+
+use prefall_dsp::biquad::SosFilter;
+use prefall_dsp::butterworth::Butterworth;
+use prefall_dsp::fusion::ComplementaryFilter;
+use prefall_dsp::interp::{resample_catmull_rom, resample_linear};
+use prefall_dsp::rotation::{Mat3, Vec3};
+use prefall_dsp::segment::{Overlap, Segmentation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A bounded input through a stable low-pass filter stays bounded
+    /// (BIBO stability, with DC gain 1 the bound is the input bound plus
+    /// transient overshoot headroom).
+    #[test]
+    fn filter_output_is_bounded(
+        order in 1usize..7,
+        cutoff in 1.0f64..40.0,
+        xs in prop::collection::vec(-5.0f32..5.0, 10..400),
+    ) {
+        let mut f: SosFilter = Butterworth::lowpass(order, cutoff, 100.0).unwrap().into_filter();
+        let ys = f.process_slice(&xs);
+        prop_assert!(ys.iter().all(|y| y.is_finite() && y.abs() < 50.0));
+    }
+
+    /// filtfilt output has the same length and is also bounded.
+    #[test]
+    fn filtfilt_matches_length(xs in prop::collection::vec(-3.0f32..3.0, 0..200)) {
+        let mut f = Butterworth::lowpass(4, 5.0, 100.0).unwrap().into_filter();
+        let ys = f.filtfilt(&xs);
+        prop_assert_eq!(ys.len(), xs.len());
+        prop_assert!(ys.iter().all(|y| y.is_finite()));
+    }
+
+    /// A constant input settles to itself (DC gain 1).
+    #[test]
+    fn constant_input_settles(level in -4.0f32..4.0, order in 1usize..6) {
+        let mut f = Butterworth::lowpass(order, 5.0, 100.0).unwrap().into_filter();
+        let xs = vec![level; 600];
+        let ys = f.process_slice(&xs);
+        prop_assert!((ys[599] - level).abs() < 1e-3 + level.abs() * 1e-3);
+    }
+
+    /// Segmentation + extraction agree on counts for multi-channel data.
+    #[test]
+    fn extract_count_matches_windows(
+        window in 1usize..50,
+        len in 0usize..300,
+        overlap_idx in 0usize..4,
+        channels in 1usize..6,
+    ) {
+        let seg = Segmentation::new(window, Overlap::ALL[overlap_idx]).unwrap();
+        let data: Vec<Vec<f32>> = (0..channels)
+            .map(|c| (0..len).map(|i| (i + c) as f32).collect())
+            .collect();
+        let out = seg.extract(&data);
+        prop_assert_eq!(out.len(), seg.num_windows(len));
+        for s in &out {
+            prop_assert_eq!(s.len(), window * channels);
+        }
+    }
+
+    /// Composing a rotation with its transpose is the identity.
+    #[test]
+    fn rotation_times_transpose_is_identity(
+        ax in -1.0f64..1.0, ay in -1.0f64..1.0, az in -1.0f64..1.0, angle in -6.0f64..6.0,
+    ) {
+        let axis = Vec3::new(ax, ay, az);
+        prop_assume!(axis.norm() > 1e-3);
+        let r = Mat3::from_axis_angle(axis, angle).unwrap();
+        let id = r.mul(&r.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((id.m[i][j] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Resampling to any length then back to the original approximates
+    /// the original for smooth inputs.
+    #[test]
+    fn resample_roundtrip_smooth(n in 8usize..60, m in 8usize..200) {
+        let xs: Vec<f32> = (0..n).map(|i| (i as f32 / n as f32 * 3.0).sin()).collect();
+        for f in [resample_linear, resample_catmull_rom] {
+            let there = f(&xs, m);
+            let back = f(&there, n);
+            prop_assert_eq!(back.len(), n);
+            // Tolerance loosens when the intermediate grid is coarser.
+            let tol = if m >= n { 0.08 } else { 0.6 };
+            for (a, b) in xs.iter().zip(&back) {
+                prop_assert!((a - b).abs() < tol, "{a} vs {b} (n={n}, m={m})");
+            }
+        }
+    }
+
+    /// The complementary filter's pitch/roll never exceed the physical
+    /// range, whatever the inputs.
+    #[test]
+    fn fusion_angles_bounded(
+        samples in prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0), 1..200),
+    ) {
+        let mut f = ComplementaryFilter::new(100.0, 0.98);
+        for (a, b, c) in samples {
+            let e = f.update([a, b, c], [b, c, a]);
+            prop_assert!(e.pitch.is_finite() && e.roll.is_finite() && e.yaw.is_finite());
+            prop_assert!(e.pitch.abs() <= std::f64::consts::PI + 0.6);
+            prop_assert!(e.roll.abs() <= std::f64::consts::PI + 0.6);
+        }
+    }
+}

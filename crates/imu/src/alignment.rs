@@ -1,0 +1,192 @@
+//! Dataset alignment (§IV-A): bring KFall-frame recordings into the
+//! canonical sensor frame and unit system.
+//!
+//! The two datasets use "identical sensor placements but not orientation";
+//! the paper aligns KFall with a rotation matrix computed through
+//! **Rodrigues' rotation formula** and converts all accelerations to g.
+//! We reproduce that exactly: the KFall-like generator emits vectors in a
+//! rotated frame (gravity along −Y when upright instead of +Z) in m/s²
+//! and deg/s; [`align_trial`] computes the Rodrigues rotation taking the
+//! KFall gravity axis onto ours and applies it to every accelerometer and
+//! gyroscope sample, converts units, and recomputes the Euler channels.
+
+use crate::channel::Channel;
+use crate::trial::Trial;
+use crate::units::{degs_to_rads, ms2_to_g};
+use prefall_dsp::rotation::{Mat3, Vec3};
+
+/// Direction gravity pulls on the *KFall-frame* accelerometer when the
+/// wearer stands upright.
+pub const KFALL_GRAVITY_AXIS: Vec3 = Vec3::new(0.0, -1.0, 0.0);
+
+/// Direction gravity pulls in the canonical (self-collected) frame when
+/// upright.
+pub const CANONICAL_GRAVITY_AXIS: Vec3 = Vec3::new(0.0, 0.0, 1.0);
+
+/// The rotation taking KFall-frame vectors into the canonical frame,
+/// via Rodrigues' formula.
+pub fn kfall_to_canonical() -> Mat3 {
+    Mat3::rotation_between(KFALL_GRAVITY_AXIS, CANONICAL_GRAVITY_AXIS)
+        .expect("gravity axes are non-zero")
+}
+
+/// The inverse rotation (canonical → KFall frame), used by the generator
+/// to emit authentic KFall-style raw data.
+pub fn canonical_to_kfall() -> Mat3 {
+    kfall_to_canonical().transpose()
+}
+
+/// Rotates the accel/gyro channels of a trial **in place** from the KFall
+/// frame into the canonical frame, converts m/s² → g and deg/s → rad/s,
+/// and recomputes the Euler channels with the firmware fusion filter.
+pub fn align_trial(trial: &mut Trial) {
+    let r = kfall_to_canonical();
+    rotate_channels(
+        trial,
+        &r,
+        [Channel::AccelX, Channel::AccelY, Channel::AccelZ],
+        ms2_to_g,
+    );
+    rotate_channels(
+        trial,
+        &r,
+        [Channel::GyroX, Channel::GyroY, Channel::GyroZ],
+        degs_to_rads,
+    );
+    trial.recompute_euler();
+}
+
+/// Rotates the given trial's accel/gyro channels from canonical into the
+/// KFall frame and converts units to m/s² and deg/s (the generator-side
+/// "de-alignment" used to manufacture raw KFall-style recordings).
+pub fn dealign_trial(trial: &mut Trial) {
+    let r = canonical_to_kfall();
+    rotate_channels(
+        trial,
+        &r,
+        [Channel::AccelX, Channel::AccelY, Channel::AccelZ],
+        crate::units::g_to_ms2,
+    );
+    rotate_channels(
+        trial,
+        &r,
+        [Channel::GyroX, Channel::GyroY, Channel::GyroZ],
+        crate::units::rads_to_degs,
+    );
+}
+
+fn rotate_channels(trial: &mut Trial, r: &Mat3, chans: [Channel; 3], unit: impl Fn(f64) -> f64) {
+    let n = trial.len();
+    let mut out = [
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    ];
+    for i in 0..n {
+        let v = Vec3::new(
+            f64::from(trial.channel(chans[0])[i]),
+            f64::from(trial.channel(chans[1])[i]),
+            f64::from(trial.channel(chans[2])[i]),
+        );
+        let w = r.apply(v);
+        out[0].push(unit(w.x) as f32);
+        out[1].push(unit(w.y) as f32);
+        out[2].push(unit(w.z) as f32);
+    }
+    for (c, o) in chans.into_iter().zip(out) {
+        *trial.channel_mut(c) = o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Activity, TaskId};
+    use crate::channel::NUM_CHANNELS;
+    use crate::generator::render_script;
+    use crate::rng::GenRng;
+    use crate::script::script_for_task;
+    use crate::subject::{DatasetSource, Subject, SubjectId};
+    use crate::trial::Trial;
+
+    #[test]
+    fn rotation_maps_kfall_gravity_onto_canonical() {
+        let r = kfall_to_canonical();
+        let g = r.apply(KFALL_GRAVITY_AXIS);
+        assert!((g - CANONICAL_GRAVITY_AXIS).norm() < 1e-12);
+        assert!(r.is_rotation(1e-12));
+    }
+
+    #[test]
+    fn dealign_then_align_round_trips() {
+        // Render a canonical trial, de-align it into KFall raw form,
+        // align it back; the accel/gyro channels must match the original.
+        let mut rng = GenRng::seed_from_u64(31);
+        let subject = Subject::sample(SubjectId(5), DatasetSource::KFall, &mut rng);
+        let a = Activity::from_task(30).unwrap();
+        let script = script_for_task(a, subject.tempo_scale, &mut rng);
+        let signals = render_script(&script, &subject, &mut rng);
+        let original =
+            Trial::from_rendered(SubjectId(5), a.id, 0, DatasetSource::KFall, &signals).unwrap();
+
+        let mut t = original.clone();
+        dealign_trial(&mut t);
+        // In the KFall raw frame the upright gravity is on −Y in m/s².
+        let mid = 30;
+        assert!(
+            t.channel(Channel::AccelY)[mid] < -7.0,
+            "raw KFall gravity on -y: {}",
+            t.channel(Channel::AccelY)[mid]
+        );
+        align_trial(&mut t);
+        for c in [
+            Channel::AccelX,
+            Channel::AccelZ,
+            Channel::GyroX,
+            Channel::GyroZ,
+        ] {
+            for i in 0..original.len() {
+                let a = original.channel(c)[i];
+                let b = t.channel(c)[i];
+                assert!((a - b).abs() < 1e-3, "{c} sample {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_recovers_fused_euler() {
+        let mut rng = GenRng::seed_from_u64(77);
+        let subject = Subject::sample(SubjectId(6), DatasetSource::KFall, &mut rng);
+        let a = Activity::from_task(17).unwrap(); // lying: strong pitch
+        let script = script_for_task(a, subject.tempo_scale, &mut rng);
+        let signals = render_script(&script, &subject, &mut rng);
+        let original =
+            Trial::from_rendered(SubjectId(6), a.id, 0, DatasetSource::KFall, &signals).unwrap();
+        let mut t = original.clone();
+        dealign_trial(&mut t);
+        align_trial(&mut t);
+        let mid = original.len() / 2;
+        let p0 = original.channel(Channel::Pitch)[mid];
+        let p1 = t.channel(Channel::Pitch)[mid];
+        assert!((p0 - p1).abs() < 0.02, "pitch {p0} vs {p1}");
+    }
+
+    #[test]
+    fn alignment_preserves_labels_and_length() {
+        let ch = vec![vec![1.0f32; 50]; NUM_CHANNELS];
+        let mut t = Trial::from_channels(
+            SubjectId(0),
+            TaskId::new(30).unwrap(),
+            0,
+            DatasetSource::KFall,
+            ch,
+            Some(10),
+            Some(40),
+        )
+        .unwrap();
+        align_trial(&mut t);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.fall_start(), Some(10));
+        assert_eq!(t.impact(), Some(40));
+    }
+}

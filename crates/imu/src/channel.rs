@@ -1,0 +1,157 @@
+//! The nine signal channels every trial carries.
+//!
+//! The paper fixes `m = 9` features per snapshot: accelerometer `(x, y,
+//! z)`, gyroscope `(x, y, z)` and Euler angles `(pitch, roll, yaw)`. The
+//! model architecture later splits these into three `n × 3` branches by
+//! *modality*.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of channels per snapshot (`m` in the paper).
+pub const NUM_CHANNELS: usize = 9;
+
+/// The three sensor modalities, each contributing three channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modality {
+    /// Tri-axial accelerometer (g).
+    Accelerometer,
+    /// Tri-axial gyroscope (rad/s).
+    Gyroscope,
+    /// Euler angles from on-edge sensor fusion (rad).
+    Euler,
+}
+
+impl Modality {
+    /// All modalities in channel order.
+    pub const ALL: [Modality; 3] = [
+        Modality::Accelerometer,
+        Modality::Gyroscope,
+        Modality::Euler,
+    ];
+
+    /// The channel indices belonging to this modality, in order.
+    pub fn channel_indices(self) -> [usize; 3] {
+        match self {
+            Modality::Accelerometer => [0, 1, 2],
+            Modality::Gyroscope => [3, 4, 5],
+            Modality::Euler => [6, 7, 8],
+        }
+    }
+}
+
+impl std::fmt::Display for Modality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Modality::Accelerometer => "accelerometer",
+            Modality::Gyroscope => "gyroscope",
+            Modality::Euler => "euler",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the nine channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Channel {
+    AccelX,
+    AccelY,
+    AccelZ,
+    GyroX,
+    GyroY,
+    GyroZ,
+    Pitch,
+    Roll,
+    Yaw,
+}
+
+impl Channel {
+    /// All channels, in storage order.
+    pub const ALL: [Channel; NUM_CHANNELS] = [
+        Channel::AccelX,
+        Channel::AccelY,
+        Channel::AccelZ,
+        Channel::GyroX,
+        Channel::GyroY,
+        Channel::GyroZ,
+        Channel::Pitch,
+        Channel::Roll,
+        Channel::Yaw,
+    ];
+
+    /// The channel's index in storage order (`0..9`).
+    pub fn index(self) -> usize {
+        Channel::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("channel is in ALL")
+    }
+
+    /// The modality the channel belongs to.
+    pub fn modality(self) -> Modality {
+        match self {
+            Channel::AccelX | Channel::AccelY | Channel::AccelZ => Modality::Accelerometer,
+            Channel::GyroX | Channel::GyroY | Channel::GyroZ => Modality::Gyroscope,
+            Channel::Pitch | Channel::Roll | Channel::Yaw => Modality::Euler,
+        }
+    }
+
+    /// Short lower-case name used in CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::AccelX => "accel_x",
+            Channel::AccelY => "accel_y",
+            Channel::AccelZ => "accel_z",
+            Channel::GyroX => "gyro_x",
+            Channel::GyroY => "gyro_y",
+            Channel::GyroZ => "gyro_z",
+            Channel::Pitch => "pitch",
+            Channel::Roll => "roll",
+            Channel::Yaw => "yaw",
+        }
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_channels_three_modalities() {
+        assert_eq!(Channel::ALL.len(), NUM_CHANNELS);
+        for m in Modality::ALL {
+            let idx = m.channel_indices();
+            assert_eq!(idx.len(), 3);
+            for i in idx {
+                assert_eq!(Channel::ALL[i].modality(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_position_in_all() {
+        for (i, c) in Channel::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Channel::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_CHANNELS);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Channel::AccelX.to_string(), "accel_x");
+        assert_eq!(Modality::Euler.to_string(), "euler");
+    }
+}

@@ -1,0 +1,280 @@
+//! CSV import/export of trials, for inspection and interoperability.
+//!
+//! Format: a header row, then one row per sample:
+//!
+//! ```text
+//! sample,accel_x,accel_y,accel_z,gyro_x,gyro_y,gyro_z,pitch,roll,yaw,phase
+//! ```
+//!
+//! The `phase` column carries the frame labels (`pre`, `falling`,
+//! `inflation`, `impact`, `post`) so exported falls can be eyeballed in
+//! any plotting tool — the synthetic stand-in for the paper's
+//! video-synchronised annotation.
+
+use crate::activity::TaskId;
+use crate::channel::{Channel, NUM_CHANNELS};
+use crate::subject::{DatasetSource, SubjectId};
+use crate::trial::Trial;
+use crate::{ImuError, AIRBAG_INFLATION_SAMPLES};
+use std::io::{BufRead, Write};
+
+/// The per-sample phase label used in CSV exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseLabel {
+    /// Before the fall (or the entire trial, for ADLs).
+    Pre,
+    /// Falling, usable for detection (ends 150 ms before impact).
+    Falling,
+    /// Falling, inside the 150 ms airbag-inflation budget.
+    Inflation,
+    /// The impact itself (first 100 ms after contact).
+    Impact,
+    /// Lying on the ground afterwards.
+    Post,
+}
+
+impl PhaseLabel {
+    /// The label for sample `i` of a trial.
+    pub fn of(trial: &Trial, i: usize) -> PhaseLabel {
+        match (trial.fall_start(), trial.impact()) {
+            (Some(fs), Some(im)) => {
+                if i < fs {
+                    PhaseLabel::Pre
+                } else if i < im.saturating_sub(AIRBAG_INFLATION_SAMPLES) {
+                    PhaseLabel::Falling
+                } else if i < im {
+                    PhaseLabel::Inflation
+                } else if i < im + 10 {
+                    PhaseLabel::Impact
+                } else {
+                    PhaseLabel::Post
+                }
+            }
+            _ => PhaseLabel::Pre,
+        }
+    }
+
+    /// The CSV token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseLabel::Pre => "pre",
+            PhaseLabel::Falling => "falling",
+            PhaseLabel::Inflation => "inflation",
+            PhaseLabel::Impact => "impact",
+            PhaseLabel::Post => "post",
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Writes a trial as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trial<W: Write>(trial: &Trial, mut w: W) -> std::io::Result<()> {
+    write!(w, "sample")?;
+    for c in Channel::ALL {
+        write!(w, ",{}", c.name())?;
+    }
+    writeln!(w, ",phase")?;
+    for i in 0..trial.len() {
+        write!(w, "{i}")?;
+        for c in Channel::ALL {
+            write!(w, ",{:.6}", trial.channel(c)[i])?;
+        }
+        writeln!(w, ",{}", PhaseLabel::of(trial, i))?;
+    }
+    Ok(())
+}
+
+/// Reads a trial back from CSV produced by [`write_trial`].
+///
+/// Labels are reconstructed from the `phase` column: `fall_start` is the
+/// first `falling`/`inflation` sample, `impact` the first `impact`
+/// sample.
+///
+/// # Errors
+///
+/// Returns [`ImuError::ParseCsv`] on malformed input.
+pub fn read_trial<R: BufRead>(
+    r: R,
+    subject: SubjectId,
+    task: TaskId,
+    source: DatasetSource,
+) -> Result<Trial, ImuError> {
+    let mut channels: Vec<Vec<f32>> = vec![Vec::new(); NUM_CHANNELS];
+    let mut fall_start = None;
+    let mut impact = None;
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| ImuError::ParseCsv {
+            line: lineno + 1,
+            reason: e.to_string(),
+        })?;
+        if lineno == 0 {
+            if !line.starts_with("sample,") {
+                return Err(ImuError::ParseCsv {
+                    line: 1,
+                    reason: "missing header row".to_string(),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != NUM_CHANNELS + 2 {
+            return Err(ImuError::ParseCsv {
+                line: lineno + 1,
+                reason: format!("expected {} fields, got {}", NUM_CHANNELS + 2, fields.len()),
+            });
+        }
+        let idx = channels[0].len();
+        for (c, field) in fields[1..=NUM_CHANNELS].iter().enumerate() {
+            let v: f32 = field.parse().map_err(|_| ImuError::ParseCsv {
+                line: lineno + 1,
+                reason: format!("bad float {field:?}"),
+            })?;
+            channels[c].push(v);
+        }
+        match *fields.last().expect("length checked") {
+            "falling" | "inflation" => {
+                fall_start.get_or_insert(idx);
+            }
+            "impact" => {
+                impact.get_or_insert(idx);
+            }
+            "pre" | "post" => {}
+            other => {
+                return Err(ImuError::ParseCsv {
+                    line: lineno + 1,
+                    reason: format!("unknown phase label {other:?}"),
+                });
+            }
+        }
+    }
+
+    Trial::from_channels(subject, task, 0, source, channels, fall_start, impact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn sample_trials() -> Dataset {
+        Dataset::combined_scaled(0, 1, 17).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_fall_trial() {
+        let ds = sample_trials();
+        let t = ds.trials().iter().find(|t| t.is_fall()).unwrap();
+        let mut buf = Vec::new();
+        write_trial(t, &mut buf).unwrap();
+        let back = read_trial(&buf[..], t.subject, t.task, t.source).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.fall_start(), t.fall_start());
+        assert_eq!(back.impact(), t.impact());
+        for c in Channel::ALL {
+            for i in 0..t.len() {
+                assert!(
+                    (back.channel(c)[i] - t.channel(c)[i]).abs() < 1e-5,
+                    "{c} sample {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_adl_trial() {
+        let ds = sample_trials();
+        let t = ds.trials().iter().find(|t| !t.is_fall()).unwrap();
+        let mut buf = Vec::new();
+        write_trial(t, &mut buf).unwrap();
+        let back = read_trial(&buf[..], t.subject, t.task, t.source).unwrap();
+        assert!(!back.is_fall());
+        assert_eq!(back.len(), t.len());
+    }
+
+    #[test]
+    fn phase_labels_partition_fall_trial() {
+        let ds = sample_trials();
+        let t = ds.trials().iter().find(|t| t.is_fall()).unwrap();
+        let labels: Vec<PhaseLabel> = (0..t.len()).map(|i| PhaseLabel::of(t, i)).collect();
+        // Phases appear in order pre → falling → inflation → impact → post.
+        let order = |l: PhaseLabel| match l {
+            PhaseLabel::Pre => 0,
+            PhaseLabel::Falling => 1,
+            PhaseLabel::Inflation => 2,
+            PhaseLabel::Impact => 3,
+            PhaseLabel::Post => 4,
+        };
+        for w in labels.windows(2) {
+            assert!(order(w[0]) <= order(w[1]), "{:?} then {:?}", w[0], w[1]);
+        }
+        assert!(labels.contains(&PhaseLabel::Falling));
+        assert!(labels.contains(&PhaseLabel::Inflation));
+        assert!(labels.contains(&PhaseLabel::Impact));
+    }
+
+    #[test]
+    fn inflation_budget_is_150ms() {
+        let ds = sample_trials();
+        let t = ds.trials().iter().find(|t| t.is_fall()).unwrap();
+        let n_inflation = (0..t.len())
+            .filter(|&i| PhaseLabel::of(t, i) == PhaseLabel::Inflation)
+            .count();
+        assert_eq!(n_inflation, AIRBAG_INFLATION_SAMPLES);
+    }
+
+    #[test]
+    fn rejects_malformed_csv() {
+        let no_header = b"1,2,3\n" as &[u8];
+        assert!(read_trial(
+            no_header,
+            SubjectId(0),
+            TaskId::new(1).unwrap(),
+            DatasetSource::KFall
+        )
+        .is_err());
+
+        let bad_fields = b"sample,a\n0,1\n" as &[u8];
+        assert!(read_trial(
+            bad_fields,
+            SubjectId(0),
+            TaskId::new(1).unwrap(),
+            DatasetSource::KFall
+        )
+        .is_err());
+
+        let bad_float =
+            b"sample,accel_x,accel_y,accel_z,gyro_x,gyro_y,gyro_z,pitch,roll,yaw,phase\n0,x,0,0,0,0,0,0,0,0,pre\n"
+                as &[u8];
+        assert!(read_trial(
+            bad_float,
+            SubjectId(0),
+            TaskId::new(1).unwrap(),
+            DatasetSource::KFall
+        )
+        .is_err());
+
+        let bad_phase =
+            b"sample,accel_x,accel_y,accel_z,gyro_x,gyro_y,gyro_z,pitch,roll,yaw,phase\n0,0,0,0,0,0,0,0,0,0,nope\n"
+                as &[u8];
+        assert!(read_trial(
+            bad_phase,
+            SubjectId(0),
+            TaskId::new(1).unwrap(),
+            DatasetSource::KFall
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Dataset assembly: KFall-like, self-collected-like and the combined
+//! 61-subject dataset the paper trains on.
+
+use crate::activity::Activity;
+use crate::alignment::{align_trial, dealign_trial};
+use crate::generator::render_script;
+use crate::rng::GenRng;
+use crate::script::script_for_task;
+use crate::subject::{DatasetSource, Subject, SubjectId};
+use crate::trial::Trial;
+use crate::ImuError;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for dataset generation.
+///
+/// # Example
+///
+/// ```
+/// use prefall_imu::dataset::{Dataset, DatasetConfig};
+///
+/// let config = DatasetConfig {
+///     kfall_subjects: 1,
+///     self_collected_subjects: 1,
+///     trials_per_task: 1,
+///     duration_scale: 0.5,
+///     seed: 42,
+/// };
+/// let ds = Dataset::generate(&config).unwrap();
+/// assert_eq!(ds.subjects().len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of KFall-like subjects (paper: 32).
+    pub kfall_subjects: usize,
+    /// Number of self-collected-like subjects (paper: 29).
+    pub self_collected_subjects: usize,
+    /// Repetitions of every task per subject.
+    pub trials_per_task: usize,
+    /// Multiplier on ambient/hold durations (1.0 = nominal protocol;
+    /// smaller values shrink the ADL lead-ins/holds but never the falling
+    /// phases themselves).
+    pub duration_scale: f64,
+    /// Master seed: everything downstream is derived from it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// The paper's full combined dataset: 32 + 29 subjects, one trial per
+    /// task, nominal durations.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            kfall_subjects: 32,
+            self_collected_subjects: 29,
+            trials_per_task: 1,
+            duration_scale: 1.0,
+            seed,
+        }
+    }
+
+    /// A laptop-friendly scaled-down configuration.
+    pub fn scaled(kfall: usize, self_collected: usize, seed: u64) -> Self {
+        Self {
+            kfall_subjects: kfall,
+            self_collected_subjects: self_collected,
+            trials_per_task: 1,
+            duration_scale: 0.5,
+            seed,
+        }
+    }
+}
+
+/// Aggregate statistics of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of trials.
+    pub trials: usize,
+    /// Number of fall trials.
+    pub fall_trials: usize,
+    /// Total samples across all trials.
+    pub samples: usize,
+    /// Samples inside *usable* falling ranges (fall start → impact−150 ms).
+    pub falling_samples: usize,
+    /// Fraction of samples that are falling (the paper's datasets sit
+    /// around 1–4 %).
+    pub falling_fraction: f64,
+}
+
+/// A generated dataset: subjects plus all their trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    subjects: Vec<Subject>,
+    trials: Vec<Trial>,
+}
+
+impl Dataset {
+    /// Generates a dataset from a configuration.
+    ///
+    /// KFall-like subjects perform the 36 KFall tasks; their recordings
+    /// are manufactured in the KFall sensor frame/units and then passed
+    /// through the §IV-A Rodrigues alignment, exactly like the real
+    /// pipeline. Self-collected subjects perform all 44 tasks in the
+    /// canonical frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImuError::NoSubjects`] when both subject counts are 0.
+    pub fn generate(config: &DatasetConfig) -> Result<Self, ImuError> {
+        let total = config.kfall_subjects + config.self_collected_subjects;
+        if total == 0 {
+            return Err(ImuError::NoSubjects);
+        }
+        let root = GenRng::seed_from_u64(config.seed);
+        let mut subject_rng = root.derive(0xA11CE);
+
+        let mut subjects = Vec::with_capacity(total);
+        for i in 0..total {
+            let source = if i < config.kfall_subjects {
+                DatasetSource::KFall
+            } else {
+                DatasetSource::SelfCollected
+            };
+            subjects.push(Subject::sample(
+                SubjectId(i as u16),
+                source,
+                &mut subject_rng,
+            ));
+        }
+
+        let mut trials = Vec::new();
+        for subject in &subjects {
+            for activity in Activity::catalog() {
+                if subject.source == DatasetSource::KFall && !activity.in_kfall {
+                    continue;
+                }
+                for rep in 0..config.trials_per_task {
+                    let stream = (u64::from(subject.id.0) << 24)
+                        | (u64::from(activity.id.get()) << 8)
+                        | rep as u64;
+                    let mut rng = root.derive(stream);
+                    // duration_scale stretches the effective tempo used
+                    // for ambient phases; fall-phase durations are
+                    // sampled independently inside the script builder.
+                    let tempo = subject.tempo_scale / config.duration_scale.max(0.05);
+                    let script = script_for_task(activity, tempo, &mut rng);
+                    let signals = render_script(&script, subject, &mut rng);
+                    let mut trial = Trial::from_rendered(
+                        subject.id,
+                        activity.id,
+                        rep as u16,
+                        subject.source,
+                        &signals,
+                    )?;
+                    if subject.source == DatasetSource::KFall {
+                        // Manufacture authentic KFall raw data, then align
+                        // it back (exercising §IV-A for real).
+                        dealign_trial(&mut trial);
+                        align_trial(&mut trial);
+                    }
+                    trials.push(trial);
+                }
+            }
+        }
+
+        Ok(Self { subjects, trials })
+    }
+
+    /// The paper's combined dataset (61 subjects) with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation errors (none for this fixed configuration).
+    pub fn combined(seed: u64) -> Result<Self, ImuError> {
+        Self::generate(&DatasetConfig::paper_scale(seed))
+    }
+
+    /// A scaled-down combined dataset for tests and laptop runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImuError::NoSubjects`] when both counts are 0.
+    pub fn combined_scaled(
+        kfall: usize,
+        self_collected: usize,
+        seed: u64,
+    ) -> Result<Self, ImuError> {
+        Self::generate(&DatasetConfig::scaled(kfall, self_collected, seed))
+    }
+
+    /// All subjects.
+    pub fn subjects(&self) -> &[Subject] {
+        &self.subjects
+    }
+
+    /// All trials.
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// All subject ids, in order.
+    pub fn subject_ids(&self) -> Vec<SubjectId> {
+        self.subjects.iter().map(|s| s.id).collect()
+    }
+
+    /// Trials belonging to one subject.
+    pub fn trials_for_subject(&self, id: SubjectId) -> impl Iterator<Item = &Trial> {
+        self.trials.iter().filter(move |t| t.subject == id)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let trials = self.trials.len();
+        let fall_trials = self.trials.iter().filter(|t| t.is_fall()).count();
+        let samples: usize = self.trials.iter().map(Trial::len).sum();
+        let falling_samples: usize = self
+            .trials
+            .iter()
+            .filter_map(|t| t.usable_fall_range().map(|r| r.len()))
+            .sum();
+        DatasetStats {
+            trials,
+            fall_trials,
+            samples,
+            falling_samples,
+            falling_fraction: if samples == 0 {
+                0.0
+            } else {
+                falling_samples as f64 / samples as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityClass;
+
+    #[test]
+    fn rejects_empty_config() {
+        let cfg = DatasetConfig {
+            kfall_subjects: 0,
+            self_collected_subjects: 0,
+            trials_per_task: 1,
+            duration_scale: 1.0,
+            seed: 1,
+        };
+        assert!(matches!(Dataset::generate(&cfg), Err(ImuError::NoSubjects)));
+    }
+
+    #[test]
+    fn kfall_subjects_perform_36_tasks_self_collected_44() {
+        let ds = Dataset::combined_scaled(1, 1, 3).unwrap();
+        let kfall_id = ds.subjects()[0].id;
+        let self_id = ds.subjects()[1].id;
+        assert_eq!(ds.trials_for_subject(kfall_id).count(), 36);
+        assert_eq!(ds.trials_for_subject(self_id).count(), 44);
+        assert_eq!(ds.trials().len(), 80);
+    }
+
+    #[test]
+    fn fall_trials_match_taxonomy() {
+        let ds = Dataset::combined_scaled(1, 1, 5).unwrap();
+        for t in ds.trials() {
+            let is_fall_task = t.activity().class == ActivityClass::Fall;
+            assert_eq!(t.is_fall(), is_fall_task, "task {}", t.task);
+        }
+        // 15 KFall falls + 21 self-collected falls.
+        let stats = ds.stats();
+        assert_eq!(stats.fall_trials, 36);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::combined_scaled(1, 1, 11).unwrap();
+        let b = Dataset::combined_scaled(1, 1, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::combined_scaled(1, 0, 1).unwrap();
+        let b = Dataset::combined_scaled(1, 0, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn falling_fraction_is_minority_class() {
+        let ds = Dataset::combined_scaled(2, 2, 7).unwrap();
+        let stats = ds.stats();
+        assert!(
+            stats.falling_fraction > 0.005 && stats.falling_fraction < 0.12,
+            "falling fraction {}",
+            stats.falling_fraction
+        );
+        assert!(stats.samples > 0);
+        assert!(stats.falling_samples > 0);
+    }
+
+    #[test]
+    fn kfall_trials_are_aligned_to_canonical_units() {
+        // After §IV-A alignment, an upright KFall subject reads ~+1 g on
+        // the canonical z axis (not −9.8 m/s² on y).
+        let ds = Dataset::combined_scaled(1, 0, 13).unwrap();
+        let t = ds
+            .trials()
+            .iter()
+            .find(|t| t.task.get() == 1)
+            .expect("standing trial");
+        let mid = t.len() / 2;
+        let z = t.channel(crate::channel::Channel::AccelZ)[mid];
+        assert!((0.8..1.2).contains(&z), "aligned gravity on z: {z}");
+    }
+
+    #[test]
+    fn duration_scale_shrinks_trials() {
+        let long = Dataset::generate(&DatasetConfig {
+            kfall_subjects: 0,
+            self_collected_subjects: 1,
+            trials_per_task: 1,
+            duration_scale: 1.0,
+            seed: 9,
+        })
+        .unwrap();
+        let short = Dataset::generate(&DatasetConfig {
+            kfall_subjects: 0,
+            self_collected_subjects: 1,
+            trials_per_task: 1,
+            duration_scale: 0.4,
+            seed: 9,
+        })
+        .unwrap();
+        let sum = |d: &Dataset| d.trials().iter().map(Trial::len).sum::<usize>();
+        assert!(sum(&short) < sum(&long) * 7 / 10);
+    }
+
+    #[test]
+    fn trials_per_task_multiplies_trials() {
+        let cfg = DatasetConfig {
+            kfall_subjects: 0,
+            self_collected_subjects: 1,
+            trials_per_task: 2,
+            duration_scale: 0.4,
+            seed: 21,
+        };
+        let ds = Dataset::generate(&cfg).unwrap();
+        assert_eq!(ds.trials().len(), 88);
+        // Repetitions differ from each other (fresh RNG stream each).
+        let t0 = &ds.trials()[0];
+        let t1 = &ds.trials()[1];
+        assert_eq!(t0.task, t1.task);
+        assert_ne!(t0.channels()[0], t1.channels()[0]);
+    }
+}

@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating or loading IMU datasets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImuError {
+    /// A dataset was requested with zero subjects.
+    NoSubjects,
+    /// An unknown task identifier was referenced.
+    UnknownTask {
+        /// The rejected task number.
+        task: u8,
+    },
+    /// CSV parsing failed.
+    ParseCsv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A trial's label indices are inconsistent (e.g. impact before fall
+    /// start, or beyond the signal length).
+    InvalidLabels {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ImuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImuError::NoSubjects => write!(f, "dataset must contain at least one subject"),
+            ImuError::UnknownTask { task } => {
+                write!(f, "unknown task identifier {task}; valid tasks are 1..=44")
+            }
+            ImuError::ParseCsv { line, reason } => {
+                write!(f, "csv parse error at line {line}: {reason}")
+            }
+            ImuError::InvalidLabels { reason } => write!(f, "invalid trial labels: {reason}"),
+        }
+    }
+}
+
+impl Error for ImuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImuError>();
+        assert!(ImuError::NoSubjects.to_string().contains("subject"));
+        assert!(ImuError::UnknownTask { task: 99 }
+            .to_string()
+            .contains("99"));
+    }
+}

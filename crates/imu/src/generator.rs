@@ -1,0 +1,791 @@
+//! The signal synthesizer: renders motion scripts into 100 Hz
+//! accelerometer/gyroscope streams with frame-accurate fall labels.
+//!
+//! ## Model
+//!
+//! The renderer first authors a *timeline* — per-sample trunk
+//! orientation (pitch/roll/yaw), a free-fall factor, and body-frame
+//! linear acceleration — then converts it to sensor readings:
+//!
+//! * **accelerometer** (specific force, g):
+//!   `a = (1 − ff) · g_body(pitch, roll) + a_lin + bias + noise`, where
+//!   `g_body = [−sin p, cos p · sin r, cos p · cos r]` is gravity seen in
+//!   the body frame. During free fall `ff → freefall_depth`, so the
+//!   magnitude sinks toward zero exactly as a falling IMU reads.
+//! * **gyroscope** (rad/s): the finite-difference derivative of the
+//!   authored orientation plus noise — so the rotation dynamics and the
+//!   rate signal are automatically consistent.
+//!
+//! Euler channels are *not* authored: they are computed downstream by the
+//! same complementary filter the acquisition firmware runs (see
+//! [`crate::trial`]), keeping the full fidelity of the paper's on-edge
+//! sensor-fusion step.
+
+use crate::rng::GenRng;
+use crate::script::{FallDirection, FallSpec, Phase, Posture};
+use crate::subject::Subject;
+use crate::SAMPLE_RATE_HZ;
+
+/// Raw rendered signals (before sensor fusion), in canonical units
+/// (g, rad/s).
+#[derive(Debug, Clone)]
+pub struct RenderedSignals {
+    /// Accelerometer channels `[x, y, z]` in g.
+    pub accel: [Vec<f64>; 3],
+    /// Gyroscope channels `[x, y, z]` in rad/s.
+    pub gyro: [Vec<f64>; 3],
+    /// Sample index where the falling phase starts (cannot recover).
+    pub fall_start: Option<usize>,
+    /// Sample index of ground impact.
+    pub impact: Option<usize>,
+}
+
+impl RenderedSignals {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.accel[0].len()
+    }
+
+    /// `true` when the rendering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Authored per-sample motion state, filled phase by phase.
+struct Timeline {
+    pitch: Vec<f64>,
+    roll: Vec<f64>,
+    yaw: Vec<f64>,
+    /// Free-fall factor in `[0, 1]`: fraction of gravity "missing".
+    ff: Vec<f64>,
+    /// Body-frame linear acceleration (g).
+    lin: [Vec<f64>; 3],
+    fall_start: Option<usize>,
+    impact: Option<usize>,
+}
+
+impl Timeline {
+    fn new() -> Self {
+        Self {
+            pitch: Vec::new(),
+            roll: Vec::new(),
+            yaw: Vec::new(),
+            ff: Vec::new(),
+            lin: [Vec::new(), Vec::new(), Vec::new()],
+            fall_start: None,
+            impact: None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pitch.len()
+    }
+
+    fn push(&mut self, pitch: f64, roll: f64, yaw: f64, ff: f64, lin: [f64; 3]) {
+        self.pitch.push(pitch);
+        self.roll.push(roll);
+        self.yaw.push(yaw);
+        self.ff.push(ff.clamp(0.0, 1.0));
+        for (c, v) in self.lin.iter_mut().zip(lin) {
+            c.push(v);
+        }
+    }
+}
+
+/// Smoothstep easing on `[0, 1]`.
+fn smoothstep(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+fn to_samples(duration_s: f64) -> usize {
+    ((duration_s * SAMPLE_RATE_HZ).round() as usize).max(1)
+}
+
+/// Renders a motion script for a subject into raw sensor signals.
+pub fn render_script(phases: &[Phase], subject: &Subject, rng: &mut GenRng) -> RenderedSignals {
+    let mut tl = Timeline::new();
+    // Orientation continuity: each phase starts from the previous end.
+    let mut cur = phases
+        .first()
+        .map(initial_orientation)
+        .unwrap_or((0.0, 0.0));
+    let mut yaw = 0.0f64;
+
+    for phase in phases {
+        match phase {
+            Phase::Still {
+                posture,
+                duration_s,
+            } => {
+                cur = render_still(&mut tl, *posture, *duration_s, cur, yaw, subject, rng);
+            }
+            Phase::Walk {
+                speed,
+                duration_s,
+                turn_rad,
+            } => {
+                cur = render_gait(
+                    &mut tl,
+                    *speed,
+                    *duration_s,
+                    *turn_rad,
+                    0.12,
+                    0.0,
+                    cur,
+                    &mut yaw,
+                    subject,
+                    rng,
+                );
+            }
+            Phase::Stairs {
+                up,
+                speed,
+                duration_s,
+            } => {
+                let lean = if *up { 0.12 } else { -0.10 };
+                cur = render_gait(
+                    &mut tl,
+                    *speed * 0.9,
+                    *duration_s,
+                    0.0,
+                    0.20,
+                    lean,
+                    cur,
+                    &mut yaw,
+                    subject,
+                    rng,
+                );
+            }
+            Phase::Ladder { up, duration_s } => {
+                cur = render_ladder(&mut tl, *up, *duration_s, cur, yaw, subject, rng);
+            }
+            Phase::Transition {
+                from: _,
+                to,
+                duration_s,
+                bump_g,
+            } => {
+                cur = render_transition(&mut tl, *to, *duration_s, *bump_g, cur, yaw, subject, rng);
+            }
+            Phase::Jump {
+                flight_s,
+                landing_g,
+            } => {
+                cur = render_jump(&mut tl, *flight_s, *landing_g, cur, yaw, subject, rng);
+            }
+            Phase::Stumble { severity_g } => {
+                cur = render_stumble(&mut tl, *severity_g, cur, yaw, subject, rng);
+            }
+            Phase::Fall(spec) => {
+                cur = render_fall(&mut tl, spec, cur, yaw, subject, rng);
+            }
+        }
+    }
+
+    finalize(tl, subject, rng)
+}
+
+fn initial_orientation(phase: &Phase) -> (f64, f64) {
+    match phase {
+        Phase::Still { posture, .. } => posture.orientation(),
+        Phase::Transition { from, .. } => from.orientation(),
+        _ => (0.0, 0.0),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_still(
+    tl: &mut Timeline,
+    posture: Posture,
+    duration_s: f64,
+    cur: (f64, f64),
+    yaw: f64,
+    subject: &Subject,
+    rng: &mut GenRng,
+) -> (f64, f64) {
+    let (tp, tr) = posture.orientation();
+    let n = to_samples(duration_s);
+    // Settle from `cur` to the posture over the first 300 ms, then sway.
+    let settle = to_samples(0.3).min(n);
+    let sway_amp = 0.012 * subject.amplitude_scale;
+    let sway_f = rng.uniform(0.2, 0.35);
+    let phase0 = rng.uniform(0.0, std::f64::consts::TAU);
+    for i in 0..n {
+        let t = i as f64 / SAMPLE_RATE_HZ;
+        let s = if i < settle {
+            smoothstep(i as f64 / settle as f64)
+        } else {
+            1.0
+        };
+        let sway = sway_amp * (std::f64::consts::TAU * sway_f * t + phase0).sin();
+        let p = cur.0 + (tp - cur.0) * s + sway;
+        let r = cur.1 + (tr - cur.1) * s + 0.6 * sway;
+        tl.push(p, r, yaw, 0.0, [0.0, 0.0, 0.0]);
+    }
+    (tp, tr)
+}
+
+/// Shared rhythmic locomotion renderer (walking, jogging, stairs).
+#[allow(clippy::too_many_arguments)]
+fn render_gait(
+    tl: &mut Timeline,
+    speed: f64,
+    duration_s: f64,
+    turn_rad: f64,
+    vert_amp_base: f64,
+    lean: f64,
+    cur: (f64, f64),
+    yaw: &mut f64,
+    subject: &Subject,
+    rng: &mut GenRng,
+) -> (f64, f64) {
+    let n = to_samples(duration_s);
+    let step_f = subject.gait_frequency_hz * (0.8 + 0.35 * speed);
+    let amp = subject.amplitude_scale * speed.sqrt();
+    let vert_amp = vert_amp_base * amp;
+    let base_pitch = 0.06 * speed + lean;
+    let settle = to_samples(0.25).min(n);
+    let phase0 = rng.uniform(0.0, std::f64::consts::TAU);
+    let yaw0 = *yaw;
+    for i in 0..n {
+        let t = i as f64 / SAMPLE_RATE_HZ;
+        let s = if i < settle {
+            smoothstep(i as f64 / settle as f64)
+        } else {
+            1.0
+        };
+        let w = std::f64::consts::TAU * step_f * t + phase0;
+        // Torso bobs at step frequency, rocks laterally at half of it.
+        let p = cur.0 + (base_pitch - cur.0) * s + 0.035 * amp * w.sin();
+        let r = cur.1 * (1.0 - s) + 0.05 * amp * (0.5 * w).sin();
+        // Turn concentrated in the middle of the phase.
+        let yw = yaw0 + turn_rad * smoothstep((t / duration_s - 0.25) / 0.5);
+        let v = vert_amp * (w + 0.6).sin() + 0.04 * amp * (2.0 * w).sin();
+        let ap = 0.06 * amp * w.cos();
+        tl.push(p, r, yw, 0.0, [ap, 0.0, v]);
+        *yaw = yw;
+    }
+    (base_pitch, 0.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_ladder(
+    tl: &mut Timeline,
+    up: bool,
+    duration_s: f64,
+    cur: (f64, f64),
+    yaw: f64,
+    subject: &Subject,
+    rng: &mut GenRng,
+) -> (f64, f64) {
+    let n = to_samples(duration_s);
+    let rung_f = 0.7 * subject.tempo_scale; // slow, deliberate
+    let lean = if up { 0.18 } else { 0.22 };
+    let settle = to_samples(0.3).min(n);
+    let phase0 = rng.uniform(0.0, std::f64::consts::TAU);
+    for i in 0..n {
+        let t = i as f64 / SAMPLE_RATE_HZ;
+        let s = if i < settle {
+            smoothstep(i as f64 / settle as f64)
+        } else {
+            1.0
+        };
+        let w = std::f64::consts::TAU * rung_f * t + phase0;
+        let p = cur.0 + (lean - cur.0) * s + 0.02 * w.sin();
+        let r = cur.1 * (1.0 - s) + 0.04 * (0.5 * w).sin();
+        let v = 0.08 * subject.amplitude_scale * w.sin().max(0.0); // pull-ups per rung
+        tl.push(p, r, yaw, 0.0, [0.0, 0.02 * w.cos(), v]);
+    }
+    (lean, 0.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_transition(
+    tl: &mut Timeline,
+    to: Posture,
+    duration_s: f64,
+    bump_g: f64,
+    cur: (f64, f64),
+    yaw: f64,
+    subject: &Subject,
+    _rng: &mut GenRng,
+) -> (f64, f64) {
+    let (tp, tr) = to.orientation();
+    let n = to_samples(duration_s);
+    // Fast drops produce a sub-1 g dip in the first half and the seat /
+    // ground bump in the second half.
+    let drop_depth = (bump_g * 0.30).clamp(0.0, 0.45);
+    for i in 0..n {
+        let u = i as f64 / n as f64;
+        let s = smoothstep(u);
+        let p = cur.0 + (tp - cur.0) * s;
+        let r = cur.1 + (tr - cur.1) * s;
+        let ff = if u < 0.55 {
+            drop_depth * (std::f64::consts::PI * u / 0.55).sin().max(0.0)
+        } else {
+            0.0
+        };
+        let bump = if u >= 0.55 {
+            bump_g * subject.amplitude_scale * (std::f64::consts::PI * (u - 0.55) / 0.45).sin()
+        } else {
+            0.0
+        };
+        tl.push(p, r, yaw, ff, [0.0, 0.0, bump]);
+    }
+    (tp, tr)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_jump(
+    tl: &mut Timeline,
+    flight_s: f64,
+    landing_g: f64,
+    cur: (f64, f64),
+    yaw: f64,
+    subject: &Subject,
+    rng: &mut GenRng,
+) -> (f64, f64) {
+    let crouch = to_samples(0.25);
+    let push = to_samples(0.16);
+    let flight = to_samples(flight_s);
+    let land = to_samples(0.08);
+    let recover = to_samples(0.4);
+    let amp = subject.amplitude_scale;
+
+    // Crouch: dip down, slight forward pitch.
+    for i in 0..crouch {
+        let u = i as f64 / crouch as f64;
+        let s = smoothstep(u);
+        tl.push(
+            cur.0 + 0.25 * s,
+            cur.1 * (1.0 - s),
+            yaw,
+            0.12 * (std::f64::consts::PI * u).sin(),
+            [0.0, 0.0, -0.1 * amp * (std::f64::consts::PI * u).sin()],
+        );
+    }
+    // Push-off: strong upward acceleration.
+    for i in 0..push {
+        let u = i as f64 / push as f64;
+        tl.push(
+            cur.0 + 0.25 * (1.0 - smoothstep(u)),
+            0.0,
+            yaw,
+            0.0,
+            [0.0, 0.0, 0.9 * amp * (std::f64::consts::PI * u).sin()],
+        );
+    }
+    // Flight: near free fall with *very little rotation* — the signature
+    // that separates jumps from real falls for the gyro/Euler branches.
+    for i in 0..flight {
+        let u = i as f64 / flight as f64;
+        let ff = 0.88 * (std::f64::consts::PI * u).sin().powf(0.3);
+        let wob = 0.02 * (std::f64::consts::TAU * 3.0 * u + rng.uniform(0.0, 0.1)).sin();
+        tl.push(cur.0 * 0.2 + wob, wob * 0.5, yaw, ff, [0.0, 0.0, 0.0]);
+    }
+    // Landing spike.
+    for i in 0..land {
+        let u = i as f64 / land as f64;
+        let spike = (landing_g - 1.0) * amp * (std::f64::consts::PI * u).sin();
+        tl.push(
+            cur.0 * 0.1 + 0.1 * u,
+            0.0,
+            yaw,
+            0.0,
+            [0.05 * spike, 0.0, spike],
+        );
+    }
+    // Recover to stand.
+    for i in 0..recover {
+        let u = i as f64 / recover as f64;
+        let s = smoothstep(u);
+        let ring = 0.06 * (1.0 - u) * (std::f64::consts::TAU * 4.0 * u).sin();
+        tl.push(0.1 * (1.0 - s), 0.0, yaw, 0.0, [0.0, 0.0, ring]);
+    }
+    (0.0, 0.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_stumble(
+    tl: &mut Timeline,
+    severity_g: f64,
+    cur: (f64, f64),
+    yaw: f64,
+    subject: &Subject,
+    rng: &mut GenRng,
+) -> (f64, f64) {
+    let jerk = to_samples(0.12);
+    let recover = to_samples(0.38);
+    let amp = subject.amplitude_scale;
+    let kick = rng.uniform(0.18, 0.3);
+    // The trip: sharp forward pitch kick, brief sub-1 g, AP spike.
+    for i in 0..jerk {
+        let u = i as f64 / jerk as f64;
+        let bump = (severity_g - 1.0) * amp * (std::f64::consts::PI * u).sin();
+        tl.push(
+            cur.0 + kick * (std::f64::consts::PI * u).sin(),
+            cur.1,
+            yaw,
+            0.18 * (std::f64::consts::PI * u).sin(),
+            [0.7 * bump, 0.1 * bump, 0.6 * bump],
+        );
+    }
+    // Catch and recover.
+    for i in 0..recover {
+        let u = i as f64 / recover as f64;
+        let ring = 0.12 * (1.0 - u) * (std::f64::consts::TAU * 3.0 * u).sin();
+        tl.push(
+            cur.0 + kick * (1.0 - smoothstep(u)) * 0.3,
+            cur.1 * (1.0 - u),
+            yaw,
+            0.0,
+            [ring, 0.0, ring],
+        );
+    }
+    (cur.0, 0.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_fall(
+    tl: &mut Timeline,
+    spec: &FallSpec,
+    cur: (f64, f64),
+    yaw: f64,
+    subject: &Subject,
+    rng: &mut GenRng,
+) -> (f64, f64) {
+    let (fp, fr) = spec.direction.final_posture().orientation();
+    let n_fall = to_samples(spec.duration_s);
+    let n_impact = to_samples(0.06);
+    let n_settle = to_samples(0.28);
+    let amp = subject.amplitude_scale;
+
+    tl.fall_start = Some(tl.len());
+
+    // Falling phase: accelerating rotation toward (a fraction of) the
+    // final orientation, deepening free fall, growing flail.
+    let rot = spec.rotation_before_impact;
+    // Smooth limb-flail oscillations (white orientation noise would alias
+    // into huge fake gyro rates through the finite difference).
+    let flail_f = rng.uniform(3.0, 5.0);
+    let flail_phase = rng.uniform(0.0, std::f64::consts::TAU);
+    for i in 0..n_fall {
+        let u = i as f64 / n_fall as f64;
+        let t = i as f64 / SAMPLE_RATE_HZ;
+        let q = u * u; // accelerating angular progress
+        let w = std::f64::consts::TAU * flail_f * t + flail_phase;
+        let wob = 0.03 * u;
+        let p = cur.0 + (fp - cur.0) * rot * q + wob * w.sin();
+        let r = cur.1 + (fr - cur.1) * rot * q + 0.7 * wob * (1.31 * w).sin();
+        let ff = spec.freefall_depth * smoothstep(u * 1.25);
+        let flail = 0.05 * u * amp;
+        tl.push(
+            p,
+            r,
+            yaw + 0.4 * wob * (0.77 * w).sin(),
+            ff,
+            [
+                rng.normal(0.0, flail),
+                rng.normal(0.0, flail),
+                rng.normal(0.0, flail),
+            ],
+        );
+    }
+
+    tl.impact = Some(tl.len());
+
+    // Impact: spike along the fall direction; hands first if dampened.
+    let (wx, wy, wz) = match spec.direction {
+        FallDirection::Forward => (0.75, 0.1, 0.65),
+        FallDirection::Backward => (-0.75, 0.1, 0.65),
+        FallDirection::Lateral(s) => (0.15, 0.8 * f64::from(s.signum()), 0.6),
+    };
+    let peak = if spec.hands_dampen {
+        spec.impact_g * 0.55
+    } else {
+        spec.impact_g
+    };
+    for i in 0..n_impact {
+        let u = i as f64 / n_impact as f64;
+        let env = (std::f64::consts::PI * u).sin();
+        let mag = (peak - 0.2) * amp * env;
+        // Rotation completes the remaining distance through the impact.
+        let q = rot + (1.0 - rot) * smoothstep(u);
+        tl.push(
+            cur.0 + (fp - cur.0) * q,
+            cur.1 + (fr - cur.1) * q,
+            yaw,
+            0.0,
+            [wx * mag, wy * mag, wz * mag],
+        );
+    }
+    if spec.hands_dampen {
+        // Second, softer body impact right after the hands.
+        for i in 0..n_impact {
+            let u = i as f64 / n_impact as f64;
+            let env = (std::f64::consts::PI * u).sin();
+            let mag = spec.impact_g * 0.4 * amp * env;
+            tl.push(fp, fr, yaw, 0.0, [wx * mag, wy * mag, wz * mag]);
+        }
+    }
+
+    // Ring-down to rest.
+    for i in 0..n_settle {
+        let u = i as f64 / n_settle as f64;
+        let ring = 0.25 * amp * (1.0 - u) * (std::f64::consts::TAU * 6.0 * u).sin();
+        tl.push(fp, fr, yaw, 0.0, [wx * ring, wy * ring, wz * ring]);
+    }
+    (fp, fr)
+}
+
+/// Converts the authored timeline into noisy sensor readings.
+fn finalize(tl: Timeline, subject: &Subject, rng: &mut GenRng) -> RenderedSignals {
+    let n = tl.len();
+    let dt = 1.0 / SAMPLE_RATE_HZ;
+    let noise = subject.noise_scale;
+    let accel_sigma = 0.015 * noise;
+    let gyro_sigma = 0.03 * noise;
+    let gyro_bias = [
+        rng.normal(0.0, 0.005),
+        rng.normal(0.0, 0.005),
+        rng.normal(0.0, 0.005),
+    ];
+
+    let mut accel = [
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    ];
+    let mut gyro = [
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    ];
+
+    for i in 0..n {
+        let p = tl.pitch[i];
+        let r = tl.roll[i];
+        let g_scale = 1.0 - tl.ff[i];
+        // Gravity in the body frame (see module docs).
+        let gx = -p.sin() * g_scale;
+        let gy = p.cos() * r.sin() * g_scale;
+        let gz = p.cos() * r.cos() * g_scale;
+        accel[0].push(gx + tl.lin[0][i] + subject.accel_bias_g[0] + rng.normal(0.0, accel_sigma));
+        accel[1].push(gy + tl.lin[1][i] + subject.accel_bias_g[1] + rng.normal(0.0, accel_sigma));
+        accel[2].push(gz + tl.lin[2][i] + subject.accel_bias_g[2] + rng.normal(0.0, accel_sigma));
+
+        // Gyro: derivative of the authored orientation. Channel layout
+        // matches the complementary filter: x = roll rate, y = pitch
+        // rate, z = yaw rate.
+        let (dp, dr, dy) = if i == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                (tl.pitch[i] - tl.pitch[i - 1]) / dt,
+                (tl.roll[i] - tl.roll[i - 1]) / dt,
+                (tl.yaw[i] - tl.yaw[i - 1]) / dt,
+            )
+        };
+        gyro[0].push(dr + gyro_bias[0] + rng.normal(0.0, gyro_sigma));
+        gyro[1].push(dp + gyro_bias[1] + rng.normal(0.0, gyro_sigma));
+        gyro[2].push(dy + gyro_bias[2] + rng.normal(0.0, gyro_sigma));
+    }
+
+    RenderedSignals {
+        accel,
+        gyro,
+        fall_start: tl.fall_start,
+        impact: tl.impact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Activity;
+    use crate::script::script_for_task;
+    use crate::subject::{DatasetSource, Subject, SubjectId};
+
+    fn test_subject(seed: u64) -> Subject {
+        let mut rng = GenRng::seed_from_u64(seed);
+        Subject::sample(SubjectId(0), DatasetSource::SelfCollected, &mut rng)
+    }
+
+    fn render_task(id: u8, seed: u64) -> RenderedSignals {
+        let subject = test_subject(seed);
+        let mut rng = GenRng::seed_from_u64(seed.wrapping_mul(77));
+        let a = Activity::from_task(id).unwrap();
+        let script = script_for_task(a, subject.tempo_scale, &mut rng);
+        render_script(&script, &subject, &mut rng)
+    }
+
+    fn mag(sig: &RenderedSignals, i: usize) -> f64 {
+        (sig.accel[0][i].powi(2) + sig.accel[1][i].powi(2) + sig.accel[2][i].powi(2)).sqrt()
+    }
+
+    #[test]
+    fn standing_reads_one_g_on_z() {
+        let sig = render_task(1, 5);
+        assert!(sig.fall_start.is_none());
+        let n = sig.len();
+        let mid = n / 2;
+        let m: f64 = (mid - 20..mid + 20).map(|i| mag(&sig, i)).sum::<f64>() / 40.0;
+        assert!((m - 1.0).abs() < 0.08, "standing magnitude {m}");
+        let z: f64 = (mid - 20..mid + 20).map(|i| sig.accel[2][i]).sum::<f64>() / 40.0;
+        assert!(z > 0.9, "gravity on z: {z}");
+    }
+
+    #[test]
+    fn lying_reorients_gravity() {
+        let sig = render_task(17, 6); // lie on the floor
+        let n = sig.len();
+        let mid = n / 2;
+        let x: f64 = (mid - 10..mid + 10).map(|i| sig.accel[0][i]).sum::<f64>() / 20.0;
+        // LyingBack: pitch = -1.35 → a_x = -sin(-1.35) ≈ +0.976.
+        assert!(x > 0.8, "gravity moved to +x when supine: {x}");
+    }
+
+    #[test]
+    fn falls_have_labels_and_adls_do_not() {
+        for id in 1..=44u8 {
+            let a = Activity::from_task(id).unwrap();
+            let sig = render_task(id, u64::from(id) + 100);
+            if a.is_fall() {
+                let fs = sig.fall_start.expect("fall_start");
+                let im = sig.impact.expect("impact");
+                assert!(fs < im, "task {id}: fall_start {fs} >= impact {im}");
+                assert!(im < sig.len(), "task {id}: impact out of range");
+            } else {
+                assert!(sig.fall_start.is_none(), "task {id}");
+                assert!(sig.impact.is_none(), "task {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn falling_phase_shows_freefall_signature() {
+        let sig = render_task(30, 11); // forward fall while walking (trip)
+        let fs = sig.fall_start.unwrap();
+        let im = sig.impact.unwrap();
+        // Late falling phase: magnitude well below 1 g.
+        let late = im - 3;
+        let m_late = mag(&sig, late);
+        assert!(m_late < 0.65, "late falling magnitude {m_late}");
+        // Before the fall (walking): magnitude near 1 g on average.
+        let pre: f64 = (fs.saturating_sub(60)..fs.saturating_sub(10))
+            .map(|i| mag(&sig, i))
+            .sum::<f64>()
+            / 50.0;
+        assert!((pre - 1.0).abs() < 0.25, "pre-fall magnitude {pre}");
+    }
+
+    #[test]
+    fn impact_spike_exceeds_three_g() {
+        for id in [30u8, 31, 34, 39, 40] {
+            let sig = render_task(id, u64::from(id) * 3 + 7);
+            let im = sig.impact.unwrap();
+            let peak = (im..(im + 12).min(sig.len()))
+                .map(|i| mag(&sig, i))
+                .fold(0.0f64, f64::max);
+            assert!(peak > 2.5, "task {id}: impact peak {peak}");
+        }
+    }
+
+    #[test]
+    fn fall_rotation_visible_in_gyro_for_trip_falls() {
+        let sig = render_task(30, 13);
+        let fs = sig.fall_start.unwrap();
+        let im = sig.impact.unwrap();
+        let peak_rate = (fs..im)
+            .map(|i| sig.gyro[1][i].abs()) // pitch rate for a forward fall
+            .fold(0.0f64, f64::max);
+        assert!(peak_rate > 1.0, "peak pitch rate {peak_rate} rad/s");
+    }
+
+    #[test]
+    fn height_fall_rotates_less_than_trip_fall() {
+        let mut trip_peak = 0.0;
+        let mut height_peak = 0.0;
+        for seed in 0..8u64 {
+            let t = render_task(30, 1000 + seed);
+            let h = render_task(40, 2000 + seed);
+            let peak = |s: &RenderedSignals| {
+                let fs = s.fall_start.unwrap();
+                let im = s.impact.unwrap();
+                (fs..im)
+                    .map(|i| s.gyro[1][i].abs().max(s.gyro[0][i].abs()))
+                    .fold(0.0f64, f64::max)
+            };
+            trip_peak += peak(&t);
+            height_peak += peak(&h);
+        }
+        assert!(
+            height_peak < 0.7 * trip_peak,
+            "height {height_peak} vs trip {trip_peak}"
+        );
+    }
+
+    #[test]
+    fn jump_has_freefall_but_little_rotation() {
+        let sig = render_task(4, 21);
+        // Find the minimum-magnitude window (flight).
+        let min_mag = (0..sig.len())
+            .map(|i| mag(&sig, i))
+            .fold(f64::MAX, f64::min);
+        assert!(min_mag < 0.45, "flight magnitude {min_mag}");
+        let max_rate = (0..sig.len())
+            .map(|i| sig.gyro[0][i].abs().max(sig.gyro[1][i].abs()))
+            .fold(0.0f64, f64::max);
+        assert!(max_rate < 3.0, "jump peak rotation {max_rate} rad/s");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        let a = render_task(30, 99);
+        let b = render_task(30, 99);
+        assert_eq!(a.accel[0], b.accel[0]);
+        assert_eq!(a.gyro[2], b.gyro[2]);
+        assert_eq!(a.fall_start, b.fall_start);
+    }
+
+    #[test]
+    fn different_subjects_render_differently() {
+        let a = render_task(6, 1);
+        let b = render_task(6, 2);
+        assert_ne!(a.accel[2], b.accel[2]);
+    }
+
+    #[test]
+    fn all_samples_finite_and_bounded() {
+        for id in 1..=44u8 {
+            let sig = render_task(id, u64::from(id) + 500);
+            for c in 0..3 {
+                for i in 0..sig.len() {
+                    assert!(sig.accel[c][i].is_finite());
+                    assert!(
+                        sig.accel[c][i].abs() < 12.0,
+                        "task {id} accel {}",
+                        sig.accel[c][i]
+                    );
+                    assert!(sig.gyro[c][i].is_finite());
+                    assert!(
+                        sig.gyro[c][i].abs() < 40.0,
+                        "task {id} gyro {}",
+                        sig.gyro[c][i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trial_lengths_are_plausible() {
+        for id in 1..=44u8 {
+            let sig = render_task(id, u64::from(id) + 900);
+            let secs = sig.len() as f64 / SAMPLE_RATE_HZ;
+            assert!((2.0..40.0).contains(&secs), "task {id}: {secs} s");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Synthetic IMU dataset substrate for the pre-impact fall-detection
+//! reproduction.
+//!
+//! The paper evaluates on two datasets we cannot redistribute or access:
+//! the public **KFall** dataset (32 subjects) and a **self-collected**
+//! dataset recorded with a Protechto safety jacket (29 subjects, the 44
+//! tasks of Table II). This crate substitutes both with a *parametric
+//! synthetic generator* that preserves everything the downstream method
+//! consumes:
+//!
+//! * 9 channels at 100 Hz — accelerometer x/y/z (g), gyroscope x/y/z
+//!   (rad/s), Euler pitch/roll/yaw (rad) computed by the same
+//!   complementary filter the acquisition firmware runs;
+//! * frame-accurate `fall_start` and `impact` labels;
+//! * the full Table II task taxonomy (21 fall types, 23 ADLs), including
+//!   the construction-site falls from height that only exist in the
+//!   self-collected data;
+//! * subject-level structure (anthropometrics, motion style) so
+//!   subject-independent cross-validation is meaningful;
+//! * the KFall sensor-frame/unit mismatch, so the Rodrigues-rotation
+//!   alignment step of §IV-A is exercised for real.
+//!
+//! # Example
+//!
+//! ```
+//! use prefall_imu::dataset::Dataset;
+//!
+//! // A small combined dataset: 2 KFall-like + 2 self-collected subjects.
+//! let ds = Dataset::combined_scaled(2, 2, 7).expect("generation succeeds");
+//! assert_eq!(ds.subjects().len(), 4);
+//! let falls = ds.trials().iter().filter(|t| t.is_fall()).count();
+//! assert!(falls > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod activity;
+pub mod alignment;
+pub mod channel;
+pub mod csv;
+pub mod dataset;
+pub mod generator;
+pub mod rng;
+pub mod script;
+pub mod subject;
+pub mod trial;
+pub mod units;
+
+mod error;
+
+pub use error::ImuError;
+
+/// The sampling rate shared by both datasets (samples per second).
+pub const SAMPLE_RATE_HZ: f64 = 100.0;
+
+/// The sampling period in milliseconds (one "snapshot" every 10 ms).
+pub const SAMPLE_PERIOD_MS: f64 = 1000.0 / SAMPLE_RATE_HZ;
+
+/// Airbag inflation budget: the trailing portion of every falling phase
+/// that cannot be used for detection (150 ms = 15 samples at 100 Hz).
+pub const AIRBAG_INFLATION_MS: f64 = 150.0;
+
+/// [`AIRBAG_INFLATION_MS`] expressed in samples at [`SAMPLE_RATE_HZ`].
+pub const AIRBAG_INFLATION_SAMPLES: usize = 15;

@@ -1,0 +1,165 @@
+//! Study participants and their motion-style parameters.
+//!
+//! Subject-level variation is what makes *subject-independent*
+//! cross-validation meaningful: two trials of the same task by the same
+//! subject are more alike than trials by different subjects. Each subject
+//! gets anthropometrics drawn from the paper's population statistics
+//! (age 23.5 ± 6.3 y, weight 71.5 ± 13.2 kg, height 178 ± 8 cm) plus a
+//! persistent motion style (gait frequency, movement amplitude, sensor
+//! mounting bias, noisiness).
+
+use crate::rng::GenRng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a subject within the combined dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubjectId(pub u16);
+
+impl std::fmt::Display for SubjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{:03}", self.0)
+    }
+}
+
+/// Which dataset a subject (and their trials) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetSource {
+    /// KFall-like subject: tasks 1–36, recorded in the KFall sensor frame
+    /// and units (m/s², deg/s) until aligned.
+    KFall,
+    /// Self-collected-like subject: all 44 tasks, canonical frame/units.
+    SelfCollected,
+}
+
+impl std::fmt::Display for DatasetSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetSource::KFall => f.write_str("kfall"),
+            DatasetSource::SelfCollected => f.write_str("self-collected"),
+        }
+    }
+}
+
+/// Biological sex of a participant (the cohort is 24 M / 5 F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Sex {
+    Male,
+    Female,
+}
+
+/// A study participant with anthropometrics and persistent motion style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subject {
+    /// Identifier within the combined dataset.
+    pub id: SubjectId,
+    /// Which dataset the subject belongs to.
+    pub source: DatasetSource,
+    /// Biological sex.
+    pub sex: Sex,
+    /// Age in years.
+    pub age_years: f64,
+    /// Height in centimetres.
+    pub height_cm: f64,
+    /// Weight in kilograms.
+    pub weight_kg: f64,
+    /// Preferred step frequency while walking, Hz (typical 1.6–2.2).
+    pub gait_frequency_hz: f64,
+    /// Multiplier on movement amplitudes (0.8–1.2).
+    pub amplitude_scale: f64,
+    /// Multiplier on movement speed / fall violence (0.85–1.15).
+    pub tempo_scale: f64,
+    /// Per-axis accelerometer mounting bias in g (sensor not perfectly
+    /// aligned with the spine).
+    pub accel_bias_g: [f64; 3],
+    /// Multiplier on sensor noise level (0.7–1.4).
+    pub noise_scale: f64,
+}
+
+impl Subject {
+    /// Samples a subject from the population model.
+    pub fn sample(id: SubjectId, source: DatasetSource, rng: &mut GenRng) -> Self {
+        let sex = if rng.chance(24.0 / 29.0) {
+            Sex::Male
+        } else {
+            Sex::Female
+        };
+        let height_cm = rng.normal_clamped(178.0, 8.0, 150.0, 205.0);
+        // Weight loosely correlated with height.
+        let weight_kg = rng.normal_clamped(71.5 + 0.4 * (height_cm - 178.0), 13.2, 45.0, 120.0);
+        let age_years = rng.normal_clamped(23.5, 6.3, 18.0, 60.0);
+        Self {
+            id,
+            source,
+            sex,
+            age_years,
+            height_cm,
+            weight_kg,
+            // Taller subjects tend to step slower.
+            gait_frequency_hz: rng.normal_clamped(1.9 - 0.01 * (height_cm - 178.0), 0.15, 1.5, 2.4),
+            amplitude_scale: rng.normal_clamped(1.0, 0.1, 0.8, 1.25),
+            tempo_scale: rng.normal_clamped(1.0, 0.08, 0.8, 1.2),
+            accel_bias_g: [
+                rng.normal_clamped(0.0, 0.01, -0.04, 0.04),
+                rng.normal_clamped(0.0, 0.01, -0.04, 0.04),
+                rng.normal_clamped(0.0, 0.01, -0.04, 0.04),
+            ],
+            noise_scale: rng.normal_clamped(1.0, 0.15, 0.7, 1.4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_n(n: usize, seed: u64) -> Vec<Subject> {
+        let mut rng = GenRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Subject::sample(SubjectId(i as u16), DatasetSource::SelfCollected, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn anthropometrics_within_clamps() {
+        for s in sample_n(500, 3) {
+            assert!((150.0..=205.0).contains(&s.height_cm));
+            assert!((45.0..=120.0).contains(&s.weight_kg));
+            assert!((18.0..=60.0).contains(&s.age_years));
+            assert!((1.5..=2.4).contains(&s.gait_frequency_hz));
+            assert!((0.8..=1.25).contains(&s.amplitude_scale));
+            assert!((0.7..=1.4).contains(&s.noise_scale));
+        }
+    }
+
+    #[test]
+    fn population_statistics_roughly_match_paper() {
+        let subjects = sample_n(2000, 11);
+        let mean_h = subjects.iter().map(|s| s.height_cm).sum::<f64>() / 2000.0;
+        let mean_w = subjects.iter().map(|s| s.weight_kg).sum::<f64>() / 2000.0;
+        let mean_a = subjects.iter().map(|s| s.age_years).sum::<f64>() / 2000.0;
+        assert!((mean_h - 178.0).abs() < 2.0, "height mean {mean_h}");
+        assert!((mean_w - 71.5).abs() < 3.0, "weight mean {mean_w}");
+        // Age clamp at 18 skews the mean up slightly.
+        assert!((mean_a - 24.5).abs() < 2.5, "age mean {mean_a}");
+        let males = subjects.iter().filter(|s| s.sex == Sex::Male).count();
+        let frac = males as f64 / 2000.0;
+        assert!((frac - 24.0 / 29.0).abs() < 0.05, "male fraction {frac}");
+    }
+
+    #[test]
+    fn subjects_differ_from_each_other() {
+        let subjects = sample_n(10, 17);
+        let distinct_heights: std::collections::BTreeSet<_> = subjects
+            .iter()
+            .map(|s| (s.height_cm * 1000.0) as i64)
+            .collect();
+        assert!(distinct_heights.len() > 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SubjectId(7).to_string(), "S007");
+        assert_eq!(DatasetSource::KFall.to_string(), "kfall");
+    }
+}

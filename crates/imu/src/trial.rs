@@ -1,0 +1,363 @@
+//! A single recorded trial: one subject performing one Table II task.
+//!
+//! A trial carries the nine canonical channels (accelerometer in g,
+//! gyroscope in rad/s, and Euler angles computed by the same
+//! complementary filter the acquisition firmware runs) plus the
+//! frame-accurate fall labels.
+
+use crate::activity::{Activity, TaskId};
+use crate::channel::{Channel, NUM_CHANNELS};
+use crate::generator::RenderedSignals;
+use crate::subject::{DatasetSource, SubjectId};
+use crate::{ImuError, AIRBAG_INFLATION_SAMPLES, SAMPLE_RATE_HZ};
+use prefall_dsp::fusion::ComplementaryFilter;
+use serde::{Deserialize, Serialize};
+
+/// The complementary-filter gyro-trust coefficient used by the
+/// acquisition firmware model (time constant ≈ 0.5 s at 100 Hz).
+pub const FUSION_ALPHA: f64 = 0.98;
+
+/// One recorded trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// Subject who performed the trial.
+    pub subject: SubjectId,
+    /// The Table II task.
+    pub task: TaskId,
+    /// Repetition index (0-based) of this task by this subject.
+    pub trial_index: u16,
+    /// Originating dataset.
+    pub source: DatasetSource,
+    channels: Vec<Vec<f32>>,
+    fall_start: Option<usize>,
+    impact: Option<usize>,
+}
+
+impl Trial {
+    /// Builds a trial from rendered raw signals, computing the Euler
+    /// channels with the firmware's complementary filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImuError::InvalidLabels`] when the labels are
+    /// inconsistent with the signal length or each other.
+    pub fn from_rendered(
+        subject: SubjectId,
+        task: TaskId,
+        trial_index: u16,
+        source: DatasetSource,
+        signals: &RenderedSignals,
+    ) -> Result<Self, ImuError> {
+        let n = signals.len();
+        validate_labels(signals.fall_start, signals.impact, n)?;
+
+        let to_f32 = |v: &[f64]| v.iter().map(|&x| x as f32).collect::<Vec<f32>>();
+        let ax = to_f32(&signals.accel[0]);
+        let ay = to_f32(&signals.accel[1]);
+        let az = to_f32(&signals.accel[2]);
+        let gx = to_f32(&signals.gyro[0]);
+        let gy = to_f32(&signals.gyro[1]);
+        let gz = to_f32(&signals.gyro[2]);
+
+        let mut fusion = ComplementaryFilter::new(SAMPLE_RATE_HZ, FUSION_ALPHA);
+        let (pitch, roll, yaw) = fusion.process_channels([&ax, &ay, &az], [&gx, &gy, &gz]);
+
+        Ok(Self {
+            subject,
+            task,
+            trial_index,
+            source,
+            channels: vec![ax, ay, az, gx, gy, gz, pitch, roll, yaw],
+            fall_start: signals.fall_start,
+            impact: signals.impact,
+        })
+    }
+
+    /// Builds a trial directly from nine canonical channels (used by the
+    /// CSV loader and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImuError::InvalidLabels`] for inconsistent labels or
+    /// ragged/wrong channel counts.
+    pub fn from_channels(
+        subject: SubjectId,
+        task: TaskId,
+        trial_index: u16,
+        source: DatasetSource,
+        channels: Vec<Vec<f32>>,
+        fall_start: Option<usize>,
+        impact: Option<usize>,
+    ) -> Result<Self, ImuError> {
+        if channels.len() != NUM_CHANNELS {
+            return Err(ImuError::InvalidLabels {
+                reason: format!("expected {NUM_CHANNELS} channels, got {}", channels.len()),
+            });
+        }
+        let n = channels[0].len();
+        if channels.iter().any(|c| c.len() != n) {
+            return Err(ImuError::InvalidLabels {
+                reason: "channels have unequal lengths".to_string(),
+            });
+        }
+        validate_labels(fall_start, impact, n)?;
+        Ok(Self {
+            subject,
+            task,
+            trial_index,
+            source,
+            channels,
+            fall_start,
+            impact,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.channels[0].len()
+    }
+
+    /// `true` when the trial carries no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Trial duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.len() as f64 / SAMPLE_RATE_HZ
+    }
+
+    /// All nine channels in storage order.
+    pub fn channels(&self) -> &[Vec<f32>] {
+        &self.channels
+    }
+
+    /// One channel's samples.
+    pub fn channel(&self, c: Channel) -> &[f32] {
+        &self.channels[c.index()]
+    }
+
+    /// The activity metadata for this trial's task.
+    pub fn activity(&self) -> &'static Activity {
+        Activity::from_task(self.task.get()).expect("stored task id is valid")
+    }
+
+    /// `true` when the task ends in a fall.
+    pub fn is_fall(&self) -> bool {
+        self.fall_start.is_some()
+    }
+
+    /// Sample index where the falling phase starts, if any.
+    pub fn fall_start(&self) -> Option<usize> {
+        self.fall_start
+    }
+
+    /// Sample index of ground impact, if any.
+    pub fn impact(&self) -> Option<usize> {
+        self.impact
+    }
+
+    /// The *usable* falling range: fall start up to impact minus the
+    /// 150 ms airbag inflation budget.
+    ///
+    /// Per the paper, segments in the final 150 ms are excluded from the
+    /// falling class — a detector firing there cannot save the wearer.
+    /// Returns `None` for ADL trials or when the falling phase is shorter
+    /// than the budget.
+    pub fn usable_fall_range(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.fall_start?;
+        let impact = self.impact?;
+        let end = impact.checked_sub(AIRBAG_INFLATION_SAMPLES)?;
+        (start < end).then_some(start..end)
+    }
+
+    /// Replaces the Euler channels by re-running sensor fusion over the
+    /// stored accel/gyro channels (used after alignment).
+    pub fn recompute_euler(&mut self) {
+        let mut fusion = ComplementaryFilter::new(SAMPLE_RATE_HZ, FUSION_ALPHA);
+        let (pitch, roll, yaw) = {
+            let (a, rest) = self.channels.split_at(3);
+            let g = &rest[..3];
+            fusion.process_channels([&a[0], &a[1], &a[2]], [&g[0], &g[1], &g[2]])
+        };
+        self.channels[6] = pitch;
+        self.channels[7] = roll;
+        self.channels[8] = yaw;
+    }
+
+    /// Mutable access to one channel (used by alignment and filtering).
+    pub(crate) fn channel_mut(&mut self, c: Channel) -> &mut Vec<f32> {
+        &mut self.channels[c.index()]
+    }
+}
+
+fn validate_labels(
+    fall_start: Option<usize>,
+    impact: Option<usize>,
+    len: usize,
+) -> Result<(), ImuError> {
+    match (fall_start, impact) {
+        (None, None) => Ok(()),
+        (Some(fs), Some(im)) => {
+            if fs >= im {
+                Err(ImuError::InvalidLabels {
+                    reason: format!("fall_start {fs} is not before impact {im}"),
+                })
+            } else if im >= len {
+                Err(ImuError::InvalidLabels {
+                    reason: format!("impact {im} beyond trial length {len}"),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        _ => Err(ImuError::InvalidLabels {
+            reason: "fall_start and impact must both be present or both absent".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Activity;
+    use crate::generator::render_script;
+    use crate::rng::GenRng;
+    use crate::script::script_for_task;
+    use crate::subject::Subject;
+
+    fn make_trial(task: u8, seed: u64) -> Trial {
+        let mut rng = GenRng::seed_from_u64(seed);
+        let subject = Subject::sample(SubjectId(1), DatasetSource::SelfCollected, &mut rng);
+        let a = Activity::from_task(task).unwrap();
+        let script = script_for_task(a, subject.tempo_scale, &mut rng);
+        let signals = render_script(&script, &subject, &mut rng);
+        Trial::from_rendered(
+            SubjectId(1),
+            a.id,
+            0,
+            DatasetSource::SelfCollected,
+            &signals,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trial_has_nine_equal_channels() {
+        let t = make_trial(6, 3);
+        assert_eq!(t.channels().len(), NUM_CHANNELS);
+        let n = t.len();
+        for c in Channel::ALL {
+            assert_eq!(t.channel(c).len(), n);
+        }
+        assert!(!t.is_empty());
+        assert!(t.duration_s() > 1.0);
+    }
+
+    #[test]
+    fn euler_channels_track_posture() {
+        // A fall forward ends with pitch near +90° — the fused pitch
+        // channel must see most of that change by the end of the trial.
+        let t = make_trial(30, 5);
+        let pitch = t.channel(Channel::Pitch);
+        let early = pitch[10];
+        let late = pitch[t.len() - 5];
+        assert!(
+            (late - early) > 0.7,
+            "fused pitch change too small: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn usable_fall_range_excludes_last_150ms() {
+        let t = make_trial(30, 7);
+        let r = t.usable_fall_range().expect("long fall has usable range");
+        assert_eq!(r.start, t.fall_start().unwrap());
+        assert_eq!(r.end, t.impact().unwrap() - AIRBAG_INFLATION_SAMPLES);
+    }
+
+    #[test]
+    fn adl_trial_has_no_fall_labels() {
+        let t = make_trial(6, 9);
+        assert!(!t.is_fall());
+        assert!(t.usable_fall_range().is_none());
+        assert!(t.fall_start().is_none());
+        assert!(t.impact().is_none());
+    }
+
+    #[test]
+    fn label_validation_rejects_inconsistencies() {
+        let ch = vec![vec![0.0f32; 100]; NUM_CHANNELS];
+        let mk = |fs, im| {
+            Trial::from_channels(
+                SubjectId(0),
+                TaskId::new(30).unwrap(),
+                0,
+                DatasetSource::SelfCollected,
+                ch.clone(),
+                fs,
+                im,
+            )
+        };
+        assert!(mk(Some(50), Some(40)).is_err(), "impact before start");
+        assert!(mk(Some(50), Some(120)).is_err(), "impact out of range");
+        assert!(mk(Some(50), None).is_err(), "half-labelled");
+        assert!(mk(None, Some(50)).is_err(), "half-labelled");
+        assert!(mk(Some(40), Some(80)).is_ok());
+        assert!(mk(None, None).is_ok());
+    }
+
+    #[test]
+    fn from_channels_rejects_bad_shapes() {
+        let bad_count = vec![vec![0.0f32; 10]; 5];
+        assert!(Trial::from_channels(
+            SubjectId(0),
+            TaskId::new(1).unwrap(),
+            0,
+            DatasetSource::KFall,
+            bad_count,
+            None,
+            None
+        )
+        .is_err());
+
+        let mut ragged = vec![vec![0.0f32; 10]; NUM_CHANNELS];
+        ragged[3] = vec![0.0; 9];
+        assert!(Trial::from_channels(
+            SubjectId(0),
+            TaskId::new(1).unwrap(),
+            0,
+            DatasetSource::KFall,
+            ragged,
+            None,
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn short_fall_has_no_usable_range() {
+        // Fall of only 10 samples (< 15-sample airbag budget).
+        let ch = vec![vec![0.0f32; 100]; NUM_CHANNELS];
+        let t = Trial::from_channels(
+            SubjectId(0),
+            TaskId::new(30).unwrap(),
+            0,
+            DatasetSource::SelfCollected,
+            ch,
+            Some(50),
+            Some(60),
+        )
+        .unwrap();
+        assert!(t.usable_fall_range().is_none());
+    }
+
+    #[test]
+    fn recompute_euler_is_idempotent() {
+        let mut t = make_trial(30, 21);
+        let p1 = t.channel(Channel::Pitch).to_vec();
+        t.recompute_euler();
+        let p2 = t.channel(Channel::Pitch).to_vec();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Physical units and conversions.
+//!
+//! Both datasets are standardised to **gravitational acceleration (g)**
+//! for the accelerometer and **rad/s** for the gyroscope (§IV-A: "we
+//! standardized the units of measurement across both datasets, converting
+//! all values to gravitational acceleration (g)"). The KFall-like data is
+//! generated in m/s² and deg/s to force the alignment step to do real
+//! work.
+
+use serde::{Deserialize, Serialize};
+
+/// Standard gravity in m/s².
+pub const STANDARD_GRAVITY: f64 = 9.80665;
+
+/// Converts an acceleration from m/s² to g.
+pub fn ms2_to_g(a: f64) -> f64 {
+    a / STANDARD_GRAVITY
+}
+
+/// Converts an acceleration from g to m/s².
+pub fn g_to_ms2(a: f64) -> f64 {
+    a * STANDARD_GRAVITY
+}
+
+/// Converts an angular rate from deg/s to rad/s.
+pub fn degs_to_rads(w: f64) -> f64 {
+    w.to_radians()
+}
+
+/// Converts an angular rate from rad/s to deg/s.
+pub fn rads_to_degs(w: f64) -> f64 {
+    w.to_degrees()
+}
+
+/// The unit system a trial's raw channels are expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnitSystem {
+    /// Accelerometer in g, gyroscope in rad/s — the canonical system every
+    /// trial is aligned to before preprocessing.
+    Canonical,
+    /// Accelerometer in m/s², gyroscope in deg/s — how the KFall-like
+    /// recordings come off the generator before alignment.
+    KFallRaw,
+}
+
+impl UnitSystem {
+    /// Converts one accelerometer value from this system to canonical g.
+    pub fn accel_to_canonical(self, a: f64) -> f64 {
+        match self {
+            UnitSystem::Canonical => a,
+            UnitSystem::KFallRaw => ms2_to_g(a),
+        }
+    }
+
+    /// Converts one gyroscope value from this system to canonical rad/s.
+    pub fn gyro_to_canonical(self, w: f64) -> f64 {
+        match self {
+            UnitSystem::Canonical => w,
+            UnitSystem::KFallRaw => degs_to_rads(w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        for v in [-3.7, 0.0, 1.0, 9.80665, 42.0] {
+            assert!((ms2_to_g(g_to_ms2(v)) - v).abs() < 1e-12);
+            assert!((degs_to_rads(rads_to_degs(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_g_is_standard_gravity() {
+        assert!((g_to_ms2(1.0) - 9.80665).abs() < 1e-12);
+        assert!((ms2_to_g(9.80665) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_to_radians() {
+        assert!((degs_to_rads(180.0) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_system_conversions() {
+        assert_eq!(UnitSystem::Canonical.accel_to_canonical(2.5), 2.5);
+        assert!((UnitSystem::KFallRaw.accel_to_canonical(9.80665) - 1.0).abs() < 1e-12);
+        assert_eq!(UnitSystem::Canonical.gyro_to_canonical(1.0), 1.0);
+        assert!(
+            (UnitSystem::KFallRaw.gyro_to_canonical(90.0) - std::f64::consts::FRAC_PI_2).abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Statistical realism checks on the synthetic substrate — the
+//! properties the downstream evaluation *depends on* must hold across
+//! seeds, not just for one lucky draw.
+
+use prefall_imu::activity::{Activity, FallCategory};
+use prefall_imu::channel::Channel;
+use prefall_imu::dataset::{Dataset, DatasetConfig};
+use prefall_imu::trial::Trial;
+
+fn gen(seed: u64, subjects: usize) -> Dataset {
+    Dataset::generate(&DatasetConfig {
+        kfall_subjects: 0,
+        self_collected_subjects: subjects,
+        trials_per_task: 1,
+        duration_scale: 0.6,
+        seed,
+    })
+    .expect("generation succeeds")
+}
+
+fn accel_mag(t: &Trial, i: usize) -> f32 {
+    let x = t.channel(Channel::AccelX)[i];
+    let y = t.channel(Channel::AccelY)[i];
+    let z = t.channel(Channel::AccelZ)[i];
+    (x * x + y * y + z * z).sqrt()
+}
+
+fn mean_usable_fall_ms(ds: &Dataset, pred: impl Fn(&Activity) -> bool) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for t in ds
+        .trials()
+        .iter()
+        .filter(|t| t.is_fall() && pred(t.activity()))
+    {
+        let usable = t
+            .usable_fall_range()
+            .map(|r| r.len() as f64 * 10.0)
+            .unwrap_or(0.0);
+        total += usable;
+        n += 1;
+    }
+    total / n.max(1) as f64
+}
+
+#[test]
+fn sit_down_falls_are_shorter_than_walking_falls() {
+    // Table IVa's hardest non-height falls are the short "when trying to
+    // sit down" ones (tasks 20-22); they must have less usable
+    // pre-impact signal than walking falls on average.
+    let mut sit = 0.0;
+    let mut walk = 0.0;
+    for seed in 0..4u64 {
+        let ds = gen(100 + seed, 2);
+        sit += mean_usable_fall_ms(&ds, |a| matches!(a.id.get(), 20..=22));
+        walk += mean_usable_fall_ms(&ds, |a| a.fall_category == Some(FallCategory::FromWalking));
+    }
+    assert!(
+        sit < walk,
+        "sit-down falls usable {sit:.0} ms should be shorter than walking falls {walk:.0} ms"
+    );
+}
+
+#[test]
+fn every_fall_category_shows_freefall_before_impact() {
+    let ds = gen(7, 2);
+    for t in ds.trials().iter().filter(|t| t.is_fall()) {
+        let im = t.impact().unwrap();
+        let min_before = (t.fall_start().unwrap()..im)
+            .map(|i| accel_mag(t, i))
+            .fold(f32::MAX, f32::min);
+        assert!(
+            min_before < 0.85,
+            "task {}: min pre-impact magnitude {min_before}",
+            t.task
+        );
+    }
+}
+
+#[test]
+fn adls_without_jumps_stay_near_one_g_envelope() {
+    // Quiet ADLs (stand, sit, lie, walk) never show deep free fall —
+    // only the dynamic red tasks (jump/stumble/collapse families) may.
+    let ds = gen(11, 2);
+    for t in ds.trials().iter().filter(|t| !t.is_fall()) {
+        let quiet = matches!(t.task.get(), 1 | 2 | 3 | 6 | 11 | 13 | 17 | 18 | 35 | 43);
+        if quiet {
+            let min = (10..t.len())
+                .map(|i| accel_mag(t, i))
+                .fold(f32::MAX, f32::min);
+            assert!(min > 0.55, "task {}: min magnitude {min}", t.task);
+        }
+    }
+}
+
+#[test]
+fn jump_tasks_do_show_freefall() {
+    let ds = gen(13, 3);
+    let mut seen = 0;
+    for t in ds
+        .trials()
+        .iter()
+        .filter(|t| matches!(t.task.get(), 4 | 44))
+    {
+        let min = (10..t.len())
+            .map(|i| accel_mag(t, i))
+            .fold(f32::MAX, f32::min);
+        assert!(min < 0.5, "task {}: flight magnitude {min}", t.task);
+        seen += 1;
+    }
+    assert!(seen >= 6);
+}
+
+#[test]
+fn impact_is_the_magnitude_peak_of_fall_trials() {
+    let ds = gen(17, 2);
+    for t in ds.trials().iter().filter(|t| t.is_fall()) {
+        let im = t.impact().unwrap();
+        let peak_all = (0..t.len()).map(|i| accel_mag(t, i)).fold(0.0f32, f32::max);
+        let peak_impact = (im..(im + 15).min(t.len()))
+            .map(|i| accel_mag(t, i))
+            .fold(0.0f32, f32::max);
+        assert!(
+            peak_impact > 0.75 * peak_all,
+            "task {}: impact window peak {peak_impact} vs global {peak_all}",
+            t.task
+        );
+    }
+}
+
+#[test]
+fn fall_durations_span_the_paper_range_across_population() {
+    // Across many trials the onset→impact durations should cover a wide
+    // band inside 150–1100 ms (the paper: half of falls < 500 ms).
+    let ds = gen(23, 4);
+    let durations: Vec<f64> = ds
+        .trials()
+        .iter()
+        .filter(|t| t.is_fall())
+        .map(|t| (t.impact().unwrap() - t.fall_start().unwrap()) as f64 * 10.0)
+        .collect();
+    assert!(durations.len() > 60);
+    let min = durations.iter().cloned().fold(f64::MAX, f64::min);
+    let max = durations.iter().cloned().fold(0.0f64, f64::max);
+    assert!(min >= 150.0, "min fall {min} ms");
+    assert!(max <= 1200.0, "max fall {max} ms");
+    assert!(max - min > 250.0, "durations too uniform: {min}..{max}");
+    // The paper's "50% of falls < 500 ms" describes real-world falls;
+    // protocol falls (KFall-style, reproduced here) skew longer. Require
+    // a non-trivial share of short falls without demanding the
+    // real-world split.
+    let below_550 = durations.iter().filter(|&&d| d < 550.0).count();
+    let frac = below_550 as f64 / durations.len() as f64;
+    assert!(
+        (0.08..0.95).contains(&frac),
+        "fraction of sub-550 ms falls {frac}"
+    );
+}
+
+#[test]
+fn euler_pitch_tracks_forward_vs_backward_falls() {
+    let ds = gen(29, 2);
+    let end_pitch = |t: &Trial| {
+        let p = t.channel(Channel::Pitch);
+        p[t.len() - 5]
+    };
+    for t in ds.trials() {
+        match t.task.get() {
+            30..=32 => assert!(
+                end_pitch(t) > 0.6,
+                "forward fall task {} ends with pitch {}",
+                t.task,
+                end_pitch(t)
+            ),
+            34 | 37 | 38 | 40 => assert!(
+                end_pitch(t) < -0.6,
+                "backward fall task {} ends with pitch {}",
+                t.task,
+                end_pitch(t)
+            ),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn subjects_differ_but_seeds_reproduce() {
+    let a = gen(31, 2);
+    let b = gen(31, 2);
+    assert_eq!(a, b);
+    // The two subjects' walking trials differ in step frequency
+    // signature (zero crossings of the vertical oscillation).
+    let walk: Vec<&Trial> = a.trials().iter().filter(|t| t.task.get() == 6).collect();
+    assert_eq!(walk.len(), 2);
+    assert_ne!(walk[0].channels()[2], walk[1].channels()[2]);
+}

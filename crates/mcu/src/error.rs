@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while modelling a deployment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum McuError {
+    /// The model does not fit in the target's flash.
+    FlashOverflow {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The model's working set does not fit in the target's RAM.
+    RamOverflow {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for McuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McuError::FlashOverflow {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs {required} bytes of flash but only {available} are available"
+            ),
+            McuError::RamOverflow {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs {required} bytes of ram but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl Error for McuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<McuError>();
+        let e = McuError::FlashOverflow {
+            required: 300_000,
+            available: 262_144,
+        };
+        assert!(e.to_string().contains("300000"));
+    }
+}

@@ -1,0 +1,83 @@
+//! C-array export of the quantized model (the artifact that gets linked
+//! into the firmware image).
+
+use prefall_nn::quant::QuantizedNetwork;
+use std::fmt::Write as _;
+
+/// Renders the quantized weight blob as a C header:
+/// a `const uint8_t` array plus length and alignment attributes.
+pub fn to_c_header(net: &QuantizedNetwork, symbol: &str) -> String {
+    let blob = net.weight_blob();
+    let guard: String = symbol
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_uppercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut out = String::with_capacity(blob.len() * 6 + 512);
+    let _ = writeln!(out, "/* Auto-generated quantized model blob. */");
+    let _ = writeln!(out, "#ifndef {guard}_H");
+    let _ = writeln!(out, "#define {guard}_H");
+    let _ = writeln!(out, "#include <stdint.h>");
+    let _ = writeln!(out, "#define {guard}_LEN {}u", blob.len());
+    let _ = writeln!(
+        out,
+        "__attribute__((aligned(8))) static const uint8_t {symbol}[{guard}_LEN] = {{"
+    );
+    for chunk in blob.chunks(12) {
+        let row: Vec<String> = chunk.iter().map(|b| format!("0x{b:02x}")).collect();
+        let _ = writeln!(out, "    {},", row.join(", "));
+    }
+    let _ = writeln!(out, "}};");
+    let _ = writeln!(out, "#endif /* {guard}_H */");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_nn::network::Network;
+
+    fn tiny_quantized() -> QuantizedNetwork {
+        let mut net = Network::builder(vec![8])
+            .dense(4)
+            .unwrap()
+            .relu()
+            .dense(1)
+            .unwrap()
+            .build(2);
+        let calib: Vec<Vec<f32>> = (0..8)
+            .map(|i| (0..8).map(|j| ((i + j) % 5) as f32 / 2.0 - 1.0).collect())
+            .collect();
+        QuantizedNetwork::from_network(&mut net, &calib).unwrap()
+    }
+
+    #[test]
+    fn header_contains_blob_and_guards() {
+        let q = tiny_quantized();
+        let h = to_c_header(&q, "prefall_model");
+        assert!(h.contains("#ifndef PREFALL_MODEL_H"));
+        assert!(h.contains("static const uint8_t prefall_model["));
+        assert!(h.contains(&format!("PREFALL_MODEL_LEN {}u", q.weight_blob().len())));
+        assert!(h.trim_end().ends_with("#endif /* PREFALL_MODEL_H */"));
+    }
+
+    #[test]
+    fn blob_length_matches_weight_accounting() {
+        let q = tiny_quantized();
+        // weights int8 (8·4 + 4·1) + biases i32 (4 + 1) · 4 bytes.
+        assert_eq!(q.weight_blob().len(), 36 + 20);
+        assert_eq!(q.weight_blob().len(), q.weight_bytes());
+    }
+
+    #[test]
+    fn symbol_sanitisation() {
+        let q = tiny_quantized();
+        let h = to_c_header(&q, "my-model.v2");
+        assert!(h.contains("#ifndef MY_MODEL_V2_H"));
+    }
+}

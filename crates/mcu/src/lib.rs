@@ -1,0 +1,34 @@
+//! STM32F722 / Cortex-M7 deployment model.
+//!
+//! The paper deploys its quantized CNN on a custom board with an
+//! STM32F722RET6 (ARM Cortex-M7 @ 216 MHz, 256 KiB flash + 256 KiB RAM)
+//! and reports: model 67.03 KiB, RAM 16.87 KiB, inference 4 ms ± 3 ms
+//! plus 3 ms of sensor fusion per segment. We cannot run on silicon, so
+//! this crate models the deployment instead:
+//!
+//! * [`target`] — the microcontroller description (clock, memories,
+//!   MAC throughput);
+//! * [`deploy`] — fits a [`prefall_nn::quant::QuantizedNetwork`] onto a
+//!   target: flash/RAM budgeting and a calibrated cycle model for
+//!   inference latency;
+//! * [`export`] — emits the quantized weights as a C array, the format
+//!   actually flashed onto such boards.
+//!
+//! The cycle model is deliberately simple and *calibrated*: int8 MACs
+//! retire at a configurable rate (Cortex-M7 dual-issues `SMLAD`, but
+//! real CMSIS-NN kernels average far below the theoretical 2 MAC/cycle
+//! once load/store, requantization and loop overhead are in), plus
+//! per-layer fixed overhead. The default efficiency constant is chosen
+//! so the paper's own model lands at its reported ~4 ms; *relative*
+//! latencies across architectures and window sizes then follow real
+//! MAC/byte counts.
+
+#![deny(missing_docs)]
+
+pub mod deploy;
+pub mod export;
+pub mod target;
+
+mod error;
+
+pub use error::McuError;

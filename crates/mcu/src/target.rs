@@ -1,0 +1,115 @@
+//! Microcontroller target descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// A deployment target: clock, memories, and the effective int8 MAC
+/// throughput of its NN kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McuTarget {
+    /// Human-readable part name.
+    pub name: &'static str,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+    /// Flash size in bytes.
+    pub flash_bytes: usize,
+    /// RAM size in bytes.
+    pub ram_bytes: usize,
+    /// Effective int8 multiply–accumulates per core cycle, *measured
+    /// end-to-end* over CMSIS-NN-style kernels (loads, requantization
+    /// and loop control included). The Cortex-M7 dual-issue SMLAD peak
+    /// is 2.0; real kernels on conv/dense mixes average far lower.
+    pub macs_per_cycle: f64,
+    /// Fixed per-layer overhead in cycles (descriptor fetch, arena
+    /// bookkeeping, im2col setup).
+    pub layer_overhead_cycles: u64,
+    /// Fixed per-inference overhead in cycles (invoke, I/O quantize).
+    pub invoke_overhead_cycles: u64,
+    /// Flash reserved by application code + NN runtime (not available
+    /// for weights).
+    pub runtime_flash_bytes: usize,
+    /// RAM reserved by stack, runtime and sensor buffers (not available
+    /// for the activation arena).
+    pub runtime_ram_bytes: usize,
+}
+
+impl McuTarget {
+    /// The paper's board: STM32F722RET6, Cortex-M7 @ 216 MHz, 256 KiB
+    /// flash and RAM.
+    ///
+    /// `macs_per_cycle` (0.11) and the RAM/flash runtime reservations
+    /// are calibrated so the paper's own 400 ms CNN reproduces its
+    /// reported envelope (67.03 KiB model, 16.87 KiB RAM, ≈4 ms
+    /// inference); see DESIGN.md for the calibration note.
+    pub fn stm32f722() -> Self {
+        Self {
+            name: "STM32F722RET6",
+            clock_hz: 216_000_000,
+            flash_bytes: 256 * 1024,
+            ram_bytes: 256 * 1024,
+            macs_per_cycle: 0.11,
+            layer_overhead_cycles: 6_000,
+            invoke_overhead_cycles: 40_000,
+            runtime_flash_bytes: 96 * 1024,
+            runtime_ram_bytes: 12 * 1024,
+        }
+    }
+
+    /// A smaller Cortex-M4 target (e.g. STM32L4), for what-if analyses.
+    pub fn stm32l432() -> Self {
+        Self {
+            name: "STM32L432KC",
+            clock_hz: 80_000_000,
+            flash_bytes: 256 * 1024,
+            ram_bytes: 64 * 1024,
+            macs_per_cycle: 0.07,
+            layer_overhead_cycles: 6_000,
+            invoke_overhead_cycles: 40_000,
+            runtime_flash_bytes: 80 * 1024,
+            runtime_ram_bytes: 10 * 1024,
+        }
+    }
+
+    /// Flash available for the model itself.
+    pub fn model_flash_budget(&self) -> usize {
+        self.flash_bytes.saturating_sub(self.runtime_flash_bytes)
+    }
+
+    /// RAM available for the activation arena.
+    pub fn model_ram_budget(&self) -> usize {
+        self.ram_bytes.saturating_sub(self.runtime_ram_bytes)
+    }
+
+    /// Converts a cycle count to milliseconds on this target.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64 * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stm32f722_matches_datasheet_basics() {
+        let t = McuTarget::stm32f722();
+        assert_eq!(t.clock_hz, 216_000_000);
+        assert_eq!(t.flash_bytes, 262_144);
+        assert_eq!(t.ram_bytes, 262_144);
+        assert!(t.macs_per_cycle > 0.0 && t.macs_per_cycle <= 2.0);
+    }
+
+    #[test]
+    fn budgets_subtract_runtime() {
+        let t = McuTarget::stm32f722();
+        assert!(t.model_flash_budget() < t.flash_bytes);
+        assert!(t.model_ram_budget() < t.ram_bytes);
+        assert!(t.model_flash_budget() > 100 * 1024);
+    }
+
+    #[test]
+    fn cycles_to_ms_conversion() {
+        let t = McuTarget::stm32f722();
+        assert!((t.cycles_to_ms(216_000) - 1.0).abs() < 1e-9);
+        assert_eq!(t.cycles_to_ms(0), 0.0);
+    }
+}

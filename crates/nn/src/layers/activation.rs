@@ -1,0 +1,182 @@
+//! Element-wise activation layers.
+
+use super::Layer;
+
+/// Rectified linear unit: `y = max(0, x)`.
+#[derive(Debug)]
+pub struct Relu {
+    len: usize,
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU over `len` values.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
+    fn input_len(&self) -> usize {
+        self.len
+    }
+
+    fn output_len(&self) -> usize {
+        self.len
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.len, "relu input length");
+        self.mask = input.iter().map(|&x| x > 0.0).collect();
+        input.iter().map(|&x| x.max(0.0)).collect()
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.len, "relu grad length");
+        assert_eq!(self.mask.len(), self.len, "forward not called");
+        grad_out
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Logistic sigmoid: `y = 1 / (1 + e^{-x})`.
+///
+/// Training uses the numerically stabler logits loss
+/// ([`crate::loss::WeightedBce`]), so networks built for training end in
+/// a bare dense layer; `Sigmoid` exists for inference-style networks and
+/// for the quantizer's final activation.
+#[derive(Debug)]
+pub struct Sigmoid {
+    len: usize,
+    output_cache: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid over `len` values.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            output_cache: Vec::new(),
+        }
+    }
+}
+
+/// The scalar sigmoid function.
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn kind(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn input_len(&self) -> usize {
+        self.len
+    }
+
+    fn output_len(&self) -> usize {
+        self.len
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.len, "sigmoid input length");
+        let out: Vec<f32> = input.iter().map(|&x| sigmoid(x)).collect();
+        self.output_cache = out.clone();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.len, "sigmoid grad length");
+        assert_eq!(self.output_cache.len(), self.len, "forward not called");
+        grad_out
+            .iter()
+            .zip(&self.output_cache)
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new(4);
+        let y = r.forward(&[-1.0, 0.0, 2.0, -3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 2.0, 0.0]);
+        let g = r.backward(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(g, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_known_values() {
+        let mut s = Sigmoid::new(3);
+        let y = s.forward(&[0.0, 100.0, -100.0]);
+        assert!((y[0] - 0.5).abs() < 1e-7);
+        assert!((y[1] - 1.0).abs() < 1e-7);
+        assert!(y[2].abs() < 1e-7);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sigmoid_gradient_peaks_at_zero() {
+        let mut s = Sigmoid::new(2);
+        let _ = s.forward(&[0.0, 4.0]);
+        let g = s.backward(&[1.0, 1.0]);
+        assert!((g[0] - 0.25).abs() < 1e-6);
+        assert!(g[1] < g[0]);
+    }
+
+    #[test]
+    fn sigmoid_gradient_check_numeric() {
+        let mut s = Sigmoid::new(1);
+        for &x in &[-2.0f32, -0.3, 0.0, 0.9, 3.0] {
+            let _ = s.forward(&[x]);
+            let g = s.backward(&[1.0])[0];
+            let eps = 1e-3;
+            let num = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            assert!((g - num).abs() < 1e-4, "x={x}: {g} vs {num}");
+        }
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let r = Relu::new(4);
+        let s = Sigmoid::new(4);
+        assert_eq!(r.param_count(), 0);
+        assert_eq!(s.param_count(), 0);
+    }
+}

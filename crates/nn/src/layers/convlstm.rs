@@ -1,0 +1,351 @@
+//! Convolutional LSTM (the ConvLSTM2D baseline of the paper, with the
+//! degenerate 1×C spatial grid that IMU windows give it).
+//!
+//! At each time step the 9-channel snapshot is treated as a 1-D spatial
+//! signal of length `S = C`; gate pre-activations are 1-D convolutions
+//! (same padding) over that axis, of both the input (1 channel) and the
+//! previous hidden state (`F` channels). The final hidden state
+//! `[S × F]` is flattened as the layer output — mirroring how Keras'
+//! `ConvLSTM2D` is applied to inertial windows in the papers the
+//! baseline follows.
+
+use super::activation::sigmoid;
+use super::Layer;
+use crate::init::{glorot_uniform, InitRng};
+use crate::param::Param;
+
+/// A convolutional LSTM over a `[T × S]` sequence (spatial length `S`,
+/// one input channel), with `F` filters and odd kernel `K`.
+#[derive(Debug)]
+pub struct ConvLstm {
+    time: usize,
+    /// Spatial length (the 9 sensor channels).
+    space: usize,
+    filters: usize,
+    kernel: usize,
+    /// Input-conv weights `[4 × F × K]` (1 input channel).
+    wx: Param,
+    /// Recurrent-conv weights `[4 × F × K × F]`.
+    wh: Param,
+    /// Gate biases `[4 × F]`.
+    b: Param,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    xs: Vec<f32>,
+    /// Activated gates per step `[T × 4 × S × F]`.
+    gates: Vec<f32>,
+    /// Cell states `[T × S × F]`.
+    cs: Vec<f32>,
+    /// tanh(c) `[T × S × F]`.
+    tanh_cs: Vec<f32>,
+    /// Hidden states `[T × S × F]`.
+    hs: Vec<f32>,
+}
+
+impl ConvLstm {
+    /// Creates a ConvLSTM layer with zeroed weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even or any dimension is zero.
+    pub fn new(index: usize, time: usize, space: usize, filters: usize, kernel: usize) -> Self {
+        assert!(
+            time > 0 && space > 0 && filters > 0 && kernel > 0,
+            "convlstm dimensions must be positive"
+        );
+        assert!(
+            kernel % 2 == 1,
+            "convlstm kernel must be odd (same padding)"
+        );
+        Self {
+            time,
+            space,
+            filters,
+            kernel,
+            wx: Param::new(
+                format!("convlstm{index}.wx"),
+                vec![0.0; 4 * filters * kernel],
+            ),
+            wh: Param::new(
+                format!("convlstm{index}.wh"),
+                vec![0.0; 4 * filters * kernel * filters],
+            ),
+            b: Param::new(format!("convlstm{index}.b"), vec![0.0; 4 * filters]),
+            cache: None,
+        }
+    }
+
+    /// Number of filters.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    fn state_len(&self) -> usize {
+        self.space * self.filters
+    }
+}
+
+impl Layer for ConvLstm {
+    fn kind(&self) -> &'static str {
+        "convlstm"
+    }
+
+    fn input_len(&self) -> usize {
+        self.time * self.space
+    }
+
+    fn output_len(&self) -> usize {
+        self.state_len()
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len(), "convlstm input length");
+        let (t_n, s_n, f_n, k_n) = (self.time, self.space, self.filters, self.kernel);
+        let pad = k_n / 2;
+        let sl = self.state_len();
+
+        let mut gates = vec![0.0f32; t_n * 4 * sl];
+        let mut cs = vec![0.0f32; t_n * sl];
+        let mut tanh_cs = vec![0.0f32; t_n * sl];
+        let mut hs = vec![0.0f32; t_n * sl];
+
+        let mut h_prev = vec![0.0f32; sl];
+        let mut c_prev = vec![0.0f32; sl];
+
+        for t in 0..t_n {
+            let x = &input[t * s_n..(t + 1) * s_n];
+            let zg = &mut gates[t * 4 * sl..(t + 1) * 4 * sl];
+            // Pre-activations: z[gate][s][f].
+            for gate in 0..4 {
+                for s in 0..s_n {
+                    for f in 0..f_n {
+                        let mut acc = self.b.w[gate * f_n + f];
+                        for k in 0..k_n {
+                            let sp = s + k;
+                            if sp < pad || sp - pad >= s_n {
+                                continue;
+                            }
+                            let sp = sp - pad;
+                            acc += self.wx.w[(gate * f_n + f) * k_n + k] * x[sp];
+                            let whb = ((gate * f_n + f) * k_n + k) * f_n;
+                            let hrow = &h_prev[sp * f_n..(sp + 1) * f_n];
+                            for (fp, hv) in hrow.iter().enumerate() {
+                                acc += self.wh.w[whb + fp] * hv;
+                            }
+                        }
+                        zg[gate * sl + s * f_n + f] = acc;
+                    }
+                }
+            }
+            // Nonlinearities + state update.
+            for j in 0..sl {
+                let i_g = sigmoid(zg[j]);
+                let f_g = sigmoid(zg[sl + j]);
+                let g_g = zg[2 * sl + j].tanh();
+                let o_g = sigmoid(zg[3 * sl + j]);
+                zg[j] = i_g;
+                zg[sl + j] = f_g;
+                zg[2 * sl + j] = g_g;
+                zg[3 * sl + j] = o_g;
+                let c = f_g * c_prev[j] + i_g * g_g;
+                let tc = c.tanh();
+                cs[t * sl + j] = c;
+                tanh_cs[t * sl + j] = tc;
+                hs[t * sl + j] = o_g * tc;
+            }
+            h_prev.copy_from_slice(&hs[t * sl..(t + 1) * sl]);
+            c_prev.copy_from_slice(&cs[t * sl..(t + 1) * sl]);
+        }
+
+        let out = h_prev.clone();
+        self.cache = Some(Cache {
+            xs: input.to_vec(),
+            gates,
+            cs,
+            tanh_cs,
+            hs,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.output_len(), "convlstm grad length");
+        let cache = self.cache.as_ref().expect("forward not called");
+        let (t_n, s_n, f_n, k_n) = (self.time, self.space, self.filters, self.kernel);
+        let pad = k_n / 2;
+        let sl = self.state_len();
+
+        let mut grad_in = vec![0.0f32; t_n * s_n];
+        let mut dh = grad_out.to_vec();
+        let mut dc = vec![0.0f32; sl];
+        let mut dz = vec![0.0f32; 4 * sl];
+
+        for t in (0..t_n).rev() {
+            let gates = &cache.gates[t * 4 * sl..(t + 1) * 4 * sl];
+            let tanh_c = &cache.tanh_cs[t * sl..(t + 1) * sl];
+            for j in 0..sl {
+                let i_g = gates[j];
+                let f_g = gates[sl + j];
+                let g_g = gates[2 * sl + j];
+                let o_g = gates[3 * sl + j];
+                let tc = tanh_c[j];
+                let do_g = dh[j] * tc;
+                let dc_j = dc[j] + dh[j] * o_g * (1.0 - tc * tc);
+                let cp = if t == 0 {
+                    0.0
+                } else {
+                    cache.cs[(t - 1) * sl + j]
+                };
+                let di = dc_j * g_g;
+                let dg = dc_j * i_g;
+                let df = dc_j * cp;
+                dc[j] = dc_j * f_g;
+                dz[j] = di * i_g * (1.0 - i_g);
+                dz[sl + j] = df * f_g * (1.0 - f_g);
+                dz[2 * sl + j] = dg * (1.0 - g_g * g_g);
+                dz[3 * sl + j] = do_g * o_g * (1.0 - o_g);
+            }
+
+            let x = &cache.xs[t * s_n..(t + 1) * s_n];
+            let h_prev: &[f32] = if t == 0 {
+                &[]
+            } else {
+                &cache.hs[(t - 1) * sl..t * sl]
+            };
+            let dx = &mut grad_in[t * s_n..(t + 1) * s_n];
+            let mut dh_prev = vec![0.0f32; sl];
+
+            for gate in 0..4 {
+                for s in 0..s_n {
+                    for f in 0..f_n {
+                        let dzj = dz[gate * sl + s * f_n + f];
+                        if dzj == 0.0 {
+                            continue;
+                        }
+                        self.b.g[gate * f_n + f] += dzj;
+                        for k in 0..k_n {
+                            let sp = s + k;
+                            if sp < pad || sp - pad >= s_n {
+                                continue;
+                            }
+                            let sp = sp - pad;
+                            let wx_idx = (gate * f_n + f) * k_n + k;
+                            self.wx.g[wx_idx] += dzj * x[sp];
+                            dx[sp] += dzj * self.wx.w[wx_idx];
+                            if t > 0 {
+                                let whb = ((gate * f_n + f) * k_n + k) * f_n;
+                                for fp in 0..f_n {
+                                    self.wh.g[whb + fp] += dzj * h_prev[sp * f_n + fp];
+                                    dh_prev[sp * f_n + fp] += dzj * self.wh.w[whb + fp];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            dh = dh_prev;
+        }
+
+        grad_in
+    }
+
+    fn init_weights(&mut self, rng: &mut InitRng) {
+        let fan_x = self.kernel;
+        let fan_h = self.kernel * self.filters;
+        self.wx.w = glorot_uniform(rng, fan_x, self.filters, 4 * self.filters * self.kernel);
+        self.wh.w = glorot_uniform(
+            rng,
+            fan_h,
+            self.filters,
+            4 * self.filters * self.kernel * self.filters,
+        );
+        self.b.w = vec![0.0; 4 * self.filters];
+        for f in self.filters..2 * self.filters {
+            self.b.w[f] = 1.0; // forget bias
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+
+    fn macs(&self) -> usize {
+        // Per step, per gate, per spatial position, per filter: K input
+        // MACs + K·F recurrent MACs.
+        self.time * 4 * self.space * self.filters * (self.kernel + self.kernel * self.filters)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn shapes_and_counts() {
+        let l = ConvLstm::new(0, 40, 9, 8, 3);
+        assert_eq!(l.input_len(), 360);
+        assert_eq!(l.output_len(), 72);
+        assert_eq!(l.param_count(), 4 * 8 * 3 + 4 * 8 * 3 * 8 + 4 * 8);
+        assert!(l.macs() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_kernel() {
+        let _ = ConvLstm::new(0, 4, 9, 4, 2);
+    }
+
+    #[test]
+    fn zero_weights_zero_output() {
+        let mut l = ConvLstm::new(0, 3, 5, 2, 3);
+        let out = l.forward(&[0.5; 15]);
+        assert!(out.iter().all(|v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn gradient_check_small() {
+        let mut l = ConvLstm::new(0, 3, 4, 2, 3);
+        l.init_weights(&mut InitRng::new(13));
+        let input: Vec<f32> = (0..12).map(|i| (i as f32 * 0.5).sin() * 0.7).collect();
+        check_layer(&mut l, &input, 4e-2);
+    }
+
+    #[test]
+    fn output_depends_on_temporal_order() {
+        let mut l = ConvLstm::new(0, 4, 3, 2, 3);
+        l.init_weights(&mut InitRng::new(21));
+        let seq: Vec<f32> = (0..12).map(|i| i as f32 * 0.2).collect();
+        let rev: Vec<f32> = seq.chunks(3).rev().flatten().copied().collect();
+        let a = l.forward(&seq);
+        let b = l.forward(&rev);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn hidden_state_bounded() {
+        let mut l = ConvLstm::new(0, 8, 5, 3, 3);
+        l.init_weights(&mut InitRng::new(17));
+        let input: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let out = l.forward(&input);
+        assert!(out.iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Fully connected layer.
+
+use super::Layer;
+use crate::init::{he_uniform, InitRng};
+use crate::param::Param;
+
+/// A fully connected (dense) layer: `y = W·x + b`.
+///
+/// Weights are stored row-major `[out × in]`.
+#[derive(Debug)]
+pub struct Dense {
+    in_len: usize,
+    out_len: usize,
+    w: Param,
+    b: Param,
+    input_cache: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a dense layer with zeroed weights (call
+    /// [`Layer::init_weights`] or load weights before use).
+    ///
+    /// `index` namespaces the parameter names (`dense<index>.w`).
+    pub fn new(index: usize, in_len: usize, out_len: usize) -> Self {
+        Self {
+            in_len,
+            out_len,
+            w: Param::new(format!("dense{index}.w"), vec![0.0; in_len * out_len]),
+            b: Param::new(format!("dense{index}.b"), vec![0.0; out_len]),
+            input_cache: Vec::new(),
+        }
+    }
+
+    /// Immutable view of the weight matrix (row-major `[out × in]`).
+    pub fn weights(&self) -> &[f32] {
+        &self.w.w
+    }
+
+    /// Immutable view of the bias vector.
+    pub fn biases(&self) -> &[f32] {
+        &self.b.w
+    }
+
+    /// Overwrites the bias vector (used for the paper's output-bias
+    /// initialisation `b = log(p/(1-p))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != out_len`.
+    pub fn set_biases(&mut self, b: &[f32]) {
+        assert_eq!(b.len(), self.out_len, "bias length mismatch");
+        self.b.w.copy_from_slice(b);
+    }
+
+    /// Input width.
+    pub fn in_len(&self) -> usize {
+        self.in_len
+    }
+
+    /// Output width.
+    pub fn out_len(&self) -> usize {
+        self.out_len
+    }
+}
+
+impl Layer for Dense {
+    fn kind(&self) -> &'static str {
+        "dense"
+    }
+
+    fn input_len(&self) -> usize {
+        self.in_len
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_len, "dense input length");
+        self.input_cache = input.to_vec();
+        let mut out = self.b.w.clone();
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.w.w[o * self.in_len..(o + 1) * self.in_len];
+            let mut acc = 0.0f32;
+            for (wv, xv) in row.iter().zip(input) {
+                acc += wv * xv;
+            }
+            *out_v += acc;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.out_len, "dense grad length");
+        assert_eq!(self.input_cache.len(), self.in_len, "forward not called");
+        let mut grad_in = vec![0.0f32; self.in_len];
+        for (o, &go) in grad_out.iter().enumerate() {
+            self.b.g[o] += go;
+            let row_w = &self.w.w[o * self.in_len..(o + 1) * self.in_len];
+            let row_g = &mut self.w.g[o * self.in_len..(o + 1) * self.in_len];
+            for i in 0..self.in_len {
+                row_g[i] += go * self.input_cache[i];
+                grad_in[i] += go * row_w[i];
+            }
+        }
+        grad_in
+    }
+
+    fn init_weights(&mut self, rng: &mut InitRng) {
+        self.w.w = he_uniform(rng, self.in_len, self.in_len * self.out_len);
+        self.b.w = vec![0.0; self.out_len];
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn macs(&self) -> usize {
+        self.in_len * self.out_len
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut d = Dense::new(0, 3, 2);
+        d.w.w = vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0];
+        d.b.w = vec![0.1, -0.2];
+        let y = d.forward(&[1.0, 1.0, 2.0]);
+        assert!((y[0] - (0.1 + 1.0 + 2.0 + 6.0)).abs() < 1e-6);
+        assert!((y[1] - (-0.2 - 1.0 + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut d = Dense::new(0, 5, 4);
+        let mut rng = InitRng::new(3);
+        d.init_weights(&mut rng);
+        let input: Vec<f32> = (0..5).map(|i| 0.3 * i as f32 - 0.7).collect();
+        check_layer(&mut d, &input, 2e-2);
+    }
+
+    #[test]
+    fn metadata() {
+        let d = Dense::new(1, 10, 4);
+        assert_eq!(d.kind(), "dense");
+        assert_eq!(d.param_count(), 44);
+        assert_eq!(d.macs(), 40);
+        assert_eq!(d.input_len(), 10);
+        assert_eq!(d.output_len(), 4);
+    }
+
+    #[test]
+    fn set_biases_applies() {
+        let mut d = Dense::new(0, 2, 1);
+        d.set_biases(&[-3.17]);
+        let y = d.forward(&[0.0, 0.0]);
+        assert!((y[0] + 3.17).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn set_biases_rejects_wrong_len() {
+        let mut d = Dense::new(0, 2, 1);
+        d.set_biases(&[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense input length")]
+    fn forward_rejects_wrong_len() {
+        let mut d = Dense::new(0, 2, 1);
+        let _ = d.forward(&[0.0; 3]);
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let mut a = Dense::new(0, 8, 8);
+        let mut b = Dense::new(0, 8, 8);
+        a.init_weights(&mut InitRng::new(9));
+        b.init_weights(&mut InitRng::new(9));
+        assert_eq!(a.w.w, b.w.w);
+    }
+}

@@ -1,0 +1,305 @@
+//! Long short-term memory layer (baseline model substrate).
+
+use super::activation::sigmoid;
+use super::Layer;
+use crate::init::{glorot_uniform, InitRng};
+use crate::param::Param;
+
+/// An LSTM over a `[T × C]` sequence, returning the final hidden state
+/// `[H]`.
+///
+/// Gate order in all stacked buffers: input `i`, forget `f`, candidate
+/// `g`, output `o`. The forget-gate bias is initialised to 1, the usual
+/// trick that stabilises early training.
+#[derive(Debug)]
+pub struct Lstm {
+    time: usize,
+    in_ch: usize,
+    hidden: usize,
+    /// Input weights `[4H × C]`.
+    wx: Param,
+    /// Recurrent weights `[4H × H]`.
+    wh: Param,
+    /// Gate biases `[4H]`.
+    b: Param,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    xs: Vec<f32>,
+    /// Per step: gates after nonlinearity `[T × 4H]`.
+    gates: Vec<f32>,
+    /// Cell states `[T × H]`.
+    cs: Vec<f32>,
+    /// tanh(c) per step `[T × H]`.
+    tanh_cs: Vec<f32>,
+    /// Hidden states `[T × H]`.
+    hs: Vec<f32>,
+}
+
+impl Lstm {
+    /// Creates an LSTM layer with zeroed weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(index: usize, time: usize, in_ch: usize, hidden: usize) -> Self {
+        assert!(
+            time > 0 && in_ch > 0 && hidden > 0,
+            "lstm dimensions must be positive"
+        );
+        Self {
+            time,
+            in_ch,
+            hidden,
+            wx: Param::new(format!("lstm{index}.wx"), vec![0.0; 4 * hidden * in_ch]),
+            wh: Param::new(format!("lstm{index}.wh"), vec![0.0; 4 * hidden * hidden]),
+            b: Param::new(format!("lstm{index}.b"), vec![0.0; 4 * hidden]),
+            cache: None,
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl Layer for Lstm {
+    fn kind(&self) -> &'static str {
+        "lstm"
+    }
+
+    fn input_len(&self) -> usize {
+        self.time * self.in_ch
+    }
+
+    fn output_len(&self) -> usize {
+        self.hidden
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len(), "lstm input length");
+        let (t_n, c_n, h_n) = (self.time, self.in_ch, self.hidden);
+        let mut gates = vec![0.0f32; t_n * 4 * h_n];
+        let mut cs = vec![0.0f32; t_n * h_n];
+        let mut tanh_cs = vec![0.0f32; t_n * h_n];
+        let mut hs = vec![0.0f32; t_n * h_n];
+
+        let mut h_prev = vec![0.0f32; h_n];
+        let mut c_prev = vec![0.0f32; h_n];
+
+        for t in 0..t_n {
+            let x = &input[t * c_n..(t + 1) * c_n];
+            let z = &mut gates[t * 4 * h_n..(t + 1) * 4 * h_n];
+            // z = Wx·x + Wh·h_prev + b
+            for (j, zj) in z.iter_mut().enumerate() {
+                let mut acc = self.b.w[j];
+                let wx_row = &self.wx.w[j * c_n..(j + 1) * c_n];
+                for (w, xv) in wx_row.iter().zip(x) {
+                    acc += w * xv;
+                }
+                let wh_row = &self.wh.w[j * h_n..(j + 1) * h_n];
+                for (w, hv) in wh_row.iter().zip(&h_prev) {
+                    acc += w * hv;
+                }
+                *zj = acc;
+            }
+            // Nonlinearities in place, then state update.
+            for k in 0..h_n {
+                let i_g = sigmoid(z[k]);
+                let f_g = sigmoid(z[h_n + k]);
+                let g_g = z[2 * h_n + k].tanh();
+                let o_g = sigmoid(z[3 * h_n + k]);
+                z[k] = i_g;
+                z[h_n + k] = f_g;
+                z[2 * h_n + k] = g_g;
+                z[3 * h_n + k] = o_g;
+                let c = f_g * c_prev[k] + i_g * g_g;
+                let tc = c.tanh();
+                cs[t * h_n + k] = c;
+                tanh_cs[t * h_n + k] = tc;
+                hs[t * h_n + k] = o_g * tc;
+            }
+            h_prev.copy_from_slice(&hs[t * h_n..(t + 1) * h_n]);
+            c_prev.copy_from_slice(&cs[t * h_n..(t + 1) * h_n]);
+        }
+
+        let out = h_prev.clone();
+        self.cache = Some(Cache {
+            xs: input.to_vec(),
+            gates,
+            cs,
+            tanh_cs,
+            hs,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.hidden, "lstm grad length");
+        let cache = self.cache.as_ref().expect("forward not called");
+        let (t_n, c_n, h_n) = (self.time, self.in_ch, self.hidden);
+
+        let mut grad_in = vec![0.0f32; t_n * c_n];
+        let mut dh = grad_out.to_vec();
+        let mut dc = vec![0.0f32; h_n];
+        let mut dz = vec![0.0f32; 4 * h_n];
+
+        for t in (0..t_n).rev() {
+            let gates = &cache.gates[t * 4 * h_n..(t + 1) * 4 * h_n];
+            let tanh_c = &cache.tanh_cs[t * h_n..(t + 1) * h_n];
+            let c_prev: &[f32] = if t == 0 {
+                &[]
+            } else {
+                &cache.cs[(t - 1) * h_n..t * h_n]
+            };
+            let h_prev: &[f32] = if t == 0 {
+                &[]
+            } else {
+                &cache.hs[(t - 1) * h_n..t * h_n]
+            };
+
+            for k in 0..h_n {
+                let i_g = gates[k];
+                let f_g = gates[h_n + k];
+                let g_g = gates[2 * h_n + k];
+                let o_g = gates[3 * h_n + k];
+                let tc = tanh_c[k];
+                let do_g = dh[k] * tc;
+                let dc_k = dc[k] + dh[k] * o_g * (1.0 - tc * tc);
+                let di = dc_k * g_g;
+                let dg = dc_k * i_g;
+                let cp = if t == 0 { 0.0 } else { c_prev[k] };
+                let df = dc_k * cp;
+                dc[k] = dc_k * f_g;
+                dz[k] = di * i_g * (1.0 - i_g);
+                dz[h_n + k] = df * f_g * (1.0 - f_g);
+                dz[2 * h_n + k] = dg * (1.0 - g_g * g_g);
+                dz[3 * h_n + k] = do_g * o_g * (1.0 - o_g);
+            }
+
+            // Parameter gradients and downstream gradients.
+            let x = &cache.xs[t * c_n..(t + 1) * c_n];
+            let dx = &mut grad_in[t * c_n..(t + 1) * c_n];
+            let mut dh_prev = vec![0.0f32; h_n];
+            for (j, &dzj) in dz.iter().enumerate() {
+                if dzj == 0.0 {
+                    continue;
+                }
+                self.b.g[j] += dzj;
+                let gx = &mut self.wx.g[j * c_n..(j + 1) * c_n];
+                let wx_row = &self.wx.w[j * c_n..(j + 1) * c_n];
+                for i in 0..c_n {
+                    gx[i] += dzj * x[i];
+                    dx[i] += dzj * wx_row[i];
+                }
+                if t > 0 {
+                    let gh = &mut self.wh.g[j * h_n..(j + 1) * h_n];
+                    let wh_row = &self.wh.w[j * h_n..(j + 1) * h_n];
+                    for k in 0..h_n {
+                        gh[k] += dzj * h_prev[k];
+                        dh_prev[k] += dzj * wh_row[k];
+                    }
+                }
+            }
+            dh = dh_prev;
+        }
+
+        grad_in
+    }
+
+    fn init_weights(&mut self, rng: &mut InitRng) {
+        self.wx.w = glorot_uniform(rng, self.in_ch, self.hidden, 4 * self.hidden * self.in_ch);
+        self.wh.w = glorot_uniform(rng, self.hidden, self.hidden, 4 * self.hidden * self.hidden);
+        self.b.w = vec![0.0; 4 * self.hidden];
+        // Forget-gate bias = 1.
+        for k in self.hidden..2 * self.hidden {
+            self.b.w[k] = 1.0;
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
+    }
+
+    fn param_count(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+
+    fn macs(&self) -> usize {
+        self.time * 4 * self.hidden * (self.in_ch + self.hidden)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn output_shape_and_counts() {
+        let l = Lstm::new(0, 40, 9, 32);
+        assert_eq!(l.input_len(), 360);
+        assert_eq!(l.output_len(), 32);
+        assert_eq!(l.param_count(), 4 * 32 * 9 + 4 * 32 * 32 + 4 * 32);
+        assert!(l.macs() > 0);
+    }
+
+    #[test]
+    fn zero_weights_give_zero_output() {
+        let mut l = Lstm::new(0, 3, 2, 4);
+        let out = l.forward(&[1.0; 6]);
+        // o-gate = σ(0) = 0.5, c = 0.5·tanh(0) = 0 → h = 0.
+        assert!(out.iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut l = Lstm::new(0, 3, 2, 4);
+        l.init_weights(&mut InitRng::new(1));
+        for k in 4..8 {
+            assert_eq!(l.b.w[k], 1.0);
+        }
+        assert_eq!(l.b.w[0], 0.0);
+    }
+
+    #[test]
+    fn gradient_check_small() {
+        let mut l = Lstm::new(0, 4, 3, 3);
+        l.init_weights(&mut InitRng::new(7));
+        let input: Vec<f32> = (0..12).map(|i| (i as f32 * 0.35).sin() * 0.8).collect();
+        check_layer(&mut l, &input, 3e-2);
+    }
+
+    #[test]
+    fn responds_to_temporal_order() {
+        let mut l = Lstm::new(0, 4, 1, 4);
+        l.init_weights(&mut InitRng::new(3));
+        let fwd = l.forward(&[1.0, 2.0, 3.0, 4.0]);
+        let rev = l.forward(&[4.0, 3.0, 2.0, 1.0]);
+        let diff: f32 = fwd.iter().zip(&rev).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "LSTM output should depend on order");
+    }
+
+    #[test]
+    fn bounded_output() {
+        let mut l = Lstm::new(0, 10, 2, 6);
+        l.init_weights(&mut InitRng::new(11));
+        let input: Vec<f32> = (0..20).map(|i| (i as f32) * 10.0).collect();
+        let out = l.forward(&input);
+        // h = o·tanh(c) ∈ (−1, 1).
+        assert!(out.iter().all(|v| v.abs() <= 1.0));
+    }
+}

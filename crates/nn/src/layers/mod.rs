@@ -1,0 +1,163 @@
+//! Network layers with manual forward/backward passes.
+//!
+//! All activations are flat `&[f32]` buffers; sequence data `[T × C]` is
+//! stored row-major (time-major). Shapes are fixed at construction time,
+//! so the hot path carries no shape objects. Every layer caches what its
+//! backward pass needs during `forward`.
+
+mod activation;
+mod conv;
+mod convlstm;
+mod dense;
+mod lstm;
+mod pool;
+mod split;
+
+pub use activation::{Relu, Sigmoid};
+pub use conv::Conv1d;
+pub use convlstm::ConvLstm;
+pub use dense::Dense;
+pub use lstm::Lstm;
+pub use pool::MaxPool1d;
+pub use split::{Branch, SplitConcat};
+
+use crate::init::InitRng;
+use crate::param::Param;
+
+/// A differentiable layer.
+///
+/// The contract: `backward` must be called at most once after each
+/// `forward`, with a gradient of length [`Layer::output_len`]; it
+/// accumulates parameter gradients and returns the gradient w.r.t. the
+/// layer input.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Short kind name (`"dense"`, `"conv1d"`, …).
+    fn kind(&self) -> &'static str;
+
+    /// Flattened input length.
+    fn input_len(&self) -> usize;
+
+    /// Flattened output length.
+    fn output_len(&self) -> usize;
+
+    /// Forward pass for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_len()`.
+    fn forward(&mut self, input: &[f32]) -> Vec<f32>;
+
+    /// Backward pass: accumulates parameter gradients, returns the
+    /// gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out.len() != self.output_len()` or `forward` was
+    /// never called.
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32>;
+
+    /// Initialises the layer's weights from the given RNG.
+    fn init_weights(&mut self, rng: &mut InitRng) {
+        let _ = rng;
+    }
+
+    /// Visits every trainable parameter block.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        let _ = f;
+    }
+
+    /// Number of trainable scalars.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Multiply–accumulate operations in one forward pass (drives the
+    /// MCU latency model).
+    fn macs(&self) -> usize {
+        0
+    }
+
+    /// Dynamic-typing hook for the quantizer.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable dynamic-typing hook for the quantizer's calibration pass.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Numerical gradient checking helper shared by the layer tests.
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    use super::Layer;
+
+    /// Checks `d(sum(alpha * output)) / d(input)` and parameter
+    /// gradients against central finite differences.
+    pub fn check_layer(layer: &mut dyn Layer, input: &[f32], tol: f32) {
+        let out_len = layer.output_len();
+        // Random-ish but deterministic upstream gradient.
+        let alpha: Vec<f32> = (0..out_len)
+            .map(|i| ((i * 2654435761) % 1000) as f32 / 500.0 - 1.0)
+            .collect();
+
+        // Analytic gradients.
+        layer.visit_params(&mut |p| p.zero_grad());
+        let _ = layer.forward(input);
+        let grad_in = layer.backward(&alpha);
+
+        let eps = 1e-3f32;
+        let loss = |layer: &mut dyn Layer, x: &[f32]| -> f32 {
+            layer
+                .forward(x)
+                .iter()
+                .zip(&alpha)
+                .map(|(o, a)| o * a)
+                .sum()
+        };
+
+        // Input gradient.
+        let mut x = input.to_vec();
+        for i in 0..x.len() {
+            let orig = x[i];
+            x[i] = orig + eps;
+            let lp = loss(layer, &x);
+            x[i] = orig - eps;
+            let lm = loss(layer, &x);
+            x[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad_in[i]).abs() <= tol * (1.0 + num.abs()),
+                "input grad [{i}]: numeric {num} vs analytic {}",
+                grad_in[i]
+            );
+        }
+
+        // Parameter gradients. Collect analytic copies first.
+        let mut analytic: Vec<(String, Vec<f32>)> = Vec::new();
+        layer.visit_params(&mut |p| analytic.push((p.name.clone(), p.g.clone())));
+        for (pi, (name, ga)) in analytic.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)]
+            for wi in 0..ga.len() {
+                // Perturb parameter wi of block pi.
+                let set = |layer: &mut dyn Layer, delta: f32| {
+                    let mut k = 0;
+                    layer.visit_params(&mut |p| {
+                        if k == pi {
+                            p.w[wi] += delta;
+                        }
+                        k += 1;
+                    });
+                };
+                set(layer, eps);
+                let lp = loss(layer, input);
+                set(layer, -2.0 * eps);
+                let lm = loss(layer, input);
+                set(layer, eps);
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - ga[wi]).abs() <= tol * (1.0 + num.abs()),
+                    "param {name}[{wi}]: numeric {num} vs analytic {}",
+                    ga[wi]
+                );
+            }
+        }
+    }
+}

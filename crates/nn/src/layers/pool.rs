@@ -1,0 +1,160 @@
+//! Max pooling over the time axis.
+
+use super::Layer;
+use crate::param::Param;
+
+/// Max pooling over time: input `[T × C]`, output `[⌊T/p⌋ × C]`,
+/// non-overlapping windows of `p` steps per channel.
+#[derive(Debug)]
+pub struct MaxPool1d {
+    time: usize,
+    ch: usize,
+    pool: usize,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool1d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool == 0`, `pool > time`, or any dimension is zero.
+    pub fn new(time: usize, ch: usize, pool: usize) -> Self {
+        assert!(
+            time > 0 && ch > 0 && pool > 0,
+            "maxpool dimensions must be positive"
+        );
+        assert!(pool <= time, "pool {pool} exceeds time {time}");
+        Self {
+            time,
+            ch,
+            pool,
+            argmax: Vec::new(),
+        }
+    }
+
+    /// Output length along time.
+    pub fn out_time(&self) -> usize {
+        self.time / self.pool
+    }
+
+    /// Pool width.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Channels.
+    pub fn channels(&self) -> usize {
+        self.ch
+    }
+
+    /// Input time steps.
+    pub fn in_time(&self) -> usize {
+        self.time
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn kind(&self) -> &'static str {
+        "maxpool1d"
+    }
+
+    fn input_len(&self) -> usize {
+        self.time * self.ch
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_time() * self.ch
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len(), "maxpool input length");
+        let t_out = self.out_time();
+        let mut out = vec![0.0f32; t_out * self.ch];
+        self.argmax = vec![0; t_out * self.ch];
+        for to in 0..t_out {
+            for c in 0..self.ch {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for k in 0..self.pool {
+                    let idx = (to * self.pool + k) * self.ch + c;
+                    if input[idx] > best {
+                        best = input[idx];
+                        best_idx = idx;
+                    }
+                }
+                out[to * self.ch + c] = best;
+                self.argmax[to * self.ch + c] = best_idx;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.output_len(), "maxpool grad length");
+        assert!(!self.argmax.is_empty(), "forward not called");
+        let mut grad_in = vec![0.0f32; self.input_len()];
+        for (o, &go) in grad_out.iter().enumerate() {
+            grad_in[self.argmax[o]] += go;
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_maximum_per_channel() {
+        let mut p = MaxPool1d::new(4, 2, 2);
+        let input = vec![
+            1.0, -5.0, // t=0
+            3.0, -1.0, // t=1
+            2.0, 0.0, // t=2
+            0.0, -2.0, // t=3
+        ];
+        let out = p.forward(&input);
+        assert_eq!(out, vec![3.0, -1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut p = MaxPool1d::new(4, 1, 2);
+        let _ = p.forward(&[1.0, 3.0, 5.0, 2.0]);
+        let gi = p.backward(&[1.0, 2.0]);
+        assert_eq!(gi, vec![0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn odd_length_drops_trailing_samples() {
+        let mut p = MaxPool1d::new(5, 1, 2);
+        assert_eq!(p.out_time(), 2);
+        let out = p.forward(&[1.0, 2.0, 3.0, 4.0, 99.0]);
+        assert_eq!(out, vec![2.0, 4.0]); // sample 4 ignored
+    }
+
+    #[test]
+    fn no_params_no_macs() {
+        let p = MaxPool1d::new(4, 2, 2);
+        assert_eq!(p.param_count(), 0);
+        assert_eq!(p.macs(), 0);
+        assert_eq!(p.kind(), "maxpool1d");
+    }
+
+    #[test]
+    #[should_panic(expected = "pool")]
+    fn rejects_pool_larger_than_time() {
+        let _ = MaxPool1d::new(2, 1, 3);
+    }
+}

@@ -1,0 +1,332 @@
+//! The paper's modality-split architecture: route channel subsets into
+//! parallel branch sub-networks and concatenate their outputs.
+//!
+//! The proposed CNN "splits the input matrix into three matrices, each
+//! with dimension n × 3" (accelerometer / gyroscope / Euler), runs each
+//! through Conv1D + MaxPool, and concatenates before the dense trunk.
+
+use super::Layer;
+use crate::init::InitRng;
+use crate::param::Param;
+
+/// One branch of a [`SplitConcat`]: a channel selection plus a stack of
+/// layers applied to the gathered `[T × |channels|]` sub-matrix.
+#[derive(Debug)]
+pub struct Branch {
+    channels: Vec<usize>,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Branch {
+    /// Creates a branch over the given input-channel indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty or `layers` is empty, or if the
+    /// layer chain's shapes do not line up.
+    pub fn new(channels: Vec<usize>, layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!channels.is_empty(), "branch needs at least one channel");
+        assert!(!layers.is_empty(), "branch needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_len(),
+                pair[1].input_len(),
+                "branch layer shapes do not chain"
+            );
+        }
+        Self { channels, layers }
+    }
+
+    /// The input-channel indices this branch consumes.
+    pub fn channels(&self) -> &[usize] {
+        &self.channels
+    }
+
+    /// The branch's layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable layer stack (quantizer calibration).
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Flattened output length of the branch.
+    pub fn output_len(&self) -> usize {
+        self.layers.last().expect("non-empty").output_len()
+    }
+
+    fn input_len(&self) -> usize {
+        self.layers.first().expect("non-empty").input_len()
+    }
+}
+
+/// Splits `[T × C]` input into channel groups, runs one sub-network per
+/// group, and concatenates the flattened outputs.
+#[derive(Debug)]
+pub struct SplitConcat {
+    time: usize,
+    in_ch: usize,
+    branches: Vec<Branch>,
+}
+
+impl SplitConcat {
+    /// Creates the split/concat layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch references a channel `>= in_ch`, or a
+    /// branch's first layer does not expect `time × |channels|` inputs.
+    pub fn new(time: usize, in_ch: usize, branches: Vec<Branch>) -> Self {
+        assert!(!branches.is_empty(), "split needs at least one branch");
+        for (i, b) in branches.iter().enumerate() {
+            assert!(
+                b.channels.iter().all(|&c| c < in_ch),
+                "branch {i} references channel out of range"
+            );
+            assert_eq!(
+                b.input_len(),
+                time * b.channels.len(),
+                "branch {i} first layer expects {} values, selection provides {}",
+                b.input_len(),
+                time * b.channels.len()
+            );
+        }
+        Self {
+            time,
+            in_ch,
+            branches,
+        }
+    }
+
+    /// The branches.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// Mutable branches (quantizer calibration).
+    pub(crate) fn branches_mut(&mut self) -> &mut [Branch] {
+        &mut self.branches
+    }
+
+    /// Input time steps.
+    pub fn in_time(&self) -> usize {
+        self.time
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Gathers the selected channels of a `[T × C]` input into a dense
+    /// `[T × |sel|]` buffer.
+    pub fn gather(&self, input: &[f32], branch: usize) -> Vec<f32> {
+        let sel = &self.branches[branch].channels;
+        let mut out = Vec::with_capacity(self.time * sel.len());
+        for t in 0..self.time {
+            let row = &input[t * self.in_ch..(t + 1) * self.in_ch];
+            for &c in sel {
+                out.push(row[c]);
+            }
+        }
+        out
+    }
+}
+
+impl Layer for SplitConcat {
+    fn kind(&self) -> &'static str {
+        "split_concat"
+    }
+
+    fn input_len(&self) -> usize {
+        self.time * self.in_ch
+    }
+
+    fn output_len(&self) -> usize {
+        self.branches.iter().map(Branch::output_len).sum()
+    }
+
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len(), "split input length");
+        let mut out = Vec::with_capacity(self.output_len());
+        for bi in 0..self.branches.len() {
+            let mut x = self.gather(input, bi);
+            for layer in &mut self.branches[bi].layers {
+                x = layer.forward(&x);
+            }
+            out.extend_from_slice(&x);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.output_len(), "split grad length");
+        let mut grad_in = vec![0.0f32; self.input_len()];
+        let mut offset = 0;
+        for branch in &mut self.branches {
+            let blen = branch.output_len();
+            let mut g = grad_out[offset..offset + blen].to_vec();
+            offset += blen;
+            for layer in branch.layers.iter_mut().rev() {
+                g = layer.backward(&g);
+            }
+            // Scatter the branch input gradient back onto the selected
+            // channels (accumulating, in case channels are shared).
+            let sel = &branch.channels;
+            for t in 0..self.time {
+                for (j, &c) in sel.iter().enumerate() {
+                    grad_in[t * self.in_ch + c] += g[t * sel.len() + j];
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn init_weights(&mut self, rng: &mut InitRng) {
+        for b in &mut self.branches {
+            for layer in &mut b.layers {
+                layer.init_weights(rng);
+            }
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for b in &mut self.branches {
+            for layer in &mut b.layers {
+                layer.visit_params(f);
+            }
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.branches
+            .iter()
+            .flat_map(|b| b.layers.iter())
+            .map(|l| l.param_count())
+            .sum()
+    }
+
+    fn macs(&self) -> usize {
+        self.branches
+            .iter()
+            .flat_map(|b| b.layers.iter())
+            .map(|l| l.macs())
+            .sum()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+    use crate::layers::{Conv1d, Dense, MaxPool1d, Relu};
+
+    fn two_branch() -> SplitConcat {
+        // Input [4 × 3]; branch A takes channels 0,1 through a dense
+        // layer; branch B takes channel 2 through conv+pool.
+        let mut d = Dense::new(0, 8, 3);
+        d.init_weights(&mut InitRng::new(1));
+        let mut c = Conv1d::new(1, 4, 1, 2, 2);
+        c.init_weights(&mut InitRng::new(2));
+        let p = MaxPool1d::new(3, 2, 3);
+        SplitConcat::new(
+            4,
+            3,
+            vec![
+                Branch::new(vec![0, 1], vec![Box::new(d)]),
+                Branch::new(
+                    vec![2],
+                    vec![Box::new(c), Box::new(Relu::new(6)), Box::new(p)],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn shapes() {
+        let s = two_branch();
+        assert_eq!(s.input_len(), 12);
+        assert_eq!(s.output_len(), 3 + 2);
+        assert!(s.param_count() > 0);
+    }
+
+    #[test]
+    fn gather_selects_channels() {
+        let s = two_branch();
+        let input: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        // Channel layout per row: [c0, c1, c2].
+        assert_eq!(
+            s.gather(&input, 0),
+            vec![0.0, 1.0, 3.0, 4.0, 6.0, 7.0, 9.0, 10.0]
+        );
+        assert_eq!(s.gather(&input, 1), vec![2.0, 5.0, 8.0, 11.0]);
+    }
+
+    #[test]
+    fn forward_concatenates_branch_outputs() {
+        let mut s = two_branch();
+        let input: Vec<f32> = (0..12).map(|i| (i as f32 * 0.3).sin()).collect();
+        let out = s.forward(&input);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut s = two_branch();
+        let input: Vec<f32> = (0..12).map(|i| (i as f32 * 0.4).cos()).collect();
+        check_layer(&mut s, &input, 3e-2);
+    }
+
+    #[test]
+    fn paper_three_branch_architecture_shapes() {
+        // n = 40 (400 ms), three n×3 branches, Conv1D(16, k=5) + MaxPool(2).
+        let mk_branch = |idx: usize, sel: Vec<usize>| {
+            let conv = Conv1d::new(idx, 40, 3, 16, 5);
+            let relu = Relu::new(36 * 16);
+            let pool = MaxPool1d::new(36, 16, 2);
+            Branch::new(
+                sel,
+                vec![
+                    Box::new(conv) as Box<dyn Layer>,
+                    Box::new(relu),
+                    Box::new(pool),
+                ],
+            )
+        };
+        let s = SplitConcat::new(
+            40,
+            9,
+            vec![
+                mk_branch(0, vec![0, 1, 2]),
+                mk_branch(1, vec![3, 4, 5]),
+                mk_branch(2, vec![6, 7, 8]),
+            ],
+        );
+        assert_eq!(s.output_len(), 3 * 18 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_channel_out_of_range() {
+        let d = Dense::new(0, 4, 1);
+        let _ = SplitConcat::new(4, 3, vec![Branch::new(vec![3], vec![Box::new(d)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn rejects_mismatched_branch_input() {
+        let d = Dense::new(0, 5, 1);
+        let _ = SplitConcat::new(4, 3, vec![Branch::new(vec![0], vec![Box::new(d)])]);
+    }
+}

@@ -1,0 +1,53 @@
+//! A from-scratch neural-network stack for the pre-impact fall-detection
+//! reproduction.
+//!
+//! The paper builds its models in TensorFlow/Keras and deploys through
+//! 8-bit post-training quantization. This crate reimplements the needed
+//! subset natively:
+//!
+//! * [`layers`] — `Dense`, `Conv1d`, `MaxPool1d`, `Relu`, `Flatten`, the
+//!   3-way [`layers::SplitConcat`] used by the paper's branch
+//!   architecture, plus `Lstm` and `ConvLstm` for the baselines.
+//! * [`network`] — sequential composition with shape checking at build
+//!   time, single-sample forward/backward (mini-batching lives in
+//!   [`train`]).
+//! * [`loss`] — weighted binary cross-entropy on logits (class weights +
+//!   output-bias initialisation are how the paper fights the ~3 % class
+//!   imbalance).
+//! * [`optim`] — SGD with momentum and Adam.
+//! * [`train`] — mini-batch training with shuffling, validation-loss
+//!   early stopping (patience, restore-best), epoch history.
+//! * [`quant`] — TFLite-style int8 post-training quantization with
+//!   per-channel symmetric weights, per-tensor affine activations and
+//!   i32 accumulators, plus flash/RAM footprint accounting.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), prefall_nn::NnError> {
+//! let mut net = prefall_nn::network::Network::builder(vec![4])
+//!     .dense(8)?
+//!     .relu()
+//!     .dense(1)?
+//!     .build(7);
+//! let out = net.forward(&[0.1, -0.2, 0.3, 0.4]);
+//! assert_eq!(out.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod param;
+pub mod quant;
+pub mod serialize;
+pub mod train;
+
+mod error;
+
+pub use error::NnError;

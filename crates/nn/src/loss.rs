@@ -1,0 +1,226 @@
+//! Weighted binary cross-entropy on logits, plus the paper's imbalance
+//! countermeasures (class weights, output-bias initialisation).
+
+/// Numerically stable `log(1 + e^x)`.
+fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        0.0
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// The logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy computed from logits with per-class weights.
+///
+/// The paper trains with "different weights" per class to counter the
+/// ~3 % fall-segment share. With weights `(1, 1)` this is plain BCE.
+///
+/// # Example
+///
+/// ```
+/// use prefall_nn::loss::WeightedBce;
+///
+/// let loss = WeightedBce::balanced(30, 970); // 3% positives
+/// assert!(loss.pos_weight() > loss.neg_weight());
+/// let l = loss.loss(0.0, 1.0);
+/// assert!(l > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedBce {
+    pos_weight: f32,
+    neg_weight: f32,
+}
+
+impl WeightedBce {
+    /// Unweighted BCE.
+    pub fn unweighted() -> Self {
+        Self {
+            pos_weight: 1.0,
+            neg_weight: 1.0,
+        }
+    }
+
+    /// Explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both weights are positive and finite.
+    pub fn new(pos_weight: f32, neg_weight: f32) -> Self {
+        assert!(
+            pos_weight > 0.0 && pos_weight.is_finite(),
+            "positive-class weight must be positive"
+        );
+        assert!(
+            neg_weight > 0.0 && neg_weight.is_finite(),
+            "negative-class weight must be positive"
+        );
+        Self {
+            pos_weight,
+            neg_weight,
+        }
+    }
+
+    /// "Balanced" weights from class counts:
+    /// `w_c = total / (2 · n_c)` — each class contributes half the total
+    /// loss mass regardless of imbalance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either count is zero.
+    pub fn balanced(n_pos: usize, n_neg: usize) -> Self {
+        assert!(n_pos > 0 && n_neg > 0, "both classes must be represented");
+        let total = (n_pos + n_neg) as f32;
+        Self::new(total / (2.0 * n_pos as f32), total / (2.0 * n_neg as f32))
+    }
+
+    /// Weight applied to positive (falling) samples.
+    pub fn pos_weight(&self) -> f32 {
+        self.pos_weight
+    }
+
+    /// Weight applied to negative (ADL) samples.
+    pub fn neg_weight(&self) -> f32 {
+        self.neg_weight
+    }
+
+    /// The weight for a target `y ∈ {0, 1}`.
+    fn weight(&self, y: f32) -> f32 {
+        if y >= 0.5 {
+            self.pos_weight
+        } else {
+            self.neg_weight
+        }
+    }
+
+    /// Loss for one (logit, target) pair; stable for large |logit|.
+    pub fn loss(&self, logit: f32, y: f32) -> f32 {
+        // BCE(z, y) = max(z,0) − z·y + log(1 + e^{−|z|})
+        self.weight(y) * (logit.max(0.0) - logit * y + softplus(-logit.abs()))
+    }
+
+    /// `d loss / d logit` for one pair: `w · (σ(z) − y)`.
+    pub fn dloss_dlogit(&self, logit: f32, y: f32) -> f32 {
+        self.weight(y) * (sigmoid(logit) - y)
+    }
+
+    /// Mean loss over a slice of logits/targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or the slices are empty.
+    pub fn mean_loss(&self, logits: &[f32], ys: &[f32]) -> f32 {
+        assert_eq!(logits.len(), ys.len(), "length mismatch");
+        assert!(!logits.is_empty(), "empty batch");
+        logits
+            .iter()
+            .zip(ys)
+            .map(|(&z, &y)| self.loss(z, y))
+            .sum::<f32>()
+            / logits.len() as f32
+    }
+}
+
+/// The paper's output-bias initialisation (Eq. 1):
+/// `b = log(p / (1 − p))` where `p` is the positive-class prior (Eq. 2).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn initial_output_bias(p_positive: f64) -> f32 {
+    assert!(
+        p_positive > 0.0 && p_positive < 1.0,
+        "class prior must be in (0, 1)"
+    );
+    (p_positive / (1.0 - p_positive)).ln() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_matches_reference_values() {
+        let l = WeightedBce::unweighted();
+        // z = 0 → σ = 0.5 → loss = ln 2 for either class.
+        assert!((l.loss(0.0, 1.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((l.loss(0.0, 0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        // Confident correct prediction → near-zero loss.
+        assert!(l.loss(10.0, 1.0) < 1e-3);
+        assert!(l.loss(-10.0, 0.0) < 1e-3);
+        // Confident wrong prediction → large loss ≈ |z|.
+        assert!((l.loss(-10.0, 1.0) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn loss_is_stable_for_extreme_logits() {
+        let l = WeightedBce::unweighted();
+        for &z in &[-1e4f32, -100.0, 100.0, 1e4] {
+            assert!(l.loss(z, 1.0).is_finite());
+            assert!(l.loss(z, 0.0).is_finite());
+            assert!(l.dloss_dlogit(z, 1.0).is_finite());
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let l = WeightedBce::new(3.0, 0.5);
+        for &z in &[-2.0f32, -0.5, 0.0, 0.7, 2.5] {
+            for &y in &[0.0f32, 1.0] {
+                let eps = 1e-3;
+                let num = (l.loss(z + eps, y) - l.loss(z - eps, y)) / (2.0 * eps);
+                let ana = l.dloss_dlogit(z, y);
+                assert!((num - ana).abs() < 1e-3, "z={z} y={y}: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_weights_equalise_class_mass() {
+        let l = WeightedBce::balanced(10, 990);
+        // Total positive mass = total negative mass.
+        let pos_mass = l.pos_weight() * 10.0;
+        let neg_mass = l.neg_weight() * 990.0;
+        assert!((pos_mass - neg_mass).abs() < 1e-3);
+    }
+
+    #[test]
+    fn initial_bias_matches_prior() {
+        // p = 0.5 → b = 0; p = 0.036 (the paper's fall share) → b ≈ −3.29.
+        assert!(initial_output_bias(0.5).abs() < 1e-7);
+        let b = initial_output_bias(0.036);
+        assert!((f64::from(b) - (-3.287)).abs() < 0.01, "b = {b}");
+        // σ(b) recovers the prior.
+        assert!((f64::from(sigmoid(b)) - 0.036).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "class prior")]
+    fn initial_bias_rejects_degenerate_prior() {
+        let _ = initial_output_bias(0.0);
+    }
+
+    #[test]
+    fn mean_loss_averages() {
+        let l = WeightedBce::unweighted();
+        let m = l.mean_loss(&[0.0, 0.0], &[1.0, 0.0]);
+        assert!((m - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn balanced_rejects_empty_class() {
+        let _ = WeightedBce::balanced(0, 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Optimizers: SGD with momentum and Adam.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// Which optimizer a training run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+    },
+    /// Adam with the standard defaults `β₁ = 0.9`, `β₂ = 0.999`.
+    Adam,
+}
+
+/// An optimizer instance holding hyper-parameters and the step counter.
+///
+/// Per-parameter state (momentum / moments) lives inside each
+/// [`Param`]'s `s1`/`s2` slots, so one optimizer can drive any network.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    lr: f32,
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr` is positive and finite.
+    pub fn new(kind: OptimizerKind, lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Self { kind, lr, t: 0 }
+    }
+
+    /// Adam with the given learning rate.
+    pub fn adam(lr: f32) -> Self {
+        Self::new(OptimizerKind::Adam, lr)
+    }
+
+    /// SGD with momentum 0.9.
+    pub fn sgd(lr: f32) -> Self {
+        Self::new(OptimizerKind::Sgd { momentum: 0.9 }, lr)
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Advances the global step counter; call once per mini-batch before
+    /// stepping parameters.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one update to a parameter block using its accumulated
+    /// gradient. The gradient is left untouched (zero it per batch).
+    pub fn step(&self, p: &mut Param) {
+        match self.kind {
+            OptimizerKind::Sgd { momentum } => {
+                if momentum == 0.0 {
+                    for (w, &g) in p.w.iter_mut().zip(&p.g) {
+                        *w -= self.lr * g;
+                    }
+                } else {
+                    p.ensure_state();
+                    for i in 0..p.w.len() {
+                        p.s1[i] = momentum * p.s1[i] + p.g[i];
+                        p.w[i] -= self.lr * p.s1[i];
+                    }
+                }
+            }
+            OptimizerKind::Adam => {
+                p.ensure_state();
+                let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+                let t = self.t.max(1) as i32;
+                let bc1 = 1.0 - b1.powi(t);
+                let bc2 = 1.0 - b2.powi(t);
+                for i in 0..p.w.len() {
+                    let g = p.g[i];
+                    p.s1[i] = b1 * p.s1[i] + (1.0 - b1) * g;
+                    p.s2[i] = b2 * p.s2[i] + (1.0 - b2) * g * g;
+                    let m_hat = p.s1[i] / bc1;
+                    let v_hat = p.s2[i] / bc2;
+                    p.w[i] -= self.lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(mut opt: Optimizer, steps: usize) -> f32 {
+        // Minimise f(w) = (w - 3)², starting from 0.
+        let mut p = Param::new("w", vec![0.0]);
+        for _ in 0..steps {
+            p.zero_grad();
+            p.g[0] = 2.0 * (p.w[0] - 3.0);
+            opt.begin_step();
+            opt.step(&mut p);
+        }
+        p.w[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = quadratic_descent(
+            Optimizer::new(OptimizerKind::Sgd { momentum: 0.0 }, 0.1),
+            100,
+        );
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = quadratic_descent(Optimizer::sgd(0.02), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = quadratic_descent(Optimizer::adam(0.1), 500);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, Adam's first step ≈ lr regardless of
+        // gradient magnitude.
+        let mut opt = Optimizer::adam(0.01);
+        let mut p = Param::new("w", vec![0.0]);
+        p.g[0] = 1234.0;
+        opt.begin_step();
+        opt.step(&mut p);
+        assert!((p.w[0] + 0.01).abs() < 1e-4, "step {}", p.w[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_lr() {
+        let _ = Optimizer::adam(0.0);
+    }
+
+    #[test]
+    fn zero_gradient_is_fixed_point_for_sgd() {
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum: 0.0 }, 0.1);
+        let mut p = Param::new("w", vec![5.0]);
+        opt.begin_step();
+        opt.step(&mut p);
+        assert_eq!(p.w[0], 5.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Trainable parameter storage.
+//!
+//! Every layer owns its parameters as [`Param`] blocks: the weights, the
+//! gradient accumulator, and two optimizer-state slots (momentum /
+//! first-and-second Adam moments). Optimizers and the serializer walk a
+//! network's parameters through [`crate::network::Network::visit_params`].
+
+/// One block of trainable parameters (e.g. a layer's weight matrix or
+/// bias vector) together with its gradient and optimizer state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Stable name for serialization, e.g. `"dense0.w"`.
+    pub name: String,
+    /// The parameter values.
+    pub w: Vec<f32>,
+    /// Gradient accumulator (same length as `w`).
+    pub g: Vec<f32>,
+    /// Optimizer slot 1 (momentum / Adam m), lazily sized.
+    pub s1: Vec<f32>,
+    /// Optimizer slot 2 (Adam v), lazily sized.
+    pub s2: Vec<f32>,
+}
+
+impl Param {
+    /// Creates a parameter block from initial values.
+    pub fn new(name: impl Into<String>, w: Vec<f32>) -> Self {
+        let g = vec![0.0; w.len()];
+        Self {
+            name: name.into(),
+            w,
+            g,
+            s1: Vec::new(),
+            s2: Vec::new(),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// `true` for an empty block.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.g {
+            *g = 0.0;
+        }
+    }
+
+    /// Scales accumulated gradients (e.g. by `1/batch_size`).
+    pub fn scale_grad(&mut self, k: f32) {
+        for g in &mut self.g {
+            *g *= k;
+        }
+    }
+
+    /// Ensures the optimizer slots are allocated.
+    pub fn ensure_state(&mut self) {
+        if self.s1.len() != self.w.len() {
+            self.s1 = vec![0.0; self.w.len()];
+        }
+        if self.s2.len() != self.w.len() {
+            self.s2 = vec![0.0; self.w.len()];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grads() {
+        let p = Param::new("w", vec![1.0, 2.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.g, vec![0.0, 0.0]);
+        assert!(p.s1.is_empty());
+    }
+
+    #[test]
+    fn zero_and_scale_grad() {
+        let mut p = Param::new("w", vec![1.0; 3]);
+        p.g = vec![2.0, 4.0, 6.0];
+        p.scale_grad(0.5);
+        assert_eq!(p.g, vec![1.0, 2.0, 3.0]);
+        p.zero_grad();
+        assert_eq!(p.g, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn ensure_state_sizes_slots() {
+        let mut p = Param::new("w", vec![0.0; 5]);
+        p.ensure_state();
+        assert_eq!(p.s1.len(), 5);
+        assert_eq!(p.s2.len(), 5);
+    }
+}

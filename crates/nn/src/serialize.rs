@@ -1,0 +1,174 @@
+//! Weight (de)serialisation to a compact binary blob.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "PFNN" | u32 version | u32 n_blocks |
+//!   per block: u32 name_len | name bytes | u32 len | f32 × len
+//! ```
+
+use crate::network::Network;
+use crate::NnError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"PFNN";
+const VERSION: u32 = 1;
+
+/// Serialises a network's parameters.
+pub fn save_weights(net: &mut Network) -> Bytes {
+    let mut blocks: Vec<(String, Vec<f32>)> = Vec::new();
+    net.visit_params(&mut |p| blocks.push((p.name.clone(), p.w.clone())));
+
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(blocks.len() as u32);
+    for (name, w) in blocks {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u32_le(w.len() as u32);
+        for v in w {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Loads parameters saved by [`save_weights`] into a structurally
+/// identical network.
+///
+/// # Errors
+///
+/// Returns [`NnError::WeightMismatch`] on a malformed blob or any
+/// name/size disagreement with the target network.
+pub fn load_weights(net: &mut Network, blob: &[u8]) -> Result<(), NnError> {
+    let mut buf = blob;
+    let fail = |reason: &str| NnError::WeightMismatch {
+        reason: reason.to_string(),
+    };
+    if buf.remaining() < 12 || &buf[..4] != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    buf.advance(4);
+    if buf.get_u32_le() != VERSION {
+        return Err(fail("unsupported version"));
+    }
+    let n_blocks = buf.get_u32_le() as usize;
+
+    let mut blocks: Vec<(String, Vec<f32>)> = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        if buf.remaining() < 4 {
+            return Err(fail("truncated blob"));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len + 4 {
+            return Err(fail("truncated name"));
+        }
+        let name =
+            String::from_utf8(buf[..name_len].to_vec()).map_err(|_| fail("name is not utf-8"))?;
+        buf.advance(name_len);
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len * 4 {
+            return Err(fail("truncated weights"));
+        }
+        let mut w = Vec::with_capacity(len);
+        for _ in 0..len {
+            w.push(buf.get_f32_le());
+        }
+        blocks.push((name, w));
+    }
+
+    // Apply, verifying structure.
+    let mut i = 0;
+    let mut error: Option<NnError> = None;
+    net.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        match blocks.get(i) {
+            Some((name, w)) if *name == p.name && w.len() == p.w.len() => {
+                p.w.copy_from_slice(w);
+            }
+            Some((name, w)) => {
+                error = Some(NnError::WeightMismatch {
+                    reason: format!(
+                        "block {i}: expected {} × {}, blob has {name} × {}",
+                        p.name,
+                        p.w.len(),
+                        w.len()
+                    ),
+                });
+            }
+            None => {
+                error = Some(NnError::WeightMismatch {
+                    reason: format!("blob has too few blocks (network wants > {i})"),
+                });
+            }
+        }
+        i += 1;
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if i != blocks.len() {
+        return Err(fail("blob has extra blocks"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    fn make_net(seed: u64) -> Network {
+        Network::builder(vec![6])
+            .dense(4)
+            .unwrap()
+            .relu()
+            .dense(1)
+            .unwrap()
+            .build(seed)
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let mut a = make_net(1);
+        let blob = save_weights(&mut a);
+        let mut b = make_net(999); // different init
+        load_weights(&mut b, &blob).unwrap();
+        let x = vec![0.3; 6];
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn rejects_corrupt_blobs() {
+        let mut net = make_net(1);
+        assert!(load_weights(&mut net, b"nope").is_err());
+        let blob = save_weights(&mut net);
+        let mut truncated = blob.to_vec();
+        truncated.truncate(blob.len() - 5);
+        assert!(load_weights(&mut net, &truncated).is_err());
+        let mut bad_magic = blob.to_vec();
+        bad_magic[0] = b'X';
+        assert!(load_weights(&mut net, &bad_magic).is_err());
+    }
+
+    #[test]
+    fn rejects_structural_mismatch() {
+        let mut a = make_net(1);
+        let blob = save_weights(&mut a);
+        let mut different = Network::builder(vec![6]).dense(5).unwrap().build(1);
+        assert!(load_weights(&mut different, &blob).is_err());
+    }
+
+    #[test]
+    fn blob_size_is_reasonable() {
+        let mut net = make_net(1);
+        let blob = save_weights(&mut net);
+        // 4 blocks (2 dense × w+b), parameters 6*4+4+4*1+1 = 33 floats.
+        let float_bytes = 33 * 4;
+        assert!(blob.len() >= float_bytes);
+        assert!(blob.len() < float_bytes + 200, "blob {} bytes", blob.len());
+    }
+}

@@ -1,0 +1,492 @@
+//! Mini-batch training with early stopping.
+//!
+//! Mirrors the paper's §III-C: up to 200 epochs, early stopping on
+//! validation loss with patience 20, restoring the best epoch's weights;
+//! class weights and output-bias initialisation handle the imbalance.
+
+use crate::loss::WeightedBce;
+use crate::network::Network;
+use crate::optim::{Optimizer, OptimizerKind};
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum epochs (paper: 200).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// Early-stopping patience in epochs (paper: 20); `None` disables
+    /// early stopping.
+    pub patience: Option<usize>,
+    /// Shuffle seed (shuffling order is deterministic given this).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's configuration, with a scaled-down epoch budget
+    /// suitable for CPU runs (`epochs` replaces the paper's 200).
+    pub fn paper(epochs: usize) -> Self {
+        Self {
+            epochs,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            optimizer: OptimizerKind::Adam,
+            patience: Some(20),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean weighted training loss.
+    pub train_loss: f32,
+    /// Mean weighted validation loss (`NaN`-free; equals train loss when
+    /// no validation set was given).
+    pub val_loss: f32,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+    /// Epoch whose weights the network ended with.
+    pub best_epoch: usize,
+    /// Whether early stopping fired.
+    pub early_stopped: bool,
+    /// Loss history.
+    pub history: Vec<EpochStats>,
+}
+
+/// A borrowed training set: row-major samples and binary labels.
+#[derive(Debug, Clone, Copy)]
+pub struct DataRef<'a> {
+    /// Samples, each of the network's input length.
+    pub x: &'a [Vec<f32>],
+    /// Labels in `{0.0, 1.0}`, same length as `x`.
+    pub y: &'a [f32],
+}
+
+impl<'a> DataRef<'a> {
+    /// Creates a data reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ.
+    pub fn new(x: &'a [Vec<f32>], y: &'a [f32]) -> Self {
+        assert_eq!(x.len(), y.len(), "samples and labels must pair up");
+        Self { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// A tiny deterministic shuffler (xorshift) for epoch ordering.
+fn shuffle_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let j = (s % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Trains a network in place.
+///
+/// Returns the epoch history; on completion the network holds the
+/// best-validation-loss weights (when early stopping is enabled) or the
+/// final weights otherwise.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidTraining`] for an empty training set, zero
+/// batch size or zero epochs, and [`NnError::ShapeMismatch`] when sample
+/// lengths do not match the network input.
+pub fn train(
+    net: &mut Network,
+    train_data: DataRef<'_>,
+    val_data: Option<DataRef<'_>>,
+    loss: WeightedBce,
+    config: &TrainConfig,
+) -> Result<TrainReport, NnError> {
+    if train_data.is_empty() {
+        return Err(NnError::InvalidTraining {
+            reason: "training set is empty".to_string(),
+        });
+    }
+    if config.batch_size == 0 || config.epochs == 0 {
+        return Err(NnError::InvalidTraining {
+            reason: "batch size and epochs must be positive".to_string(),
+        });
+    }
+    let in_len = net.input_len();
+    if let Some(bad) = train_data.x.iter().find(|s| s.len() != in_len) {
+        return Err(NnError::ShapeMismatch {
+            expected: in_len,
+            actual: bad.len(),
+        });
+    }
+    if net.output_len() != 1 {
+        return Err(NnError::InvalidTraining {
+            reason: format!(
+                "binary training expects a single logit output, network has {}",
+                net.output_len()
+            ),
+        });
+    }
+
+    let mut optimizer = Optimizer::new(config.optimizer, config.learning_rate);
+    let mut history = Vec::with_capacity(config.epochs);
+    let mut best_val = f32::INFINITY;
+    let mut best_epoch = 0;
+    let mut best_snapshot: Option<Vec<Vec<f32>>> = None;
+    let mut since_best = 0usize;
+    let mut early_stopped = false;
+
+    for epoch in 0..config.epochs {
+        let order = shuffle_indices(train_data.len(), config.seed ^ (epoch as u64) << 17);
+        let mut epoch_loss = 0.0f64;
+
+        for batch in order.chunks(config.batch_size) {
+            net.zero_grads();
+            for &i in batch {
+                let logit = net.forward(&train_data.x[i])[0];
+                let y = train_data.y[i];
+                epoch_loss += f64::from(loss.loss(logit, y));
+                let dl = loss.dloss_dlogit(logit, y);
+                let _ = net.backward(&[dl]);
+            }
+            net.scale_grads(1.0 / batch.len() as f32);
+            optimizer.begin_step();
+            net.visit_params(&mut |p| optimizer.step(p));
+        }
+        let train_loss = (epoch_loss / train_data.len() as f64) as f32;
+
+        let val_loss = match val_data {
+            Some(v) if !v.is_empty() => evaluate_loss(net, v, loss),
+            _ => train_loss,
+        };
+        history.push(EpochStats {
+            epoch,
+            train_loss,
+            val_loss,
+        });
+
+        if val_loss < best_val {
+            best_val = val_loss;
+            best_epoch = epoch;
+            since_best = 0;
+            if config.patience.is_some() {
+                best_snapshot = Some(net.snapshot());
+            }
+        } else {
+            since_best += 1;
+            if let Some(patience) = config.patience {
+                if since_best >= patience {
+                    early_stopped = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if let Some(snap) = best_snapshot {
+        net.restore(&snap);
+    }
+
+    Ok(TrainReport {
+        epochs_run: history.len(),
+        best_epoch,
+        early_stopped,
+        history,
+    })
+}
+
+/// Mean weighted loss of a network over a dataset (no gradients).
+pub fn evaluate_loss(net: &mut Network, data: DataRef<'_>, loss: WeightedBce) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (x, &y) in data.x.iter().zip(data.y) {
+        let logit = net.forward(x)[0];
+        total += f64::from(loss.loss(logit, y));
+    }
+    (total / data.len() as f64) as f32
+}
+
+/// Sigmoid probabilities of a network over a dataset.
+pub fn predict_proba(net: &mut Network, xs: &[Vec<f32>]) -> Vec<f32> {
+    xs.iter()
+        .map(|x| crate::loss::sigmoid(net.forward(x)[0]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    /// A linearly separable toy problem: y = 1 iff x0 + x1 > 0.
+    fn toy_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 2000) as f32 / 1000.0 - 1.0
+        };
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = next();
+            let b = next();
+            xs.push(vec![a, b]);
+            ys.push(if a + b > 0.0 { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    fn accuracy(net: &mut Network, xs: &[Vec<f32>], ys: &[f32]) -> f64 {
+        let p = predict_proba(net, xs);
+        let correct = p
+            .iter()
+            .zip(ys)
+            .filter(|(&p, &y)| (p > 0.5) == (y > 0.5))
+            .count();
+        correct as f64 / ys.len() as f64
+    }
+
+    #[test]
+    fn learns_linearly_separable_problem() {
+        let (xs, ys) = toy_data(400, 3);
+        let mut net = Network::builder(vec![2])
+            .dense(8)
+            .unwrap()
+            .relu()
+            .dense(1)
+            .unwrap()
+            .build(7);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            learning_rate: 0.01,
+            optimizer: OptimizerKind::Adam,
+            patience: None,
+            seed: 1,
+        };
+        let report = train(
+            &mut net,
+            DataRef::new(&xs, &ys),
+            None,
+            WeightedBce::unweighted(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(report.epochs_run, 30);
+        let acc = accuracy(&mut net, &xs, &ys);
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Loss decreased substantially.
+        assert!(report.history.last().unwrap().train_loss < 0.5 * report.history[0].train_loss);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let (xs, ys) = toy_data(200, 5);
+        let (vx, vy) = toy_data(80, 11);
+        let mut net = Network::builder(vec![2])
+            .dense(4)
+            .unwrap()
+            .relu()
+            .dense(1)
+            .unwrap()
+            .build(3);
+        let cfg = TrainConfig {
+            epochs: 200,
+            // Huge LR to force divergence after initial progress.
+            learning_rate: 0.5,
+            batch_size: 8,
+            optimizer: OptimizerKind::Adam,
+            patience: Some(5),
+            seed: 2,
+        };
+        let report = train(
+            &mut net,
+            DataRef::new(&xs, &ys),
+            Some(DataRef::new(&vx, &vy)),
+            WeightedBce::unweighted(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(report.epochs_run <= 200);
+        // The network's final weights correspond to the best epoch.
+        let best = report
+            .history
+            .iter()
+            .map(|e| e.val_loss)
+            .fold(f32::INFINITY, f32::min);
+        let final_loss = evaluate_loss(&mut net, DataRef::new(&vx, &vy), WeightedBce::unweighted());
+        assert!(
+            (final_loss - best).abs() < 1e-4,
+            "final {final_loss} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn class_weights_shift_decision_toward_minority() {
+        // 95/5 imbalance: unweighted training predicts mostly negative;
+        // balanced weights should recover much better positive recall.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut s = 17u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f32 / 1000.0
+        };
+        for i in 0..400 {
+            if i % 20 == 0 {
+                // Minority positives live slightly above the boundary.
+                xs.push(vec![0.55 + 0.3 * next(), next()]);
+                ys.push(1.0);
+            } else {
+                xs.push(vec![0.45 * next(), next()]);
+                ys.push(0.0);
+            }
+        }
+        let n_pos = ys.iter().filter(|&&y| y > 0.5).count();
+        let n_neg = ys.len() - n_pos;
+
+        let run = |loss: WeightedBce| {
+            let mut net = Network::builder(vec![2])
+                .dense(8)
+                .unwrap()
+                .relu()
+                .dense(1)
+                .unwrap()
+                .build(9);
+            let cfg = TrainConfig {
+                epochs: 25,
+                batch_size: 16,
+                learning_rate: 0.01,
+                optimizer: OptimizerKind::Adam,
+                patience: None,
+                seed: 3,
+            };
+            train(&mut net, DataRef::new(&xs, &ys), None, loss, &cfg).unwrap();
+            // Positive recall.
+            let p = predict_proba(&mut net, &xs);
+            let tp = p
+                .iter()
+                .zip(&ys)
+                .filter(|(&p, &y)| y > 0.5 && p > 0.5)
+                .count();
+            tp as f64 / n_pos as f64
+        };
+
+        let recall_weighted = run(WeightedBce::balanced(n_pos, n_neg));
+        assert!(recall_weighted > 0.8, "weighted recall {recall_weighted}");
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (xs, ys) = toy_data(10, 1);
+        let mut net = Network::builder(vec![2]).dense(1).unwrap().build(1);
+        let mut cfg = TrainConfig::paper(1);
+        cfg.batch_size = 0;
+        assert!(train(
+            &mut net,
+            DataRef::new(&xs, &ys),
+            None,
+            WeightedBce::unweighted(),
+            &cfg
+        )
+        .is_err());
+
+        let empty_x: Vec<Vec<f32>> = Vec::new();
+        let empty_y: Vec<f32> = Vec::new();
+        assert!(train(
+            &mut net,
+            DataRef::new(&empty_x, &empty_y),
+            None,
+            WeightedBce::unweighted(),
+            &TrainConfig::paper(1)
+        )
+        .is_err());
+
+        // Wrong sample width.
+        let bad_x = vec![vec![0.0; 3]];
+        let bad_y = vec![0.0];
+        assert!(matches!(
+            train(
+                &mut net,
+                DataRef::new(&bad_x, &bad_y),
+                None,
+                WeightedBce::unweighted(),
+                &TrainConfig::paper(1)
+            ),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = toy_data(100, 9);
+        let cfg = TrainConfig::paper(5);
+        let run = || {
+            let mut net = Network::builder(vec![2])
+                .dense(4)
+                .unwrap()
+                .relu()
+                .dense(1)
+                .unwrap()
+                .build(11);
+            train(
+                &mut net,
+                DataRef::new(&xs, &ys),
+                None,
+                WeightedBce::unweighted(),
+                &cfg,
+            )
+            .unwrap()
+            .history
+            .last()
+            .unwrap()
+            .train_loss
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_varies_by_seed() {
+        let a = shuffle_indices(100, 1);
+        let b = shuffle_indices(100, 2);
+        assert_ne!(a, b);
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        assert_eq!(sa, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the full methodology of Fig. 2 in one binary —
+//! data acquisition (synthetic substrate) → preprocessing → training
+//! with subject-independent CV → segment-level metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prefall::core::experiment::{Experiment, ExperimentConfig};
+use prefall::core::models::ModelKind;
+use prefall::core::pipeline::{Pipeline, PipelineConfig};
+use prefall::imu::dataset::Dataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== 1. data acquisition (synthetic KFall-like + self-collected-like) ==");
+    let dataset = Dataset::combined_scaled(2, 2, 7)?;
+    let stats = dataset.stats();
+    println!(
+        "   {} subjects, {} trials ({} falls), {:.1} s of data, {:.2}% falling samples",
+        dataset.subjects().len(),
+        stats.trials,
+        stats.fall_trials,
+        stats.samples as f64 / 100.0,
+        stats.falling_fraction * 100.0
+    );
+
+    println!("== 2. preprocessing (Butterworth 4th order 5 Hz, segmentation, 150 ms guard) ==");
+    let pipeline = Pipeline::new(PipelineConfig::paper_400ms())?;
+    let segments = pipeline.segment_set(dataset.trials());
+    println!(
+        "   {} segments of {}×{} ({} falling, prior {:.3})",
+        segments.len(),
+        segments.window,
+        segments.channels,
+        segments.positives(),
+        segments.positive_prior()
+    );
+
+    println!("== 3. training the proposed CNN (subject-independent CV) ==");
+    let config = ExperimentConfig::fast();
+    let report = Experiment::new(config).run()?;
+    let cell = report
+        .cell(ModelKind::ProposedCnn, 200.0)
+        .expect("fast config evaluates the CNN at 200 ms");
+    println!(
+        "   fold-mean Accuracy {:.2}%  Precision {:.2}%  Recall {:.2}%  F1 {:.2}% (macro)",
+        cell.metrics.accuracy, cell.metrics.precision, cell.metrics.recall, cell.metrics.f1
+    );
+    for fold in &cell.cv.folds {
+        println!(
+            "   fold {}: {} test segments, {} epochs, F1 {:.2}%",
+            fold.fold,
+            fold.predictions.len(),
+            fold.epochs_run,
+            fold.metrics.f1
+        );
+    }
+
+    println!(
+        "== done — see `cargo run --release -p prefall-bench --bin table3` for the full grid =="
+    );
+    Ok(())
+}

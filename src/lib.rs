@@ -1,0 +1,33 @@
+//! Umbrella crate for the reproduction of *A Lightweight CNN for
+//! Real-Time Pre-Impact Fall Detection* (DATE 2025).
+//!
+//! This crate simply re-exports the workspace members so examples and
+//! downstream users can depend on one name:
+//!
+//! * [`imu`] — synthetic IMU dataset substrate (activities of Table II,
+//!   KFall-like and self-collected-like datasets).
+//! * [`dsp`] — Butterworth filtering, segmentation, sensor fusion,
+//!   Rodrigues rotations.
+//! * [`nn`] — from-scratch training stack and int8 quantization.
+//! * [`mcu`] — STM32F722 deployment model.
+//! * [`core`] — the paper's contribution: pipeline, lightweight CNN,
+//!   baselines, cross-validation, event-level evaluation, airbag trigger.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use prefall::core::experiment::{Experiment, ExperimentConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ExperimentConfig::fast();
+//! let report = Experiment::new(config).run()?;
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use prefall_core as core;
+pub use prefall_dsp as dsp;
+pub use prefall_imu as imu;
+pub use prefall_mcu as mcu;
+pub use prefall_nn as nn;
