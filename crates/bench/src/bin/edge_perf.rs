@@ -1,25 +1,49 @@
 //! Regenerates the **§IV-C on-edge performance** results: trains the
 //! proposed CNN, applies int8 post-training quantization, verifies the
-//! accuracy is unchanged, and fits the model onto the STM32F722
-//! deployment model (flash / RAM / latency envelope).
+//! accuracy is unchanged, fits the model onto the STM32F722 deployment
+//! model (flash / RAM / latency envelope), and streams every trial
+//! through the quantized detector to measure host-side per-sample
+//! latency (p50/p95/p99) and the detection lead time against the 150 ms
+//! airbag-inflation budget.
+//!
+//! All measured numbers route through a telemetry registry and are
+//! dumped to `BENCH_telemetry.json`; `PREFALL_QUIET=1` silences the
+//! progress events and summary table.
 //!
 //! ```text
 //! cargo run --release -p prefall-bench --bin edge_perf
 //! ```
 
-use prefall_bench::paper_edge;
-use prefall_core::cv::{subject_folds, train_on_sets, CvConfig};
+use prefall_bench::{paper_edge, telemetry_out};
+use prefall_core::cv::{subject_folds, train_on_sets_recorded, CvConfig};
+use prefall_core::detector::{
+    lead_time_bounds_ms, run_on_trial_recorded, DetectorConfig, StreamingDetector,
+};
 use prefall_core::metrics::{Confusion, TableMetrics};
 use prefall_core::models::ModelKind;
 use prefall_core::pipeline::{Pipeline, PipelineConfig};
 use prefall_imu::dataset::{Dataset, DatasetConfig};
+use prefall_imu::AIRBAG_INFLATION_MS;
 use prefall_mcu::deploy::deploy;
 use prefall_mcu::export::to_c_header;
 use prefall_mcu::target::McuTarget;
 use prefall_nn::quant::QuantizedNetwork;
 use prefall_nn::train::predict_proba;
+use prefall_telemetry::{JsonValue, Recorder, Value};
 
 fn main() {
+    let (registry, rec) = telemetry_out::bench_recorder();
+    registry.register_histogram("detector.lead_time_ms", lead_time_bounds_ms());
+    let phase = |name: &str| {
+        rec.event(
+            "bench.phase",
+            &[
+                ("bench", Value::from("edge_perf")),
+                ("phase", Value::from(name)),
+            ],
+        );
+    };
+
     let mut dataset_cfg = DatasetConfig {
         kfall_subjects: 4,
         self_collected_subjects: 4,
@@ -40,10 +64,10 @@ fn main() {
         cv.epochs = n;
     }
 
-    eprintln!("edge_perf: training the 400 ms proposed CNN on a held-out split...");
+    phase("train");
     let dataset = Dataset::generate(&dataset_cfg).expect("dataset");
     let pipeline = Pipeline::new(PipelineConfig::paper_400ms()).expect("pipeline");
-    let full = pipeline.segment_set(dataset.trials());
+    let full = pipeline.segment_set_recorded(dataset.trials(), rec.as_ref());
     let splits =
         subject_folds(&dataset.subject_ids(), cv.folds, cv.val_subjects, cv.seed).expect("folds");
     let split = &splits[0];
@@ -53,7 +77,7 @@ fn main() {
     let test_labels = test_set.y.clone();
     let test_x_raw = test_set.x.clone();
 
-    let (mut net, _preds, _epochs) = train_on_sets(
+    let (mut net, _preds, _epochs) = train_on_sets_recorded(
         &pipeline,
         train_set.clone(),
         val_set,
@@ -61,6 +85,7 @@ fn main() {
         ModelKind::ProposedCnn,
         &cv,
         7,
+        rec.as_ref(),
     )
     .expect("training");
 
@@ -73,6 +98,7 @@ fn main() {
     let test_x = normalize(&test_x_raw);
 
     // Quantize and compare.
+    phase("quantize");
     let qnet = QuantizedNetwork::from_network(&mut net, &calib).expect("quantization");
     let float_probs = predict_proba(&mut net, &test_x);
     let quant_probs: Vec<f32> = test_x.iter().map(|x| qnet.predict_proba(x)).collect();
@@ -87,6 +113,10 @@ fn main() {
         .count() as f64
         / float_probs.len().max(1) as f64
         * 100.0;
+    registry.gauge_set("edge.float_f1_pct", float_m.f1);
+    registry.gauge_set("edge.int8_f1_pct", quant_m.f1);
+    registry.gauge_set("edge.float_int8_agreement_pct", agreement);
+    registry.gauge_set("edge.params", net.param_count() as f64);
 
     println!("=== §IV-C (reproduced): quantization ===");
     println!("model parameters        : {}", net.param_count());
@@ -98,6 +128,11 @@ fn main() {
     // Deployment envelope.
     let target = McuTarget::stm32f722();
     let d = deploy(&qnet, &target, 40, 9).expect("fits the STM32F722");
+    registry.gauge_set("edge.model_flash_kib", d.model_flash_bytes as f64 / 1024.0);
+    registry.gauge_set("edge.ram_kib", d.ram_bytes as f64 / 1024.0);
+    registry.gauge_set("edge.inference_ms", d.inference_ms);
+    registry.gauge_set("edge.inference_jitter_ms", d.inference_jitter_ms);
+    registry.gauge_set("edge.fusion_ms", d.fusion_ms);
     println!("=== §IV-C (reproduced): deployment on {} ===", target.name);
     println!(
         "model flash : {:7.2} KiB   (paper: {:.2} KiB)",
@@ -133,5 +168,70 @@ fn main() {
         qnet.weight_blob().len(),
         header.len() / 1024,
         header.lines().count()
+    );
+    println!();
+
+    // Stream every trial through the quantized detector: host-side
+    // per-sample latency plus the lead-time distribution against the
+    // 150 ms inflation budget.
+    phase("stream");
+    let mut detector =
+        StreamingDetector::new(qnet, norm, DetectorConfig::paper_400ms()).expect("detector");
+    detector.set_recorder(registry.clone());
+    let (mut falls, mut triggered_falls, mut protected, mut lead_ok, mut false_act) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for trial in dataset.trials() {
+        let outcome = run_on_trial_recorded(&mut detector, trial, rec.as_ref());
+        if trial.is_fall() {
+            falls += 1;
+            if outcome.triggered_at.is_some() {
+                triggered_falls += 1;
+            }
+            if outcome.protected == Some(true) {
+                protected += 1;
+            }
+            if outcome.lead_time_ms.unwrap_or(f64::NEG_INFINITY) >= AIRBAG_INFLATION_MS {
+                lead_ok += 1;
+            }
+        } else if outcome.false_activation {
+            false_act += 1;
+        }
+    }
+
+    let snap = registry.snapshot();
+    let push = snap.histograms.get("detector.push_sample_seconds");
+    let lead = snap.histograms.get("detector.lead_time_ms");
+    println!("=== streaming detector (host-side measurements) ===");
+    if let Some(h) = push {
+        println!(
+            "push_sample : {} samples, p50 {:.1} µs  p95 {:.1} µs  p99 {:.1} µs  max {:.1} µs",
+            h.count,
+            h.p50 * 1e6,
+            h.p95 * 1e6,
+            h.p99 * 1e6,
+            h.max * 1e6
+        );
+    }
+    if let Some(h) = lead {
+        println!(
+            "lead time   : {} triggered falls, p50 {:.0} ms (budget {:.0} ms); {}/{} falls lead ≥ budget, {}/{} protected, {} false activations",
+            h.count, h.p50, AIRBAG_INFLATION_MS, lead_ok, falls, protected, falls, false_act
+        );
+    }
+
+    telemetry_out::dump(
+        "edge_perf",
+        &snap,
+        vec![
+            ("budget_ms".to_string(), JsonValue::F64(AIRBAG_INFLATION_MS)),
+            ("falls".to_string(), JsonValue::U64(falls)),
+            (
+                "triggered_falls".to_string(),
+                JsonValue::U64(triggered_falls),
+            ),
+            ("falls_lead_ge_budget".to_string(), JsonValue::U64(lead_ok)),
+            ("falls_protected".to_string(), JsonValue::U64(protected)),
+            ("false_activations".to_string(), JsonValue::U64(false_act)),
+        ],
     );
 }

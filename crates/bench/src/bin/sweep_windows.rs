@@ -6,12 +6,16 @@
 //! cargo run --release -p prefall-bench --bin sweep_windows
 //! ```
 
+use prefall_bench::telemetry_out;
 use prefall_core::experiment::{Experiment, ExperimentConfig};
 use prefall_core::models::ModelKind;
 use prefall_dsp::segment::Overlap;
+use prefall_telemetry::{JsonValue, Recorder, Value};
 
 fn main() {
+    let (registry, rec) = telemetry_out::bench_recorder();
     let base = ExperimentConfig::table3_default().with_env_overrides();
+    rec.event("bench.phase", &[("bench", Value::from("sweep_windows"))]);
     println!("=== §III-A sweep (reproduced): CNN macro-F1 % by window × overlap ===");
     println!(
         "{:>8} | {:>8} {:>8} {:>8} {:>8}",
@@ -27,12 +31,13 @@ fn main() {
             cfg.windows_ms = vec![window_ms];
             cfg.overlap = overlap;
             cfg.models = vec![ModelKind::ProposedCnn];
-            match Experiment::new(cfg).run() {
+            match Experiment::new(cfg).run_recorded(rec.as_ref()) {
                 Ok(report) => {
                     let f1 = report
                         .cell(ModelKind::ProposedCnn, window_ms)
                         .map(|c| c.metrics.f1)
                         .unwrap_or(f64::NAN);
+                    registry.gauge_set(&format!("sweep.f1_pct.{window_ms:.0}ms.{overlap}"), f1);
                     if f1 > best.0 {
                         best = (f1, window_ms, overlap);
                     }
@@ -53,5 +58,18 @@ fn main() {
     println!(
         "best cell: {:.0} ms at {} overlap (F1 {:.2}%) — the paper selects 400 ms / 50%",
         best.1, best.2, best.0
+    );
+
+    telemetry_out::dump(
+        "sweep_windows",
+        &registry.snapshot(),
+        vec![
+            ("best_window_ms".to_string(), JsonValue::F64(best.1)),
+            (
+                "best_overlap".to_string(),
+                JsonValue::Str(best.2.to_string()),
+            ),
+            ("best_f1_pct".to_string(), JsonValue::F64(best.0)),
+        ],
     );
 }

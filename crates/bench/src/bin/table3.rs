@@ -7,27 +7,41 @@
 //! PREFALL_KFALL=32 PREFALL_SELF=29 PREFALL_EPOCHS=50 cargo run --release -p prefall-bench --bin table3
 //! ```
 
-use prefall_bench::paper_table3;
+use prefall_bench::{paper_table3, telemetry_out};
 use prefall_core::experiment::{Experiment, ExperimentConfig};
+use prefall_telemetry::{Recorder, Value};
 
 fn main() {
+    let (registry, rec) = telemetry_out::bench_recorder();
     let config = ExperimentConfig::table3_default().with_env_overrides();
-    eprintln!(
-        "table3: {} KFall + {} self-collected subjects, {} folds, {} epochs (set PREFALL_* to rescale)",
-        config.dataset.kfall_subjects,
-        config.dataset.self_collected_subjects,
-        config.cv.folds,
-        config.cv.epochs
+    rec.event(
+        "bench.phase",
+        &[
+            ("bench", Value::from("table3")),
+            ("kfall", Value::from(config.dataset.kfall_subjects)),
+            (
+                "self_collected",
+                Value::from(config.dataset.self_collected_subjects),
+            ),
+            ("folds", Value::from(config.cv.folds)),
+            ("epochs", Value::from(config.cv.epochs)),
+        ],
     );
 
     let experiment = Experiment::new(config.clone());
-    let report = match experiment.run() {
+    let report = match experiment.run_recorded(rec.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("table3 failed: {e}");
             std::process::exit(1);
         }
     };
+    for cell in &report.cells {
+        registry.gauge_set(
+            &format!("table3.f1_pct.{}.{}ms", cell.model.name(), cell.window_ms),
+            cell.metrics.f1,
+        );
+    }
 
     println!("=== Table III (reproduced) — measured vs paper ===");
     println!(
@@ -75,4 +89,6 @@ fn main() {
     if f1_of(ProposedCnn, 400.0) <= f1_of(ProposedCnn, 200.0) {
         eprintln!("warning: 400 ms did not beat 200 ms for the proposed CNN in this run");
     }
+
+    telemetry_out::dump("table3", &registry.snapshot(), Vec::new());
 }

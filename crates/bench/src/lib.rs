@@ -111,6 +111,60 @@ pub mod paper_edge {
     pub const FUSION_MS: f64 = 3.0;
 }
 
+/// Shared telemetry plumbing for the bench binaries: every binary that
+/// measures something routes its numbers through a
+/// [`prefall_telemetry::Registry`] and dumps `BENCH_telemetry.json` for
+/// machine consumption, alongside the human tables on stdout.
+pub mod telemetry_out {
+    use prefall_telemetry::{summary, JsonValue, Registry, Snapshot, TelemetryEnv};
+    use std::io::Write;
+    use std::sync::Arc;
+
+    /// The file every bench binary writes its telemetry snapshot to.
+    pub const BENCH_TELEMETRY_PATH: &str = "BENCH_telemetry.json";
+
+    /// The standard bench sinks: an aggregate [`Registry`] plus whatever
+    /// progress recorder the environment asks for (stderr unless
+    /// `PREFALL_QUIET=1`, JSONL when `PREFALL_TELEMETRY_JSONL` is set),
+    /// already fanned out into one recorder.
+    pub fn bench_recorder() -> (Arc<Registry>, Arc<dyn prefall_telemetry::Recorder>) {
+        let registry = Arc::new(Registry::new());
+        let progress = TelemetryEnv::from_env().progress_recorder();
+        let fanout: Arc<dyn prefall_telemetry::Recorder> =
+            Arc::new(prefall_telemetry::FanoutRecorder::new(vec![
+                registry.clone(),
+                progress,
+            ]));
+        (registry, fanout)
+    }
+
+    /// Writes `{"bench": name, ...extra, "counters": …, "gauges": …,
+    /// "histograms": …}` to [`BENCH_TELEMETRY_PATH`] and prints the
+    /// human-readable summary table on stderr (unless `PREFALL_QUIET`).
+    pub fn dump(bench: &str, snapshot: &Snapshot, extra: Vec<(String, JsonValue)>) {
+        let mut fields = vec![("bench".to_string(), JsonValue::Str(bench.to_string()))];
+        fields.extend(extra);
+        if let JsonValue::Obj(sections) = snapshot.to_json() {
+            fields.extend(sections);
+        }
+        let doc = JsonValue::Obj(fields);
+        let quiet = TelemetryEnv::from_env().quiet;
+        match std::fs::File::create(BENCH_TELEMETRY_PATH) {
+            Ok(mut f) => {
+                if let Err(e) = writeln!(f, "{doc}") {
+                    eprintln!("{bench}: cannot write {BENCH_TELEMETRY_PATH}: {e}");
+                } else if !quiet {
+                    eprintln!("{bench}: telemetry snapshot written to {BENCH_TELEMETRY_PATH}");
+                }
+            }
+            Err(e) => eprintln!("{bench}: cannot create {BENCH_TELEMETRY_PATH}: {e}"),
+        }
+        if !quiet {
+            eprint!("{}", summary::render(snapshot));
+        }
+    }
+}
+
 /// Looks up a paper Table III row.
 pub fn paper_table3(model: &str, window_ms: f64) -> Option<(f64, f64, f64, f64)> {
     PAPER_TABLE3

@@ -18,7 +18,8 @@ use prefall_imu::subject::SubjectId;
 use prefall_nn::loss::{initial_output_bias, WeightedBce};
 use prefall_nn::network::Network;
 use prefall_nn::optim::OptimizerKind;
-use prefall_nn::train::{predict_proba, train, DataRef, TrainConfig};
+use prefall_nn::train::{predict_proba, train_recorded, DataRef, TrainConfig};
+use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use serde::{Deserialize, Serialize};
 
 /// Cross-validation configuration.
@@ -205,12 +206,42 @@ pub type TrainedParts = (Network, Vec<(SegmentMeta, f32)>, usize);
 #[allow(clippy::too_many_arguments)]
 pub fn train_on_sets(
     pipeline: &Pipeline,
+    train_set: SegmentSet,
+    val_set: SegmentSet,
+    test_set: SegmentSet,
+    model: ModelKind,
+    cfg: &CvConfig,
+    seed: u64,
+) -> Result<TrainedParts, CoreError> {
+    train_on_sets_recorded(
+        pipeline,
+        train_set,
+        val_set,
+        test_set,
+        model,
+        cfg,
+        seed,
+        &NoopRecorder,
+    )
+}
+
+/// [`train_on_sets`] with telemetry: normalisation timings via
+/// [`Pipeline::normalize_recorded`] and per-epoch training events via
+/// [`train_recorded`].
+///
+/// # Errors
+///
+/// Same as [`train_on_sets`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_on_sets_recorded(
+    pipeline: &Pipeline,
     mut train_set: SegmentSet,
     mut val_set: SegmentSet,
     mut test_set: SegmentSet,
     model: ModelKind,
     cfg: &CvConfig,
     seed: u64,
+    rec: &dyn Recorder,
 ) -> Result<TrainedParts, CoreError> {
     augment_positives(&mut train_set, cfg.augment_factor, seed ^ 0xAA99);
     let n_pos = train_set.positives();
@@ -222,9 +253,9 @@ pub fn train_on_sets(
     }
 
     let norm = pipeline.fit_normalizer(&train_set);
-    pipeline.normalize(&mut train_set, &norm);
-    pipeline.normalize(&mut val_set, &norm);
-    pipeline.normalize(&mut test_set, &norm);
+    pipeline.normalize_recorded(&mut train_set, &norm, rec);
+    pipeline.normalize_recorded(&mut val_set, &norm, rec);
+    pipeline.normalize_recorded(&mut test_set, &norm, rec);
 
     let mut net = model.build(train_set.window, train_set.channels, seed)?;
     if cfg.bias_init {
@@ -245,12 +276,13 @@ pub fn train_on_sets(
         seed,
     };
     let val = (!val_set.is_empty()).then(|| DataRef::new(&val_set.x, &val_set.y));
-    let report = train(
+    let report = train_recorded(
         &mut net,
         DataRef::new(&train_set.x, &train_set.y),
         val,
         loss,
         &tc,
+        rec,
     )?;
 
     let probs = predict_proba(&mut net, &test_set.x);
@@ -270,18 +302,37 @@ pub fn run_cv(
     model: ModelKind,
     cfg: &CvConfig,
 ) -> Result<CvOutcome, CoreError> {
+    run_cv_recorded(dataset, pipeline, model, cfg, &NoopRecorder)
+}
+
+/// [`run_cv`] with telemetry: segmentation counters and stage timings,
+/// per-epoch training events, a `cv.fold_seconds` timing plus a
+/// `cv.fold` event (macro F1, epochs run) per fold, and a `cv.folds`
+/// counter.
+///
+/// # Errors
+///
+/// Same as [`run_cv`].
+pub fn run_cv_recorded(
+    dataset: &Dataset,
+    pipeline: &Pipeline,
+    model: ModelKind,
+    cfg: &CvConfig,
+    rec: &dyn Recorder,
+) -> Result<CvOutcome, CoreError> {
     let ids = dataset.subject_ids();
     let splits = subject_folds(&ids, cfg.folds, cfg.val_subjects, cfg.seed)?;
-    let full = pipeline.segment_set(dataset.trials());
+    let full = pipeline.segment_set_recorded(dataset.trials(), rec);
 
     let mut folds = Vec::with_capacity(splits.len());
     for (i, split) in splits.iter().enumerate() {
+        let fold_span = Span::enter(rec, "cv.fold_seconds");
         let train_set = full.filter_subjects(&split.train);
         let val_set = full.filter_subjects(&split.val);
         let test_set = full.filter_subjects(&split.test);
         let test_labels: Vec<f32> = test_set.y.clone();
 
-        let (_, predictions, epochs_run) = train_on_sets(
+        let (_, predictions, epochs_run) = train_on_sets_recorded(
             pipeline,
             train_set,
             val_set,
@@ -289,13 +340,28 @@ pub fn run_cv(
             model,
             cfg,
             cfg.seed ^ ((i as u64 + 1) << 32),
+            rec,
         )?;
 
         let probs: Vec<f32> = predictions.iter().map(|(_, p)| *p).collect();
         let confusion = Confusion::from_probs(&probs, &test_labels, cfg.threshold);
+        let metrics = TableMetrics::from_confusion(&confusion);
+        fold_span.finish();
+        if rec.enabled() {
+            rec.counter_add("cv.folds", 1);
+            rec.event(
+                "cv.fold",
+                &[
+                    ("fold", Value::from(i)),
+                    ("f1", Value::from(metrics.f1)),
+                    ("epochs_run", Value::from(epochs_run)),
+                    ("test_segments", Value::from(test_labels.len())),
+                ],
+            );
+        }
         folds.push(FoldOutcome {
             fold: i,
-            metrics: TableMetrics::from_confusion(&confusion),
+            metrics,
             confusion,
             predictions,
             epochs_run,

@@ -18,7 +18,15 @@ use prefall_imu::trial::{Trial, FUSION_ALPHA};
 use prefall_imu::{AIRBAG_INFLATION_SAMPLES, SAMPLE_PERIOD_MS, SAMPLE_RATE_HZ};
 use prefall_nn::network::Network;
 use prefall_nn::quant::QuantizedNetwork;
+use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Upper bounds (ms) for the `detector.lead_time_ms` histogram: 25 ms
+/// bins from 0 to 1 s, bracketing the 150 ms airbag-inflation budget.
+pub fn lead_time_bounds_ms() -> Vec<f64> {
+    (1..=40).map(|i| f64::from(i) * 25.0).collect()
+}
 
 /// Streaming detector configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +103,7 @@ pub struct StreamingDetector {
     window: VecDeque<[f32; NUM_CHANNELS]>,
     samples_seen: usize,
     positives_in_a_row: usize,
+    rec: Arc<dyn Recorder>,
 }
 
 impl StreamingDetector {
@@ -135,12 +144,22 @@ impl StreamingDetector {
             window: VecDeque::with_capacity(window),
             samples_seen: 0,
             positives_in_a_row: 0,
+            rec: prefall_telemetry::noop(),
         })
     }
 
     /// The configuration.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
+    }
+
+    /// Installs a telemetry recorder. Every [`StreamingDetector::push_sample`]
+    /// lands in the `detector.push_sample_seconds` histogram, each
+    /// classified window in `detector.infer_seconds` plus the
+    /// `detector.windows` counter. The default is the shared no-op
+    /// recorder, which never reads the clock.
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.rec = rec;
     }
 
     /// Resets all streaming state (filters, fusion, window).
@@ -158,6 +177,10 @@ impl StreamingDetector {
     /// rad/s). Returns the window probability when a full hop completed,
     /// `None` otherwise.
     pub fn push_sample(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> Option<f32> {
+        // Cloning the Arc (one atomic bump, no allocation) frees `self`
+        // for the mutable streaming state below.
+        let rec = Arc::clone(&self.rec);
+        let _push_span = Span::enter(rec.as_ref(), "detector.push_sample_seconds");
         // On-edge sensor fusion, exactly like the acquisition firmware.
         let euler = self.fusion.update(
             [
@@ -201,7 +224,13 @@ impl StreamingDetector {
             seg.extend_from_slice(r);
         }
         self.normalizer.apply_in_place(&mut seg);
-        let prob = self.engine.predict_proba(&seg);
+        let prob = {
+            let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
+            self.engine.predict_proba(&seg)
+        };
+        if rec.enabled() {
+            rec.counter_add("detector.windows", 1);
+        }
         if prob >= self.config.threshold {
             self.positives_in_a_row += 1;
         } else {
@@ -310,6 +339,55 @@ pub struct TrialOutcome {
 
 /// Streams a trial sample-by-sample through the detector and airbag.
 pub fn run_on_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome {
+    run_on_trial_recorded(detector, trial, &NoopRecorder)
+}
+
+/// [`run_on_trial`] with outcome telemetry: the lead time before impact
+/// lands in the `detector.lead_time_ms` histogram (register
+/// [`lead_time_bounds_ms`] for 25 ms bins), plus the `detector.trials`
+/// / `detector.triggered` / `detector.protected` /
+/// `detector.false_activations` counters and a `detector.trigger`
+/// event per firing. Per-sample latency telemetry is separate — it goes
+/// through the recorder installed with
+/// [`StreamingDetector::set_recorder`].
+pub fn run_on_trial_recorded(
+    detector: &mut StreamingDetector,
+    trial: &Trial,
+    rec: &dyn Recorder,
+) -> TrialOutcome {
+    let outcome = stream_trial(detector, trial);
+    if rec.enabled() {
+        rec.counter_add("detector.trials", 1);
+        if outcome.triggered_at.is_some() {
+            rec.counter_add("detector.triggered", 1);
+        }
+        if outcome.protected == Some(true) {
+            rec.counter_add("detector.protected", 1);
+        }
+        if outcome.false_activation {
+            rec.counter_add("detector.false_activations", 1);
+        }
+        if let Some(lt) = outcome.lead_time_ms {
+            rec.observe("detector.lead_time_ms", lt);
+        }
+        if let Some(t) = outcome.triggered_at {
+            rec.event(
+                "detector.trigger",
+                &[
+                    ("at_sample", Value::from(t)),
+                    ("is_fall", Value::from(trial.is_fall())),
+                    (
+                        "lead_time_ms",
+                        Value::from(outcome.lead_time_ms.unwrap_or(f64::NAN)),
+                    ),
+                ],
+            );
+        }
+    }
+    outcome
+}
+
+fn stream_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome {
     detector.reset();
     let mut airbag = AirbagController::new();
     let mut triggered_at = None;

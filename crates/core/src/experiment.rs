@@ -14,14 +14,17 @@
 //! | `PREFALL_FOLDS` | CV folds |
 //! | `PREFALL_TRIALS` | trials per task |
 //! | `PREFALL_SEED` | master seed |
+//! | `PREFALL_QUIET` | suppress progress events on stderr |
+//! | `PREFALL_TELEMETRY_JSONL` | stream progress events to a JSONL file |
 
-use crate::cv::{run_cv, CvConfig, CvOutcome};
+use crate::cv::{run_cv_recorded, CvConfig, CvOutcome};
 use crate::metrics::TableMetrics;
 use crate::models::ModelKind;
 use crate::pipeline::{Pipeline, PipelineConfig};
 use crate::CoreError;
 use prefall_dsp::segment::Overlap;
 use prefall_imu::dataset::{Dataset, DatasetConfig, DatasetStats};
+use prefall_telemetry::{Recorder, TelemetryEnv, Value};
 
 /// Full experiment configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,6 +231,22 @@ impl Experiment {
         model: ModelKind,
         window_ms: f64,
     ) -> Result<CellResult, CoreError> {
+        self.run_cell_recorded(dataset, model, window_ms, &prefall_telemetry::NoopRecorder)
+    }
+
+    /// [`Experiment::run_cell`] with full telemetry threaded through the
+    /// pipeline, CV protocol and training loop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Experiment::run_cell`].
+    pub fn run_cell_recorded(
+        &self,
+        dataset: &Dataset,
+        model: ModelKind,
+        window_ms: f64,
+        rec: &dyn Recorder,
+    ) -> Result<CellResult, CoreError> {
         let pipeline = Pipeline::new(PipelineConfig {
             segmentation: prefall_dsp::segment::Segmentation::from_millis(
                 window_ms,
@@ -236,7 +255,7 @@ impl Experiment {
             )?,
             ..PipelineConfig::paper_400ms()
         })?;
-        let cv = run_cv(dataset, &pipeline, model, &self.config.cv)?;
+        let cv = run_cv_recorded(dataset, &pipeline, model, &self.config.cv, rec)?;
         Ok(CellResult {
             model,
             window_ms,
@@ -245,34 +264,53 @@ impl Experiment {
         })
     }
 
-    /// Runs the full grid.
+    /// Runs the full grid. Progress is reported through the recorder
+    /// selected by the environment ([`TelemetryEnv::from_env`]): stderr
+    /// events by default, silence under `PREFALL_QUIET=1`, and a JSONL
+    /// stream when `PREFALL_TELEMETRY_JSONL` names a file.
     ///
     /// # Errors
     ///
     /// Propagates any cell failure.
     pub fn run(&self) -> Result<ExperimentReport, CoreError> {
+        self.run_recorded(TelemetryEnv::from_env().progress_recorder().as_ref())
+    }
+
+    /// [`Experiment::run`] against an explicit recorder: per-cell
+    /// `experiment.cell_start` / `experiment.cell_done` events plus
+    /// everything the lower layers emit (fold events, epoch events,
+    /// stage timings).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any cell failure.
+    pub fn run_recorded(&self, rec: &dyn Recorder) -> Result<ExperimentReport, CoreError> {
         let dataset = self.dataset()?;
         let total = self.config.models.len() * self.config.windows_ms.len();
         let mut cells = Vec::new();
         for &model in &self.config.models {
             for &window_ms in &self.config.windows_ms {
                 let started = std::time::Instant::now();
-                eprintln!(
-                    "[{}/{}] {} @ {:.0} ms ...",
-                    cells.len() + 1,
-                    total,
-                    model.name(),
-                    window_ms
+                rec.event(
+                    "experiment.cell_start",
+                    &[
+                        ("cell", Value::from(cells.len() + 1)),
+                        ("total", Value::from(total)),
+                        ("model", Value::from(model.name())),
+                        ("window_ms", Value::from(window_ms)),
+                    ],
                 );
-                let cell = self.run_cell(&dataset, model, window_ms)?;
-                eprintln!(
-                    "[{}/{}] {} @ {:.0} ms: F1 {:.2}% ({:.0} s)",
-                    cells.len() + 1,
-                    total,
-                    model.name(),
-                    window_ms,
-                    cell.metrics.f1,
-                    started.elapsed().as_secs_f64()
+                let cell = self.run_cell_recorded(&dataset, model, window_ms, rec)?;
+                rec.event(
+                    "experiment.cell_done",
+                    &[
+                        ("cell", Value::from(cells.len() + 1)),
+                        ("total", Value::from(total)),
+                        ("model", Value::from(model.name())),
+                        ("window_ms", Value::from(window_ms)),
+                        ("f1", Value::from(cell.metrics.f1)),
+                        ("seconds", Value::from(started.elapsed().as_secs_f64())),
+                    ],
                 );
                 cells.push(cell);
             }

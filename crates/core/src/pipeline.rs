@@ -10,6 +10,7 @@ use prefall_imu::channel::NUM_CHANNELS;
 use prefall_imu::subject::SubjectId;
 use prefall_imu::trial::Trial;
 use prefall_imu::SAMPLE_RATE_HZ;
+use prefall_telemetry::{NoopRecorder, Recorder, Span};
 use serde::{Deserialize, Serialize};
 
 /// Label of one segment.
@@ -188,6 +189,13 @@ impl Pipeline {
     /// Causally low-pass-filters all nine channels of a trial (what the
     /// firmware does sample by sample).
     pub fn filter_trial(&self, trial: &Trial) -> Vec<Vec<f32>> {
+        self.filter_trial_recorded(trial, &NoopRecorder)
+    }
+
+    /// [`Pipeline::filter_trial`] with the stage timed into the
+    /// `pipeline.filter_seconds` histogram.
+    pub fn filter_trial_recorded(&self, trial: &Trial, rec: &dyn Recorder) -> Vec<Vec<f32>> {
+        let _span = Span::enter(rec, "pipeline.filter_seconds");
         trial
             .channels()
             .iter()
@@ -236,7 +244,19 @@ impl Pipeline {
     /// `Discard` windows are *included* here (callers that train filter
     /// them out via [`Pipeline::segment_set`]).
     pub fn segments_for_trial(&self, trial: &Trial) -> (Vec<Vec<f32>>, Vec<SegmentMeta>) {
-        let filtered = self.filter_trial(trial);
+        self.segments_for_trial_recorded(trial, &NoopRecorder)
+    }
+
+    /// [`Pipeline::segments_for_trial`] with per-stage timings: the
+    /// filter lands in `pipeline.filter_seconds`, windowing + labelling
+    /// in `pipeline.segment_seconds`.
+    pub fn segments_for_trial_recorded(
+        &self,
+        trial: &Trial,
+        rec: &dyn Recorder,
+    ) -> (Vec<Vec<f32>>, Vec<SegmentMeta>) {
+        let filtered = self.filter_trial_recorded(trial, rec);
+        let _span = Span::enter(rec, "pipeline.segment_seconds");
         let seg = &self.config.segmentation;
         let xs = seg.extract(&filtered);
         let metas: Vec<SegmentMeta> = seg
@@ -256,26 +276,42 @@ impl Pipeline {
     /// Builds the training-ready segment set over many trials,
     /// dropping `Discard` windows.
     pub fn segment_set(&self, trials: &[Trial]) -> SegmentSet {
+        self.segment_set_recorded(trials, &NoopRecorder)
+    }
+
+    /// [`Pipeline::segment_set`] with telemetry: stage timings via
+    /// [`Pipeline::segments_for_trial_recorded`] plus the
+    /// `pipeline.segments_adl` / `pipeline.segments_falling` /
+    /// `pipeline.segments_discarded` counters.
+    pub fn segment_set_recorded(&self, trials: &[Trial], rec: &dyn Recorder) -> SegmentSet {
         let mut x = Vec::new();
         let mut y = Vec::new();
         let mut meta = Vec::new();
+        let (mut n_adl, mut n_fall, mut n_discard) = (0u64, 0u64, 0u64);
         for trial in trials {
-            let (xs, metas) = self.segments_for_trial(trial);
+            let (xs, metas) = self.segments_for_trial_recorded(trial, rec);
             for (xi, mi) in xs.into_iter().zip(metas) {
                 match mi.label {
                     SegmentLabel::Adl => {
+                        n_adl += 1;
                         x.push(xi);
                         y.push(0.0);
                         meta.push(mi);
                     }
                     SegmentLabel::Falling => {
+                        n_fall += 1;
                         x.push(xi);
                         y.push(1.0);
                         meta.push(mi);
                     }
-                    SegmentLabel::Discard => {}
+                    SegmentLabel::Discard => n_discard += 1,
                 }
             }
+        }
+        if rec.enabled() {
+            rec.counter_add("pipeline.segments_adl", n_adl);
+            rec.counter_add("pipeline.segments_falling", n_fall);
+            rec.counter_add("pipeline.segments_discarded", n_discard);
         }
         SegmentSet {
             window: self.window(),
@@ -297,6 +333,13 @@ impl Pipeline {
 
     /// Applies a fitted normaliser to a segment set in place.
     pub fn normalize(&self, set: &mut SegmentSet, norm: &Normalizer) {
+        self.normalize_recorded(set, norm, &NoopRecorder);
+    }
+
+    /// [`Pipeline::normalize`] with the stage timed into the
+    /// `pipeline.normalize_seconds` histogram.
+    pub fn normalize_recorded(&self, set: &mut SegmentSet, norm: &Normalizer, rec: &dyn Recorder) {
+        let _span = Span::enter(rec, "pipeline.normalize_seconds");
         for x in &mut set.x {
             norm.apply_in_place(x);
         }

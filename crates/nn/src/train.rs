@@ -8,6 +8,7 @@ use crate::loss::WeightedBce;
 use crate::network::Network;
 use crate::optim::{Optimizer, OptimizerKind};
 use crate::NnError;
+use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use serde::{Deserialize, Serialize};
 
 /// Training hyper-parameters.
@@ -131,6 +132,25 @@ pub fn train(
     loss: WeightedBce,
     config: &TrainConfig,
 ) -> Result<TrainReport, NnError> {
+    train_recorded(net, train_data, val_data, loss, config, &NoopRecorder)
+}
+
+/// [`train`] with telemetry: per-epoch `train.epoch` events (loss,
+/// validation loss), `train.epoch_seconds` timings, a `train.epochs`
+/// counter, the `train.learning_rate` / `train.params` gauges, and a
+/// `train.early_stop` event when patience fires.
+///
+/// # Errors
+///
+/// Same as [`train`].
+pub fn train_recorded(
+    net: &mut Network,
+    train_data: DataRef<'_>,
+    val_data: Option<DataRef<'_>>,
+    loss: WeightedBce,
+    config: &TrainConfig,
+    rec: &dyn Recorder,
+) -> Result<TrainReport, NnError> {
     if train_data.is_empty() {
         return Err(NnError::InvalidTraining {
             reason: "training set is empty".to_string(),
@@ -157,6 +177,11 @@ pub fn train(
         });
     }
 
+    if rec.enabled() {
+        rec.gauge_set("train.learning_rate", f64::from(config.learning_rate));
+        rec.gauge_set("train.params", net.param_count() as f64);
+    }
+
     let mut optimizer = Optimizer::new(config.optimizer, config.learning_rate);
     let mut history = Vec::with_capacity(config.epochs);
     let mut best_val = f32::INFINITY;
@@ -166,6 +191,7 @@ pub fn train(
     let mut early_stopped = false;
 
     for epoch in 0..config.epochs {
+        let _epoch_span = Span::enter(rec, "train.epoch_seconds");
         let order = shuffle_indices(train_data.len(), config.seed ^ (epoch as u64) << 17);
         let mut epoch_loss = 0.0f64;
 
@@ -193,6 +219,17 @@ pub fn train(
             train_loss,
             val_loss,
         });
+        if rec.enabled() {
+            rec.counter_add("train.epochs", 1);
+            rec.event(
+                "train.epoch",
+                &[
+                    ("epoch", Value::from(epoch)),
+                    ("train_loss", Value::from(train_loss)),
+                    ("val_loss", Value::from(val_loss)),
+                ],
+            );
+        }
 
         if val_loss < best_val {
             best_val = val_loss;
@@ -206,6 +243,16 @@ pub fn train(
             if let Some(patience) = config.patience {
                 if since_best >= patience {
                     early_stopped = true;
+                    if rec.enabled() {
+                        rec.event(
+                            "train.early_stop",
+                            &[
+                                ("epoch", Value::from(epoch)),
+                                ("best_epoch", Value::from(best_epoch)),
+                                ("best_val_loss", Value::from(best_val)),
+                            ],
+                        );
+                    }
                     break;
                 }
             }

@@ -1,0 +1,101 @@
+//! Environment-variable control for telemetry verbosity, consistent
+//! with the `PREFALL_*` override family used by `ExperimentConfig`.
+//!
+//! * `PREFALL_QUIET=1` — suppress console progress events entirely.
+//! * `PREFALL_TELEMETRY_JSONL=path` — additionally stream events as
+//!   JSONL to the given file.
+
+use crate::{ConsoleRecorder, FanoutRecorder, JsonlRecorder, Recorder};
+use std::sync::Arc;
+
+/// Parsed telemetry-related environment state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryEnv {
+    /// `PREFALL_QUIET` truthy (`1`, `true`, `yes`, case-insensitive).
+    pub quiet: bool,
+    /// `PREFALL_TELEMETRY_JSONL`, if set and non-empty.
+    pub jsonl_path: Option<String>,
+}
+
+fn truthy(v: &str) -> bool {
+    matches!(
+        v.trim().to_ascii_lowercase().as_str(),
+        "1" | "true" | "yes" | "on"
+    )
+}
+
+impl TelemetryEnv {
+    /// Reads `PREFALL_QUIET` and `PREFALL_TELEMETRY_JSONL` from the
+    /// process environment.
+    pub fn from_env() -> Self {
+        let quiet = std::env::var("PREFALL_QUIET")
+            .map(|v| truthy(&v))
+            .unwrap_or(false);
+        let jsonl_path = std::env::var("PREFALL_TELEMETRY_JSONL")
+            .ok()
+            .filter(|p| !p.trim().is_empty());
+        Self { quiet, jsonl_path }
+    }
+
+    /// Builds the progress-event recorder this environment asks for:
+    /// a stderr [`ConsoleRecorder`] by default (coarse progress only —
+    /// experiment cells, CV folds, early stopping), nothing when quiet,
+    /// plus a JSONL file sink (every event) when
+    /// `PREFALL_TELEMETRY_JSONL` is set. Returns the shared no-op
+    /// recorder when every sink is disabled.
+    pub fn progress_recorder(&self) -> Arc<dyn Recorder> {
+        let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+        if !self.quiet {
+            sinks.push(Arc::new(ConsoleRecorder::with_prefixes([
+                "experiment.",
+                "cv.",
+                "train.early_stop",
+                "bench.",
+            ])));
+        }
+        if let Some(path) = &self.jsonl_path {
+            match std::fs::File::create(path) {
+                Ok(f) => sinks.push(Arc::new(JsonlRecorder::new(f))),
+                Err(e) => eprintln!("[prefall] cannot open {path}: {e}"),
+            }
+        }
+        match sinks.len() {
+            0 => crate::noop(),
+            1 => sinks.pop().expect("len checked"),
+            _ => Arc::new(FanoutRecorder::new(sinks)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthy_values() {
+        for v in ["1", "true", "YES", " on "] {
+            assert!(truthy(v), "{v}");
+        }
+        for v in ["0", "false", "", "off", "2"] {
+            assert!(!truthy(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn quiet_env_yields_noop() {
+        let env = TelemetryEnv {
+            quiet: true,
+            jsonl_path: None,
+        };
+        assert!(!env.progress_recorder().enabled());
+    }
+
+    #[test]
+    fn default_env_yields_console() {
+        let env = TelemetryEnv {
+            quiet: false,
+            jsonl_path: None,
+        };
+        assert!(env.progress_recorder().enabled());
+    }
+}

@@ -1,0 +1,468 @@
+//! Histograms: fixed-bucket counts for mergeability plus P² streaming
+//! quantile estimators for accurate tails without storing samples.
+//!
+//! The bucket layout is chosen per metric (log-spaced for latencies,
+//! linear for lead times); snapshots carry the layout so merged
+//! snapshots stay well-defined. Quantiles come from two sources:
+//!
+//! * live histograms answer p50/p95/p99 from P² estimators
+//!   (Jain & Chlamtac, 1985) — constant memory, good tail accuracy;
+//! * merged snapshots re-derive quantiles from the merged buckets by
+//!   linear interpolation, which keeps [`HistogramSnapshot::merge`]
+//!   associative.
+
+/// The quantiles every histogram tracks with a streaming estimator.
+pub const TRACKED_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// One P² (piecewise-parabolic) streaming quantile estimator.
+#[derive(Debug, Clone)]
+struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (1-indexed observation counts).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    seen: usize,
+    /// First observations, buffered until five arrive.
+    initial: [f64; 5],
+}
+
+impl P2Quantile {
+    fn new(p: f64) -> Self {
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            seen: 0,
+            initial: [0.0; 5],
+        }
+    }
+
+    fn observe(&mut self, x: f64) {
+        if self.seen < 5 {
+            self.initial[self.seen] = x;
+            self.seen += 1;
+            if self.seen == 5 {
+                let mut init = self.initial;
+                init.sort_by(|a, b| a.partial_cmp(b).expect("finite observation"));
+                self.q = init;
+            }
+            return;
+        }
+        self.seen += 1;
+
+        // Locate the cell and clamp the extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q[k] <= x < q[k+1]
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.q[i] {
+                    k = i;
+                }
+            }
+            k
+        };
+
+        for n in self.n[k + 1..].iter_mut() {
+            *n += 1.0;
+        }
+        for (np, dn) in self.np.iter_mut().zip(self.dn) {
+            *np += dn;
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    fn estimate(&self) -> f64 {
+        if self.seen == 0 {
+            return f64::NAN;
+        }
+        if self.seen <= 5 {
+            // Exact small-sample quantile (nearest-rank interpolation).
+            let mut xs = self.initial[..self.seen].to_vec();
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite observation"));
+            let rank = self.p * (xs.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            return xs[lo] + (xs[hi] - xs[lo]) * frac;
+        }
+        self.q[2]
+    }
+}
+
+/// A live histogram: bucket counts, summary stats, and streaming
+/// quantile estimators.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Sorted upper bounds; observations ≥ the last bound land in the
+    /// implicit overflow bucket.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts (last is overflow).
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    quantiles: [P2Quantile; 3],
+}
+
+impl Histogram {
+    /// A histogram over the given sorted upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            quantiles: TRACKED_QUANTILES.map(P2Quantile::new),
+        }
+    }
+
+    /// Log-spaced bounds suited to latencies in seconds: 5 buckets per
+    /// decade from 1 µs to 10 s.
+    pub fn latency_seconds() -> Self {
+        let mut bounds = Vec::new();
+        let per_decade = 5;
+        let step = 10f64.powf(1.0 / per_decade as f64);
+        let mut b = 1e-6;
+        while b < 10.0 * (1.0 + 1e-9) {
+            bounds.push(b);
+            b *= step;
+        }
+        Self::with_bounds(bounds)
+    }
+
+    /// `n` equal-width buckets spanning `[lo, hi]` (plus the implicit
+    /// overflow bucket), e.g. lead times in milliseconds.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n >= 1 && hi > lo, "invalid linear histogram spec");
+        let width = (hi - lo) / n as f64;
+        Self::with_bounds((1..=n).map(|i| lo + width * i as f64).collect())
+    }
+
+    /// Records one observation. Non-finite values increment `count`
+    /// only — they stay out of the buckets, sum, min/max and quantile
+    /// estimators so a stray NaN cannot poison the whole series.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b <= value);
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        for q in &mut self.quantiles {
+            q.observe(value);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Streaming quantile estimate for one of [`TRACKED_QUANTILES`].
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.quantiles
+            .iter()
+            .find(|q| (q.p - p).abs() < 1e-12)
+            .map(P2Quantile::estimate)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// An immutable histogram state: mergeable, serialisable, and able to
+/// answer interpolated quantiles from its buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    /// `+inf` when no finite observation was recorded.
+    pub min: f64,
+    /// `-inf` when no finite observation was recorded.
+    pub max: f64,
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded (finite) observations.
+    pub fn mean(&self) -> f64 {
+        let finite: u64 = self.counts.iter().sum();
+        if finite == 0 {
+            f64::NAN
+        } else {
+            self.sum / finite as f64
+        }
+    }
+
+    /// Interpolated quantile from the bucket counts. Within a bucket the
+    /// distribution is assumed uniform; accuracy is bounded by bucket
+    /// width. Works for any `p` in `[0, 1]`.
+    pub fn quantile_from_buckets(&self, p: f64) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = p.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let (lo, hi) = (lo.min(hi), hi.max(lo));
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Merges two snapshots over identical bucket layouts. Counts and
+    /// sums add; min/max combine; the merged quantiles are re-derived
+    /// from the merged buckets, which makes merge associative and
+    /// commutative (up to float summation of `sum`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layouts differ — merging histograms with
+    /// different bucket schemes is a caller bug.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket layouts"
+        );
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(a, b)| a + b)
+            .collect();
+        let mut merged = HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            bounds: self.bounds.clone(),
+            counts,
+            p50: f64::NAN,
+            p95: f64::NAN,
+            p99: f64::NAN,
+        };
+        merged.p50 = merged.quantile_from_buckets(0.50);
+        merged.p95 = merged.quantile_from_buckets(0.95);
+        merged.p99 = merged.quantile_from_buckets(0.99);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sorted-reference quantile (linear interpolation between ranks).
+    fn reference_quantile(sorted: &[f64], p: f64) -> f64 {
+        let rank = p * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+    }
+
+    fn pseudo_uniform(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn p2_matches_sorted_reference_on_uniform() {
+        let xs = pseudo_uniform(20_000, 42);
+        let mut h = Histogram::linear(0.0, 1.0, 50);
+        for &x in &xs {
+            h.observe(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in TRACKED_QUANTILES {
+            let est = h.quantile(p);
+            let refq = reference_quantile(&sorted, p);
+            assert!(
+                (est - refq).abs() < 0.02,
+                "p{p}: streaming {est} vs reference {refq}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        for x in [3.0, 1.0, 2.0] {
+            h.observe(x);
+        }
+        assert!((h.quantile(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_quantile_tracks_reference_within_bucket_width() {
+        let xs = pseudo_uniform(5_000, 7);
+        let mut h = Histogram::linear(0.0, 1.0, 100);
+        for &x in &xs {
+            h.observe(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let snap = h.snapshot();
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let est = snap.quantile_from_buckets(p);
+            let refq = reference_quantile(&sorted, p);
+            assert!(
+                (est - refq).abs() < 0.02,
+                "p{p}: bucket {est} vs reference {refq}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_bounds_cover_microseconds_to_seconds() {
+        let h = Histogram::latency_seconds();
+        let mut h2 = h.clone();
+        for v in [2e-6, 5e-3, 0.5, 20.0] {
+            h2.observe(v);
+        }
+        assert_eq!(h2.count(), 4);
+        let snap = h2.snapshot();
+        assert_eq!(snap.counts.iter().sum::<u64>(), 4);
+        assert!((snap.min - 2e-6).abs() < 1e-12);
+        assert!((snap.max - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_does_not_poison_stats() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        h.observe(0.5);
+        h.observe(f64::NAN);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 1);
+        assert!((snap.sum - 0.5).abs() < 1e-12);
+        assert!((snap.mean() - 0.5).abs() < 1e-12);
+        assert!(snap.min.is_finite() && snap.max.is_finite());
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_rederives_quantiles() {
+        let mut a = Histogram::linear(0.0, 1.0, 10);
+        let mut b = Histogram::linear(0.0, 1.0, 10);
+        for x in pseudo_uniform(500, 1) {
+            a.observe(x);
+        }
+        for x in pseudo_uniform(500, 2) {
+            b.observe(x);
+        }
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.count, 1000);
+        assert_eq!(m.counts.iter().sum::<u64>(), 1000);
+        assert!((m.quantile_from_buckets(0.5) - 0.5).abs() < 0.1);
+        assert!((m.p50 - m.quantile_from_buckets(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket layouts")]
+    fn merge_rejects_mismatched_layouts() {
+        let a = Histogram::linear(0.0, 1.0, 10).snapshot();
+        let b = Histogram::linear(0.0, 2.0, 10).snapshot();
+        let _ = a.merge(&b);
+    }
+}

@@ -1,0 +1,479 @@
+//! Machine-readable output: a small self-contained JSON value type
+//! (serialiser *and* parser, so round-trips are testable offline), a
+//! line-oriented [`JsonlWriter`], and a [`JsonlRecorder`] sink that
+//! streams telemetry events as JSONL.
+//!
+//! JSON has no NaN/Infinity, so non-finite floats serialise as `null`;
+//! the parser maps `null` back to NaN.
+
+use crate::{Recorder, Value};
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A JSON document. Numbers keep their integer/float distinction so
+/// large counters survive a round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonValue {
+    fn write_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => out.push_str(&v.to_string()),
+            JsonValue::I64(v) => out.push_str(&v.to_string()),
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    // `{:?}` is Rust's shortest round-trippable float form.
+                    let s = format!("{v:?}");
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of this value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::I64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document (complete input, surrounding whitespace
+    /// allowed).
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_into(&mut s);
+        f.write_str(&s)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Re-borrow the full char (input is valid UTF-8).
+                    let start = self.pos - 1;
+                    let s = &self.bytes[start..];
+                    let ch = std::str::from_utf8(s)
+                        .map_err(|_| "invalid utf-8".to_string())?
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    self.pos = start + ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| format!("invalid number {text:?}"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Writes one JSON document per line.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Writes `value` followed by a newline.
+    pub fn write(&mut self, value: &JsonValue) -> std::io::Result<()> {
+        let mut line = String::new();
+        value.write_into(&mut line);
+        line.push('\n');
+        self.out.write_all(line.as_bytes())
+    }
+
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Consumes the writer, returning the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+/// A [`Recorder`] sink that streams *events* as JSONL lines of the form
+/// `{"t": seconds_since_start, "event": name, ...fields}`. Counters,
+/// gauges and observations are ignored — pair it with a [`Registry`]
+/// via [`FanoutRecorder`] for aggregates.
+///
+/// [`Registry`]: crate::Registry
+/// [`FanoutRecorder`]: crate::FanoutRecorder
+pub struct JsonlRecorder<W: Write + Send> {
+    writer: Mutex<JsonlWriter<W>>,
+    start: Instant,
+}
+
+impl<W: Write + Send> fmt::Debug for JsonlRecorder<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlRecorder")
+            .field("start", &self.start)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    pub fn new(out: W) -> Self {
+        Self {
+            writer: Mutex::new(JsonlWriter::new(out)),
+            start: Instant::now(),
+        }
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().expect("jsonl writer poisoned");
+        let _ = w.flush();
+        w.into_inner()
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+    fn observe(&self, _name: &str, _value: f64) {}
+
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        let mut obj = vec![
+            (
+                "t".to_string(),
+                JsonValue::F64(self.start.elapsed().as_secs_f64()),
+            ),
+            ("event".to_string(), JsonValue::Str(name.to_string())),
+        ];
+        for (k, v) in fields {
+            let jv = match v {
+                Value::U64(x) => JsonValue::U64(*x),
+                Value::I64(x) => JsonValue::I64(*x),
+                Value::F64(x) => JsonValue::F64(*x),
+                Value::Str(s) => JsonValue::Str((*s).to_string()),
+                Value::Bool(b) => JsonValue::Bool(*b),
+            };
+            obj.push(((*k).to_string(), jv));
+        }
+        let _ = self
+            .writer
+            .lock()
+            .expect("jsonl writer poisoned")
+            .write(&JsonValue::Obj(obj));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let v = JsonValue::Obj(vec![
+            ("a".into(), JsonValue::U64(u64::MAX)),
+            ("b".into(), JsonValue::I64(-42)),
+            ("c".into(), JsonValue::F64(0.125)),
+            ("d".into(), JsonValue::Str("he said \"hi\"\n\tπ".into())),
+            (
+                "e".into(),
+                JsonValue::Arr(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+            ("f".into(), JsonValue::Obj(vec![])),
+        ]);
+        let text = v.to_string();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn shortest_float_form_round_trips() {
+        for x in [1e-7, std::f64::consts::PI, 1.5e300, -0.0, 4.0e-3] {
+            let text = JsonValue::F64(x).to_string();
+            let back = JsonValue::parse(&text).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(JsonValue::F64(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::F64(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn jsonl_recorder_streams_events() {
+        let rec = JsonlRecorder::new(Vec::<u8>::new());
+        rec.event("epoch", &[("loss", Value::F64(0.5)), ("i", Value::U64(3))]);
+        rec.event("done", &[]);
+        let bytes = rec.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = JsonValue::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event"), Some(&JsonValue::Str("epoch".into())));
+        assert_eq!(first.get("loss").and_then(JsonValue::as_f64), Some(0.5));
+        assert!(first.get("t").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The in-memory aggregate sink: a thread-safe [`Registry`] of
+//! counters, gauges and histograms, frozen on demand into mergeable
+//! [`Snapshot`]s.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::{JsonValue, Recorder, Value};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Bucket layouts for histograms that want something other than the
+    /// latency default, keyed by metric name (must be registered before
+    /// the first observation).
+    layouts: BTreeMap<String, Vec<f64>>,
+    /// Structured events, in arrival order (name, fields).
+    events: Vec<(String, Vec<(String, OwnedValue)>)>,
+}
+
+/// An owned [`Value`], as stored in the registry's event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<&Value<'_>> for OwnedValue {
+    fn from(v: &Value<'_>) -> Self {
+        match v {
+            Value::U64(x) => OwnedValue::U64(*x),
+            Value::I64(x) => OwnedValue::I64(*x),
+            Value::F64(x) => OwnedValue::F64(*x),
+            Value::Str(s) => OwnedValue::Str((*s).to_string()),
+            Value::Bool(b) => OwnedValue::Bool(*b),
+        }
+    }
+}
+
+impl From<&OwnedValue> for JsonValue {
+    fn from(v: &OwnedValue) -> Self {
+        match v {
+            OwnedValue::U64(x) => JsonValue::U64(*x),
+            OwnedValue::I64(x) => JsonValue::I64(*x),
+            OwnedValue::F64(x) => JsonValue::F64(*x),
+            OwnedValue::Str(s) => JsonValue::Str(s.clone()),
+            OwnedValue::Bool(b) => JsonValue::Bool(*b),
+        }
+    }
+}
+
+/// The standard in-memory recorder.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-registers a bucket layout (upper bounds, strictly
+    /// increasing) for the named histogram. Without registration,
+    /// histograms default to [`Histogram::latency_seconds`].
+    ///
+    /// Registering after the histogram received observations has no
+    /// effect on the existing histogram.
+    pub fn register_histogram(&self, name: &str, bounds: Vec<f64>) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.layouts.insert(name.to_string(), bounds);
+    }
+
+    /// Freezes the current aggregate state (events are not part of the
+    /// snapshot — drain them with [`Registry::take_events`]).
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Removes and returns all buffered events.
+    pub fn take_events(&self) -> Vec<(String, Vec<(String, OwnedValue)>)> {
+        std::mem::take(&mut self.inner.lock().expect("registry poisoned").events)
+    }
+}
+
+impl Recorder for Registry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        match inner.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if !inner.histograms.contains_key(name) {
+            let hist = match inner.layouts.get(name) {
+                Some(bounds) => Histogram::with_bounds(bounds.clone()),
+                None => Histogram::latency_seconds(),
+            };
+            inner.histograms.insert(name.to_string(), hist);
+        }
+        inner
+            .histograms
+            .get_mut(name)
+            .expect("just inserted")
+            .observe(value);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        let owned: Vec<(String, OwnedValue)> = fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), OwnedValue::from(v)))
+            .collect();
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .events
+            .push((name.to_string(), owned));
+    }
+}
+
+/// A frozen registry state. Snapshots merge associatively, so per-fold
+/// or per-shard registries can be combined in any grouping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Merges two snapshots: counters add, gauges take the right-hand
+    /// value when present (last write wins), histograms merge
+    /// bucket-wise (layouts must match).
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (k, v) in &other.counters {
+            *out.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            out.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let merged = match out.histograms.get(k) {
+                Some(mine) => mine.merge(h),
+                None => h.clone(),
+            };
+            out.histograms.insert(k.clone(), merged);
+        }
+        out
+    }
+
+    /// Serialises the snapshot as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum, min, max, mean, p50, p95, p99, bounds, counts}}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = JsonValue::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::U64(*v)))
+                .collect(),
+        );
+        let gauges = JsonValue::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::F64(*v)))
+                .collect(),
+        );
+        let histograms = JsonValue::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        JsonValue::Obj(vec![
+                            ("count".into(), JsonValue::U64(h.count)),
+                            ("sum".into(), JsonValue::F64(h.sum)),
+                            ("min".into(), JsonValue::F64(h.min)),
+                            ("max".into(), JsonValue::F64(h.max)),
+                            ("mean".into(), JsonValue::F64(h.mean())),
+                            ("p50".into(), JsonValue::F64(h.p50)),
+                            ("p95".into(), JsonValue::F64(h.p95)),
+                            ("p99".into(), JsonValue::F64(h.p99)),
+                            (
+                                "bounds".into(),
+                                JsonValue::Arr(
+                                    h.bounds.iter().map(|&b| JsonValue::F64(b)).collect(),
+                                ),
+                            ),
+                            (
+                                "counts".into(),
+                                JsonValue::Arr(
+                                    h.counts.iter().map(|&c| JsonValue::U64(c)).collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::Obj(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let reg = Registry::new();
+        reg.counter_add("c", 1);
+        reg.counter_add("c", 4);
+        reg.gauge_set("g", 1.0);
+        reg.gauge_set("g", 2.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 2.0);
+    }
+
+    #[test]
+    fn registered_layout_is_used() {
+        let reg = Registry::new();
+        reg.register_histogram("lead", vec![10.0, 20.0, 30.0]);
+        reg.observe("lead", 15.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["lead"].bounds, vec![10.0, 20.0, 30.0]);
+        assert_eq!(snap.histograms["lead"].counts, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn events_are_buffered_and_drained() {
+        let reg = Registry::new();
+        reg.event("e", &[("k", Value::U64(1)), ("s", Value::Str("x"))]);
+        let events = reg.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, "e");
+        assert_eq!(events[0].1[1].1, OwnedValue::Str("x".into()));
+        assert!(reg.take_events().is_empty());
+    }
+
+    #[test]
+    fn merge_is_commutative_on_disjoint_keys() {
+        let a = Registry::new();
+        a.counter_add("only_a", 1);
+        let b = Registry::new();
+        b.counter_add("only_b", 2);
+        let ab = a.snapshot().merge(&b.snapshot());
+        let ba = b.snapshot().merge(&a.snapshot());
+        assert_eq!(ab.counters, ba.counters);
+    }
+
+    #[test]
+    fn snapshot_json_has_all_sections() {
+        let reg = Registry::new();
+        reg.counter_add("c", 1);
+        reg.gauge_set("g", 0.5);
+        reg.observe("h", 1e-3);
+        let text = reg.snapshot().to_json().to_string();
+        for key in ["counters", "gauges", "histograms", "p95", "bounds"] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

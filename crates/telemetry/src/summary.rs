@@ -1,0 +1,137 @@
+//! Human-readable end-of-run summary: renders a [`Snapshot`] as an
+//! aligned plain-text table (counters, gauges, then histograms with
+//! count/mean/p50/p95/p99/max).
+
+use crate::Snapshot;
+
+/// Formats a quantity in engineering units. Values that look like
+/// seconds read much better as ms/µs, so anything below 1.0 is scaled.
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    let a = v.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.3}")
+    } else if a >= 1e-3 {
+        format!("{:.3} m", v * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.3} u", v * 1e6)
+    } else {
+        format!("{:.3} n", v * 1e9)
+    }
+}
+
+fn pad(s: &str, width: usize) -> String {
+    format!("{s:<width$}")
+}
+
+fn pad_r(s: &str, width: usize) -> String {
+    format!("{s:>width$}")
+}
+
+/// Renders the snapshot as a multi-line table. Sections that are empty
+/// are omitted; an entirely empty snapshot renders a single notice.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+
+    if snapshot.counters.is_empty() && snapshot.gauges.is_empty() && snapshot.histograms.is_empty()
+    {
+        return "telemetry: no metrics recorded\n".to_string();
+    }
+
+    let name_width = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys())
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters\n");
+        for (k, v) in &snapshot.counters {
+            out.push_str(&format!("  {}  {v}\n", pad(k, name_width)));
+        }
+    }
+
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges\n");
+        for (k, v) in &snapshot.gauges {
+            out.push_str(&format!("  {}  {}\n", pad(k, name_width), fmt_value(*v)));
+        }
+    }
+
+    if !snapshot.histograms.is_empty() {
+        const COL: usize = 10;
+        out.push_str("histograms\n");
+        out.push_str(&format!(
+            "  {}  {}{}{}{}{}{}\n",
+            pad("name", name_width),
+            pad_r("count", COL),
+            pad_r("mean", COL),
+            pad_r("p50", COL),
+            pad_r("p95", COL),
+            pad_r("p99", COL),
+            pad_r("max", COL),
+        ));
+        for (k, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {}  {}{}{}{}{}{}\n",
+                pad(k, name_width),
+                pad_r(&h.count.to_string(), COL),
+                pad_r(&fmt_value(h.mean()), COL),
+                pad_r(&fmt_value(h.p50), COL),
+                pad_r(&fmt_value(h.p95), COL),
+                pad_r(&fmt_value(h.p99), COL),
+                pad_r(&fmt_value(h.max), COL),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, Registry};
+
+    #[test]
+    fn renders_all_sections() {
+        let reg = Registry::new();
+        reg.counter_add("windows", 12);
+        reg.gauge_set("lr", 1e-3);
+        for i in 0..100 {
+            reg.observe("latency", 1e-3 * f64::from(i));
+        }
+        let table = render(&reg.snapshot());
+        assert!(table.contains("counters"));
+        assert!(table.contains("windows"));
+        assert!(table.contains("gauges"));
+        assert!(table.contains("histograms"));
+        assert!(table.contains("p95"));
+        assert!(table.contains("latency"));
+    }
+
+    #[test]
+    fn empty_snapshot_has_notice() {
+        let reg = Registry::new();
+        assert!(render(&reg.snapshot()).contains("no metrics"));
+    }
+
+    #[test]
+    fn unit_scaling() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert!(fmt_value(0.004).contains('m'));
+        assert!(fmt_value(4e-6).contains('u'));
+        assert!(fmt_value(4e-9).contains('n'));
+        assert!(!fmt_value(2.5).contains('m'));
+    }
+}

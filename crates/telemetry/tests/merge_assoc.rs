@@ -1,0 +1,98 @@
+//! Property tests for [`prefall_telemetry::Snapshot::merge`]: per-fold
+//! or per-shard registries must combine the same way regardless of the
+//! grouping, so `(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)` — exactly for counters and
+//! bucket counts, up to float round-off for histogram sums.
+
+use prefall_telemetry::{Recorder, Registry, Snapshot};
+use proptest::prelude::*;
+
+/// Builds a snapshot from generated operations. All registries share
+/// the same bucket layout (merging requires it).
+fn snapshot_from_ops(counters: &[(u8, u8)], gauges: &[(u8, i32)], obs: &[(u8, f64)]) -> Snapshot {
+    let reg = Registry::new();
+    for name in 0..3u8 {
+        reg.register_histogram(&format!("h{name}"), vec![0.25, 0.5, 1.0, 2.0]);
+    }
+    for (name, delta) in counters {
+        reg.counter_add(&format!("c{}", name % 3), u64::from(*delta));
+    }
+    for (name, value) in gauges {
+        reg.gauge_set(&format!("g{}", name % 3), f64::from(*value));
+    }
+    for (name, value) in obs {
+        reg.observe(&format!("h{}", name % 3), *value);
+    }
+    reg.snapshot()
+}
+
+/// Field-wise equality with a float tolerance on histogram sums (the
+/// only merge output where addition order matters).
+fn assert_equivalent(l: &Snapshot, r: &Snapshot) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&l.counters, &r.counters);
+    prop_assert_eq!(&l.gauges, &r.gauges);
+    prop_assert_eq!(
+        l.histograms.keys().collect::<Vec<_>>(),
+        r.histograms.keys().collect::<Vec<_>>()
+    );
+    for (name, lh) in &l.histograms {
+        let rh = &r.histograms[name];
+        prop_assert_eq!(lh.count, rh.count, "count of {}", name);
+        prop_assert_eq!(&lh.counts, &rh.counts, "buckets of {}", name);
+        prop_assert_eq!(lh.min, rh.min);
+        prop_assert_eq!(lh.max, rh.max);
+        prop_assert_eq!(lh.p50.to_bits(), rh.p50.to_bits());
+        prop_assert_eq!(lh.p95.to_bits(), rh.p95.to_bits());
+        prop_assert_eq!(lh.p99.to_bits(), rh.p99.to_bits());
+        prop_assert!(
+            (lh.sum - rh.sum).abs() <= 1e-9 * (1.0 + lh.sum.abs()),
+            "sum of {}: {} vs {}",
+            name,
+            lh.sum,
+            rh.sum
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        ca in proptest::collection::vec((0u8..6, 0u8..20), 0..8),
+        cb in proptest::collection::vec((0u8..6, 0u8..20), 0..8),
+        cc in proptest::collection::vec((0u8..6, 0u8..20), 0..8),
+        oa in proptest::collection::vec((0u8..6, 0.01f64..4.0), 0..12),
+        ob in proptest::collection::vec((0u8..6, 0.01f64..4.0), 0..12),
+        oc in proptest::collection::vec((0u8..6, 0.01f64..4.0), 0..12),
+    ) {
+        let a = snapshot_from_ops(&ca, &[], &oa);
+        let b = snapshot_from_ops(&cb, &[(0, 1), (1, 2)], &ob);
+        let c = snapshot_from_ops(&cc, &[(1, 3)], &oc);
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_equivalent(&left, &right)?;
+    }
+
+    #[test]
+    fn empty_is_identity(
+        ops in proptest::collection::vec((0u8..6, 0.01f64..4.0), 0..16),
+    ) {
+        let s = snapshot_from_ops(&[(0, 3)], &[(2, -7)], &ops);
+        let empty = Snapshot::default();
+        prop_assert_eq!(&empty.merge(&s), &s);
+        prop_assert_eq!(&s.merge(&empty), &s);
+    }
+
+    #[test]
+    fn merged_count_is_total(
+        oa in proptest::collection::vec((0u8..3, 0.01f64..4.0), 0..20),
+        ob in proptest::collection::vec((0u8..3, 0.01f64..4.0), 0..20),
+    ) {
+        let a = snapshot_from_ops(&[], &[], &oa);
+        let b = snapshot_from_ops(&[], &[], &ob);
+        let m = a.merge(&b);
+        let total: u64 = m.histograms.values().map(|h| h.count).sum();
+        prop_assert_eq!(total, (oa.len() + ob.len()) as u64);
+    }
+}

@@ -1,0 +1,90 @@
+//! Tour of `prefall-telemetry`: recorders, RAII spans, counters, gauges,
+//! latency histograms, the mergeable registry snapshot, the rendered
+//! summary table, and the JSONL event stream — first hand-rolled, then
+//! attached to a real instrumented experiment.
+//!
+//! ```text
+//! cargo run --release --example telemetry_tour
+//! ```
+
+use prefall::core::experiment::{Experiment, ExperimentConfig};
+use prefall::telemetry::{
+    summary, FanoutRecorder, JsonValue, JsonlRecorder, Recorder, Registry, Snapshot, Span, Value,
+};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Registry is a Recorder that aggregates in memory. Histograms
+    //    need their bucket layout registered up front; counters and
+    //    gauges spring into existence on first use.
+    println!("== 1. manual instrumentation ==");
+    let registry = Arc::new(Registry::new());
+    registry.register_histogram("tour.step_seconds", vec![1e-6, 1e-5, 1e-4, 1e-3, 1e-2]);
+
+    for step in 0..100u64 {
+        // A span times its scope and observes into the histogram of the
+        // same name when dropped (or on an explicit `finish()`).
+        let span = Span::enter(registry.as_ref(), "tour.step_seconds");
+        let spin = (0..step * 50).map(|i| (i as f64).sqrt()).sum::<f64>();
+        registry.gauge_set("tour.last_spin", spin);
+        registry.counter_add("tour.steps", 1);
+        span.finish();
+    }
+    print!("{}", summary::render(&registry.snapshot()));
+
+    // 2. Snapshots merge associatively, so per-fold or per-thread
+    //    registries can be combined after the fact.
+    println!("\n== 2. snapshot merging ==");
+    let other = Registry::new();
+    other.register_histogram("tour.step_seconds", vec![1e-6, 1e-5, 1e-4, 1e-3, 1e-2]);
+    other.observe("tour.step_seconds", 2e-4);
+    other.counter_add("tour.steps", 1);
+    let merged: Snapshot = registry.snapshot().merge(&other.snapshot());
+    println!(
+        "merged steps = {} (100 + 1), merged histogram count = {}",
+        merged.counters["tour.steps"], merged.histograms["tour.step_seconds"].count
+    );
+
+    // 3. Recorders fan out: aggregate into a registry AND stream events
+    //    as JSONL at the same time. The same fanout powers
+    //    PREFALL_TELEMETRY_JSONL=<path> on every binary in this repo.
+    println!("\n== 3. instrumented experiment with fanout + JSONL ==");
+    let jsonl_path = std::env::temp_dir().join("prefall_telemetry_tour.jsonl");
+    let jsonl = Arc::new(JsonlRecorder::new(std::fs::File::create(&jsonl_path)?));
+    let run_registry = Arc::new(Registry::new());
+    let rec = FanoutRecorder::new(vec![
+        run_registry.clone() as Arc<dyn Recorder>,
+        jsonl.clone() as Arc<dyn Recorder>,
+    ]);
+    rec.event(
+        "tour.start",
+        &[
+            ("config", Value::from("fast")),
+            ("cells", Value::from(1u64)),
+        ],
+    );
+
+    let report = Experiment::new(ExperimentConfig::fast()).run_recorded(&rec)?;
+    let cell = &report.cells[0];
+    println!(
+        "experiment done: {} @ {:.0} ms window, F1 {:.2}%",
+        cell.model.name(),
+        cell.window_ms,
+        cell.metrics.f1
+    );
+    print!("{}", summary::render(&run_registry.snapshot()));
+
+    // 4. The JSONL stream round-trips through the bundled parser.
+    println!("\n== 4. JSONL event stream ({}) ==", jsonl_path.display());
+    let text = std::fs::read_to_string(&jsonl_path)?;
+    for line in text.lines().take(3) {
+        let doc = JsonValue::parse(line)?;
+        println!(
+            "  t={:>8.3}s  {}",
+            doc.get("t").and_then(JsonValue::as_f64).unwrap_or(f64::NAN),
+            doc.get("event").map_or_else(String::new, |e| e.to_string()),
+        );
+    }
+    println!("  ... {} events total", text.lines().count());
+    Ok(())
+}

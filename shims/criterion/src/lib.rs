@@ -1,0 +1,169 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! median-of-samples wall-clock timer instead of criterion's statistical
+//! machinery. Good enough to eyeball regressions offline; the serious
+//! numbers flow through `prefall-telemetry` instead.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing callback holder.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a short warm-up, then `sample_size` timed
+    /// batches whose batch size is auto-scaled so one batch is ≥ ~1 ms.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        // Scale the batch so timer quantisation doesn't dominate.
+        let mut batch = 1u32;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t0.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().checked_div(batch).unwrap_or_default());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    let med = b.median();
+    println!("bench {id:<48} median {:>12.3} µs", med.as_secs_f64() * 1e6);
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+const DEFAULT_SAMPLES: usize = 15;
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.unwrap_or(DEFAULT_SAMPLES),
+        };
+        f(&mut b);
+        report(&id, &b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size.unwrap_or(DEFAULT_SAMPLES),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for `rand`, exposing exactly the surface this workspace
+//! uses: `rngs::Xoshiro256PlusPlus`, `SeedableRng::seed_from_u64`, and
+//! `RngExt::{random, random_range}`.
+//!
+//! The generator is a faithful xoshiro256++ implementation (Blackman &
+//! Vigna), seeded through SplitMix64 exactly like `rand_xoshiro`, so
+//! sequences are high-quality and deterministic per seed. Only the API
+//! shape is a stub — the randomness is real.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core trait: a source of 64 random bits.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed (the only seeding path used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator's raw bits.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable into a value of type `T`.
+pub trait SampleRange<T> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end);
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        debug_assert!(self.start < self.end);
+        self.start + f32::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// Unbiased integer draw in `[0, span)` via 128-bit widening multiply
+/// (Lemire's method without the rejection step; bias is < 2^-64).
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        debug_assert!(self.start < self.end);
+        self.start + below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        debug_assert!(lo <= hi);
+        if lo == 0 && hi == usize::MAX {
+            return u64::sample_standard(rng) as usize;
+        }
+        lo + below(rng, (hi - lo + 1) as u64) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        debug_assert!(self.start < self.end);
+        self.start + below(rng, self.end - self.start)
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_range(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ (Blackman & Vigna, 2019). 256-bit state, period 2^256-1.
+    #[derive(Debug, Clone)]
+    pub struct Xoshiro256PlusPlus {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for Xoshiro256PlusPlus {
+        /// Expands the seed through SplitMix64, matching `rand_xoshiro`'s
+        /// `seed_from_u64` so distinct seeds give uncorrelated states and a
+        /// zero seed is safe (the all-zero state is unreachable).
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for Xoshiro256PlusPlus {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::Xoshiro256PlusPlus;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(99);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(99);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&x));
+            let k = rng.random_range(3usize..=9);
+            assert!((3..=9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn reasonably_uniform() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace. The repository never serializes through serde traits (there is
+//! no `serde_json` in the tree); the derives on config/model structs are
+//! documentation of intent. These macros accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

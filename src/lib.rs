@@ -12,6 +12,8 @@
 //! * [`mcu`] — STM32F722 deployment model.
 //! * [`core`] — the paper's contribution: pipeline, lightweight CNN,
 //!   baselines, cross-validation, event-level evaluation, airbag trigger.
+//! * [`telemetry`] — zero-dependency metrics/tracing: counters, gauges,
+//!   latency histograms, RAII spans, JSONL event streams.
 //!
 //! # Quickstart
 //!
@@ -31,3 +33,4 @@ pub use prefall_dsp as dsp;
 pub use prefall_imu as imu;
 pub use prefall_mcu as mcu;
 pub use prefall_nn as nn;
+pub use prefall_telemetry as telemetry;

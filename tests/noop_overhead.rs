@@ -1,0 +1,70 @@
+//! Proof that disabled telemetry is (near-)free: with the default
+//! [`NoopRecorder`] installed, a steady-state [`StreamingDetector::push_sample`]
+//! call on a non-classifying sample performs **zero heap allocations**
+//! and never reads the clock (the span holds no start time).
+//!
+//! A counting global allocator makes the claim checkable; the file
+//! holds exactly one test so no concurrent test pollutes the counter.
+
+use prefall_core::detector::{DetectorConfig, StreamingDetector};
+use prefall_core::models::ModelKind;
+use prefall_core::pipeline::PipelineConfig;
+use prefall_dsp::segment::Overlap;
+use prefall_dsp::stats::Normalizer;
+use prefall_telemetry::{NoopRecorder, Recorder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn noop_recorder_push_sample_does_not_allocate() {
+    assert!(!NoopRecorder.enabled());
+
+    let cfg = DetectorConfig {
+        pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+        threshold: 0.5,
+        consecutive: 1,
+    };
+    let window = cfg.pipeline.segmentation.window();
+    let hop = cfg.pipeline.segmentation.hop();
+    let net = ModelKind::ProposedCnn.build(window, 9, 1).unwrap();
+    let mut det = StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap();
+
+    // Reach steady state: the window ring is full and a classification
+    // just happened, so the next `hop - 1` samples are pure streaming.
+    for _ in 0..window {
+        let _ = det.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..hop - 1 {
+        let p = det.push_sample([0.01, -0.02, 1.0], [0.0, 0.1, 0.0]);
+        assert!(p.is_none(), "these samples must not complete a hop");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state push_sample with the no-op recorder must not allocate"
+    );
+}
