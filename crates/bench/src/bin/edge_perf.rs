@@ -8,7 +8,11 @@
 //!
 //! All measured numbers route through a telemetry registry and are
 //! dumped to `BENCH_telemetry.json`; `PREFALL_QUIET=1` silences the
-//! progress events and summary table.
+//! progress events and summary table. Setting `PREFALL_METRICS_ADDR`
+//! (e.g. `127.0.0.1:9898`) additionally serves the registry live over
+//! HTTP — `curl localhost:9898/metrics` during the run returns
+//! Prometheus text with the inference-latency histograms, per-activity
+//! confusion counters and the lead-time-budget gauges.
 //!
 //! ```text
 //! cargo run --release -p prefall-bench --bin edge_perf
@@ -17,10 +21,11 @@
 use prefall_bench::{paper_edge, telemetry_out};
 use prefall_core::cv::{subject_folds, train_on_sets_recorded, CvConfig};
 use prefall_core::detector::{
-    lead_time_bounds_ms, run_on_trial_recorded, DetectorConfig, StreamingDetector,
+    lead_time_bounds_ms, run_on_trial_monitored, DetectorConfig, StreamingDetector,
 };
 use prefall_core::metrics::{Confusion, TableMetrics};
 use prefall_core::models::ModelKind;
+use prefall_core::monitor::QualityMonitor;
 use prefall_core::pipeline::{Pipeline, PipelineConfig};
 use prefall_imu::dataset::{Dataset, DatasetConfig};
 use prefall_imu::AIRBAG_INFLATION_MS;
@@ -29,11 +34,19 @@ use prefall_mcu::export::to_c_header;
 use prefall_mcu::target::McuTarget;
 use prefall_nn::quant::QuantizedNetwork;
 use prefall_nn::train::predict_proba;
-use prefall_telemetry::{JsonValue, Recorder, Value};
+use prefall_telemetry::{Histogram, JsonValue, Recorder, Value};
 
 fn main() {
     let (registry, rec) = telemetry_out::bench_recorder();
     registry.register_histogram("detector.lead_time_ms", lead_time_bounds_ms());
+    // Sub-ms per-sample latencies need finer resolution than the
+    // default decade-of-five buckets give.
+    let fine = Histogram::log_bounds(1e-8, 1.0, 10);
+    registry.register_histogram("detector.push_sample_seconds", fine.clone());
+    registry.register_histogram("detector.infer_seconds", fine);
+    // Live exporter, when PREFALL_METRICS_ADDR asks for one. Held until
+    // the end of main so a scrape can watch the whole run.
+    let _server = prefall_obsd::serve_from_env(&registry);
     let phase = |name: &str| {
         rec.event(
             "bench.phase",
@@ -178,10 +191,11 @@ fn main() {
     let mut detector =
         StreamingDetector::new(qnet, norm, DetectorConfig::paper_400ms()).expect("detector");
     detector.set_recorder(registry.clone());
+    let mut monitor = QualityMonitor::new();
     let (mut falls, mut triggered_falls, mut protected, mut lead_ok, mut false_act) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
     for trial in dataset.trials() {
-        let outcome = run_on_trial_recorded(&mut detector, trial, rec.as_ref());
+        let outcome = run_on_trial_monitored(&mut detector, trial, rec.as_ref(), &mut monitor);
         if trial.is_fall() {
             falls += 1;
             if outcome.triggered_at.is_some() {

@@ -15,6 +15,12 @@
 //!
 //! All binaries honour the `PREFALL_*` environment overrides documented
 //! on [`prefall_core::experiment::ExperimentConfig`].
+//!
+//! The `benchdiff` binary (backed by [`diff`]) compares two
+//! `BENCH_telemetry.json` snapshots and exits non-zero on latency or
+//! lead-time regressions — the CI gate against the committed baseline.
+
+pub mod diff;
 
 /// The paper's Table III values (%, macro-averaged), for side-by-side
 /// printing: `(model, window_ms, accuracy, precision, recall, f1)`.

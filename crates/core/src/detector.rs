@@ -335,6 +335,9 @@ pub struct TrialOutcome {
     pub protected: Option<bool>,
     /// For ADLs: did the detector fire at all (false activation)?
     pub false_activation: bool,
+    /// Highest window probability emitted during the trial — the
+    /// event-level confidence score the calibration monitor bins.
+    pub peak_prob: Option<f32>,
 }
 
 /// Streams a trial sample-by-sample through the detector and airbag.
@@ -391,6 +394,7 @@ fn stream_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome
     detector.reset();
     let mut airbag = AirbagController::new();
     let mut triggered_at = None;
+    let mut peak_prob: Option<f32> = None;
 
     let ax = trial.channel(Channel::AccelX);
     let ay = trial.channel(Channel::AccelY);
@@ -400,7 +404,9 @@ fn stream_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome
     let gz = trial.channel(Channel::GyroZ);
 
     for i in 0..trial.len() {
-        let _ = detector.push_sample([ax[i], ay[i], az[i]], [gx[i], gy[i], gz[i]]);
+        if let Some(p) = detector.push_sample([ax[i], ay[i], az[i]], [gx[i], gy[i], gz[i]]) {
+            peak_prob = Some(peak_prob.map_or(p, |q| q.max(p)));
+        }
         let fire = detector.trigger_armed() && triggered_at.is_none();
         if fire {
             triggered_at = Some(i);
@@ -420,7 +426,26 @@ fn stream_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome
         lead_time_ms,
         protected,
         false_activation: !trial.is_fall() && triggered_at.is_some(),
+        peak_prob,
     }
+}
+
+/// [`run_on_trial_recorded`] plus the online model-quality audit: the
+/// trial lands in the [`QualityMonitor`]'s per-activity confusion
+/// counters, calibration bins and lead-time tracking, and the derived
+/// gauges are re-published so a live `/metrics` scrape stays fresh.
+///
+/// [`QualityMonitor`]: crate::monitor::QualityMonitor
+pub fn run_on_trial_monitored(
+    detector: &mut StreamingDetector,
+    trial: &Trial,
+    rec: &dyn Recorder,
+    monitor: &mut crate::monitor::QualityMonitor,
+) -> TrialOutcome {
+    let outcome = run_on_trial_recorded(detector, trial, rec);
+    monitor.record_trial(trial, &outcome, rec);
+    monitor.publish(rec);
+    outcome
 }
 
 /// Convenience: builds a streaming detector from a pipeline + training

@@ -18,8 +18,11 @@
 //! | `PREFALL_TELEMETRY_JSONL` | stream progress events to a JSONL file |
 
 use crate::cv::{run_cv_recorded, CvConfig, CvOutcome};
+use crate::events::EventReport;
 use crate::metrics::TableMetrics;
 use crate::models::ModelKind;
+use crate::monitor::QualityMonitor;
+use crate::pipeline::SegmentLabel;
 use crate::pipeline::{Pipeline, PipelineConfig};
 use crate::CoreError;
 use prefall_dsp::segment::Overlap;
@@ -256,6 +259,19 @@ impl Experiment {
             ..PipelineConfig::paper_400ms()
         })?;
         let cv = run_cv_recorded(dataset, &pipeline, model, &self.config.cv, rec)?;
+        if rec.enabled() {
+            // Fold the cell's held-out predictions into the online
+            // model-quality audit: calibration bins from raw sigmoid
+            // outputs, Table IV event counters from the event report.
+            let preds = cv.all_predictions();
+            let mut monitor = QualityMonitor::new();
+            for (meta, prob) in &preds {
+                monitor.record_probability(*prob, meta.label == SegmentLabel::Falling);
+            }
+            let report = EventReport::from_predictions(&preds, 0.5);
+            monitor.record_event_report(&report, rec);
+            monitor.publish(rec);
+        }
         Ok(CellResult {
             model,
             window_ms,

@@ -59,6 +59,7 @@ pub mod events;
 pub mod experiment;
 pub mod metrics;
 pub mod models;
+pub mod monitor;
 pub mod persist;
 pub mod phases;
 pub mod pipeline;

@@ -1,0 +1,232 @@
+//! Liveness and lead-time-budget health, derived from a telemetry
+//! [`Snapshot`].
+//!
+//! The paper's deployment constraint is that a triggered airbag needs
+//! 150 ms to reach full extension, so a detection only protects the
+//! wearer when its lead time before impact is at least the inflation
+//! budget. `/healthz` turns the `detector.lead_time_ms` histogram into
+//! a pass/fail signal: the estimated fraction of triggered falls whose
+//! lead time meets the budget, compared against a configurable floor.
+
+use prefall_telemetry::{HistogramSnapshot, JsonValue, Snapshot};
+
+/// Metric names the health probe reads.
+pub const LEAD_TIME_METRIC: &str = "detector.lead_time_ms";
+/// Counter proving the streaming detector classified at least one window.
+pub const WINDOWS_METRIC: &str = "detector.windows";
+
+/// Overall health status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Lead-time budget satisfied (or the probe is alive but has not
+    /// yet observed any triggered fall).
+    Ok,
+    /// Lead times are being recorded and too many fall below budget.
+    Degraded,
+}
+
+impl HealthStatus {
+    /// The conventional string form (`"ok"` / `"degraded"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Degraded => "degraded",
+        }
+    }
+
+    /// The HTTP status code `/healthz` responds with.
+    pub fn http_code(self) -> u16 {
+        match self {
+            HealthStatus::Ok => 200,
+            HealthStatus::Degraded => 503,
+        }
+    }
+}
+
+/// The `/healthz` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Overall verdict.
+    pub status: HealthStatus,
+    /// Windows classified by the streaming detector so far.
+    pub windows: u64,
+    /// Whether the detector has classified at least one window.
+    pub detector_live: bool,
+    /// Inflation budget in ms the lead times are judged against.
+    pub budget_ms: f64,
+    /// Minimum acceptable fraction of lead times ≥ budget.
+    pub min_budget_fraction: f64,
+    /// Triggered falls with a recorded lead time.
+    pub lead_times: u64,
+    /// Estimated fraction of lead times ≥ budget (NaN with no data).
+    pub budget_fraction: f64,
+    /// Median lead time in ms (NaN with no data).
+    pub lead_p50_ms: f64,
+}
+
+/// Estimated fraction of observations ≥ `x`, from bucket counts with
+/// uniform-within-bucket interpolation (the same assumption the
+/// snapshot quantiles make).
+pub fn fraction_at_least(h: &HistogramSnapshot, x: f64) -> f64 {
+    let total: u64 = h.counts.iter().sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let mut below = 0.0;
+    for (i, &c) in h.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let lo = if i == 0 {
+            h.min
+        } else {
+            h.bounds[i - 1].max(h.min)
+        };
+        let hi = if i < h.bounds.len() {
+            h.bounds[i].min(h.max.max(lo))
+        } else {
+            h.max
+        };
+        if hi <= x {
+            below += c as f64;
+        } else if lo < x {
+            let width = hi - lo;
+            let frac = if width > 0.0 { (x - lo) / width } else { 0.0 };
+            below += c as f64 * frac.clamp(0.0, 1.0);
+        }
+    }
+    (1.0 - below / total as f64).clamp(0.0, 1.0)
+}
+
+impl HealthReport {
+    /// Evaluates health against the given inflation budget and the
+    /// minimum acceptable in-budget fraction.
+    pub fn from_snapshot(snapshot: &Snapshot, budget_ms: f64, min_budget_fraction: f64) -> Self {
+        let windows = snapshot.counters.get(WINDOWS_METRIC).copied().unwrap_or(0);
+        let lead = snapshot.histograms.get(LEAD_TIME_METRIC);
+        let lead_times = lead.map_or(0, |h| h.count);
+        let budget_fraction = lead.map_or(f64::NAN, |h| fraction_at_least(h, budget_ms));
+        let lead_p50_ms = lead.map_or(f64::NAN, |h| h.p50);
+        // No lead times yet → nothing to judge; stay Ok so a freshly
+        // started exporter does not flap its liveness probe.
+        let status = if budget_fraction.is_finite() && budget_fraction < min_budget_fraction {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Ok
+        };
+        Self {
+            status,
+            windows,
+            detector_live: windows > 0,
+            budget_ms,
+            min_budget_fraction,
+            lead_times,
+            budget_fraction,
+            lead_p50_ms,
+        }
+    }
+
+    /// The JSON body `/healthz` serves.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            (
+                "status".to_string(),
+                JsonValue::Str(self.status.as_str().to_string()),
+            ),
+            (
+                "detector_live".to_string(),
+                JsonValue::Bool(self.detector_live),
+            ),
+            ("windows".to_string(), JsonValue::U64(self.windows)),
+            ("budget_ms".to_string(), JsonValue::F64(self.budget_ms)),
+            (
+                "min_budget_fraction".to_string(),
+                JsonValue::F64(self.min_budget_fraction),
+            ),
+            ("lead_times".to_string(), JsonValue::U64(self.lead_times)),
+            (
+                "budget_fraction".to_string(),
+                JsonValue::F64(self.budget_fraction),
+            ),
+            ("lead_p50_ms".to_string(), JsonValue::F64(self.lead_p50_ms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_telemetry::{Recorder, Registry};
+
+    fn lead_registry(values: &[f64]) -> Registry {
+        let reg = Registry::new();
+        reg.register_histogram(
+            LEAD_TIME_METRIC,
+            (1..=40).map(|i| f64::from(i) * 25.0).collect(),
+        );
+        for &v in values {
+            reg.observe(LEAD_TIME_METRIC, v);
+        }
+        reg.counter_add(WINDOWS_METRIC, values.len() as u64);
+        reg
+    }
+
+    #[test]
+    fn empty_snapshot_is_ok_but_not_live() {
+        let report = HealthReport::from_snapshot(&Registry::new().snapshot(), 150.0, 0.9);
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert!(!report.detector_live);
+        assert!(report.budget_fraction.is_nan());
+        assert_eq!(report.status.http_code(), 200);
+    }
+
+    #[test]
+    fn healthy_lead_times_stay_ok() {
+        let reg = lead_registry(&[300.0, 400.0, 500.0, 600.0]);
+        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9);
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert!(report.detector_live);
+        assert!(report.budget_fraction > 0.95, "{}", report.budget_fraction);
+        assert_eq!(report.lead_times, 4);
+    }
+
+    #[test]
+    fn short_lead_times_degrade() {
+        // Three of four triggers fire with < 150 ms to spare.
+        let reg = lead_registry(&[30.0, 60.0, 110.0, 500.0]);
+        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9);
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert_eq!(report.status.http_code(), 503);
+        assert!(report.budget_fraction < 0.5);
+    }
+
+    #[test]
+    fn fraction_at_least_interpolates() {
+        let reg = lead_registry(&[100.0, 200.0]);
+        let snap = reg.snapshot();
+        let h = &snap.histograms[LEAD_TIME_METRIC];
+        assert!((fraction_at_least(h, 0.0) - 1.0).abs() < 1e-9);
+        assert!(fraction_at_least(h, 1000.0).abs() < 1e-9);
+        let mid = fraction_at_least(h, 150.0);
+        assert!((0.25..=0.75).contains(&mid), "{mid}");
+    }
+
+    #[test]
+    fn health_json_has_all_fields() {
+        let reg = lead_registry(&[300.0]);
+        let text = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9)
+            .to_json()
+            .to_string();
+        for key in [
+            "status",
+            "detector_live",
+            "windows",
+            "budget_ms",
+            "lead_times",
+            "budget_fraction",
+            "lead_p50_ms",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Prometheus text exposition (format version 0.0.4) for telemetry
+//! [`Snapshot`]s.
+//!
+//! Metric names in the registry are dotted (`detector.infer_seconds`);
+//! exposition sanitises them to the Prometheus grammar
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`) and prefixes a namespace. A name may
+//! carry an inline label set using the convention
+//! `base{key=value,key2=value2}` — e.g. the per-activity confusion
+//! counters `quality.fall_events{task=39}` — which exposition renders
+//! as real Prometheus labels with proper value escaping.
+//!
+//! * counters → `<ns>_<base>_total` (`TYPE counter`)
+//! * gauges → `<ns>_<base>` (`TYPE gauge`)
+//! * histograms → `<ns>_<base>` (`TYPE histogram`) with cumulative
+//!   `_bucket{le="…"}` series, `_sum` and `_count`; non-finite
+//!   observations count toward `_count` and the `+Inf` bucket only,
+//!   matching [`prefall_telemetry::Histogram`]'s bucket semantics.
+
+use prefall_telemetry::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+
+/// Sanitises one metric-name component to the Prometheus name grammar:
+/// dots and any other invalid characters become underscores, and a
+/// leading digit gains an underscore prefix.
+pub fn sanitize_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 1);
+    for (i, c) in raw.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if valid {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            // Leading digit: keep it, but protect with an underscore.
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Sanitises a label key (same grammar as names, but no colons).
+fn sanitize_label_key(raw: &str) -> String {
+    sanitize_name(raw).replace(':', "_")
+}
+
+/// Escapes a label value: backslash, double quote and newline.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a registry key into its base name and inline labels.
+/// `quality.fall_events{task=39}` → (`quality.fall_events`,
+/// `[("task", "39")]`). Keys without a well-formed `{…}` suffix come
+/// back label-free.
+pub fn parse_metric_key(key: &str) -> (&str, Vec<(String, String)>) {
+    let Some(open) = key.find('{') else {
+        return (key, Vec::new());
+    };
+    let Some(stripped) = key[open..]
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+    else {
+        return (key, Vec::new());
+    };
+    let mut labels = Vec::new();
+    for pair in stripped.split(',') {
+        match pair.split_once('=') {
+            Some((k, v)) if !k.trim().is_empty() => {
+                labels.push((k.trim().to_string(), v.trim().to_string()));
+            }
+            _ => return (key, Vec::new()),
+        }
+    }
+    (&key[..open], labels)
+}
+
+/// Formats a sample value the way Prometheus expects (`+Inf`, `-Inf`,
+/// `NaN`, shortest round-trippable decimal otherwise).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Renders a label set, with `extra` (e.g. `le`) appended.
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_key(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// One family: every series of a sanitised base name, grouped so the
+/// `# TYPE` header is emitted exactly once per family even when names
+/// collide after sanitisation.
+struct Family<T> {
+    series: Vec<(Vec<(String, String)>, T)>,
+}
+
+fn group_families<'a, T: Clone>(
+    metrics: impl Iterator<Item = (&'a String, T)>,
+    namespace: &str,
+) -> BTreeMap<String, Family<T>> {
+    let mut families: BTreeMap<String, Family<T>> = BTreeMap::new();
+    for (key, value) in metrics {
+        let (base, labels) = parse_metric_key(key);
+        let name = format!("{namespace}_{}", sanitize_name(base));
+        families
+            .entry(name)
+            .or_insert_with(|| Family { series: Vec::new() })
+            .series
+            .push((labels, value));
+    }
+    families
+}
+
+/// Renders a [`Snapshot`] in Prometheus text exposition format.
+///
+/// `namespace` prefixes every metric name (`prefall` in the shipped
+/// exporter). The output ends with a trailing newline, as scrapers
+/// expect.
+pub fn render(snapshot: &Snapshot, namespace: &str) -> String {
+    let ns = sanitize_name(namespace);
+    let mut out = String::new();
+
+    for (name, family) in
+        group_families(snapshot.counters.iter().map(|(k, v)| (k, *v)), ns.as_str())
+    {
+        out.push_str(&format!("# TYPE {name}_total counter\n"));
+        for (labels, v) in &family.series {
+            out.push_str(&format!(
+                "{name}_total{} {v}\n",
+                render_labels(labels, None)
+            ));
+        }
+    }
+
+    for (name, family) in group_families(snapshot.gauges.iter().map(|(k, v)| (k, *v)), ns.as_str())
+    {
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        for (labels, v) in &family.series {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                render_labels(labels, None),
+                fmt_f64(*v)
+            ));
+        }
+    }
+
+    for (name, family) in group_families(snapshot.histograms.iter(), ns.as_str()) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        for (labels, h) in &family.series {
+            render_histogram(&mut out, &name, labels, h);
+        }
+    }
+
+    out
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+        cumulative += count;
+        out.push_str(&format!(
+            "{name}_bucket{} {cumulative}\n",
+            render_labels(labels, Some(("le", &fmt_f64(*bound))))
+        ));
+    }
+    // `+Inf` is the total observation count (overflow bucket plus any
+    // non-finite observations that never landed in a finite bucket).
+    out.push_str(&format!(
+        "{name}_bucket{} {}\n",
+        render_labels(labels, Some(("le", "+Inf"))),
+        h.count
+    ));
+    out.push_str(&format!(
+        "{name}_sum{} {}\n",
+        render_labels(labels, None),
+        fmt_f64(h.sum)
+    ));
+    out.push_str(&format!(
+        "{name}_count{} {}\n",
+        render_labels(labels, None),
+        h.count
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_telemetry::{Recorder, Registry};
+
+    #[test]
+    fn sanitize_rewrites_dots_and_leading_digits() {
+        assert_eq!(
+            sanitize_name("detector.infer_seconds"),
+            "detector_infer_seconds"
+        );
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn label_parsing_roundtrip() {
+        let (base, labels) = parse_metric_key("quality.fall_events{task=39,risk=red}");
+        assert_eq!(base, "quality.fall_events");
+        assert_eq!(
+            labels,
+            vec![
+                ("task".to_string(), "39".to_string()),
+                ("risk".to_string(), "red".to_string())
+            ]
+        );
+        // Malformed label blocks degrade to a plain (sanitisable) name.
+        assert_eq!(parse_metric_key("a{b}").1, Vec::new());
+        assert_eq!(parse_metric_key("plain").0, "plain");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_render() {
+        let reg = Registry::new();
+        reg.counter_add("detector.windows", 7);
+        reg.counter_add("quality.fall_events{task=39}", 2);
+        reg.gauge_set("train.learning_rate", 1e-3);
+        reg.register_histogram("lat", vec![0.1, 1.0]);
+        reg.observe("lat", 0.05);
+        reg.observe("lat", 0.5);
+        reg.observe("lat", 5.0);
+        let text = render(&reg.snapshot(), "prefall");
+
+        assert!(text.contains("# TYPE prefall_detector_windows_total counter"));
+        assert!(text.contains("prefall_detector_windows_total 7"));
+        assert!(text.contains("prefall_quality_fall_events_total{task=\"39\"} 2"));
+        assert!(text.contains("# TYPE prefall_train_learning_rate gauge"));
+        assert!(text.contains("prefall_train_learning_rate 0.001"));
+        assert!(text.contains("# TYPE prefall_lat histogram"));
+        assert!(text.contains("prefall_lat_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("prefall_lat_bucket{le=\"1.0\"} 2"));
+        assert!(text.contains("prefall_lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("prefall_lat_count 3"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_inf_includes_nonfinite() {
+        let reg = Registry::new();
+        reg.register_histogram("h", vec![1.0, 2.0]);
+        reg.observe("h", 0.5);
+        reg.observe("h", 1.5);
+        reg.observe("h", f64::NAN);
+        let text = render(&reg.snapshot(), "p");
+        assert!(text.contains("p_h_bucket{le=\"1.0\"} 1"));
+        assert!(text.contains("p_h_bucket{le=\"2.0\"} 2"));
+        assert!(text.contains("p_h_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("p_h_count 3"));
+    }
+
+    #[test]
+    fn colliding_sanitised_names_share_one_type_header() {
+        let reg = Registry::new();
+        reg.counter_add("a.b", 1);
+        reg.counter_add("a_b", 2);
+        let text = render(&reg.snapshot(), "p");
+        assert_eq!(text.matches("# TYPE p_a_b_total counter").count(), 1);
+        let samples = text
+            .lines()
+            .filter(|l| l.starts_with("p_a_b_total "))
+            .count();
+        assert_eq!(samples, 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! A hand-rolled HTTP/1.1 exporter on [`std::net::TcpListener`]: one
+//! background thread, a shared [`Registry`], three routes.
+//!
+//! | route | serves |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text exposition of the live registry |
+//! | `GET /healthz` | JSON liveness + lead-time-budget verdict (`503` when degraded) |
+//! | `GET /snapshot` | full registry snapshot as JSON |
+//!
+//! The server deliberately implements only what a scraper needs:
+//! `GET`/`HEAD`, `Connection: close`, `Content-Length` framing. There
+//! is no TLS, keep-alive, or chunking — it binds to loopback in every
+//! shipped configuration and a real deployment would sit it behind the
+//! service mesh anyway.
+
+use crate::health::HealthReport;
+use crate::prometheus;
+use prefall_telemetry::Registry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Exporter configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Namespace prefixed to every exported metric name.
+    pub namespace: String,
+    /// Airbag inflation budget (ms) the health probe judges lead times
+    /// against.
+    pub budget_ms: f64,
+    /// Minimum acceptable fraction of lead times ≥ budget before
+    /// `/healthz` degrades.
+    pub min_budget_fraction: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            namespace: "prefall".to_string(),
+            budget_ms: 150.0,
+            min_budget_fraction: 0.9,
+        }
+    }
+}
+
+/// A running metrics endpoint. Dropping the handle stops the listener
+/// thread (see [`MetricsServer::shutdown`] for the explicit form).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9898`; port `0` picks a free port,
+    /// see [`MetricsServer::addr`]) and starts serving the registry on
+    /// a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (`EADDRINUSE`, permission, bad address).
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept so the thread can notice the stop flag
+        // without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("prefall-obsd".to_string())
+            .spawn(move || serve_loop(listener, registry, config, thread_stop))
+            .expect("spawn exporter thread");
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Convenience base URL, e.g. `http://127.0.0.1:9898`.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Scrapes are small and rare; handling them serially
+                // keeps the server single-threaded and unkillable by
+                // thread exhaustion. A stuck client is bounded by the
+                // read/write timeouts.
+                let _ = handle_connection(stream, &registry, &config);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    // Cap the request line; a scraper's is tens of bytes.
+    reader.by_ref().take(4096).read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    // Drain (bounded) headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    for _ in 0..64 {
+        header.clear();
+        if reader.by_ref().take(4096).read_line(&mut header)? == 0
+            || header == "\r\n"
+            || header == "\n"
+        {
+            break;
+        }
+    }
+
+    let mut stream = reader.into_inner();
+    if method != "GET" && method != "HEAD" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+            method == "HEAD",
+        );
+    }
+
+    // Strip any query string: `/metrics?format=…` still serves metrics.
+    let route = path.split('?').next().unwrap_or(path);
+    let (code, reason, content_type, body) = match route {
+        "/metrics" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus::render(&registry.snapshot(), &config.namespace),
+        ),
+        "/healthz" => {
+            let report = HealthReport::from_snapshot(
+                &registry.snapshot(),
+                config.budget_ms,
+                config.min_budget_fraction,
+            );
+            let code = report.status.http_code();
+            let reason = if code == 200 {
+                "OK"
+            } else {
+                "Service Unavailable"
+            };
+            let mut body = report.to_json().to_string();
+            body.push('\n');
+            (code, reason, "application/json; charset=utf-8", body)
+        }
+        "/snapshot" => {
+            let mut body = registry.snapshot().to_json().to_string();
+            body.push('\n');
+            (200, "OK", "application/json; charset=utf-8", body)
+        }
+        "/" => (
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            "prefall-obsd: /metrics /healthz /snapshot\n".to_string(),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    respond(
+        &mut stream,
+        code,
+        reason,
+        content_type,
+        &body,
+        method == "HEAD",
+    )
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_telemetry::Recorder;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let code = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status code");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_metrics_health_and_snapshot() {
+        let registry = Arc::new(Registry::new());
+        registry.counter_add("detector.windows", 3);
+        registry.observe("detector.infer_seconds", 4e-3);
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("prefall_detector_windows_total 3"), "{body}");
+        assert!(body.contains("prefall_detector_infer_seconds_bucket"));
+
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"detector_live\":true"), "{body}");
+
+        let (code, body) = get(addr, "/snapshot");
+        assert_eq!(code, 200);
+        let parsed = prefall_telemetry::JsonValue::parse(body.trim()).expect("valid json");
+        assert!(parsed.get("counters").is_some());
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_degrades_on_short_lead_times() {
+        let registry = Arc::new(Registry::new());
+        registry.register_histogram(
+            crate::health::LEAD_TIME_METRIC,
+            vec![50.0, 100.0, 150.0, 500.0],
+        );
+        for _ in 0..10 {
+            registry.observe(crate::health::LEAD_TIME_METRIC, 40.0);
+        }
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/healthz");
+        assert_eq!(code, 503);
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    }
+
+    #[test]
+    fn rejects_post_and_serves_live_updates() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+        // The registry is shared: a counter bumped after startup is
+        // visible on the next scrape.
+        registry.counter_add("live.updates", 1);
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("prefall_live_updates_total 1"), "{body}");
+    }
+}

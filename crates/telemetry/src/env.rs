@@ -4,6 +4,9 @@
 //! * `PREFALL_QUIET=1` — suppress console progress events entirely.
 //! * `PREFALL_TELEMETRY_JSONL=path` — additionally stream events as
 //!   JSONL to the given file.
+//! * `PREFALL_METRICS_ADDR=addr` — serve live metrics over HTTP on the
+//!   given socket address (e.g. `127.0.0.1:9898`; consumed by
+//!   `prefall-obsd`, this crate only parses it).
 
 use crate::{ConsoleRecorder, FanoutRecorder, JsonlRecorder, Recorder};
 use std::sync::Arc;
@@ -15,6 +18,9 @@ pub struct TelemetryEnv {
     pub quiet: bool,
     /// `PREFALL_TELEMETRY_JSONL`, if set and non-empty.
     pub jsonl_path: Option<String>,
+    /// `PREFALL_METRICS_ADDR`, if set and non-empty: the socket address
+    /// an exporter (see `prefall-obsd`) should listen on.
+    pub metrics_addr: Option<String>,
 }
 
 fn truthy(v: &str) -> bool {
@@ -34,7 +40,15 @@ impl TelemetryEnv {
         let jsonl_path = std::env::var("PREFALL_TELEMETRY_JSONL")
             .ok()
             .filter(|p| !p.trim().is_empty());
-        Self { quiet, jsonl_path }
+        let metrics_addr = std::env::var("PREFALL_METRICS_ADDR")
+            .ok()
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty());
+        Self {
+            quiet,
+            jsonl_path,
+            metrics_addr,
+        }
     }
 
     /// Builds the progress-event recorder this environment asks for:
@@ -85,17 +99,14 @@ mod tests {
     fn quiet_env_yields_noop() {
         let env = TelemetryEnv {
             quiet: true,
-            jsonl_path: None,
+            ..TelemetryEnv::default()
         };
         assert!(!env.progress_recorder().enabled());
     }
 
     #[test]
     fn default_env_yields_console() {
-        let env = TelemetryEnv {
-            quiet: false,
-            jsonl_path: None,
-        };
+        let env = TelemetryEnv::default();
         assert!(env.progress_recorder().enabled());
     }
 }

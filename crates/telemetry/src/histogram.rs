@@ -171,18 +171,43 @@ impl Histogram {
         }
     }
 
-    /// Log-spaced bounds suited to latencies in seconds: 5 buckets per
-    /// decade from 1 µs to 10 s.
-    pub fn latency_seconds() -> Self {
-        let mut bounds = Vec::new();
-        let per_decade = 5;
+    /// Log-spaced upper bounds: `per_decade` buckets per decade from
+    /// `lo` up to (and including) `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `per_decade >= 1`.
+    pub fn log_bounds(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+        assert!(
+            lo > 0.0 && hi > lo && per_decade >= 1,
+            "invalid log-spaced histogram spec"
+        );
         let step = 10f64.powf(1.0 / per_decade as f64);
-        let mut b = 1e-6;
-        while b < 10.0 * (1.0 + 1e-9) {
+        let mut bounds = Vec::new();
+        let mut b = lo;
+        while b < hi * (1.0 + 1e-9) {
             bounds.push(b);
             b *= step;
         }
-        Self::with_bounds(bounds)
+        bounds
+    }
+
+    /// A histogram over [`Histogram::log_bounds`]`(lo, hi, per_decade)`.
+    pub fn log_spaced(lo: f64, hi: f64, per_decade: usize) -> Self {
+        Self::with_bounds(Self::log_bounds(lo, hi, per_decade))
+    }
+
+    /// Log-spaced bounds suited to latencies in seconds: 5 buckets per
+    /// decade from 1 µs to 10 s.
+    pub fn latency_seconds() -> Self {
+        Self::log_spaced(1e-6, 10.0, 5)
+    }
+
+    /// Finer log-spaced bounds for sub-microsecond hot paths (e.g. the
+    /// per-sample `push_sample` latencies `edge_perf` measures): 10
+    /// buckets per decade from 10 ns to 1 s.
+    pub fn latency_seconds_fine() -> Self {
+        Self::log_spaced(1e-8, 1.0, 10)
     }
 
     /// `n` equal-width buckets spanning `[lo, hi]` (plus the implicit
@@ -412,6 +437,34 @@ mod tests {
                 "p{p}: bucket {est} vs reference {refq}"
             );
         }
+    }
+
+    #[test]
+    fn log_spaced_bounds_are_strictly_increasing_and_cover_range() {
+        let bounds = Histogram::log_bounds(1e-8, 1.0, 10);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!((bounds[0] - 1e-8).abs() < 1e-20);
+        assert!(*bounds.last().unwrap() >= 1.0 - 1e-9);
+        // 8 decades × 10 per decade, inclusive of both endpoints.
+        assert_eq!(bounds.len(), 81);
+    }
+
+    #[test]
+    fn fine_latency_histogram_resolves_sub_microsecond() {
+        let mut h = Histogram::latency_seconds_fine();
+        // 100 ns and 200 ns must land in different buckets (the coarse
+        // default lumps everything below 1 µs into one underflow bucket).
+        h.observe(1.0e-7);
+        h.observe(2.0e-7);
+        let snap = h.snapshot();
+        let occupied = snap.counts.iter().filter(|&&c| c > 0).count();
+        assert_eq!(occupied, 2, "distinct sub-µs buckets: {:?}", snap.counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log-spaced histogram spec")]
+    fn log_spaced_rejects_bad_spec() {
+        let _ = Histogram::log_spaced(1.0, 0.5, 5);
     }
 
     #[test]

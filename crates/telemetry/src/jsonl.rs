@@ -9,6 +9,7 @@
 use crate::{Recorder, Value};
 use std::fmt;
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -352,11 +353,16 @@ impl<W: Write> JsonlWriter<W> {
 /// gauges and observations are ignored — pair it with a [`Registry`]
 /// via [`FanoutRecorder`] for aggregates.
 ///
+/// Write failures (disk full, closed pipe) are reported **once** as a
+/// warning on stderr instead of being silently dropped; the sink is
+/// flushed when the recorder is dropped.
+///
 /// [`Registry`]: crate::Registry
 /// [`FanoutRecorder`]: crate::FanoutRecorder
 pub struct JsonlRecorder<W: Write + Send> {
-    writer: Mutex<JsonlWriter<W>>,
+    writer: Mutex<Option<JsonlWriter<W>>>,
     start: Instant,
+    write_failed: AtomicBool,
 }
 
 impl<W: Write + Send> fmt::Debug for JsonlRecorder<W> {
@@ -370,16 +376,53 @@ impl<W: Write + Send> fmt::Debug for JsonlRecorder<W> {
 impl<W: Write + Send> JsonlRecorder<W> {
     pub fn new(out: W) -> Self {
         Self {
-            writer: Mutex::new(JsonlWriter::new(out)),
+            writer: Mutex::new(Some(JsonlWriter::new(out))),
             start: Instant::now(),
+            write_failed: AtomicBool::new(false),
         }
     }
 
+    /// Warns on stderr the first time a write/flush error occurs; later
+    /// errors are counted silently (one stuck sink must not spam the
+    /// console for every event of a long run).
+    fn report(&self, what: &str, e: &std::io::Error) {
+        if !self.write_failed.swap(true, Ordering::Relaxed) {
+            eprintln!("[prefall] telemetry JSONL {what} failed (further errors suppressed): {e}");
+        }
+    }
+
+    /// Whether any write or flush error occurred so far.
+    pub fn write_failed(&self) -> bool {
+        self.write_failed.load(Ordering::Relaxed)
+    }
+
     /// Flushes and returns the underlying sink.
-    pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().expect("jsonl writer poisoned");
-        let _ = w.flush();
+    pub fn into_inner(mut self) -> W {
+        let mut w = self
+            .writer
+            .get_mut()
+            .expect("jsonl writer poisoned")
+            .take()
+            .expect("writer present until drop");
+        if let Err(e) = w.flush() {
+            self.report("flush", &e);
+        }
         w.into_inner()
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlRecorder<W> {
+    fn drop(&mut self) {
+        let failed_before = self.write_failed.load(Ordering::Relaxed);
+        if let Ok(slot) = self.writer.get_mut() {
+            if let Some(w) = slot.as_mut() {
+                if let Err(e) = w.flush() {
+                    if !failed_before {
+                        eprintln!("[prefall] telemetry JSONL flush failed: {e}");
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -409,11 +452,13 @@ impl<W: Write + Send> Recorder for JsonlRecorder<W> {
             };
             obj.push(((*k).to_string(), jv));
         }
-        let _ = self
-            .writer
-            .lock()
-            .expect("jsonl writer poisoned")
-            .write(&JsonValue::Obj(obj));
+        let mut guard = self.writer.lock().expect("jsonl writer poisoned");
+        if let Some(w) = guard.as_mut() {
+            if let Err(e) = w.write(&JsonValue::Obj(obj)) {
+                drop(guard);
+                self.report("write", &e);
+            }
+        }
     }
 }
 
@@ -460,6 +505,26 @@ mod tests {
         assert!(JsonValue::parse("[1,]").is_err());
         assert!(JsonValue::parse("1 2").is_err());
         assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn jsonl_recorder_surfaces_write_errors_once() {
+        struct FailingSink;
+        impl Write for FailingSink {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink is broken"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("sink is broken"))
+            }
+        }
+        let rec = JsonlRecorder::new(FailingSink);
+        assert!(!rec.write_failed());
+        rec.event("a", &[]);
+        assert!(rec.write_failed(), "first failed write is recorded");
+        // Further failing writes (and the flush on drop) must not panic.
+        rec.event("b", &[]);
+        drop(rec);
     }
 
     #[test]

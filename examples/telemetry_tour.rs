@@ -1,7 +1,8 @@
 //! Tour of `prefall-telemetry`: recorders, RAII spans, counters, gauges,
 //! latency histograms, the mergeable registry snapshot, the rendered
-//! summary table, and the JSONL event stream — first hand-rolled, then
-//! attached to a real instrumented experiment.
+//! summary table, the JSONL event stream — first hand-rolled, then
+//! attached to a real instrumented experiment — and finally the
+//! `prefall-obsd` exporter serving it all over HTTP.
 //!
 //! ```text
 //! cargo run --release --example telemetry_tour
@@ -86,5 +87,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("  ... {} events total", text.lines().count());
+
+    // 5. The obsd exporter serves any registry live: /metrics in
+    //    Prometheus text format, /healthz against the 150 ms lead-time
+    //    budget, /snapshot as JSON. Port 0 picks a free port; set
+    //    PREFALL_METRICS_ADDR on the bench binaries for the same thing.
+    println!("\n== 5. live metrics endpoint ==");
+    let server = prefall::obsd::MetricsServer::start(
+        "127.0.0.1:0",
+        run_registry.clone(),
+        prefall::obsd::ServerConfig::default(),
+    )?;
+    println!(
+        "serving {} — e.g. curl {}/metrics",
+        server.url(),
+        server.url()
+    );
+    let body = {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(server.addr())?;
+        write!(
+            s,
+            "GET /metrics HTTP/1.1\r\nHost: tour\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut r = String::new();
+        s.read_to_string(&mut r)?;
+        r.split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default()
+    };
+    for line in body
+        .lines()
+        .filter(|l| l.contains("train_epoch_seconds"))
+        .take(6)
+    {
+        println!("  {line}");
+    }
+    println!("  ... {} exposition lines total", body.lines().count());
     Ok(())
 }

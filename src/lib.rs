@@ -14,6 +14,9 @@
 //!   baselines, cross-validation, event-level evaluation, airbag trigger.
 //! * [`telemetry`] — zero-dependency metrics/tracing: counters, gauges,
 //!   latency histograms, RAII spans, JSONL event streams.
+//! * [`obsd`] — observability daemon: Prometheus `/metrics` exposition,
+//!   `/healthz` lead-time-budget probe, `/snapshot` JSON, served by a
+//!   hand-rolled HTTP listener.
 //!
 //! # Quickstart
 //!
@@ -33,4 +36,5 @@ pub use prefall_dsp as dsp;
 pub use prefall_imu as imu;
 pub use prefall_mcu as mcu;
 pub use prefall_nn as nn;
+pub use prefall_obsd as obsd;
 pub use prefall_telemetry as telemetry;
