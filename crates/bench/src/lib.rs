@@ -148,6 +148,14 @@ pub mod telemetry_out {
     /// "histograms": …}` to [`BENCH_TELEMETRY_PATH`] and prints the
     /// human-readable summary table on stderr (unless `PREFALL_QUIET`).
     pub fn dump(bench: &str, snapshot: &Snapshot, extra: Vec<(String, JsonValue)>) {
+        dump_to(BENCH_TELEMETRY_PATH, bench, snapshot, extra);
+    }
+
+    /// Like [`dump`] but writing to an arbitrary path, for binaries
+    /// whose snapshot must not clobber `BENCH_telemetry.json` (e.g. the
+    /// `robustness` sweep writes `BENCH_robustness.json` so both can be
+    /// diffed against their own baselines).
+    pub fn dump_to(path: &str, bench: &str, snapshot: &Snapshot, extra: Vec<(String, JsonValue)>) {
         let mut fields = vec![("bench".to_string(), JsonValue::Str(bench.to_string()))];
         fields.extend(extra);
         if let JsonValue::Obj(sections) = snapshot.to_json() {
@@ -155,15 +163,15 @@ pub mod telemetry_out {
         }
         let doc = JsonValue::Obj(fields);
         let quiet = TelemetryEnv::from_env().quiet;
-        match std::fs::File::create(BENCH_TELEMETRY_PATH) {
+        match std::fs::File::create(path) {
             Ok(mut f) => {
                 if let Err(e) = writeln!(f, "{doc}") {
-                    eprintln!("{bench}: cannot write {BENCH_TELEMETRY_PATH}: {e}");
+                    eprintln!("{bench}: cannot write {path}: {e}");
                 } else if !quiet {
-                    eprintln!("{bench}: telemetry snapshot written to {BENCH_TELEMETRY_PATH}");
+                    eprintln!("{bench}: telemetry snapshot written to {path}");
                 }
             }
-            Err(e) => eprintln!("{bench}: cannot create {BENCH_TELEMETRY_PATH}: {e}"),
+            Err(e) => eprintln!("{bench}: cannot create {path}: {e}"),
         }
         if !quiet {
             eprint!("{}", summary::render(snapshot));

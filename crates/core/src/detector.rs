@@ -6,6 +6,41 @@
 //! Butterworth low-pass) sample by sample, and every hop it classifies
 //! the trailing window. A positive classification triggers the airbag,
 //! which needs 150 ms to reach full extension.
+//!
+//! # Hardened ingest and degraded modes
+//!
+//! Real IMUs misbehave: samples drop, axes freeze, values saturate or
+//! go NaN after a bus glitch. When [`GuardConfig::enabled`] is set (the
+//! default), every sample first passes through a [`SampleGuard`] stage
+//! that
+//!
+//! * rejects non-finite values and clamps out-of-range ones to the
+//!   configured physical limits, substituting the last good sample;
+//! * fills short gaps (via [`StreamingDetector::push_missing`]) by
+//!   holding the last good sample, and flushes the window after gaps
+//!   too long to bridge;
+//! * runs a stuck/stale watchdog that flags a frozen axis or a
+//!   flat-lined sensor;
+//! * switches the detector into explicit degraded modes
+//!   ([`DetectorMode`]): a degraded sensor's channels are masked to the
+//!   normalised zero point before inference (e.g. accel-only operation
+//!   when the gyro is out) instead of feeding the network garbage.
+//!
+//! Every intervention is counted in [`GuardStatus`] and mirrored to the
+//! telemetry [`Recorder`] under `guard.*` counters.
+//!
+//! # Degraded-trigger policy
+//!
+//! A window classified while any degraded mode is active may only fire
+//! the airbag when the accelerometer branch independently confirms the
+//! event: the accel channel must itself be healthy, the detector must
+//! not be stale from an unbridged gap, and the accel magnitude must
+//! have left the 1 g rest band within the last
+//! [`GuardConfig::accel_confirm_window`] samples. Inflating the airbag
+//! is irreversible and disruptive, so a probability computed from
+//! masked or interpolated data is never trusted on its own —
+//! [`StreamingDetector::trigger_decision`] encodes this policy and
+//! [`AirbagController::step_with_detector`] applies it.
 
 use crate::pipeline::{Pipeline, PipelineConfig};
 use crate::CoreError;
@@ -38,16 +73,340 @@ pub struct DetectorConfig {
     /// Number of consecutive positive windows required to trigger
     /// (1 = trigger on the first positive window).
     pub consecutive: usize,
+    /// Ingest hardening configuration (see the module docs).
+    pub guard: GuardConfig,
 }
 
 impl DetectorConfig {
     /// The paper's deployed configuration: 400 ms windows, 50 % overlap,
-    /// trigger on the first positive window.
+    /// trigger on the first positive window, hardened ingest on.
     pub fn paper_400ms() -> Self {
         Self {
             pipeline: PipelineConfig::paper_400ms(),
             threshold: 0.5,
             consecutive: 1,
+            guard: GuardConfig::default(),
+        }
+    }
+}
+
+/// Configuration of the [`SampleGuard`] ingest-hardening stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Master switch. Disabled reproduces the naive ingest exactly:
+    /// non-finite values reach the filters and NaN propagates to the
+    /// output probability.
+    pub enabled: bool,
+    /// Physical accelerometer range in g; readings clamp to ±limit.
+    /// Default 16 g (the wide range of typical wearable IMUs).
+    pub accel_limit_g: f32,
+    /// Physical gyroscope range in rad/s; readings clamp to ±limit.
+    /// Default ≈ 34.9 rad/s (2000 °/s).
+    pub gyro_limit_rads: f32,
+    /// Longest gap (in samples) bridged by holding the last good
+    /// sample. Longer gaps flush the window and mark the detector
+    /// stale until real data resumes. Default 10 (100 ms).
+    pub max_gap_fill: usize,
+    /// Identical consecutive readings on an axis before the watchdog
+    /// calls it stuck. Default 25 (250 ms — real sensors jitter every
+    /// sample).
+    pub stuck_window: usize,
+    /// Debounce for value-level faults: a sensor enters its degraded
+    /// mode once its recent fault pressure reaches this level, and
+    /// leaves it again after roughly twice as many clean samples.
+    /// Default 5.
+    pub fault_debounce: u32,
+    /// How recently (in samples) the accel magnitude must have left the
+    /// rest band for [`StreamingDetector::accel_confirms`] to hold.
+    /// Default 40 (400 ms, one paper window).
+    pub accel_confirm_window: usize,
+    /// Half-width of the accel rest band around 1 g. Default 0.35 g.
+    pub accel_confirm_dev_g: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            accel_limit_g: 16.0,
+            gyro_limit_rads: 34.9,
+            max_gap_fill: 10,
+            stuck_window: 25,
+            fault_debounce: 5,
+            accel_confirm_window: 40,
+            accel_confirm_dev_g: 0.35,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// The guard switched off: the legacy, unhardened ingest path.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Which degraded modes are currently active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectorMode {
+    /// Accelerometer channels are masked (stuck or persistently
+    /// faulty accel).
+    pub accel_degraded: bool,
+    /// Gyroscope channels are masked and fusion runs accel-only.
+    pub gyro_degraded: bool,
+    /// An unbridged sample gap invalidated the window; cleared when
+    /// real data resumes.
+    pub stale: bool,
+}
+
+impl DetectorMode {
+    /// `true` when any degraded mode is active.
+    pub fn is_degraded(&self) -> bool {
+        self.accel_degraded || self.gyro_degraded || self.stale
+    }
+}
+
+/// Cumulative [`SampleGuard`] intervention counters.
+///
+/// Counters survive [`StreamingDetector::reset`] (they describe the
+/// deployment, not one trial); [`StreamingDetector::set_guard`] starts
+/// them over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardStatus {
+    /// Grid ticks seen (delivered + missing).
+    pub samples: u64,
+    /// Non-finite axis readings replaced by the last good value.
+    pub nonfinite: u64,
+    /// Out-of-range axis readings clamped to the physical limit.
+    pub clamped: u64,
+    /// Missing ticks bridged by holding the last good sample.
+    pub gaps_filled: u64,
+    /// Missing ticks beyond [`GuardConfig::max_gap_fill`] (window lost).
+    pub gap_lost: u64,
+    /// Stuck-axis watchdog activations (transitions into stuck).
+    pub stuck_events: u64,
+    /// Samples ingested while any degraded mode was active.
+    pub degraded_samples: u64,
+    /// Windows classified while any degraded mode was active.
+    pub degraded_windows: u64,
+    /// Window flushes forced by unbridgeable gaps.
+    pub window_flushes: u64,
+    /// Armed triggers vetoed by the degraded-trigger policy.
+    pub suppressed_triggers: u64,
+    /// Segments the engine refused (non-finite in or out), scored 0.
+    pub engine_rejects: u64,
+    /// Windows classified through the guarded path.
+    pub windows: u64,
+}
+
+impl GuardStatus {
+    /// Total faulty inputs handled: non-finite + clamped + filled +
+    /// lost + stuck events.
+    pub fn faults(&self) -> u64 {
+        self.nonfinite + self.clamped + self.gaps_filled + self.gap_lost + self.stuck_events
+    }
+
+    /// Faults per ingested grid tick (0 when nothing was ingested).
+    pub fn fault_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.faults() as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Neutral rest reading used before any good sample has arrived.
+const REST_SAMPLE: ([f32; 3], [f32; 3]) = ([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+
+/// The ingest-hardening stage: validates, clamps and gap-fills raw
+/// samples, runs the stuck watchdog, and tracks the degraded modes.
+///
+/// Owned by [`StreamingDetector`]; its streaming state resets with the
+/// detector while its [`GuardStatus`] counters accumulate across
+/// trials. Uses only fixed-size state — no allocation on the sample
+/// path.
+#[derive(Debug, Clone)]
+pub struct SampleGuard {
+    cfg: GuardConfig,
+    last_good: Option<([f32; 3], [f32; 3])>,
+    gap_run: usize,
+    pending_flush: bool,
+    axis_last: [f32; 6],
+    axis_run: [u32; 6],
+    bad_run: [u32; 2],
+    stuck: [bool; 2],
+    anomaly_age: u32,
+    mode: DetectorMode,
+    status: GuardStatus,
+}
+
+impl SampleGuard {
+    fn new(cfg: GuardConfig) -> Self {
+        Self {
+            cfg,
+            last_good: None,
+            gap_run: 0,
+            pending_flush: false,
+            axis_last: [f32::NAN; 6],
+            axis_run: [0; 6],
+            bad_run: [0; 2],
+            stuck: [false; 2],
+            anomaly_age: u32::MAX,
+            mode: DetectorMode::default(),
+            status: GuardStatus::default(),
+        }
+    }
+
+    /// Clears per-stream state; cumulative counters survive.
+    fn reset_stream(&mut self) {
+        self.last_good = None;
+        self.gap_run = 0;
+        self.pending_flush = false;
+        self.axis_last = [f32::NAN; 6];
+        self.axis_run = [0; 6];
+        self.bad_run = [0; 2];
+        self.stuck = [false; 2];
+        self.anomaly_age = u32::MAX;
+        self.mode = DetectorMode::default();
+    }
+
+    /// The sample used to bridge a gap.
+    fn fill_value(&self) -> ([f32; 3], [f32; 3]) {
+        self.last_good.unwrap_or(REST_SAMPLE)
+    }
+
+    /// Validates one delivered sample, returning the cleaned values.
+    fn sanitize(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> ([f32; 3], [f32; 3]) {
+        self.status.samples += 1;
+        self.gap_run = 0;
+        let (fill_a, fill_g) = self.fill_value();
+        let mut clean = [accel[0], accel[1], accel[2], gyro[0], gyro[1], gyro[2]];
+        let fill = [
+            fill_a[0], fill_a[1], fill_a[2], fill_g[0], fill_g[1], fill_g[2],
+        ];
+        let mut bad = [false; 2];
+        for (k, v) in clean.iter_mut().enumerate() {
+            let s = k / 3;
+            let limit = if s == 0 {
+                self.cfg.accel_limit_g
+            } else {
+                self.cfg.gyro_limit_rads
+            };
+            if !v.is_finite() {
+                self.status.nonfinite += 1;
+                bad[s] = true;
+                *v = fill[k];
+            } else if v.abs() > limit {
+                self.status.clamped += 1;
+                bad[s] = true;
+                *v = v.clamp(-limit, limit);
+            }
+        }
+
+        // Stuck watchdog on the cleaned values: an axis repeating the
+        // exact same reading is electrically suspicious (real sensors
+        // jitter in the low bits every sample).
+        for (k, &v) in clean.iter().enumerate() {
+            if v == self.axis_last[k] {
+                self.axis_run[k] = self.axis_run[k].saturating_add(1);
+            } else {
+                self.axis_run[k] = 0;
+                self.axis_last[k] = v;
+            }
+        }
+        let w = self.cfg.stuck_window as u32;
+        for s in 0..2 {
+            let runs = &self.axis_run[s * 3..s * 3 + 3];
+            let min = *runs.iter().min().expect("3 axes");
+            let max = *runs.iter().max().expect("3 axes");
+            // Dead: the whole sensor flat-lines. Frozen: one axis stops
+            // while its siblings keep moving.
+            let stuck_now = min >= w || (max >= w && min < w / 2);
+            if stuck_now && !self.stuck[s] {
+                self.status.stuck_events += 1;
+            }
+            self.stuck[s] = stuck_now;
+        }
+
+        // Debounced value-fault pressure per sensor.
+        for (s, &was_bad) in bad.iter().enumerate() {
+            if was_bad {
+                self.bad_run[s] = (self.bad_run[s] + 2).min(2 * self.cfg.fault_debounce);
+            } else {
+                self.bad_run[s] = self.bad_run[s].saturating_sub(1);
+            }
+        }
+
+        self.mode.accel_degraded = self.stuck[0] || self.bad_run[0] >= self.cfg.fault_debounce;
+        self.mode.gyro_degraded = self.stuck[1] || self.bad_run[1] >= self.cfg.fault_debounce;
+
+        // Accel-confirmation age: has the magnitude left the 1 g rest
+        // band recently?
+        let a = [clean[0], clean[1], clean[2]];
+        let norm = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
+        if (norm - 1.0).abs() > self.cfg.accel_confirm_dev_g {
+            self.anomaly_age = 0;
+        } else {
+            self.anomaly_age = self.anomaly_age.saturating_add(1);
+        }
+
+        let out = (a, [clean[3], clean[4], clean[5]]);
+        self.last_good = Some(out);
+        if self.mode.is_degraded() {
+            self.status.degraded_samples += 1;
+        }
+        out
+    }
+}
+
+/// Emits the change in each `guard.*` counter between two
+/// [`GuardStatus`] snapshots. Static names, no allocation.
+fn emit_guard_deltas(rec: &dyn Recorder, before: &GuardStatus, after: &GuardStatus) {
+    let pairs: [(&'static str, u64, u64); 12] = [
+        ("guard.samples", before.samples, after.samples),
+        ("guard.nonfinite", before.nonfinite, after.nonfinite),
+        ("guard.clamped", before.clamped, after.clamped),
+        ("guard.gaps_filled", before.gaps_filled, after.gaps_filled),
+        ("guard.gap_lost", before.gap_lost, after.gap_lost),
+        (
+            "guard.stuck_events",
+            before.stuck_events,
+            after.stuck_events,
+        ),
+        (
+            "guard.degraded_samples",
+            before.degraded_samples,
+            after.degraded_samples,
+        ),
+        (
+            "guard.degraded_windows",
+            before.degraded_windows,
+            after.degraded_windows,
+        ),
+        (
+            "guard.window_flushes",
+            before.window_flushes,
+            after.window_flushes,
+        ),
+        (
+            "guard.suppressed_triggers",
+            before.suppressed_triggers,
+            after.suppressed_triggers,
+        ),
+        (
+            "guard.engine_rejects",
+            before.engine_rejects,
+            after.engine_rejects,
+        ),
+        ("guard.faults", before.faults(), after.faults()),
+    ];
+    for (name, b, a) in pairs {
+        if a > b {
+            rec.counter_add(name, a - b);
         }
     }
 }
@@ -72,11 +431,33 @@ impl Engine {
     }
 
     /// Sigmoid probability for one preprocessed segment.
+    ///
+    /// No input validation — and worse than NaN-in/NaN-out: the ReLU
+    /// and max-pool layers use `f32::max`, which maps NaN to the other
+    /// operand, so a corrupted segment is silently *laundered* into a
+    /// finite but meaningless score. The output alone cannot reveal
+    /// the corruption; validate at the input boundary with
+    /// [`Engine::try_predict_proba`] when the segment may be
+    /// corrupted.
     pub fn predict_proba(&mut self, segment: &[f32]) -> f32 {
         match self {
             Engine::Float(n) => prefall_nn::loss::sigmoid(n.forward(segment)[0]),
             Engine::Quantized(q) => q.predict_proba(segment),
         }
+    }
+
+    /// Validated inference: returns `None` instead of a garbage score
+    /// when the segment contains a non-finite value, or when the
+    /// engine itself produces one. This is the only reliable check —
+    /// see [`Engine::predict_proba`] for why the output side cannot
+    /// detect a poisoned segment. The hardened detector maps `None`
+    /// to probability 0 and counts the reject.
+    pub fn try_predict_proba(&mut self, segment: &[f32]) -> Option<f32> {
+        if segment.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let p = self.predict_proba(segment);
+        p.is_finite().then_some(p)
     }
 }
 
@@ -103,6 +484,7 @@ pub struct StreamingDetector {
     window: VecDeque<[f32; NUM_CHANNELS]>,
     samples_seen: usize,
     positives_in_a_row: usize,
+    guard: SampleGuard,
     rec: Arc<dyn Recorder>,
 }
 
@@ -144,6 +526,7 @@ impl StreamingDetector {
             window: VecDeque::with_capacity(window),
             samples_seen: 0,
             positives_in_a_row: 0,
+            guard: SampleGuard::new(config.guard),
             rec: prefall_telemetry::noop(),
         })
     }
@@ -162,7 +545,9 @@ impl StreamingDetector {
         self.rec = rec;
     }
 
-    /// Resets all streaming state (filters, fusion, window).
+    /// Resets all streaming state (filters, fusion, window, guard
+    /// stream state). Cumulative [`GuardStatus`] counters survive —
+    /// they describe the deployment, not one trial.
     pub fn reset(&mut self) {
         for f in &mut self.filters {
             f.reset();
@@ -171,12 +556,226 @@ impl StreamingDetector {
         self.window.clear();
         self.samples_seen = 0;
         self.positives_in_a_row = 0;
+        self.guard.reset_stream();
+    }
+
+    /// Replaces the guard configuration, resetting all guard state
+    /// *including* the cumulative [`GuardStatus`] counters. Lets one
+    /// detector (networks are not clonable) be compared with the guard
+    /// on and off.
+    pub fn set_guard(&mut self, cfg: GuardConfig) {
+        self.config.guard = cfg;
+        self.guard = SampleGuard::new(cfg);
+    }
+
+    /// The currently active degraded modes.
+    pub fn mode(&self) -> DetectorMode {
+        self.guard.mode
+    }
+
+    /// Cumulative guard intervention counters.
+    pub fn guard_status(&self) -> GuardStatus {
+        self.guard.status
+    }
+
+    /// Whether the accelerometer branch currently confirms a fall-like
+    /// event: accel magnitude left the 1 g rest band within the last
+    /// [`GuardConfig::accel_confirm_window`] samples.
+    pub fn accel_confirms(&self) -> bool {
+        self.guard.anomaly_age as usize <= self.config.guard.accel_confirm_window
     }
 
     /// Feeds one raw 100 Hz sample (accelerometer in g, gyroscope in
     /// rad/s). Returns the window probability when a full hop completed,
     /// `None` otherwise.
+    ///
+    /// With [`GuardConfig::enabled`] (the default) the sample passes
+    /// through the [`SampleGuard`] first and the returned probability
+    /// is always finite and computed from validated data. With the
+    /// guard disabled this is the naive ingest: a single NaN axis
+    /// reading permanently poisons the Butterworth and fusion state,
+    /// after which every window is NaN and the network's `max`-based
+    /// layers launder it into a constant garbage score — the detector
+    /// goes silently blind.
     pub fn push_sample(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> Option<f32> {
+        if self.config.guard.enabled {
+            self.push_guarded(accel, gyro, false)
+        } else {
+            self.push_raw(accel, gyro)
+        }
+    }
+
+    /// Reports a missing grid tick (the sensor bus delivered nothing at
+    /// this 100 Hz slot). Returns a probability if bridging the gap
+    /// completed a hop.
+    ///
+    /// Gaps up to [`GuardConfig::max_gap_fill`] ticks are bridged by
+    /// re-ingesting the last good sample (counted as `gaps_filled`);
+    /// longer gaps mark the detector stale, flush the window when real
+    /// data resumes, and are counted as `gap_lost`.
+    ///
+    /// With the guard disabled this is a no-op returning `None`: the
+    /// naive detector simply never learns a tick passed, so its window
+    /// silently loses grid alignment — the failure mode the guard
+    /// exists to prevent.
+    pub fn push_missing(&mut self) -> Option<f32> {
+        if !self.config.guard.enabled {
+            return None;
+        }
+        let before = self.guard.status;
+        self.guard.status.samples += 1;
+        self.guard.gap_run += 1;
+        let bridged = self.guard.gap_run <= self.config.guard.max_gap_fill;
+        if bridged {
+            self.guard.status.gaps_filled += 1;
+            if self.guard.mode.is_degraded() {
+                self.guard.status.degraded_samples += 1;
+            }
+        } else {
+            self.guard.status.gap_lost += 1;
+            self.guard.mode.stale = true;
+            self.guard.pending_flush = true;
+        }
+        if self.rec.enabled() {
+            let rec = Arc::clone(&self.rec);
+            // Emit only this method's own increments; the guarded push
+            // below emits its own deltas.
+            emit_guard_deltas(rec.as_ref(), &before, &self.guard.status);
+        }
+        if bridged {
+            let (accel, gyro) = self.guard.fill_value();
+            self.push_guarded(accel, gyro, true)
+        } else {
+            None
+        }
+    }
+
+    /// The hardened ingest path. `synthetic` marks a gap-fill sample,
+    /// which skips validation and watchdog updates (its values are the
+    /// already-clean hold sample and must not look "stuck").
+    fn push_guarded(&mut self, accel: [f32; 3], gyro: [f32; 3], synthetic: bool) -> Option<f32> {
+        // Cloning the Arc (one atomic bump, no allocation) frees `self`
+        // for the mutable streaming state below.
+        let rec = Arc::clone(&self.rec);
+        let _push_span = Span::enter(rec.as_ref(), "detector.push_sample_seconds");
+        let before = self.guard.status;
+
+        if self.guard.pending_flush && !synthetic {
+            // Real data after an unbridgeable gap: the window mixes
+            // pre- and post-gap time, so drop it and refill.
+            self.window.clear();
+            self.positives_in_a_row = 0;
+            self.guard.pending_flush = false;
+            self.guard.gap_run = 0;
+            self.guard.mode.stale = false;
+            self.guard.status.window_flushes += 1;
+        }
+
+        let (accel, gyro) = if synthetic {
+            (accel, gyro)
+        } else {
+            self.guard.sanitize(accel, gyro)
+        };
+
+        // Degraded gyro: run fusion accel-only so the Euler channels
+        // stay posture-driven instead of integrating garbage.
+        let fused_gyro = if self.guard.mode.gyro_degraded {
+            [0.0; 3]
+        } else {
+            gyro
+        };
+        let euler = self.fusion.update(
+            [
+                f64::from(accel[0]),
+                f64::from(accel[1]),
+                f64::from(accel[2]),
+            ],
+            [
+                f64::from(fused_gyro[0]),
+                f64::from(fused_gyro[1]),
+                f64::from(fused_gyro[2]),
+            ],
+        );
+        let raw = [
+            accel[0],
+            accel[1],
+            accel[2],
+            gyro[0],
+            gyro[1],
+            gyro[2],
+            euler.pitch as f32,
+            euler.roll as f32,
+            euler.yaw as f32,
+        ];
+        let mut row = [0.0f32; NUM_CHANNELS];
+        for (c, (f, &v)) in self.filters.iter_mut().zip(&raw).enumerate() {
+            row[c] = f.process(v);
+        }
+
+        let w = self.config.pipeline.segmentation.window();
+        if self.window.len() == w {
+            self.window.pop_front();
+        }
+        self.window.push_back(row);
+        self.samples_seen += 1;
+
+        let hop = self.config.pipeline.segmentation.hop();
+        let prob = if self.window.len() < w || !(self.samples_seen - w).is_multiple_of(hop) {
+            None
+        } else {
+            // Assemble, normalise, mask degraded channels, classify.
+            let mut seg = Vec::with_capacity(w * NUM_CHANNELS);
+            for r in &self.window {
+                seg.extend_from_slice(r);
+            }
+            self.normalizer.apply_in_place(&mut seg);
+            let mode = self.guard.mode;
+            if mode.accel_degraded || mode.gyro_degraded {
+                let from = if mode.accel_degraded { 0 } else { 3 };
+                let to = if mode.gyro_degraded { 6 } else { 3 };
+                for r in 0..w {
+                    for c in from..to {
+                        seg[r * NUM_CHANNELS + c] = 0.0;
+                    }
+                }
+            }
+            let p = {
+                let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
+                match self.engine.try_predict_proba(&seg) {
+                    Some(p) => p,
+                    None => {
+                        self.guard.status.engine_rejects += 1;
+                        0.0
+                    }
+                }
+            };
+            self.guard.status.windows += 1;
+            if mode.is_degraded() {
+                self.guard.status.degraded_windows += 1;
+            }
+            if rec.enabled() {
+                rec.counter_add("detector.windows", 1);
+            }
+            if p >= self.config.threshold {
+                self.positives_in_a_row += 1;
+            } else {
+                self.positives_in_a_row = 0;
+            }
+            if self.trigger_armed() && !self.guard_allows_trigger() {
+                self.guard.status.suppressed_triggers += 1;
+            }
+            Some(p)
+        };
+
+        if rec.enabled() {
+            emit_guard_deltas(rec.as_ref(), &before, &self.guard.status);
+        }
+        prob
+    }
+
+    /// The legacy unhardened ingest, byte-for-byte the pre-guard
+    /// behaviour.
+    fn push_raw(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> Option<f32> {
         // Cloning the Arc (one atomic bump, no allocation) frees `self`
         // for the mutable streaming state below.
         let rec = Arc::clone(&self.rec);
@@ -240,9 +839,32 @@ impl StreamingDetector {
     }
 
     /// Whether the trigger condition (N consecutive positive windows) is
-    /// currently met.
+    /// currently met. This is the raw arming state; it deliberately
+    /// ignores degraded modes — see
+    /// [`StreamingDetector::trigger_decision`] for the policy-aware
+    /// check.
     pub fn trigger_armed(&self) -> bool {
         self.positives_in_a_row >= self.config.consecutive
+    }
+
+    /// The policy-aware trigger: armed *and* permitted by the
+    /// degraded-trigger policy (module docs). While degraded, a trigger
+    /// requires a healthy, non-stale accelerometer whose magnitude
+    /// recently confirmed a dynamic event; a probability computed from
+    /// masked or gap-filled data never fires the airbag on its own.
+    pub fn trigger_decision(&self) -> bool {
+        self.trigger_armed() && self.guard_allows_trigger()
+    }
+
+    fn guard_allows_trigger(&self) -> bool {
+        if !self.config.guard.enabled {
+            return true;
+        }
+        let m = self.guard.mode;
+        if !m.is_degraded() {
+            return true;
+        }
+        !m.accel_degraded && !m.stale && self.accel_confirms()
     }
 }
 
@@ -290,8 +912,27 @@ impl AirbagController {
         self.state
     }
 
+    /// Advances time to sample `now`, firing from the detector's
+    /// policy-aware [`StreamingDetector::trigger_decision`].
+    ///
+    /// This is the deployment-correct coupling: under a degraded
+    /// detector the airbag never fires from a degraded-mode probability
+    /// unless the accelerometer branch confirms (see the
+    /// degraded-trigger policy in the module docs). Calling
+    /// [`AirbagController::step`] with a raw
+    /// [`StreamingDetector::trigger_armed`] bypasses that policy and is
+    /// only appropriate when the ingest is known clean.
+    pub fn step_with_detector(&mut self, now: usize, detector: &StreamingDetector) -> AirbagState {
+        self.step(now, detector.trigger_decision())
+    }
+
     /// Advances time to sample `now`, firing if `trigger` is set.
     /// Returns the new state.
+    ///
+    /// `trigger` is trusted blindly — pair it with
+    /// [`StreamingDetector::trigger_decision`] (or use
+    /// [`AirbagController::step_with_detector`]) so degraded-mode
+    /// probabilities cannot fire the irreversible gas generator.
     pub fn step(&mut self, now: usize, trigger: bool) -> AirbagState {
         self.state = match self.state {
             AirbagState::Idle if trigger => AirbagState::Inflating { triggered_at: now },
@@ -407,7 +1048,7 @@ fn stream_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome
         if let Some(p) = detector.push_sample([ax[i], ay[i], az[i]], [gx[i], gy[i], gz[i]]) {
             peak_prob = Some(peak_prob.map_or(p, |q| q.max(p)));
         }
-        let fire = detector.trigger_armed() && triggered_at.is_none();
+        let fire = detector.trigger_decision() && triggered_at.is_none();
         if fire {
             triggered_at = Some(i);
         }
@@ -444,6 +1085,7 @@ pub fn run_on_trial_monitored(
 ) -> TrialOutcome {
     let outcome = run_on_trial_recorded(detector, trial, rec);
     monitor.record_trial(trial, &outcome, rec);
+    monitor.record_guard(detector.guard_status());
     monitor.publish(rec);
     outcome
 }
@@ -463,6 +1105,7 @@ pub fn detector_from_parts(
             pipeline: *pipeline.config(),
             threshold,
             consecutive: 1,
+            guard: GuardConfig::default(),
         },
     )
 }
@@ -478,6 +1121,7 @@ mod tests {
             pipeline: PipelineConfig::paper(window_ms, Overlap::Half),
             threshold: 0.5,
             consecutive: 1,
+            guard: GuardConfig::default(),
         };
         let w = cfg.pipeline.segmentation.window();
         let net = ModelKind::ProposedCnn.build(w, 9, 1).unwrap();
@@ -529,6 +1173,7 @@ mod tests {
             pipeline: PipelineConfig::paper(200.0, Overlap::Half),
             threshold: 0.5,
             consecutive: 1,
+            guard: GuardConfig::default(),
         };
         let w = cfg.pipeline.segmentation.window();
         let mut net = ModelKind::ProposedCnn.build(w, 9, 7).unwrap();
@@ -570,6 +1215,7 @@ mod tests {
             pipeline: PipelineConfig::paper(200.0, Overlap::Half),
             threshold: 0.0, // every window counts as positive
             consecutive: 3,
+            guard: GuardConfig::default(),
         };
         let w = cfg.pipeline.segmentation.window();
         let net = ModelKind::ProposedCnn.build(w, 9, 1).unwrap();
@@ -633,5 +1279,240 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// A lightly varying, physically plausible sample: ~1 g accel with
+    /// jitter so the stuck watchdog stays quiet.
+    fn wiggle(i: usize) -> ([f32; 3], [f32; 3]) {
+        let t = i as f32 * 0.07;
+        (
+            [
+                0.05 * t.sin(),
+                0.04 * (1.3 * t).cos(),
+                1.0 + 0.06 * (0.9 * t).sin(),
+            ],
+            [
+                0.2 * (1.1 * t).sin(),
+                0.15 * (0.7 * t).cos(),
+                0.1 * (1.7 * t).sin(),
+            ],
+        )
+    }
+
+    #[test]
+    fn guard_keeps_probabilities_finite_under_nan_burst() {
+        let mut d = dummy_detector(200.0);
+        for i in 0..120 {
+            let (a, g) = wiggle(i);
+            let (a, g) = if (40..48).contains(&i) {
+                ([f32::NAN; 3], [f32::INFINITY, f32::NAN, f32::NEG_INFINITY])
+            } else {
+                (a, g)
+            };
+            if let Some(p) = d.push_sample(a, g) {
+                assert!(p.is_finite(), "non-finite prob at sample {i}");
+            }
+        }
+        let s = d.guard_status();
+        assert!(
+            s.nonfinite >= 8 * 6,
+            "counted {} nonfinite axes",
+            s.nonfinite
+        );
+        assert!(s.faults() > 0);
+        assert!(s.fault_rate() > 0.0);
+    }
+
+    #[test]
+    fn unguarded_path_goes_silently_blind_after_nan_burst() {
+        // The naive ingest's failure is worse than emitting NaN: the
+        // burst poisons the IIR filter state for good, every later
+        // window is all-NaN, and the network's `max`-based layers
+        // launder that into one constant, input-independent score.
+        let run = |guarded: bool| -> Vec<f32> {
+            let mut d = dummy_detector(200.0);
+            if !guarded {
+                d.set_guard(GuardConfig::disabled());
+            }
+            let mut probs = Vec::new();
+            for i in 0..240 {
+                let (a, g) = if (40..48).contains(&i) {
+                    ([f32::NAN; 3], [f32::NAN; 3])
+                } else if i >= 120 {
+                    // Violent, varied motion the detector must see.
+                    let t = i as f32 * 0.31;
+                    (
+                        [4.0 * t.sin(), 3.0 * t.cos(), 5.0 * (0.7 * t).sin()],
+                        [8.0 * t.cos(), 6.0 * t.sin(), 7.0 * (1.3 * t).cos()],
+                    )
+                } else {
+                    wiggle(i)
+                };
+                if let Some(p) = d.push_sample(a, g) {
+                    if i >= 120 {
+                        probs.push(p);
+                    }
+                }
+            }
+            probs
+        };
+        let blind = run(false);
+        let hardened = run(true);
+        assert!(
+            blind.windows(2).all(|w| w[0] == w[1]),
+            "unguarded detector should be frozen at one garbage score: {blind:?}"
+        );
+        assert!(
+            hardened.windows(2).any(|w| w[0] != w[1]),
+            "guarded detector should still respond to motion: {hardened:?}"
+        );
+        assert!(hardened.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn guard_clamps_out_of_range_values() {
+        let mut d = dummy_detector(200.0);
+        for i in 0..60 {
+            let (mut a, g) = wiggle(i);
+            if i == 30 {
+                a[0] = 500.0; // far beyond 16 g
+            }
+            let _ = d.push_sample(a, g);
+        }
+        assert_eq!(d.guard_status().clamped, 1);
+    }
+
+    #[test]
+    fn short_gaps_are_bridged_and_keep_cadence() {
+        let mut d = dummy_detector(200.0); // window 20, hop 10
+        let mut emissions = Vec::new();
+        for i in 0..60 {
+            let p = if (25..30).contains(&i) {
+                d.push_missing()
+            } else {
+                let (a, g) = wiggle(i);
+                d.push_sample(a, g)
+            };
+            if p.is_some() {
+                emissions.push(i);
+            }
+        }
+        assert_eq!(emissions, vec![19, 29, 39, 49, 59], "cadence preserved");
+        let s = d.guard_status();
+        assert_eq!(s.gaps_filled, 5);
+        assert_eq!(s.gap_lost, 0);
+        assert_eq!(s.window_flushes, 0);
+    }
+
+    #[test]
+    fn long_gaps_flush_the_window_and_go_stale() {
+        let mut d = dummy_detector(200.0);
+        for i in 0..30 {
+            let (a, g) = wiggle(i);
+            let _ = d.push_sample(a, g);
+        }
+        for _ in 0..15 {
+            // 15 > max_gap_fill (10): bridging gives up part-way.
+            assert!(d.push_missing().is_none() || d.guard_status().gap_lost == 0);
+        }
+        assert!(d.mode().stale, "detector stale after unbridgeable gap");
+        let s = d.guard_status();
+        assert_eq!(s.gaps_filled, 10);
+        assert_eq!(s.gap_lost, 5);
+        // Real data resumes: the mixed window flushes, mode recovers.
+        let (a, g) = wiggle(45);
+        let _ = d.push_sample(a, g);
+        assert!(!d.mode().stale);
+        assert_eq!(d.guard_status().window_flushes, 1);
+    }
+
+    #[test]
+    fn gyro_outage_enters_degraded_mode_and_recovers() {
+        let mut d = dummy_detector(200.0);
+        for i in 0..200 {
+            let (a, mut g) = wiggle(i);
+            if (50..120).contains(&i) {
+                g = [0.25; 3]; // gyro flat-lines at a frozen value
+            }
+            let _ = d.push_sample(a, g);
+            if i == 119 {
+                assert!(d.mode().gyro_degraded, "frozen gyro not flagged");
+                assert!(!d.mode().accel_degraded);
+            }
+        }
+        assert!(!d.mode().gyro_degraded, "mode should clear on recovery");
+        assert!(d.guard_status().stuck_events >= 1);
+        assert!(d.guard_status().degraded_windows >= 1);
+    }
+
+    #[test]
+    fn degraded_trigger_needs_accel_confirmation() {
+        // threshold 0 ⇒ every window arms the detector.
+        let cfg = DetectorConfig {
+            pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+            threshold: 0.0,
+            consecutive: 1,
+            guard: GuardConfig::default(),
+        };
+        let w = cfg.pipeline.segmentation.window();
+        let net = ModelKind::ProposedCnn.build(w, 9, 1).unwrap();
+        let mut d = StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap();
+
+        // Quiet wearer, dead gyro: armed but vetoed.
+        for i in 0..120 {
+            let (a, _) = wiggle(i);
+            let _ = d.push_sample(a, [0.5; 3]);
+        }
+        assert!(d.mode().gyro_degraded);
+        assert!(d.trigger_armed());
+        assert!(!d.accel_confirms(), "wearer at rest");
+        assert!(!d.trigger_decision(), "degraded + unconfirmed must veto");
+        assert!(d.guard_status().suppressed_triggers > 0);
+        let mut bag = AirbagController::new();
+        bag.step_with_detector(120, &d);
+        assert_eq!(bag.state(), AirbagState::Idle);
+
+        // A real dynamic event on the accel branch lifts the veto.
+        for i in 120..140 {
+            let t = i as f32 * 0.3;
+            let _ = d.push_sample([2.5 * t.sin(), 1.5 * t.cos(), 3.0], [0.5; 3]);
+        }
+        assert!(d.mode().gyro_degraded, "gyro still dead");
+        assert!(d.accel_confirms());
+        assert!(d.trigger_decision(), "accel-confirmed trigger allowed");
+        bag.step_with_detector(140, &d);
+        assert!(matches!(bag.state(), AirbagState::Inflating { .. }));
+    }
+
+    #[test]
+    fn reset_keeps_cumulative_guard_counters_but_clears_mode() {
+        let mut d = dummy_detector(200.0);
+        for _ in 0..40 {
+            let _ = d.push_sample([f32::NAN; 3], [0.0, 0.1, 0.2]);
+        }
+        assert!(d.mode().accel_degraded);
+        let faults = d.guard_status().faults();
+        assert!(faults > 0);
+        d.reset();
+        assert!(!d.mode().is_degraded(), "mode clears with the stream");
+        assert_eq!(d.guard_status().faults(), faults, "counters survive");
+        d.set_guard(GuardConfig::default());
+        assert_eq!(d.guard_status().faults(), 0, "set_guard starts over");
+    }
+
+    #[test]
+    fn try_predict_proba_rejects_nonfinite_segments() {
+        let w = 20;
+        let net = ModelKind::ProposedCnn.build(w, 9, 1).unwrap();
+        let mut engine = Engine::from(net);
+        let good = vec![0.1f32; w * 9];
+        let mut bad = good.clone();
+        bad[57] = f32::NAN;
+        assert!(engine.try_predict_proba(&good).is_some());
+        assert!(engine.try_predict_proba(&bad).is_none());
+        // The raw path launders the NaN through `max`-based layers into
+        // a finite garbage score — which is exactly why the validated
+        // path must check the input, not the output.
+        assert!(engine.predict_proba(&bad).is_finite(), "silent laundering");
     }
 }

@@ -24,7 +24,7 @@
 //! Prometheus renderer in `prefall-obsd`; in the plain registry JSON the
 //! labelled names are ordinary opaque keys.
 
-use crate::detector::{lead_time_bounds_ms, TrialOutcome};
+use crate::detector::{lead_time_bounds_ms, GuardStatus, TrialOutcome};
 use crate::events::EventReport;
 use prefall_imu::activity::RiskGroup;
 use prefall_imu::trial::Trial;
@@ -75,6 +75,7 @@ pub struct QualityMonitor {
     adls: EventTally,
     red: EventTally,
     green: EventTally,
+    guard: GuardStatus,
 }
 
 impl Default for QualityMonitor {
@@ -100,6 +101,31 @@ impl QualityMonitor {
             adls: EventTally::default(),
             red: EventTally::default(),
             green: EventTally::default(),
+            guard: GuardStatus::default(),
+        }
+    }
+
+    /// Tracks the detector's cumulative [`GuardStatus`] so the ingest
+    /// fault rate and degraded-window rate publish next to the model
+    /// quality. Pass the latest
+    /// [`StreamingDetector::guard_status`](crate::detector::StreamingDetector::guard_status)
+    /// snapshot — counters there are cumulative, so the newest snapshot
+    /// simply replaces the stored one.
+    pub fn record_guard(&mut self, status: GuardStatus) {
+        self.guard = status;
+    }
+
+    /// Faults per ingested sample over everything audited so far.
+    pub fn fault_rate(&self) -> f64 {
+        self.guard.fault_rate()
+    }
+
+    /// Fraction of classified windows that ran in a degraded mode.
+    pub fn degraded_window_rate(&self) -> f64 {
+        if self.guard.windows == 0 {
+            0.0
+        } else {
+            self.guard.degraded_windows as f64 / self.guard.windows as f64
         }
     }
 
@@ -312,6 +338,13 @@ impl QualityMonitor {
         if self.green.events > 0 {
             rec.gauge_set("quality.adl_fp_pct{risk=green}", self.green.rate() * 100.0);
         }
+
+        if self.guard.samples > 0 {
+            rec.gauge_set("quality.fault_rate", self.fault_rate());
+        }
+        if self.guard.windows > 0 {
+            rec.gauge_set("quality.degraded_window_rate", self.degraded_window_rate());
+        }
     }
 }
 
@@ -432,6 +465,30 @@ mod tests {
         }
         let frac = snap.gauges["quality.lead_budget_fraction"];
         assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn guard_status_publishes_fault_and_degradation_rates() {
+        let reg = Registry::new();
+        let mut mon = QualityMonitor::new();
+        mon.publish(&reg);
+        assert!(
+            !reg.snapshot().gauges.contains_key("quality.fault_rate"),
+            "no gauge before any ingest"
+        );
+        let status = GuardStatus {
+            samples: 1000,
+            nonfinite: 30,
+            gaps_filled: 20,
+            windows: 100,
+            degraded_windows: 25,
+            ..GuardStatus::default()
+        };
+        mon.record_guard(status);
+        mon.publish(&reg);
+        let snap = reg.snapshot();
+        assert!((snap.gauges["quality.fault_rate"] - 0.05).abs() < 1e-12);
+        assert!((snap.gauges["quality.degraded_window_rate"] - 0.25).abs() < 1e-12);
     }
 
     #[test]

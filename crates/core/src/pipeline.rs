@@ -194,16 +194,42 @@ impl Pipeline {
 
     /// [`Pipeline::filter_trial`] with the stage timed into the
     /// `pipeline.filter_seconds` histogram.
+    ///
+    /// Guards the offline boundary the way the streaming
+    /// [`SampleGuard`](crate::detector::SampleGuard) guards the live
+    /// one: a non-finite input value would poison the IIR filter state
+    /// for the rest of the channel, so each is replaced by the previous
+    /// finite value (hold-last; 0.0 at the channel head) and counted in
+    /// `pipeline.nonfinite_inputs`.
     pub fn filter_trial_recorded(&self, trial: &Trial, rec: &dyn Recorder) -> Vec<Vec<f32>> {
         let _span = Span::enter(rec, "pipeline.filter_seconds");
-        trial
+        let mut nonfinite: u64 = 0;
+        let filtered = trial
             .channels()
             .iter()
             .map(|ch| {
                 let mut f = self.filter_design.to_filter();
-                f.process_slice(ch)
+                if ch.iter().all(|v| v.is_finite()) {
+                    f.process_slice(ch)
+                } else {
+                    let mut held = 0.0f32;
+                    ch.iter()
+                        .map(|&v| {
+                            if v.is_finite() {
+                                held = v;
+                            } else {
+                                nonfinite += 1;
+                            }
+                            f.process(held)
+                        })
+                        .collect()
+                }
             })
-            .collect()
+            .collect();
+        if nonfinite > 0 && rec.enabled() {
+            rec.counter_add("pipeline.nonfinite_inputs", nonfinite);
+        }
+        filtered
     }
 
     /// Labels one window of a trial.
@@ -483,6 +509,38 @@ mod tests {
             }
         }
         assert!((sum / n as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nonfinite_inputs_are_held_at_the_filter_boundary() {
+        let ds = dataset();
+        let mut trial = ds.trials()[0].clone();
+        let clean_len = trial.len();
+        // Poison a stretch of one accel channel.
+        let mut channels: Vec<Vec<f32>> = trial.channels().to_vec();
+        for v in &mut channels[0][50..60] {
+            *v = f32::NAN;
+        }
+        channels[3][70] = f32::INFINITY;
+        trial = Trial::from_channels(
+            trial.subject,
+            trial.task,
+            trial.trial_index,
+            trial.source,
+            channels,
+            trial.fall_start(),
+            trial.impact(),
+        )
+        .unwrap();
+        let p = Pipeline::new(PipelineConfig::paper_400ms()).unwrap();
+        let filtered = p.filter_trial(&trial);
+        assert_eq!(filtered[0].len(), clean_len);
+        for ch in &filtered {
+            assert!(
+                ch.iter().all(|v| v.is_finite()),
+                "hold-last guard must keep the filter state finite"
+            );
+        }
     }
 
     #[test]

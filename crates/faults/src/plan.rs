@@ -1,0 +1,405 @@
+//! The fault taxonomy and the seeded, composable [`FaultPlan`].
+
+use crate::stream::FaultStream;
+use prefall_imu::trial::Trial;
+
+/// A physical sensor a fault can target (the Euler channels are derived
+/// on-device, so faults only ever corrupt the raw accel/gyro stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sensor {
+    /// The tri-axial accelerometer (g).
+    Accel,
+    /// The tri-axial gyroscope (rad/s).
+    Gyro,
+}
+
+impl Sensor {
+    /// The raw-axis indices (0..6 over `[ax, ay, az, gx, gy, gz]`)
+    /// belonging to this sensor.
+    pub fn axes(self) -> std::ops::Range<usize> {
+        match self {
+            Sensor::Accel => 0..3,
+            Sensor::Gyro => 3..6,
+        }
+    }
+}
+
+/// One fault process, with its intensity knobs.
+///
+/// Rates are per-sample probabilities at 100 Hz; positions are
+/// fractions of the trial length so the same plan stays meaningful
+/// across trials of different durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Each grid tick is independently lost with probability `rate`
+    /// (radio dropouts, bus contention). A dropped tick yields
+    /// [`SampleEvent::Dropped`](crate::SampleEvent::Dropped).
+    Dropout {
+        /// Per-sample drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Bus-glitch bursts: with probability `rate` a burst starts at a
+    /// sample and the next `len` samples read NaN / ±Inf on every axis.
+    NanBurst {
+        /// Per-sample burst-start probability in `[0, 1]`.
+        rate: f64,
+        /// Burst length in samples.
+        len: usize,
+    },
+    /// One axis freezes at the value it held when the fault engaged —
+    /// the classic stuck-at register fault.
+    StuckAxis {
+        /// Sensor whose axis freezes.
+        sensor: Sensor,
+        /// Axis within the sensor (0, 1 or 2).
+        axis: usize,
+        /// Fault onset as a fraction of the trial length in `[0, 1]`.
+        start: f64,
+        /// Stuck duration in samples.
+        len: usize,
+    },
+    /// ADC rail clipping: values are clamped to ±limit, silently
+    /// flattening the impact transients the detector keys on.
+    Saturation {
+        /// Accelerometer rail in g.
+        accel_g: f32,
+        /// Gyroscope rail in rad/s.
+        gyro_rads: f32,
+    },
+    /// Isolated single-sample glitches of ±`magnitude` added to one
+    /// (deterministically chosen) axis.
+    Spike {
+        /// Per-sample glitch probability in `[0, 1]`.
+        rate: f64,
+        /// Glitch amplitude in sensor units (g or rad/s, by axis).
+        magnitude: f32,
+    },
+    /// Additive white Gaussian noise on every raw axis.
+    Noise {
+        /// Accelerometer noise σ in g.
+        accel_sigma: f32,
+        /// Gyroscope noise σ in rad/s.
+        gyro_sigma: f32,
+    },
+    /// A whole sensor goes dark and reads exactly zero on all axes — a
+    /// dead channel, distinguishable from rest by its missing noise
+    /// floor.
+    Outage {
+        /// Sensor that dies.
+        sensor: Sensor,
+        /// Outage onset as a fraction of the trial length in `[0, 1]`.
+        start: f64,
+        /// Outage duration as a fraction of the trial length in `[0, 1]`.
+        duration: f64,
+    },
+}
+
+impl Fault {
+    /// Scales this fault's severity by `intensity`; returns `None` when
+    /// the scaled fault is a no-op (so `scaled(0.0)` plans are clean).
+    ///
+    /// Rates, noise amplitudes and durations scale linearly; the
+    /// saturation rails *tighten* as `limit / intensity` so severity is
+    /// monotone in `intensity` there too.
+    fn scaled(&self, intensity: f64) -> Option<Fault> {
+        if intensity <= 0.0 {
+            return None;
+        }
+        let k = intensity;
+        Some(match *self {
+            Fault::Dropout { rate } => Fault::Dropout { rate: rate * k },
+            Fault::NanBurst { rate, len } => Fault::NanBurst {
+                rate: rate * k,
+                len,
+            },
+            Fault::StuckAxis {
+                sensor,
+                axis,
+                start,
+                len,
+            } => Fault::StuckAxis {
+                sensor,
+                axis,
+                start,
+                len: (len as f64 * k).round() as usize,
+            },
+            Fault::Saturation { accel_g, gyro_rads } => Fault::Saturation {
+                accel_g: accel_g / k as f32,
+                gyro_rads: gyro_rads / k as f32,
+            },
+            Fault::Spike { rate, magnitude } => Fault::Spike {
+                rate: rate * k,
+                magnitude,
+            },
+            Fault::Noise {
+                accel_sigma,
+                gyro_sigma,
+            } => Fault::Noise {
+                accel_sigma: accel_sigma * k as f32,
+                gyro_sigma: gyro_sigma * k as f32,
+            },
+            Fault::Outage {
+                sensor,
+                start,
+                duration,
+            } => Fault::Outage {
+                sensor,
+                start,
+                duration: duration * k,
+            },
+        })
+    }
+}
+
+/// A seeded composition of faults.
+///
+/// Determinism is structural, not sequential: every random decision is
+/// a pure hash of `(seed, fault index, trial identity, sample index)`,
+/// so corruption does not depend on evaluation order, two streams over
+/// the same trial agree exactly, and a fault with a scaled-down rate
+/// corrupts a *subset* of the samples the full-rate fault corrupts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (corrupts nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The composed faults, in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` when the plan corrupts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The ISSUE acceptance preset: sample dropout plus NaN bursts.
+    pub fn dropout_nan(seed: u64, dropout_rate: f64, burst_rate: f64, burst_len: usize) -> Self {
+        Self::new(seed)
+            .with(Fault::Dropout { rate: dropout_rate })
+            .with(Fault::NanBurst {
+                rate: burst_rate,
+                len: burst_len,
+            })
+    }
+
+    /// Every fault type at a moderate baseline severity — the plan the
+    /// robustness sweep scales from 0 (clean) to 1 (all of the below).
+    pub fn kitchen_sink(seed: u64) -> Self {
+        Self::new(seed)
+            .with(Fault::Noise {
+                accel_sigma: 0.05,
+                gyro_sigma: 0.05,
+            })
+            .with(Fault::Spike {
+                rate: 0.005,
+                magnitude: 4.0,
+            })
+            .with(Fault::StuckAxis {
+                sensor: Sensor::Gyro,
+                axis: 1,
+                start: 0.3,
+                len: 80,
+            })
+            .with(Fault::Saturation {
+                accel_g: 6.0,
+                gyro_rads: 12.0,
+            })
+            .with(Fault::Outage {
+                sensor: Sensor::Gyro,
+                start: 0.55,
+                duration: 0.15,
+            })
+            .with(Fault::NanBurst {
+                rate: 0.004,
+                len: 4,
+            })
+            .with(Fault::Dropout { rate: 0.05 })
+    }
+
+    /// A copy of the plan with every fault scaled by `intensity`
+    /// (0 = clean, 1 = as composed; values above 1 amplify).
+    ///
+    /// The seed is preserved, so sample-level fault decisions nest
+    /// across intensities: anything corrupted at intensity `a` is also
+    /// corrupted at intensity `b ≥ a`.
+    #[must_use]
+    pub fn scaled(&self, intensity: f64) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            faults: self
+                .faults
+                .iter()
+                .filter_map(|f| f.scaled(intensity))
+                .collect(),
+        }
+    }
+
+    /// Streams the trial's raw accel/gyro samples through the plan,
+    /// yielding one [`SampleEvent`](crate::SampleEvent) per grid tick.
+    pub fn stream<'a>(&'a self, trial: &'a Trial) -> FaultStream<'a> {
+        FaultStream::new(self, trial)
+    }
+
+    /// Builds a corrupted copy of a trial on the fixed 100 Hz grid:
+    /// dropped ticks repeat the previous delivered sample (the hold
+    /// artifact a naïve logger records), corrupted values land in the
+    /// accel/gyro channels verbatim, and the Euler channels are
+    /// recomputed by the firmware's own sensor fusion — so a NaN burst
+    /// poisons the fused angles exactly as it would on-device.
+    ///
+    /// Labels (`fall_start`, `impact`) and identity are preserved.
+    pub fn corrupt_trial(&self, trial: &Trial) -> Trial {
+        let n = trial.len();
+        let mut raw: [Vec<f32>; 6] = Default::default();
+        for c in &mut raw {
+            c.reserve(n);
+        }
+        let mut last = [0.0f32; 6];
+        for (i, ev) in self.stream(trial).enumerate() {
+            match ev {
+                crate::SampleEvent::Sample { accel, gyro } => {
+                    last = [accel[0], accel[1], accel[2], gyro[0], gyro[1], gyro[2]];
+                }
+                crate::SampleEvent::Dropped => {
+                    if i == 0 {
+                        // Nothing delivered yet: hold the clean first
+                        // sample so the grid starts defined.
+                        let ch = trial.channels();
+                        for (k, l) in last.iter_mut().enumerate() {
+                            *l = ch[k][0];
+                        }
+                    }
+                }
+            }
+            for (k, c) in raw.iter_mut().enumerate() {
+                c.push(last[k]);
+            }
+        }
+        let [ax, ay, az, gx, gy, gz] = raw;
+        let euler = trial.channels()[6..9].to_vec();
+        let mut channels = vec![ax, ay, az, gx, gy, gz];
+        channels.extend(euler);
+        let mut corrupted = Trial::from_channels(
+            trial.subject,
+            trial.task,
+            trial.trial_index,
+            trial.source,
+            channels,
+            trial.fall_start(),
+            trial.impact(),
+        )
+        .expect("corrupted trial keeps the original shape and labels");
+        corrupted.recompute_euler();
+        corrupted
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic per-sample randomness: SplitMix64-style finalisers over
+// a structured key. No state, no draw order, no `rand` dependency.
+// ---------------------------------------------------------------------
+
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 64-bit hash of the full decision key.
+pub(crate) fn key(seed: u64, salt: u64, fault: u64, lane: u64, sample: u64) -> u64 {
+    mix64(mix64(mix64(mix64(seed ^ salt) ^ fault) ^ lane) ^ sample)
+}
+
+/// Uniform draw in `[0, 1)` for a decision key.
+pub(crate) fn unit(seed: u64, salt: u64, fault: u64, lane: u64, sample: u64) -> f64 {
+    (key(seed, salt, fault, lane, sample) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard-normal draw for a decision key (Box–Muller, cosine half).
+pub(crate) fn gaussian(seed: u64, salt: u64, fault: u64, lane: u64, sample: u64) -> f64 {
+    let u1 = unit(seed, salt, fault, lane, sample).max(1e-300);
+    let u2 = unit(seed, salt, fault, lane ^ 0x5bd1_e995, sample);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_to_zero_empties_the_plan() {
+        let plan = FaultPlan::kitchen_sink(3);
+        assert!(!plan.is_empty());
+        assert!(plan.scaled(0.0).is_empty());
+        assert_eq!(plan.scaled(1.0).faults().len(), plan.faults().len());
+    }
+
+    #[test]
+    fn scaling_halves_rates_and_tightens_rails() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::Dropout { rate: 0.1 })
+            .with(Fault::Saturation {
+                accel_g: 8.0,
+                gyro_rads: 16.0,
+            });
+        let half = plan.scaled(0.5);
+        match half.faults()[0] {
+            Fault::Dropout { rate } => assert!((rate - 0.05).abs() < 1e-12),
+            ref f => panic!("unexpected {f:?}"),
+        }
+        match half.faults()[1] {
+            Fault::Saturation { accel_g, gyro_rads } => {
+                assert!(
+                    (accel_g - 16.0).abs() < 1e-6,
+                    "rails widen at low intensity"
+                );
+                assert!((gyro_rads - 32.0).abs() < 1e-6);
+            }
+            ref f => panic!("unexpected {f:?}"),
+        }
+    }
+
+    #[test]
+    fn hash_draws_are_uniform_ish_and_keyed() {
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|i| unit(9, 0, 0, 0, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert_ne!(key(1, 0, 0, 0, 5), key(2, 0, 0, 0, 5), "seed matters");
+        assert_ne!(key(1, 0, 0, 0, 5), key(1, 0, 1, 0, 5), "fault lane matters");
+        assert_eq!(key(1, 2, 3, 4, 5), key(1, 2, 3, 4, 5), "pure function");
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|i| gaussian(4, 0, 0, 0, i)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -7,6 +7,12 @@
 //! budget. `/healthz` turns the `detector.lead_time_ms` histogram into
 //! a pass/fail signal: the estimated fraction of triggered falls whose
 //! lead time meets the budget, compared against a configurable floor.
+//!
+//! The probe also watches the hardened ingest: the `guard.faults` /
+//! `guard.samples` counters published by the detector's `SampleGuard`
+//! yield a sensor fault rate, and the endpoint reports `degraded` when
+//! that rate exceeds its budget — a wearable whose IMU is failing needs
+//! service even while the model itself still scores well.
 
 use prefall_telemetry::{HistogramSnapshot, JsonValue, Snapshot};
 
@@ -14,6 +20,10 @@ use prefall_telemetry::{HistogramSnapshot, JsonValue, Snapshot};
 pub const LEAD_TIME_METRIC: &str = "detector.lead_time_ms";
 /// Counter proving the streaming detector classified at least one window.
 pub const WINDOWS_METRIC: &str = "detector.windows";
+/// Counter of ingest faults handled by the detector's sample guard.
+pub const GUARD_FAULTS_METRIC: &str = "guard.faults";
+/// Counter of grid ticks ingested by the detector's sample guard.
+pub const GUARD_SAMPLES_METRIC: &str = "guard.samples";
 
 /// Overall health status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +72,16 @@ pub struct HealthReport {
     pub budget_fraction: f64,
     /// Median lead time in ms (NaN with no data).
     pub lead_p50_ms: f64,
+    /// Grid ticks ingested by the sample guard.
+    pub guard_samples: u64,
+    /// Ingest faults the sample guard handled.
+    pub guard_faults: u64,
+    /// Faults per ingested tick (NaN before any guarded ingest).
+    pub fault_rate: f64,
+    /// Maximum acceptable fault rate before the probe degrades.
+    pub max_fault_rate: f64,
+    /// `true` when the fault rate exceeded its budget.
+    pub faults_over_budget: bool,
 }
 
 /// Estimated fraction of observations ≥ `x`, from bucket counts with
@@ -99,17 +119,41 @@ pub fn fraction_at_least(h: &HistogramSnapshot, x: f64) -> f64 {
 }
 
 impl HealthReport {
-    /// Evaluates health against the given inflation budget and the
-    /// minimum acceptable in-budget fraction.
-    pub fn from_snapshot(snapshot: &Snapshot, budget_ms: f64, min_budget_fraction: f64) -> Self {
+    /// Evaluates health against the given inflation budget, the
+    /// minimum acceptable in-budget fraction, and the maximum
+    /// acceptable ingest fault rate.
+    pub fn from_snapshot(
+        snapshot: &Snapshot,
+        budget_ms: f64,
+        min_budget_fraction: f64,
+        max_fault_rate: f64,
+    ) -> Self {
         let windows = snapshot.counters.get(WINDOWS_METRIC).copied().unwrap_or(0);
         let lead = snapshot.histograms.get(LEAD_TIME_METRIC);
         let lead_times = lead.map_or(0, |h| h.count);
         let budget_fraction = lead.map_or(f64::NAN, |h| fraction_at_least(h, budget_ms));
         let lead_p50_ms = lead.map_or(f64::NAN, |h| h.p50);
+        let guard_samples = snapshot
+            .counters
+            .get(GUARD_SAMPLES_METRIC)
+            .copied()
+            .unwrap_or(0);
+        let guard_faults = snapshot
+            .counters
+            .get(GUARD_FAULTS_METRIC)
+            .copied()
+            .unwrap_or(0);
+        let fault_rate = if guard_samples == 0 {
+            f64::NAN
+        } else {
+            guard_faults as f64 / guard_samples as f64
+        };
+        let faults_over_budget = fault_rate.is_finite() && fault_rate > max_fault_rate;
         // No lead times yet → nothing to judge; stay Ok so a freshly
         // started exporter does not flap its liveness probe.
-        let status = if budget_fraction.is_finite() && budget_fraction < min_budget_fraction {
+        let status = if (budget_fraction.is_finite() && budget_fraction < min_budget_fraction)
+            || faults_over_budget
+        {
             HealthStatus::Degraded
         } else {
             HealthStatus::Ok
@@ -123,6 +167,11 @@ impl HealthReport {
             lead_times,
             budget_fraction,
             lead_p50_ms,
+            guard_samples,
+            guard_faults,
+            fault_rate,
+            max_fault_rate,
+            faults_over_budget,
         }
     }
 
@@ -149,6 +198,23 @@ impl HealthReport {
                 JsonValue::F64(self.budget_fraction),
             ),
             ("lead_p50_ms".to_string(), JsonValue::F64(self.lead_p50_ms)),
+            (
+                "guard_samples".to_string(),
+                JsonValue::U64(self.guard_samples),
+            ),
+            (
+                "guard_faults".to_string(),
+                JsonValue::U64(self.guard_faults),
+            ),
+            ("fault_rate".to_string(), JsonValue::F64(self.fault_rate)),
+            (
+                "max_fault_rate".to_string(),
+                JsonValue::F64(self.max_fault_rate),
+            ),
+            (
+                "faults_over_budget".to_string(),
+                JsonValue::Bool(self.faults_over_budget),
+            ),
         ])
     }
 }
@@ -173,7 +239,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_ok_but_not_live() {
-        let report = HealthReport::from_snapshot(&Registry::new().snapshot(), 150.0, 0.9);
+        let report = HealthReport::from_snapshot(&Registry::new().snapshot(), 150.0, 0.9, 0.05);
         assert_eq!(report.status, HealthStatus::Ok);
         assert!(!report.detector_live);
         assert!(report.budget_fraction.is_nan());
@@ -183,7 +249,7 @@ mod tests {
     #[test]
     fn healthy_lead_times_stay_ok() {
         let reg = lead_registry(&[300.0, 400.0, 500.0, 600.0]);
-        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9);
+        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9, 0.05);
         assert_eq!(report.status, HealthStatus::Ok);
         assert!(report.detector_live);
         assert!(report.budget_fraction > 0.95, "{}", report.budget_fraction);
@@ -194,7 +260,7 @@ mod tests {
     fn short_lead_times_degrade() {
         // Three of four triggers fire with < 150 ms to spare.
         let reg = lead_registry(&[30.0, 60.0, 110.0, 500.0]);
-        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9);
+        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9, 0.05);
         assert_eq!(report.status, HealthStatus::Degraded);
         assert_eq!(report.status.http_code(), 503);
         assert!(report.budget_fraction < 0.5);
@@ -212,9 +278,36 @@ mod tests {
     }
 
     #[test]
+    fn fault_rate_over_budget_degrades() {
+        let reg = lead_registry(&[300.0, 400.0, 500.0]);
+        reg.counter_add(GUARD_SAMPLES_METRIC, 1000);
+        reg.counter_add(GUARD_FAULTS_METRIC, 120); // 12 % faults
+        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9, 0.05);
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert!(report.faults_over_budget);
+        assert!((report.fault_rate - 0.12).abs() < 1e-12);
+        assert_eq!(report.guard_samples, 1000);
+        assert_eq!(report.guard_faults, 120);
+    }
+
+    #[test]
+    fn fault_rate_within_budget_stays_ok() {
+        let reg = lead_registry(&[300.0, 400.0, 500.0]);
+        reg.counter_add(GUARD_SAMPLES_METRIC, 1000);
+        reg.counter_add(GUARD_FAULTS_METRIC, 20); // 2 % faults
+        let report = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9, 0.05);
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert!(!report.faults_over_budget);
+        // And with no guarded ingest at all, the rate is unknowable.
+        let bare = HealthReport::from_snapshot(&Registry::new().snapshot(), 150.0, 0.9, 0.05);
+        assert!(bare.fault_rate.is_nan());
+        assert!(!bare.faults_over_budget);
+    }
+
+    #[test]
     fn health_json_has_all_fields() {
         let reg = lead_registry(&[300.0]);
-        let text = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9)
+        let text = HealthReport::from_snapshot(&reg.snapshot(), 150.0, 0.9, 0.05)
             .to_json()
             .to_string();
         for key in [
@@ -225,6 +318,11 @@ mod tests {
             "lead_times",
             "budget_fraction",
             "lead_p50_ms",
+            "guard_samples",
+            "guard_faults",
+            "fault_rate",
+            "max_fault_rate",
+            "faults_over_budget",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }

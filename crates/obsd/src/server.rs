@@ -34,6 +34,9 @@ pub struct ServerConfig {
     /// Minimum acceptable fraction of lead times ≥ budget before
     /// `/healthz` degrades.
     pub min_budget_fraction: f64,
+    /// Maximum acceptable sensor fault rate (`guard.faults` per
+    /// `guard.samples`) before `/healthz` degrades.
+    pub max_fault_rate: f64,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +45,7 @@ impl Default for ServerConfig {
             namespace: "prefall".to_string(),
             budget_ms: 150.0,
             min_budget_fraction: 0.9,
+            max_fault_rate: 0.05,
         }
     }
 }
@@ -193,6 +197,7 @@ fn handle_connection(
                 &registry.snapshot(),
                 config.budget_ms,
                 config.min_budget_fraction,
+                config.max_fault_rate,
             );
             let code = report.status.http_code();
             let reason = if code == 200 {
@@ -324,6 +329,26 @@ mod tests {
         let (code, body) = get(server.addr(), "/healthz");
         assert_eq!(code, 503);
         assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    }
+
+    #[test]
+    fn healthz_degrades_on_sensor_fault_storm() {
+        let registry = Arc::new(Registry::new());
+        // A fault rate of 12 % against the default 5 % budget: the
+        // model is fine (no lead times recorded) but the IMU is not.
+        registry.counter_add(crate::health::GUARD_SAMPLES_METRIC, 1000);
+        registry.counter_add(crate::health::GUARD_FAULTS_METRIC, 120);
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/healthz");
+        assert_eq!(code, 503);
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("\"faults_over_budget\":true"), "{body}");
+        server.shutdown();
     }
 
     #[test]

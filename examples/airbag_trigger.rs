@@ -62,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // activations.
             threshold: 0.9,
             consecutive: 1,
+            guard: prefall::core::detector::GuardConfig::default(),
         },
     )?;
 

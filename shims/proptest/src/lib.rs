@@ -148,7 +148,49 @@ pub mod strategy {
             }
         )*};
     }
-    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+        A, B, C, D, E, F
+    ));
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type so heterogeneous
+    /// strategies of the same `Value` can share a collection (the
+    /// building block of [`prop_oneof!`](crate::prop_oneof)).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Weighted choice among boxed strategies, built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        /// `(weight, strategy)` pairs; weights need not sum to anything.
+        pub options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            let mut pick = rng.below(total);
+            for (w, s) in &self.options {
+                if pick < u64::from(*w) {
+                    return s.new_value(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
 }
 
 pub mod collection {
@@ -222,7 +264,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[macro_export]
@@ -231,6 +275,20 @@ macro_rules! prop_assume {
         if !($cond) {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
         }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform (`strategy, strategy, …`)
+/// choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            options: vec![$(($weight, $crate::strategy::boxed($strategy))),+],
+        }
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1u32 => $strategy),+]
     };
 }
 

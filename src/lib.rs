@@ -17,6 +17,9 @@
 //! * [`obsd`] — observability daemon: Prometheus `/metrics` exposition,
 //!   `/healthz` lead-time-budget probe, `/snapshot` JSON, served by a
 //!   hand-rolled HTTP listener.
+//! * [`faults`] — seeded, composable sensor fault injection (dropout,
+//!   NaN bursts, stuck axes, saturation, spikes, noise, outages) for
+//!   exercising the hardened ingest path and the robustness sweep.
 //!
 //! # Quickstart
 //!
@@ -33,6 +36,7 @@
 
 pub use prefall_core as core;
 pub use prefall_dsp as dsp;
+pub use prefall_faults as faults;
 pub use prefall_imu as imu;
 pub use prefall_mcu as mcu;
 pub use prefall_nn as nn;

@@ -105,6 +105,7 @@ fn streaming_detector_agrees_with_offline_pipeline_on_events() {
             pipeline: *t.pipeline.config(),
             threshold: 0.5,
             consecutive: 1,
+            guard: prefall::core::detector::GuardConfig::default(),
         },
     )
     .expect("detector");

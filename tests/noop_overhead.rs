@@ -6,7 +6,7 @@
 //! A counting global allocator makes the claim checkable; the file
 //! holds exactly one test so no concurrent test pollutes the counter.
 
-use prefall_core::detector::{DetectorConfig, StreamingDetector};
+use prefall_core::detector::{DetectorConfig, GuardConfig, StreamingDetector};
 use prefall_core::models::ModelKind;
 use prefall_core::pipeline::PipelineConfig;
 use prefall_dsp::segment::Overlap;
@@ -44,6 +44,9 @@ fn noop_recorder_push_sample_does_not_allocate() {
         pipeline: PipelineConfig::paper(200.0, Overlap::Half),
         threshold: 0.5,
         consecutive: 1,
+        // The guard stays on: the zero-allocation claim must hold for
+        // the hardened ingest path, not just the legacy one.
+        guard: GuardConfig::default(),
     };
     let window = cfg.pipeline.segmentation.window();
     let hop = cfg.pipeline.segmentation.hop();
