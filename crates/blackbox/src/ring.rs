@@ -1,0 +1,112 @@
+//! A fixed-capacity overwrite-oldest ring buffer.
+//!
+//! Allocation happens exactly once, at construction: [`Ring::push`]
+//! overwrites in place and never grows, which is what lets the flight
+//! recorder promise zero heap allocations per sample on the ingest
+//! path after warm-up.
+
+/// Fixed-capacity ring buffer over `Copy` records.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Next write position.
+    head: usize,
+    len: usize,
+    /// Records pushed since the last [`Ring::clear`] (≥ `len` once the
+    /// ring wraps).
+    total: u64,
+}
+
+impl<T: Copy + Default> Ring<T> {
+    /// A ring holding at most `cap` records (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            buf: vec![T::default(); cap],
+            cap,
+            head: 0,
+            len: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends a record, overwriting the oldest when full. Never
+    /// allocates.
+    pub fn push(&mut self, v: T) {
+        self.buf[self.head] = v;
+        self.head = (self.head + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+        self.total += 1;
+    }
+
+    /// Forgets all records (capacity is retained).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.total = 0;
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum records held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records pushed since the last clear.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether any record has been overwritten since the last clear.
+    pub fn wrapped(&self) -> bool {
+        self.total > self.len as u64
+    }
+
+    /// Iterates the held records oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let start = (self.head + self.cap - self.len) % self.cap;
+        (0..self.len).map(move |i| &self.buf[(start + i) % self.cap])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_wrap_and_order() {
+        let mut r: Ring<u32> = Ring::new(3);
+        assert!(r.is_empty() && !r.wrapped());
+        for v in 1..=2 {
+            r.push(v);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        for v in 3..=5 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 5);
+        assert!(r.wrapped());
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5]);
+        r.clear();
+        assert!(r.is_empty() && !r.wrapped());
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r: Ring<u8> = Ring::new(0);
+        r.push(7);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7]);
+    }
+}

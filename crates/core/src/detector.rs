@@ -43,6 +43,7 @@
 //! [`AirbagController::step_with_detector`] applies it.
 
 use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::tap::{DetectorTap, SampleTapCtx, WindowTap};
 use crate::CoreError;
 use prefall_dsp::biquad::SosFilter;
 use prefall_dsp::butterworth::Butterworth;
@@ -51,7 +52,7 @@ use prefall_dsp::stats::Normalizer;
 use prefall_imu::channel::{Channel, NUM_CHANNELS};
 use prefall_imu::trial::{Trial, FUSION_ALPHA};
 use prefall_imu::{AIRBAG_INFLATION_SAMPLES, SAMPLE_PERIOD_MS, SAMPLE_RATE_HZ};
-use prefall_nn::network::Network;
+use prefall_nn::network::{BranchStat, Network};
 use prefall_nn::quant::QuantizedNetwork;
 use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use std::collections::VecDeque;
@@ -459,6 +460,40 @@ impl Engine {
         let p = self.predict_proba(segment);
         p.is_finite().then_some(p)
     }
+
+    /// [`Engine::predict_proba`] additionally tracing per-branch
+    /// activations of the modality split into `trace` (cleared first;
+    /// left empty for quantized engines and split-less models). The
+    /// returned probability is **bit-identical** to the untraced path
+    /// — incident replay relies on this.
+    pub fn predict_proba_traced(&mut self, segment: &[f32], trace: &mut Vec<BranchStat>) -> f32 {
+        match self {
+            Engine::Float(n) => {
+                let out = n.forward_traced_into(segment, trace);
+                prefall_nn::loss::sigmoid(out[0])
+            }
+            Engine::Quantized(q) => {
+                trace.clear();
+                q.predict_proba(segment)
+            }
+        }
+    }
+
+    /// [`Engine::try_predict_proba`] with branch tracing (see
+    /// [`Engine::predict_proba_traced`]). `trace` is cleared even when
+    /// the segment is rejected.
+    pub fn try_predict_proba_traced(
+        &mut self,
+        segment: &[f32],
+        trace: &mut Vec<BranchStat>,
+    ) -> Option<f32> {
+        trace.clear();
+        if segment.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let p = self.predict_proba_traced(segment, trace);
+        p.is_finite().then_some(p)
+    }
 }
 
 impl From<Network> for Engine {
@@ -486,6 +521,9 @@ pub struct StreamingDetector {
     positives_in_a_row: usize,
     guard: SampleGuard,
     rec: Arc<dyn Recorder>,
+    tap: Option<Box<dyn DetectorTap>>,
+    last_trace: Vec<BranchStat>,
+    published_mode: Option<DetectorMode>,
 }
 
 impl StreamingDetector {
@@ -528,6 +566,9 @@ impl StreamingDetector {
             positives_in_a_row: 0,
             guard: SampleGuard::new(config.guard),
             rec: prefall_telemetry::noop(),
+            tap: None,
+            last_trace: Vec::new(),
+            published_mode: None,
         })
     }
 
@@ -545,6 +586,25 @@ impl StreamingDetector {
         self.rec = rec;
     }
 
+    /// Installs a [`DetectorTap`]: a per-sample observer that sees
+    /// every ingest event (raw values, guard state, classified windows
+    /// with per-branch attribution). While a tap is installed,
+    /// inference runs through the traced engine path — bit-identical
+    /// scores, plus branch statistics. Replaces any previous tap.
+    pub fn set_tap(&mut self, tap: Box<dyn DetectorTap>) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes and returns the installed tap, if any.
+    pub fn take_tap(&mut self) -> Option<Box<dyn DetectorTap>> {
+        self.tap.take()
+    }
+
+    /// Whether a [`DetectorTap`] is currently installed.
+    pub fn has_tap(&self) -> bool {
+        self.tap.is_some()
+    }
+
     /// Resets all streaming state (filters, fusion, window, guard
     /// stream state). Cumulative [`GuardStatus`] counters survive —
     /// they describe the deployment, not one trial.
@@ -557,6 +617,11 @@ impl StreamingDetector {
         self.samples_seen = 0;
         self.positives_in_a_row = 0;
         self.guard.reset_stream();
+        self.published_mode = None;
+        if let Some(mut tap) = self.tap.take() {
+            tap.on_stream_reset();
+            self.tap = Some(tap);
+        }
     }
 
     /// Replaces the guard configuration, resetting all guard state
@@ -598,11 +663,13 @@ impl StreamingDetector {
     /// layers launder it into a constant garbage score — the detector
     /// goes silently blind.
     pub fn push_sample(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> Option<f32> {
-        if self.config.guard.enabled {
+        let prob = if self.config.guard.enabled {
             self.push_guarded(accel, gyro, false)
         } else {
             self.push_raw(accel, gyro)
-        }
+        };
+        self.tap_after(accel, gyro, false, prob);
+        prob
     }
 
     /// Reports a missing grid tick (the sensor bus delivered nothing at
@@ -620,6 +687,10 @@ impl StreamingDetector {
     /// exists to prevent.
     pub fn push_missing(&mut self) -> Option<f32> {
         if !self.config.guard.enabled {
+            // The naive path never learns a tick passed — but a tap
+            // still records the event so a replay stays faithful.
+            let (accel, gyro) = self.guard.fill_value();
+            self.tap_after(accel, gyro, true, None);
             return None;
         }
         let before = self.guard.status;
@@ -641,13 +712,56 @@ impl StreamingDetector {
             // Emit only this method's own increments; the guarded push
             // below emits its own deltas.
             emit_guard_deltas(rec.as_ref(), &before, &self.guard.status);
+            self.publish_mode(rec.as_ref());
         }
-        if bridged {
-            let (accel, gyro) = self.guard.fill_value();
+        let (accel, gyro) = self.guard.fill_value();
+        let prob = if bridged {
             self.push_guarded(accel, gyro, true)
         } else {
             None
+        };
+        self.tap_after(accel, gyro, true, prob);
+        prob
+    }
+
+    /// Invokes the installed tap (if any) for one completed ingest
+    /// event. Take/put-back keeps the borrow checker happy without an
+    /// allocation, and lets the tap live outside the detector's own
+    /// mutable state.
+    fn tap_after(&mut self, accel: [f32; 3], gyro: [f32; 3], missing: bool, prob: Option<f32>) {
+        let Some(mut tap) = self.tap.take() else {
+            return;
+        };
+        let window = prob.map(|score| WindowTap {
+            score,
+            armed: self.trigger_armed(),
+            decision: self.trigger_decision(),
+            attribution: self.last_trace.as_slice(),
+        });
+        tap.on_sample(&SampleTapCtx {
+            accel,
+            gyro,
+            missing,
+            mode: self.guard.mode,
+            guard: self.guard.status,
+            window,
+        });
+        self.tap = Some(tap);
+    }
+
+    /// Publishes `detector.mode.*` gauges (0/1) when the mode changed
+    /// since the last publish. Static names, no allocation.
+    fn publish_mode(&mut self, rec: &dyn Recorder) {
+        let m = self.guard.mode;
+        if self.published_mode == Some(m) {
+            return;
         }
+        self.published_mode = Some(m);
+        let flag = |b: bool| if b { 1.0 } else { 0.0 };
+        rec.gauge_set("detector.mode.accel_degraded", flag(m.accel_degraded));
+        rec.gauge_set("detector.mode.gyro_degraded", flag(m.gyro_degraded));
+        rec.gauge_set("detector.mode.stale", flag(m.stale));
+        rec.gauge_set("detector.mode.degraded", flag(m.is_degraded()));
     }
 
     /// The hardened ingest path. `synthetic` marks a gap-fill sample,
@@ -741,7 +855,13 @@ impl StreamingDetector {
             }
             let p = {
                 let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
-                match self.engine.try_predict_proba(&seg) {
+                let scored = if self.tap.is_some() {
+                    self.engine
+                        .try_predict_proba_traced(&seg, &mut self.last_trace)
+                } else {
+                    self.engine.try_predict_proba(&seg)
+                };
+                match scored {
                     Some(p) => p,
                     None => {
                         self.guard.status.engine_rejects += 1;
@@ -769,6 +889,7 @@ impl StreamingDetector {
 
         if rec.enabled() {
             emit_guard_deltas(rec.as_ref(), &before, &self.guard.status);
+            self.publish_mode(rec.as_ref());
         }
         prob
     }
@@ -825,7 +946,11 @@ impl StreamingDetector {
         self.normalizer.apply_in_place(&mut seg);
         let prob = {
             let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
-            self.engine.predict_proba(&seg)
+            if self.tap.is_some() {
+                self.engine.predict_proba_traced(&seg, &mut self.last_trace)
+            } else {
+                self.engine.predict_proba(&seg)
+            }
         };
         if rec.enabled() {
             rec.counter_add("detector.windows", 1);
@@ -854,6 +979,18 @@ impl StreamingDetector {
     /// masked or gap-filled data never fires the airbag on its own.
     pub fn trigger_decision(&self) -> bool {
         self.trigger_armed() && self.guard_allows_trigger()
+    }
+
+    /// Notifies an installed [`DetectorTap`] that a trial finished
+    /// streaming. [`run_on_trial`] and the faulted-trial runner call
+    /// this automatically; call it yourself when driving the detector
+    /// sample-by-sample and the tap needs trial boundaries (e.g. the
+    /// flight recorder classifying a missed fall).
+    pub fn notify_trial_end(&mut self, trial: &Trial, outcome: &TrialOutcome) {
+        if let Some(mut tap) = self.tap.take() {
+            tap.on_trial_end(trial, outcome);
+            self.tap = Some(tap);
+        }
     }
 
     fn guard_allows_trigger(&self) -> bool {
@@ -1061,14 +1198,16 @@ fn stream_trial(detector: &mut StreamingDetector, trial: &Trial) -> TrialOutcome
         _ => None,
     };
     let protected = impact.map(|im| airbag.protects_at(im));
-    TrialOutcome {
+    let outcome = TrialOutcome {
         triggered_at,
         impact,
         lead_time_ms,
         protected,
         false_activation: !trial.is_fall() && triggered_at.is_some(),
         peak_prob,
-    }
+    };
+    detector.notify_trial_end(trial, &outcome);
+    outcome
 }
 
 /// [`run_on_trial_recorded`] plus the online model-quality audit: the

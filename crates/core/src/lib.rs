@@ -27,6 +27,8 @@
 //!   normaliser + preprocessing configuration).
 //! * [`detector`] — the real-time streaming detector and the airbag
 //!   trigger controller (150 ms inflation model).
+//! * [`tap`] — per-sample observation hooks on the detector's ingest
+//!   path (used by the `prefall-blackbox` flight recorder).
 //! * [`phases`] — Fig. 1: fall-stage annotation of a trial.
 //! * [`experiment`] — reproducible experiment orchestration used by the
 //!   benchmark binaries.
@@ -63,6 +65,7 @@ pub mod monitor;
 pub mod persist;
 pub mod phases;
 pub mod pipeline;
+pub mod tap;
 pub mod threshold;
 pub mod tuning;
 

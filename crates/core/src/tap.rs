@@ -1,0 +1,84 @@
+//! Observation taps: a per-sample hook on the streaming detector.
+//!
+//! A [`DetectorTap`] installed with
+//! [`StreamingDetector::set_tap`](crate::detector::StreamingDetector::set_tap)
+//! sees every ingest event *after* it was processed — the raw
+//! pre-guard sensor values, the resulting [`DetectorMode`], a copy of
+//! the cumulative [`GuardStatus`] counters, and, on hop boundaries,
+//! the classified window (score, arming state, policy-aware trigger
+//! decision, and per-branch score attribution from
+//! [`Network::forward_traced`](prefall_nn::network::Network::forward_traced)).
+//!
+//! The hook exists for flight recording and forensics
+//! (`crates/blackbox`): because the tap observes the *raw* inputs in
+//! arrival order — delivered samples and missing grid ticks alike — a
+//! recorded stream can later be replayed through a fresh detector and
+//! must reproduce the exact same score trajectory bit for bit.
+//!
+//! Tap discipline: callbacks run on the hot ingest path, so an
+//! implementation must not allocate per call (after its own warm-up)
+//! and must not panic. The detector holds the tap by `Box` and invokes
+//! it via take/put-back, so a tap never observes the detector itself.
+
+use crate::detector::{DetectorMode, GuardStatus, TrialOutcome};
+use prefall_imu::trial::Trial;
+use prefall_nn::network::BranchStat;
+
+/// One classified window, handed to [`DetectorTap::on_sample`] when
+/// the triggering ingest event completed a hop.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowTap<'a> {
+    /// Sigmoid window score (always finite on the guarded path).
+    pub score: f32,
+    /// Raw arming state after this window
+    /// ([`StreamingDetector::trigger_armed`](crate::detector::StreamingDetector::trigger_armed)).
+    pub armed: bool,
+    /// Policy-aware trigger decision after this window
+    /// ([`StreamingDetector::trigger_decision`](crate::detector::StreamingDetector::trigger_decision)).
+    pub decision: bool,
+    /// Per-branch activation statistics from the modality split, in
+    /// branch order (accel, gyro, Euler for the paper's CNN). Empty
+    /// for quantized engines and models without a split layer.
+    pub attribution: &'a [BranchStat],
+}
+
+/// Context for one ingest event (one 100 Hz grid tick), handed to
+/// [`DetectorTap::on_sample`] after the detector processed it.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleTapCtx<'a> {
+    /// Raw accelerometer reading in g, exactly as passed to
+    /// [`push_sample`](crate::detector::StreamingDetector::push_sample)
+    /// (pre-guard, possibly non-finite). The gap-fill hold value when
+    /// `missing` is set.
+    pub accel: [f32; 3],
+    /// Raw gyroscope reading in rad/s (see `accel`).
+    pub gyro: [f32; 3],
+    /// `true` when this tick was reported via
+    /// [`push_missing`](crate::detector::StreamingDetector::push_missing).
+    pub missing: bool,
+    /// Degraded modes active after this event.
+    pub mode: DetectorMode,
+    /// Cumulative guard counters after this event.
+    pub guard: GuardStatus,
+    /// The classified window, when this event completed a hop.
+    pub window: Option<WindowTap<'a>>,
+}
+
+/// A per-sample observer on the streaming detector's ingest path.
+///
+/// See the [module docs](self) for the contract. All methods have
+/// empty defaults except [`DetectorTap::on_sample`].
+pub trait DetectorTap: std::fmt::Debug + Send {
+    /// Called once per ingest event, after processing.
+    fn on_sample(&mut self, ctx: &SampleTapCtx<'_>);
+
+    /// Called from
+    /// [`StreamingDetector::reset`](crate::detector::StreamingDetector::reset):
+    /// streaming state was cleared, a new stream begins.
+    fn on_stream_reset(&mut self) {}
+
+    /// Called when a trial finished streaming (from
+    /// [`stream_trial`](crate::detector::run_on_trial) and the faulted
+    /// runner), with the final outcome.
+    fn on_trial_end(&mut self, _trial: &Trial, _outcome: &TrialOutcome) {}
+}

@@ -68,14 +68,16 @@ pub fn run_on_faulted_trial(
         _ => None,
     };
     let protected = impact.map(|im| airbag.protects_at(im));
-    TrialOutcome {
+    let outcome = TrialOutcome {
         triggered_at,
         impact,
         lead_time_ms,
         protected,
         false_activation: !trial.is_fall() && triggered_at.is_some(),
         peak_prob,
-    }
+    };
+    detector.notify_trial_end(trial, &outcome);
+    outcome
 }
 
 #[cfg(test)]

@@ -7,6 +7,56 @@ use crate::layers::{
 use crate::param::Param;
 use crate::NnError;
 
+/// Per-branch activation statistics from one forward pass through the
+/// modality split ([`SplitConcat`]): the flight-recorder tap that lets
+/// a trigger decision be attributed to the accel / gyro / Euler branch
+/// that drove it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchStat {
+    /// Flattened output length of the branch.
+    pub output_len: u32,
+    /// L2 norm of the branch's output activations.
+    pub l2: f32,
+    /// Mean absolute activation.
+    pub mean_abs: f32,
+    /// Largest absolute activation.
+    pub peak: f32,
+}
+
+impl BranchStat {
+    fn from_slice(xs: &[f32]) -> Self {
+        let mut sq = 0.0f32;
+        let mut abs = 0.0f32;
+        let mut peak = 0.0f32;
+        for &v in xs {
+            sq += v * v;
+            abs += v.abs();
+            peak = peak.max(v.abs());
+        }
+        Self {
+            output_len: xs.len() as u32,
+            l2: sq.sqrt(),
+            mean_abs: if xs.is_empty() {
+                0.0
+            } else {
+                abs / xs.len() as f32
+            },
+            peak,
+        }
+    }
+
+    /// Attribution shares (`l2_i / Σ l2`) for a set of branch stats.
+    /// All-zero activations yield uniform shares.
+    pub fn shares(stats: &[BranchStat]) -> Vec<f32> {
+        let total: f32 = stats.iter().map(|s| s.l2).sum();
+        if total > 0.0 {
+            stats.iter().map(|s| s.l2 / total).collect()
+        } else {
+            vec![1.0 / stats.len().max(1) as f32; stats.len()]
+        }
+    }
+}
+
 /// A feed-forward network: a chain of layers whose shapes were validated
 /// at build time.
 ///
@@ -90,6 +140,51 @@ impl Network {
         let mut x = input.to_vec();
         for layer in &mut self.layers {
             x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass that additionally taps the first [`SplitConcat`]
+    /// layer's per-branch outputs, returning one [`BranchStat`] per
+    /// branch (empty for architectures without a modality split).
+    ///
+    /// The output is **bit-identical** to [`Network::forward`]: the
+    /// trace only reads the intermediate activation buffer, it never
+    /// re-orders or re-associates any arithmetic. Incident replay
+    /// relies on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input shape.
+    pub fn forward_traced(&mut self, input: &[f32]) -> (Vec<f32>, Vec<BranchStat>) {
+        let mut stats = Vec::new();
+        let out = self.forward_traced_into(input, &mut stats);
+        (out, stats)
+    }
+
+    /// [`Network::forward_traced`] writing the branch statistics into a
+    /// caller-owned buffer (cleared first), so a streaming caller can
+    /// reuse its capacity and stay allocation-free per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` does not match the input shape.
+    pub fn forward_traced_into(&mut self, input: &[f32], stats: &mut Vec<BranchStat>) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len(), "network input length");
+        let mut x = input.to_vec();
+        stats.clear();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+            if stats.is_empty() {
+                if let Some(split) = layer.as_any().downcast_ref::<SplitConcat>() {
+                    let mut offset = 0;
+                    for b in split.branches() {
+                        let len = b.output_len();
+                        stats.push(BranchStat::from_slice(&x[offset..offset + len]));
+                        offset += len;
+                    }
+                }
+            }
         }
         x
     }
@@ -441,6 +536,27 @@ mod tests {
         assert_eq!(net.output_len(), 1);
         assert!(net.param_count() > 0);
         assert!(net.macs() > 0);
+    }
+
+    #[test]
+    fn forward_traced_is_bit_identical_and_reports_branches() {
+        let mut net = tiny_cnn();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.17).sin()).collect();
+        let plain = net.forward(&x);
+        let (traced, stats) = net.forward_traced(&x);
+        assert_eq!(plain, traced, "trace must not perturb the forward pass");
+        assert_eq!(stats.len(), 2, "one stat per branch");
+        for s in &stats {
+            assert!(s.l2 >= 0.0 && s.peak >= 0.0 && s.mean_abs >= 0.0);
+            assert!(s.output_len > 0);
+        }
+        let shares = BranchStat::shares(&stats);
+        assert!((shares.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+
+        // An architecture without a split traces nothing.
+        let mut mlp = Network::builder(vec![6]).dense(3).unwrap().build(1);
+        let (_, stats) = mlp.forward_traced(&[0.1; 6]);
+        assert!(stats.is_empty());
     }
 
     #[test]

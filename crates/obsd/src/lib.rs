@@ -15,7 +15,10 @@
 //!   histogram;
 //! * [`server`] — a hand-rolled HTTP/1.1 listener on
 //!   [`std::net::TcpListener`] (one background thread, shared
-//!   [`Registry`]) exposing `/metrics`, `/healthz` and `/snapshot`.
+//!   [`Registry`]) exposing `/metrics`, `/healthz`, `/snapshot` and —
+//!   with an [`IncidentSource`] attached — `/incidents`;
+//! * [`incidents`] — the seam the `prefall-blackbox` flight recorder
+//!   plugs into to make recent incident dumps scrapeable.
 //!
 //! # Quickstart
 //!
@@ -41,10 +44,12 @@
 //! [`Registry`]: prefall_telemetry::Registry
 
 pub mod health;
+pub mod incidents;
 pub mod prometheus;
 pub mod server;
 
 pub use health::{HealthReport, HealthStatus};
+pub use incidents::IncidentSource;
 pub use server::{MetricsServer, ServerConfig};
 
 use prefall_telemetry::{Registry, TelemetryEnv};

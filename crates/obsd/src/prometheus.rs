@@ -112,7 +112,11 @@ fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> St
         .map(|(k, v)| format!("{}=\"{}\"", sanitize_label_key(k), escape_label_value(v)))
         .collect();
     if let Some((k, v)) = extra {
-        parts.push(format!("{k}=\"{v}\""));
+        // Escape the extra value too: today it is always a number or
+        // `+Inf`, but the exposition format requires every label value
+        // to escape `\`, `"` and newline, and a future caller must not
+        // be able to corrupt the output.
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
     }
     format!("{{{}}}", parts.join(","))
 }
@@ -252,6 +256,23 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn rendered_output_escapes_hostile_label_values() {
+        // Backslash, double quote and newline in a label value must
+        // reach the exposition escaped — an unescaped newline splits
+        // the sample line and corrupts the whole scrape.
+        let reg = Registry::new();
+        reg.counter_add("evil{path=C:\\tmp,msg=say \"hi\"\nnow}", 1);
+        let text = render(&reg.snapshot(), "p");
+        assert!(
+            text.contains(r#"p_evil_total{path="C:\\tmp",msg="say \"hi\"\nnow"} 1"#),
+            "{text}"
+        );
+        // The raw (unescaped) newline must not survive into the body:
+        // a real line break before `now` would split the sample line.
+        assert!(!text.contains("\nnow"), "{text}");
     }
 
     #[test]

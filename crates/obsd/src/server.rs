@@ -5,7 +5,9 @@
 //! |---|---|
 //! | `GET /metrics` | Prometheus text exposition of the live registry |
 //! | `GET /healthz` | JSON liveness + lead-time-budget verdict (`503` when degraded) |
-//! | `GET /snapshot` | full registry snapshot as JSON |
+//! | `GET /snapshot` | full registry snapshot as JSON, plus derived `guard` / `detector_mode` objects |
+//! | `GET /incidents` | summaries of recent incident dumps (with an [`IncidentSource`] attached) |
+//! | `GET /incidents/{id}` | one full incident dump as JSON |
 //!
 //! The server deliberately implements only what a scraper needs:
 //! `GET`/`HEAD`, `Connection: close`, `Content-Length` framing. There
@@ -14,8 +16,9 @@
 //! service mesh anyway.
 
 use crate::health::HealthReport;
+use crate::incidents::IncidentSource;
 use crate::prometheus;
-use prefall_telemetry::Registry;
+use prefall_telemetry::{JsonValue, Registry, Snapshot};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -72,6 +75,24 @@ impl MetricsServer {
         registry: Arc<Registry>,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::start_with_incidents(addr, registry, config, None)
+    }
+
+    /// [`MetricsServer::start`] with an [`IncidentSource`] attached:
+    /// additionally serves `/incidents` (summary list) and
+    /// `/incidents/{id}` (full dump detail), and feeds every `/healthz`
+    /// verdict back to the source so a flight recorder can dump on the
+    /// healthy → degraded edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (`EADDRINUSE`, permission, bad address).
+    pub fn start_with_incidents(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+        incidents: Option<Arc<dyn IncidentSource>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept so the thread can notice the stop flag
@@ -81,7 +102,7 @@ impl MetricsServer {
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("prefall-obsd".to_string())
-            .spawn(move || serve_loop(listener, registry, config, thread_stop))
+            .spawn(move || serve_loop(listener, registry, config, incidents, thread_stop))
             .expect("spawn exporter thread");
         Ok(Self {
             addr,
@@ -123,6 +144,7 @@ fn serve_loop(
     listener: TcpListener,
     registry: Arc<Registry>,
     config: ServerConfig,
+    incidents: Option<Arc<dyn IncidentSource>>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::Relaxed) {
@@ -132,7 +154,7 @@ fn serve_loop(
                 // keeps the server single-threaded and unkillable by
                 // thread exhaustion. A stuck client is bounded by the
                 // read/write timeouts.
-                let _ = handle_connection(stream, &registry, &config);
+                let _ = handle_connection(stream, &registry, &config, incidents.as_deref());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -146,6 +168,7 @@ fn handle_connection(
     stream: TcpStream,
     registry: &Registry,
     config: &ServerConfig,
+    incidents: Option<&dyn IncidentSource>,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -205,20 +228,53 @@ fn handle_connection(
             } else {
                 "Service Unavailable"
             };
-            let mut body = report.to_json().to_string();
+            let doc = report.to_json();
+            if let Some(src) = incidents {
+                src.on_health_status(code != 200, &doc);
+            }
+            let mut body = doc.to_string();
             body.push('\n');
             (code, reason, "application/json; charset=utf-8", body)
         }
         "/snapshot" => {
-            let mut body = registry.snapshot().to_json().to_string();
+            let mut body = snapshot_json(&registry.snapshot()).to_string();
             body.push('\n');
             (200, "OK", "application/json; charset=utf-8", body)
+        }
+        "/incidents" => match incidents {
+            Some(src) => {
+                let mut body = src.list_json().to_string();
+                body.push('\n');
+                (200, "OK", "application/json; charset=utf-8", body)
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no incident source attached\n".to_string(),
+            ),
+        },
+        p if p.starts_with("/incidents/") => {
+            let id = &p["/incidents/".len()..];
+            match incidents.and_then(|src| src.get_json(id)) {
+                Some(doc) => {
+                    let mut body = doc.to_string();
+                    body.push('\n');
+                    (200, "OK", "application/json; charset=utf-8", body)
+                }
+                None => (
+                    404,
+                    "Not Found",
+                    "text/plain; charset=utf-8",
+                    "unknown incident\n".to_string(),
+                ),
+            }
         }
         "/" => (
             200,
             "OK",
             "text/plain; charset=utf-8",
-            "prefall-obsd: /metrics /healthz /snapshot\n".to_string(),
+            "prefall-obsd: /metrics /healthz /snapshot /incidents\n".to_string(),
         ),
         _ => (
             404,
@@ -235,6 +291,38 @@ fn handle_connection(
         &body,
         method == "HEAD",
     )
+}
+
+/// The `/snapshot` document: the registry snapshot plus derived
+/// `guard` (from the `guard.*` counters, [`GuardStatus`]-shaped) and
+/// `detector_mode` (from the `detector.mode.*` gauges, as booleans)
+/// objects, so degraded state is visible without parsing `/metrics`.
+///
+/// [`GuardStatus`]: https://docs.rs/prefall-core
+fn snapshot_json(snap: &Snapshot) -> JsonValue {
+    let mut doc = match snap.to_json() {
+        JsonValue::Obj(fields) => fields,
+        other => return other,
+    };
+    let guard: Vec<(String, JsonValue)> = snap
+        .counters
+        .iter()
+        .filter_map(|(k, &v)| {
+            k.strip_prefix("guard.")
+                .map(|s| (s.to_string(), JsonValue::U64(v)))
+        })
+        .collect();
+    doc.push(("guard".to_string(), JsonValue::Obj(guard)));
+    let mode: Vec<(String, JsonValue)> = snap
+        .gauges
+        .iter()
+        .filter_map(|(k, &v)| {
+            k.strip_prefix("detector.mode.")
+                .map(|s| (s.to_string(), JsonValue::Bool(v != 0.0)))
+        })
+        .collect();
+    doc.push(("detector_mode".to_string(), JsonValue::Obj(mode)));
+    JsonValue::Obj(doc)
 }
 
 fn respond(
@@ -307,6 +395,96 @@ mod tests {
 
         let (code, _) = get(addr, "/nope");
         assert_eq!(code, 404);
+        let (code, _) = get(addr, "/incidents");
+        assert_eq!(code, 404, "no incident source attached");
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_exposes_guard_and_mode_state() {
+        let registry = Arc::new(Registry::new());
+        registry.counter_add("guard.samples", 500);
+        registry.counter_add("guard.nonfinite", 3);
+        registry.gauge_set("detector.mode.gyro_degraded", 1.0);
+        registry.gauge_set("detector.mode.stale", 0.0);
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/snapshot");
+        assert_eq!(code, 200);
+        let parsed = prefall_telemetry::JsonValue::parse(body.trim()).expect("valid json");
+        let guard = parsed.get("guard").expect("guard object");
+        assert_eq!(guard.get("samples").and_then(|v| v.as_u64()), Some(500));
+        assert_eq!(guard.get("nonfinite").and_then(|v| v.as_u64()), Some(3));
+        let mode = parsed.get("detector_mode").expect("detector_mode object");
+        assert_eq!(
+            mode.get("gyro_degraded").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(mode.get("stale").and_then(|v| v.as_bool()), Some(false));
+        server.shutdown();
+    }
+
+    /// A fixed two-incident source for route tests.
+    #[derive(Debug)]
+    struct FakeSource {
+        health_calls: std::sync::Mutex<Vec<bool>>,
+    }
+
+    impl IncidentSource for FakeSource {
+        fn list_json(&self) -> JsonValue {
+            JsonValue::Arr(vec![JsonValue::Obj(vec![(
+                "id".to_string(),
+                JsonValue::Str("inc-1".to_string()),
+            )])])
+        }
+
+        fn get_json(&self, id: &str) -> Option<JsonValue> {
+            (id == "inc-1").then(|| {
+                JsonValue::Obj(vec![
+                    ("id".to_string(), JsonValue::Str("inc-1".to_string())),
+                    ("reason".to_string(), JsonValue::Str("test".to_string())),
+                ])
+            })
+        }
+
+        fn on_health_status(&self, degraded: bool, _report: &JsonValue) {
+            self.health_calls.lock().unwrap().push(degraded);
+        }
+    }
+
+    #[test]
+    fn serves_incidents_and_feeds_health_verdicts_back() {
+        let registry = Arc::new(Registry::new());
+        let source = Arc::new(FakeSource {
+            health_calls: std::sync::Mutex::new(Vec::new()),
+        });
+        let server = MetricsServer::start_with_incidents(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+            Some(Arc::clone(&source) as Arc<dyn IncidentSource>),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/incidents");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"inc-1\""), "{body}");
+
+        let (code, body) = get(addr, "/incidents/inc-1");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"reason\":\"test\""), "{body}");
+
+        let (code, _) = get(addr, "/incidents/inc-99");
+        assert_eq!(code, 404);
+
+        let (code, _) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        assert_eq!(source.health_calls.lock().unwrap().as_slice(), &[false]);
         server.shutdown();
     }
 

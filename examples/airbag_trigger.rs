@@ -8,11 +8,14 @@
 //! cargo run --release --example airbag_trigger
 //! ```
 
+use prefall::blackbox::{armed_detector_from_bundle, replay, FlightConfig, IncidentKind};
 use prefall::core::cv::{subject_folds, train_on_sets, CvConfig};
-use prefall::core::detector::{run_on_trial, DetectorConfig, StreamingDetector};
+use prefall::core::detector::run_on_trial;
 use prefall::core::models::ModelKind;
+use prefall::core::persist::DetectorBundle;
 use prefall::core::pipeline::{Pipeline, PipelineConfig};
 use prefall::imu::dataset::{Dataset, DatasetConfig};
+use prefall::nn::network::BranchStat;
 use prefall_core::augment::augment_positives;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -53,17 +56,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     augment_positives(&mut train_set, cfg.augment_factor, 31 ^ 0xAA99);
     let norm = pipeline.fit_normalizer(&train_set);
 
-    let mut detector = StreamingDetector::new(
-        net,
-        norm,
-        DetectorConfig {
-            pipeline: *pipeline.config(),
-            // High operating point: the paper tunes for minimal false
-            // activations.
-            threshold: 0.9,
-            consecutive: 1,
-            guard: prefall::core::detector::GuardConfig::default(),
-        },
+    // Bundle the trained detector and deploy it with the flight
+    // recorder armed: every trigger (and every missed fall) freezes
+    // the last seconds of raw input, guard state and per-branch score
+    // attribution into a replayable incident dump.
+    let mut bundle = DetectorBundle {
+        model: ModelKind::ProposedCnn,
+        window: pipeline.window(),
+        channels: 9,
+        init_seed: 31,
+        pipeline: *pipeline.config(),
+        normalizer: norm,
+        network: net,
+    };
+    let blob = bundle.to_bytes();
+    let (mut detector, flight) = armed_detector_from_bundle(
+        &blob,
+        // High operating point: the paper tunes for minimal false
+        // activations.
+        0.9,
+        1,
+        prefall::core::detector::GuardConfig::default(),
+        FlightConfig::default(),
     )?;
 
     // 3. Stream the unseen wearers' trials.
@@ -127,5 +141,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ADL trials: {adls}; false activations: {false_activations} ({:.1}%)",
         false_activations as f64 / adls.max(1) as f64 * 100.0
     );
+
+    // 4. Forensics: the flight recorder dumped an incident for every
+    //    trigger and every missed fall. Walk the decision trace of the
+    //    most interesting one — which modality branch drove the score,
+    //    window by window, up to the firing decision.
+    println!();
+    println!(
+        "== flight recorder: {} incident(s) captured ==",
+        flight.incident_count()
+    );
+    let dump = flight
+        .incidents()
+        .into_iter()
+        .find(|d| d.kind == IncidentKind::Trigger)
+        .or_else(|| flight.latest());
+    if let Some(dump) = dump {
+        println!(
+            "incident {} ({}): {} samples, {} windows, config {:016x}, model {:016x}",
+            dump.id,
+            dump.kind.name(),
+            dump.samples.len(),
+            dump.windows.len(),
+            dump.config_hash(),
+            dump.model_hash()
+        );
+        if let Some(ms) = dump.lead_time_ms {
+            println!("trigger lead time in dump: {ms:.0} ms");
+        }
+        println!("decision trace (accel / gyro / euler branch shares):");
+        for w in dump
+            .windows
+            .iter()
+            .rev()
+            .take(5)
+            .collect::<Vec<_>>()
+            .iter()
+            .rev()
+        {
+            let shares = BranchStat::shares(w.attribution());
+            let pct: Vec<String> = shares
+                .iter()
+                .map(|s| format!("{:>3.0}%", s * 100.0))
+                .collect();
+            println!(
+                "  sample {:>5}: score {:.3} [{}]{}",
+                w.at_sample,
+                w.score,
+                pct.join(" / "),
+                if w.decision() { "  ← TRIGGER" } else { "" }
+            );
+        }
+
+        // The dump is self-contained: persist it, reload it, and
+        // re-run the incident bit-exactly.
+        let path = std::env::temp_dir().join("prefall_incident.pfbb");
+        std::fs::write(&path, dump.to_bytes())?;
+        let reloaded = prefall::blackbox::IncidentDump::from_bytes(&std::fs::read(&path)?)?;
+        match replay(&reloaded) {
+            Ok(report) => println!(
+                "replayed {} from {}: bit_exact={} over {} windows",
+                dump.id,
+                path.display(),
+                report.bit_exact,
+                report.windows_compared
+            ),
+            Err(e) => println!("replay unavailable: {e}"),
+        }
+    }
     Ok(())
 }

@@ -124,5 +124,94 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {line}");
     }
     println!("  ... {} exposition lines total", body.lines().count());
+
+    // 6. Forensics walkthrough: arm a detector with the flight
+    //    recorder, stream a faulted fall trial, and work one incident
+    //    from HTTP listing to bit-exact replay — the workflow after a
+    //    real deployment fires (or fails to).
+    println!("\n== 6. flight recorder & incident replay ==");
+    let det_cfg = prefall::core::detector::DetectorConfig::paper_400ms();
+    let window = det_cfg.pipeline.segmentation.window();
+    let mut bundle = prefall::core::persist::DetectorBundle {
+        model: prefall::core::models::ModelKind::ProposedCnn,
+        window,
+        channels: 9,
+        init_seed: 7,
+        pipeline: det_cfg.pipeline,
+        normalizer: prefall::dsp::stats::Normalizer::identity(9),
+        network: prefall::core::models::ModelKind::ProposedCnn.build(window, 9, 7)?,
+    };
+    let (mut detector, flight) = prefall::blackbox::armed_detector_from_bundle(
+        &bundle.to_bytes(),
+        0.5,
+        1,
+        prefall::core::detector::GuardConfig::default(),
+        prefall::blackbox::FlightConfig::default(),
+    )?;
+    detector.set_recorder(run_registry.clone());
+    flight.set_recorder(run_registry.clone());
+
+    // Stream one fall trial through dropout + NaN bursts; the trigger
+    // (or the miss) freezes the rings into an incident dump.
+    let dataset = prefall::imu::dataset::Dataset::combined_scaled(1, 1, 7)?;
+    let trial = dataset
+        .trials()
+        .iter()
+        .find(|t| t.is_fall())
+        .expect("dataset has falls");
+    let plan = prefall::faults::FaultPlan::dropout_nan(7, 0.05, 0.01, 5);
+    prefall::faults::run_on_faulted_trial(&mut detector, trial, &plan, run_registry.as_ref());
+
+    // The same dumps are served over HTTP next to /metrics: attach the
+    // handle as the server's incident source.
+    let forensics = prefall::obsd::MetricsServer::start_with_incidents(
+        "127.0.0.1:0",
+        run_registry.clone(),
+        prefall::obsd::ServerConfig::default(),
+        Some(Arc::new(flight.clone())),
+    )?;
+    println!(
+        "incidents served at {}/incidents (and /incidents/<id>)",
+        forensics.url()
+    );
+
+    let dump = flight.latest().expect("fall trial produced an incident");
+    println!(
+        "incident {} ({}): {} samples, {} windows, guard caught {} faults",
+        dump.id,
+        dump.kind.name(),
+        dump.samples.len(),
+        dump.windows.len(),
+        dump.guard.faults()
+    );
+    // Decision trace: score + per-branch attribution, window by window.
+    for w in dump
+        .windows
+        .iter()
+        .rev()
+        .take(3)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
+        let shares = prefall::nn::network::BranchStat::shares(w.attribution());
+        println!(
+            "  sample {:>5}: score {:.3}, branch shares {:?}{}",
+            w.at_sample,
+            w.score,
+            shares
+                .iter()
+                .map(|s| (s * 100.0).round())
+                .collect::<Vec<_>>(),
+            if w.decision() { "  ← TRIGGER" } else { "" }
+        );
+    }
+    // And the punchline: the dump is self-contained, so the incident
+    // re-runs bit-exactly anywhere.
+    let report = prefall::blackbox::replay(&dump)?;
+    println!(
+        "replay: bit_exact={} trigger_match={} over {} windows",
+        report.bit_exact, report.trigger_match, report.windows_compared
+    );
     Ok(())
 }

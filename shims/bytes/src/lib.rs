@@ -77,6 +77,9 @@ pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
     fn put_u8(&mut self, v: u8);
 
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
@@ -125,6 +128,11 @@ pub trait Buf {
         let mut b = [0u8; 1];
         self.copy_to_slice(&mut b);
         b[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
     }
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];

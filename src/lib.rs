@@ -20,6 +20,10 @@
 //! * [`faults`] — seeded, composable sensor fault injection (dropout,
 //!   NaN bursts, stuck axes, saturation, spikes, noise, outages) for
 //!   exercising the hardened ingest path and the robustness sweep.
+//! * [`blackbox`] — flight recorder: ring-buffered capture of raw
+//!   samples, guard state and per-branch score attribution; versioned
+//!   incident dumps on trigger / missed fall / health degradation; and
+//!   deterministic bit-exact incident replay.
 //!
 //! # Quickstart
 //!
@@ -34,6 +38,7 @@
 //! # }
 //! ```
 
+pub use prefall_blackbox as blackbox;
 pub use prefall_core as core;
 pub use prefall_dsp as dsp;
 pub use prefall_faults as faults;

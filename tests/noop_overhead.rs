@@ -1,11 +1,14 @@
 //! Proof that disabled telemetry is (near-)free: with the default
 //! [`NoopRecorder`] installed, a steady-state [`StreamingDetector::push_sample`]
 //! call on a non-classifying sample performs **zero heap allocations**
-//! and never reads the clock (the span holds no start time).
+//! and never reads the clock (the span holds no start time). The same
+//! holds with the flight recorder armed: its rings are pre-allocated,
+//! so the per-sample tap path stays allocation-free after warm-up.
 //!
 //! A counting global allocator makes the claim checkable; the file
 //! holds exactly one test so no concurrent test pollutes the counter.
 
+use prefall_blackbox::{FlightConfig, FlightRecorder};
 use prefall_core::detector::{DetectorConfig, GuardConfig, StreamingDetector};
 use prefall_core::models::ModelKind;
 use prefall_core::pipeline::PipelineConfig;
@@ -70,4 +73,65 @@ fn noop_recorder_push_sample_does_not_allocate() {
         0,
         "steady-state push_sample with the no-op recorder must not allocate"
     );
+
+    // Same claim with the flight recorder armed: the tap path copies
+    // fixed-size records into pre-allocated rings, so a steady-state
+    // streaming sample still performs zero heap allocations, and a
+    // full hop cycle (including one traced classification) allocates
+    // exactly as much as the previous cycle — nothing accumulates.
+    let cfg = DetectorConfig {
+        pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+        // Unreachable threshold: the sigmoid never exceeds 1, so no
+        // trigger fires and no incident dump (which may allocate) is
+        // taken mid-measurement.
+        threshold: 1.1,
+        consecutive: 1,
+        guard: GuardConfig::default(),
+    };
+    let net = ModelKind::ProposedCnn.build(window, 9, 1).unwrap();
+    let mut det = StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap();
+    let flight = FlightRecorder::install(&mut det, Vec::new(), FlightConfig::default());
+    det.reset(); // sync the recorder to the stream start
+
+    // Warm up: fill the window, classify once (warms the branch-trace
+    // buffer), then settle into steady state.
+    for _ in 0..window + hop {
+        let _ = det.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..hop - 1 {
+        let p = det.push_sample([0.01, -0.02, 1.0], [0.0, 0.1, 0.0]);
+        assert!(p.is_none(), "these samples must not complete a hop");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state push_sample with the flight recorder armed must not allocate"
+    );
+
+    // Two consecutive full hop cycles allocate identically: the traced
+    // inference reuses its buffers, and the ring writes are in-place.
+    let measure_cycle = |det: &mut StreamingDetector| {
+        let start = ALLOCATIONS.load(Ordering::Relaxed);
+        let mut classified = 0;
+        for _ in 0..hop {
+            if det
+                .push_sample([0.01, -0.02, 1.0], [0.0, 0.1, 0.0])
+                .is_some()
+            {
+                classified += 1;
+            }
+        }
+        assert_eq!(classified, 1, "each hop cycle classifies exactly once");
+        ALLOCATIONS.load(Ordering::Relaxed) - start
+    };
+    let first = measure_cycle(&mut det);
+    let second = measure_cycle(&mut det);
+    assert_eq!(
+        first, second,
+        "hop cycles with the flight recorder armed must not accumulate allocations"
+    );
+    assert_eq!(flight.incident_count(), 0, "no incident should have fired");
 }
