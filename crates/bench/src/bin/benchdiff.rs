@@ -8,6 +8,7 @@
 //!   --lead-pct <P>          lead-time shrink allowed, % (default 10)
 //!   --lead-floor-ms <M>     absolute lead-time slack, ms (default 5)
 //!   --budget-drop <F>       budget-fraction drop allowed (default 0.05)
+//!   --speedup-pct <P>       speedup shrink allowed, % (default 25)
 //!   --min-count <N>         observations needed before a histogram
 //!                           can gate (default 20)
 //! ```
@@ -20,7 +21,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: benchdiff <baseline.json> <candidate.json> \
          [--latency-pct P] [--latency-floor-us U] \
-         [--lead-pct P] [--lead-floor-ms M] [--budget-drop F] [--min-count N]"
+         [--lead-pct P] [--lead-floor-ms M] [--budget-drop F] \
+         [--speedup-pct P] [--min-count N]"
     );
     std::process::exit(2);
 }
@@ -44,6 +46,7 @@ fn parse_args() -> (String, String, Thresholds) {
             "--lead-pct" => flag(&mut t.lead_pct),
             "--lead-floor-ms" => flag(&mut t.lead_floor_ms),
             "--budget-drop" => flag(&mut t.budget_drop),
+            "--speedup-pct" => flag(&mut t.speedup_pct),
             "--min-count" => flag(&mut t.min_count),
             "-h" | "--help" => usage(),
             _ if arg.starts_with('-') => usage(),

@@ -159,6 +159,11 @@ pub struct Thresholds {
     pub lead_floor_ms: f64,
     /// Absolute drop the lead-time-budget fraction may show.
     pub budget_drop: f64,
+    /// Relative shrink (in %) a speedup gauge or field (any metric
+    /// whose name contains `speedup`) may show — higher is better, so
+    /// only shrink gates. Generous by default: parallel speedup depends
+    /// on the host's core count.
+    pub speedup_pct: f64,
     /// Minimum observation count (on both sides) before a histogram can
     /// gate at all. Tiny histograms — a 3-sample `normalize_seconds` —
     /// swing hundreds of percent run-to-run on the same machine from
@@ -174,6 +179,7 @@ impl Default for Thresholds {
             lead_pct: 10.0,
             lead_floor_ms: 5.0,
             budget_drop: 0.05,
+            speedup_pct: 25.0,
             min_count: 20.0,
         }
     }
@@ -266,6 +272,14 @@ fn is_lead_time(name: &str) -> bool {
     name.ends_with("lead_time_ms")
 }
 
+fn is_speedup(name: &str) -> bool {
+    name.contains("speedup")
+}
+
+fn speedup_regressed(base: f64, cand: f64, t: &Thresholds) -> bool {
+    base.is_finite() && cand.is_finite() && cand < base * (1.0 - t.speedup_pct / 100.0)
+}
+
 fn latency_regressed(base: f64, cand: f64, t: &Thresholds) -> bool {
     base.is_finite()
         && cand.is_finite()
@@ -330,6 +344,28 @@ pub fn diff(base: &BenchSnapshot, cand: &BenchSnapshot, t: &Thresholds) -> DiffR
     for name in cand.histograms.keys() {
         if !base.histograms.contains_key(name) {
             report.unmatched.push(name.clone());
+        }
+    }
+
+    // Speedup gauges/fields: higher is better; only shrink past the
+    // threshold gates.
+    for (section_base, section_cand) in [(&base.gauges, &cand.gauges), (&base.fields, &cand.fields)]
+    {
+        for (name, bv) in section_base {
+            if !is_speedup(name) {
+                continue;
+            }
+            let Some(cv) = section_cand.get(name) else {
+                report.unmatched.push(name.clone());
+                continue;
+            };
+            report.deltas.push(Delta {
+                metric: name.clone(),
+                stat: "value",
+                base: *bv,
+                cand: *cv,
+                regression: speedup_regressed(*bv, *cv, t),
+            });
         }
     }
 
@@ -492,6 +528,41 @@ mod tests {
         });
         let full_base = BenchSnapshot::parse(BASE).unwrap();
         assert!(diff(&full_base, &full, &Thresholds::default()).has_regressions());
+    }
+
+    #[test]
+    fn speedup_shrink_fails_but_growth_and_noise_pass() {
+        let t = Thresholds::default();
+        let with_speedup = |v: f64| {
+            tweaked(move |s| {
+                s.gauges.insert("perf.speedup".to_string(), v);
+            })
+        };
+        let base = with_speedup(3.0);
+
+        // Collapse to 1.0× (−67 %): well past the 25 % gate.
+        let collapsed = with_speedup(1.0);
+        let report = diff(&base, &collapsed, &t);
+        assert!(
+            report
+                .regressions()
+                .any(|d| d.metric == "perf.speedup" && d.stat == "value"),
+            "{}",
+            report.render()
+        );
+
+        // −10 % is machine noise; growth is an improvement.
+        assert!(!diff(&base, &with_speedup(2.7), &t).has_regressions());
+        assert!(!diff(&base, &with_speedup(4.0), &t).has_regressions());
+
+        // Speedup encoded as a top-level field gates identically.
+        let fbase = tweaked(|s| {
+            s.fields.insert("wall_speedup".to_string(), 2.5);
+        });
+        let fworse = tweaked(|s| {
+            s.fields.insert("wall_speedup".to_string(), 1.0);
+        });
+        assert!(diff(&fbase, &fworse, &t).has_regressions());
     }
 
     #[test]

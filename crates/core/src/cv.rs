@@ -19,6 +19,7 @@ use prefall_nn::loss::{initial_output_bias, WeightedBce};
 use prefall_nn::network::Network;
 use prefall_nn::optim::OptimizerKind;
 use prefall_nn::train::{predict_proba, train_recorded, DataRef, TrainConfig};
+use prefall_par::Pool;
 use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use serde::{Deserialize, Serialize};
 
@@ -320,12 +321,39 @@ pub fn run_cv_recorded(
     cfg: &CvConfig,
     rec: &dyn Recorder,
 ) -> Result<CvOutcome, CoreError> {
+    let full = pipeline.segment_set_recorded(dataset.trials(), rec);
+    run_cv_with_segments(dataset, pipeline, &full, model, cfg, rec)
+}
+
+/// [`run_cv_recorded`] over an already-segmented dataset. The
+/// preprocessing cache ([`crate::cache::SegmentCache`]) hands sweep
+/// cells a shared segment set; this entry point runs the folds without
+/// re-filtering and re-windowing the trials. `full` must be the
+/// **pre-normalisation** segment set of `dataset.trials()` under
+/// `pipeline`'s configuration (normalisation is fitted per fold on the
+/// training subjects only).
+///
+/// Folds are independent given the shared segment set, so they run on a
+/// [`Pool`] sized by `PREFALL_THREADS`. Every fold's seed derives only
+/// from its index and results are collected in fold order, so the
+/// outcome is bit-identical for any thread count.
+///
+/// # Errors
+///
+/// Same as [`run_cv`].
+pub fn run_cv_with_segments(
+    dataset: &Dataset,
+    pipeline: &Pipeline,
+    full: &SegmentSet,
+    model: ModelKind,
+    cfg: &CvConfig,
+    rec: &dyn Recorder,
+) -> Result<CvOutcome, CoreError> {
     let ids = dataset.subject_ids();
     let splits = subject_folds(&ids, cfg.folds, cfg.val_subjects, cfg.seed)?;
-    let full = pipeline.segment_set_recorded(dataset.trials(), rec);
 
-    let mut folds = Vec::with_capacity(splits.len());
-    for (i, split) in splits.iter().enumerate() {
+    let pool = Pool::from_env();
+    let results = crate::worker::map_recorded(&pool, &splits, rec, |i, split, rec| {
         let fold_span = Span::enter(rec, "cv.fold_seconds");
         let train_set = full.filter_subjects(&split.train);
         let val_set = full.filter_subjects(&split.val);
@@ -359,14 +387,18 @@ pub fn run_cv_recorded(
                 ],
             );
         }
-        folds.push(FoldOutcome {
+        Ok(FoldOutcome {
             fold: i,
             metrics,
             confusion,
             predictions,
             epochs_run,
-        });
-    }
+        })
+    });
+    pool.publish(rec);
+    let folds = results
+        .into_iter()
+        .collect::<Result<Vec<FoldOutcome>, CoreError>>()?;
 
     let mean = TableMetrics::mean(&folds.iter().map(|f| f.metrics).collect::<Vec<_>>());
     let mut pooled = Confusion::new();

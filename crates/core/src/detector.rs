@@ -52,8 +52,10 @@ use prefall_dsp::stats::Normalizer;
 use prefall_imu::channel::{Channel, NUM_CHANNELS};
 use prefall_imu::trial::{Trial, FUSION_ALPHA};
 use prefall_imu::{AIRBAG_INFLATION_SAMPLES, SAMPLE_PERIOD_MS, SAMPLE_RATE_HZ};
+use prefall_nn::kernels::reference_kernels;
 use prefall_nn::network::{BranchStat, Network};
 use prefall_nn::quant::QuantizedNetwork;
+use prefall_nn::workspace::Workspace;
 use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -494,6 +496,69 @@ impl Engine {
         let p = self.predict_proba_traced(segment, trace);
         p.is_finite().then_some(p)
     }
+
+    /// [`Engine::predict_proba`] through a caller-owned [`Workspace`]:
+    /// float engines with interpreter-supported architectures run the
+    /// fused, allocation-free kernel path; quantized engines,
+    /// unsupported layer stacks, and runs with the reference kernels
+    /// forced on fall back to the allocating path. The returned score
+    /// is **bit-identical** either way.
+    pub fn predict_proba_in(&mut self, segment: &[f32], ws: &mut Workspace) -> f32 {
+        if !reference_kernels() {
+            if let Engine::Float(n) = self {
+                if let Some(logit) = n.infer_scalar(segment, ws) {
+                    return prefall_nn::loss::sigmoid(logit);
+                }
+            }
+        }
+        self.predict_proba(segment)
+    }
+
+    /// [`Engine::try_predict_proba`] through a caller-owned
+    /// [`Workspace`] (see [`Engine::predict_proba_in`]).
+    pub fn try_predict_proba_in(&mut self, segment: &[f32], ws: &mut Workspace) -> Option<f32> {
+        if segment.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let p = self.predict_proba_in(segment, ws);
+        p.is_finite().then_some(p)
+    }
+
+    /// [`Engine::predict_proba_traced`] through a caller-owned
+    /// [`Workspace`]: probability *and* branch statistics are
+    /// bit-identical to the allocating traced path.
+    pub fn predict_proba_traced_in(
+        &mut self,
+        segment: &[f32],
+        trace: &mut Vec<BranchStat>,
+        ws: &mut Workspace,
+    ) -> f32 {
+        if !reference_kernels() {
+            if let Engine::Float(n) = self {
+                trace.clear();
+                if let Some(logit) = n.infer_scalar_traced(segment, ws, trace) {
+                    return prefall_nn::loss::sigmoid(logit);
+                }
+            }
+        }
+        self.predict_proba_traced(segment, trace)
+    }
+
+    /// [`Engine::try_predict_proba_traced`] through a caller-owned
+    /// [`Workspace`] (see [`Engine::predict_proba_traced_in`]).
+    pub fn try_predict_proba_traced_in(
+        &mut self,
+        segment: &[f32],
+        trace: &mut Vec<BranchStat>,
+        ws: &mut Workspace,
+    ) -> Option<f32> {
+        trace.clear();
+        if segment.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let p = self.predict_proba_traced_in(segment, trace, ws);
+        p.is_finite().then_some(p)
+    }
 }
 
 impl From<Network> for Engine {
@@ -524,6 +589,10 @@ pub struct StreamingDetector {
     tap: Option<Box<dyn DetectorTap>>,
     last_trace: Vec<BranchStat>,
     published_mode: Option<DetectorMode>,
+    /// Reusable inference scratch: after the first classified window,
+    /// the hot path performs no heap allocation per window.
+    ws: Workspace,
+    scratch_seg: Vec<f32>,
 }
 
 impl StreamingDetector {
@@ -569,6 +638,8 @@ impl StreamingDetector {
             tap: None,
             last_trace: Vec::new(),
             published_mode: None,
+            ws: Workspace::new(),
+            scratch_seg: Vec::with_capacity(window * NUM_CHANNELS),
         })
     }
 
@@ -626,8 +697,8 @@ impl StreamingDetector {
 
     /// Replaces the guard configuration, resetting all guard state
     /// *including* the cumulative [`GuardStatus`] counters. Lets one
-    /// detector (networks are not clonable) be compared with the guard
-    /// on and off.
+    /// detector be compared with the guard on and off without
+    /// rebuilding the engine or re-running training.
     pub fn set_guard(&mut self, cfg: GuardConfig) {
         self.config.guard = cfg;
         self.guard = SampleGuard::new(cfg);
@@ -838,7 +909,12 @@ impl StreamingDetector {
             None
         } else {
             // Assemble, normalise, mask degraded channels, classify.
-            let mut seg = Vec::with_capacity(w * NUM_CHANNELS);
+            // The scratch buffer and workspace are taken out of `self`
+            // (both takes are allocation-free) so the engine can borrow
+            // them alongside the detector's own state.
+            let mut seg = std::mem::take(&mut self.scratch_seg);
+            let mut ws = std::mem::take(&mut self.ws);
+            seg.clear();
             for r in &self.window {
                 seg.extend_from_slice(r);
             }
@@ -857,9 +933,9 @@ impl StreamingDetector {
                 let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
                 let scored = if self.tap.is_some() {
                     self.engine
-                        .try_predict_proba_traced(&seg, &mut self.last_trace)
+                        .try_predict_proba_traced_in(&seg, &mut self.last_trace, &mut ws)
                 } else {
-                    self.engine.try_predict_proba(&seg)
+                    self.engine.try_predict_proba_in(&seg, &mut ws)
                 };
                 match scored {
                     Some(p) => p,
@@ -869,6 +945,8 @@ impl StreamingDetector {
                     }
                 }
             };
+            self.scratch_seg = seg;
+            self.ws = ws;
             self.guard.status.windows += 1;
             if mode.is_degraded() {
                 self.guard.status.degraded_windows += 1;
@@ -938,8 +1016,11 @@ impl StreamingDetector {
             return None;
         }
 
-        // Assemble, normalise, classify.
-        let mut seg = Vec::with_capacity(w * NUM_CHANNELS);
+        // Assemble, normalise, classify. Scratch reuse as in
+        // `push_guarded`: no per-window heap allocation.
+        let mut seg = std::mem::take(&mut self.scratch_seg);
+        let mut ws = std::mem::take(&mut self.ws);
+        seg.clear();
         for r in &self.window {
             seg.extend_from_slice(r);
         }
@@ -947,11 +1028,14 @@ impl StreamingDetector {
         let prob = {
             let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
             if self.tap.is_some() {
-                self.engine.predict_proba_traced(&seg, &mut self.last_trace)
+                self.engine
+                    .predict_proba_traced_in(&seg, &mut self.last_trace, &mut ws)
             } else {
-                self.engine.predict_proba(&seg)
+                self.engine.predict_proba_in(&seg, &mut ws)
             }
         };
+        self.scratch_seg = seg;
+        self.ws = ws;
         if rec.enabled() {
             rec.counter_add("detector.windows", 1);
         }

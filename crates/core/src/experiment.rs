@@ -17,7 +17,8 @@
 //! | `PREFALL_QUIET` | suppress progress events on stderr |
 //! | `PREFALL_TELEMETRY_JSONL` | stream progress events to a JSONL file |
 
-use crate::cv::{run_cv_recorded, CvConfig, CvOutcome};
+use crate::cache::SegmentCache;
+use crate::cv::{run_cv_with_segments, CvConfig, CvOutcome};
 use crate::events::EventReport;
 use crate::metrics::TableMetrics;
 use crate::models::ModelKind;
@@ -27,7 +28,9 @@ use crate::pipeline::{Pipeline, PipelineConfig};
 use crate::CoreError;
 use prefall_dsp::segment::Overlap;
 use prefall_imu::dataset::{Dataset, DatasetConfig, DatasetStats};
+use prefall_par::Pool;
 use prefall_telemetry::{Recorder, TelemetryEnv, Value};
+use std::sync::Arc;
 
 /// Full experiment configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +45,10 @@ pub struct ExperimentConfig {
     pub models: Vec<ModelKind>,
     /// Cross-validation protocol.
     pub cv: CvConfig,
+    /// Worker-thread override for the experiment grid. `None` defers to
+    /// `PREFALL_THREADS` (and ultimately the machine's parallelism).
+    /// Results are bit-identical for any value.
+    pub threads: Option<usize>,
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -73,6 +80,7 @@ impl ExperimentConfig {
                 epochs: 8,
                 ..CvConfig::paper_scaled(8)
             },
+            threads: None,
         }
     }
 
@@ -91,6 +99,7 @@ impl ExperimentConfig {
             overlap: Overlap::Half,
             models: vec![ModelKind::ProposedCnn],
             cv: CvConfig::fast(),
+            threads: None,
         }
     }
 
@@ -198,15 +207,25 @@ impl std::fmt::Display for ExperimentReport {
 }
 
 /// An experiment runner.
+///
+/// Holds a content-hashed [`SegmentCache`]: grid cells that share a
+/// filter + window configuration reuse the filtered, segmented trials
+/// instead of recomputing them (the Table III grid runs four models per
+/// window, so each window's preprocessing happens once, not four
+/// times). The cache is shared by clones of the runner.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     config: ExperimentConfig,
+    cache: Arc<SegmentCache>,
 }
 
 impl Experiment {
     /// Creates a runner.
     pub fn new(config: ExperimentConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            cache: Arc::new(SegmentCache::default()),
+        }
     }
 
     /// The configuration.
@@ -258,7 +277,8 @@ impl Experiment {
             )?,
             ..PipelineConfig::paper_400ms()
         })?;
-        let cv = run_cv_recorded(dataset, &pipeline, model, &self.config.cv, rec)?;
+        let full = self.cache.get_or_build(&pipeline, dataset.trials(), rec);
+        let cv = run_cv_with_segments(dataset, &pipeline, &full, model, &self.config.cv, rec)?;
         if rec.enabled() {
             // Fold the cell's held-out predictions into the online
             // model-quality audit: calibration bins from raw sigmoid
@@ -302,15 +322,24 @@ impl Experiment {
     /// Propagates any cell failure.
     pub fn run_recorded(&self, rec: &dyn Recorder) -> Result<ExperimentReport, CoreError> {
         let dataset = self.dataset()?;
-        let total = self.config.models.len() * self.config.windows_ms.len();
-        let mut cells = Vec::new();
-        for &model in &self.config.models {
-            for &window_ms in &self.config.windows_ms {
+        // The grid in model-major order; cells are independent seeded
+        // computations collected by index, so the report is
+        // bit-identical for any thread count.
+        let grid: Vec<(ModelKind, f64)> = self
+            .config
+            .models
+            .iter()
+            .flat_map(|&m| self.config.windows_ms.iter().map(move |&w| (m, w)))
+            .collect();
+        let total = grid.len();
+        let pool = Pool::with_override(self.config.threads);
+        let results =
+            crate::worker::map_recorded(&pool, &grid, rec, |i, &(model, window_ms), rec| {
                 let started = std::time::Instant::now();
                 rec.event(
                     "experiment.cell_start",
                     &[
-                        ("cell", Value::from(cells.len() + 1)),
+                        ("cell", Value::from(i + 1)),
                         ("total", Value::from(total)),
                         ("model", Value::from(model.name())),
                         ("window_ms", Value::from(window_ms)),
@@ -320,7 +349,7 @@ impl Experiment {
                 rec.event(
                     "experiment.cell_done",
                     &[
-                        ("cell", Value::from(cells.len() + 1)),
+                        ("cell", Value::from(i + 1)),
                         ("total", Value::from(total)),
                         ("model", Value::from(model.name())),
                         ("window_ms", Value::from(window_ms)),
@@ -328,9 +357,12 @@ impl Experiment {
                         ("seconds", Value::from(started.elapsed().as_secs_f64())),
                     ],
                 );
-                cells.push(cell);
-            }
-        }
+                Ok(cell)
+            });
+        pool.publish(rec);
+        let cells = results
+            .into_iter()
+            .collect::<Result<Vec<CellResult>, CoreError>>()?;
         Ok(ExperimentReport {
             cells,
             dataset_stats: dataset.stats(),

@@ -55,6 +55,7 @@
 #![deny(missing_docs)]
 
 pub mod augment;
+pub mod cache;
 pub mod cv;
 pub mod detector;
 pub mod events;
@@ -70,5 +71,6 @@ pub mod threshold;
 pub mod tuning;
 
 mod error;
+mod worker;
 
 pub use error::CoreError;

@@ -1,0 +1,127 @@
+//! Per-worker telemetry fan-in for fork-join parallelism.
+//!
+//! Shared mutable telemetry sinks would make parallel runs
+//! order-dependent, so each fork-join task records into a private
+//! [`Registry`] instead. Events still pass straight through to the
+//! outer recorder (progress stays live); counters, gauges and histogram
+//! observations accumulate locally and are merged back — in task-index
+//! order, via [`Recorder::merge_snapshot`] — after the join. Snapshot
+//! merging is associative, so the final snapshot is identical for any
+//! thread count.
+
+use prefall_par::Pool;
+use prefall_telemetry::{NoopRecorder, Recorder, Registry, Snapshot, Value};
+
+/// A task-local recorder: metrics land in a private registry, events
+/// forward to the outer recorder.
+#[derive(Debug)]
+pub(crate) struct WorkerRecorder<'a> {
+    local: Registry,
+    outer: &'a dyn Recorder,
+}
+
+impl<'a> WorkerRecorder<'a> {
+    pub(crate) fn new(outer: &'a dyn Recorder) -> Self {
+        Self {
+            local: Registry::new(),
+            outer,
+        }
+    }
+
+    /// Freezes the locally accumulated metrics for the post-join merge.
+    pub(crate) fn into_snapshot(self) -> Snapshot {
+        self.local.snapshot()
+    }
+}
+
+impl Recorder for WorkerRecorder<'_> {
+    fn enabled(&self) -> bool {
+        self.outer.enabled()
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.local.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.local.gauge_set(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.local.observe(name, value);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
+        self.outer.event(name, fields);
+    }
+
+    fn merge_snapshot(&self, snap: &Snapshot) {
+        self.local.merge_snapshot(snap);
+    }
+}
+
+/// Fork-join map with per-task telemetry isolation: runs `f` over
+/// `items` on `pool`, handing each task its own recorder, then merges
+/// the per-task snapshots into `rec` in task-index order.
+pub(crate) fn map_recorded<T, R, F>(pool: &Pool, items: &[T], rec: &dyn Recorder, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &dyn Recorder) -> R + Sync,
+{
+    if !rec.enabled() {
+        return pool.map(items, |i, item| f(i, item, &NoopRecorder));
+    }
+    let results = pool.map(items, |i, item| {
+        let wrec = WorkerRecorder::new(rec);
+        let r = f(i, item, &wrec);
+        (r, wrec.into_snapshot())
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for (r, snap) in results {
+        rec.merge_snapshot(&snap);
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_metrics_merge_identically_for_any_thread_count() {
+        let items: Vec<u64> = (0..8).collect();
+        let snap_for = |threads: usize| {
+            let reg = Registry::new();
+            let pool = Pool::new(threads);
+            let out = map_recorded(&pool, &items, &reg, |i, &v, rec| {
+                rec.counter_add("work.items", 1);
+                rec.observe("work.cost", (v + 1) as f64);
+                rec.event("work.done", &[("i", Value::from(i))]);
+                v * 2
+            });
+            assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+            reg.snapshot()
+        };
+        let s1 = snap_for(1);
+        let s4 = snap_for(4);
+        assert_eq!(s1, s4);
+        assert_eq!(s1.counters["work.items"], 8);
+        assert_eq!(s1.histograms["work.cost"].count, 8);
+    }
+
+    #[test]
+    fn events_reach_the_outer_recorder_live() {
+        let reg = Registry::new();
+        let wrec = WorkerRecorder::new(&reg);
+        wrec.event("hello", &[("k", Value::from(1u64))]);
+        wrec.counter_add("local.only", 1);
+        let events = reg.take_events();
+        assert_eq!(events.len(), 1, "event must pass through immediately");
+        // The counter stayed local until the merge.
+        assert!(reg.snapshot().counters.is_empty());
+        reg.merge_snapshot(&wrec.into_snapshot());
+        assert_eq!(reg.snapshot().counters["local.only"], 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Workspace parallelism must never change results: the experiment
+//! grid, the CV folds and the mini-batch trainer all fan out over
+//! `PREFALL_THREADS` workers, and every one of them is constructed so
+//! the outcome is **bit-identical** for any thread count (independent
+//! seeded tasks, index-ordered collection, per-sample gradient slots).
+
+use prefall_core::experiment::{Experiment, ExperimentConfig};
+use prefall_telemetry::NoopRecorder;
+
+#[test]
+fn experiment_report_is_bit_identical_for_any_thread_count() {
+    let mut config = ExperimentConfig::fast();
+    config.cv.epochs = 2;
+    // Two windows so the grid itself has parallel cells.
+    config.windows_ms = vec![200.0, 300.0];
+
+    // Env access is serialised within this test; the runner executes
+    // integration tests in their own process.
+    let run_with = |threads: &str| {
+        std::env::set_var("PREFALL_THREADS", threads);
+        let report = Experiment::new(config.clone())
+            .run_recorded(&NoopRecorder)
+            .unwrap();
+        std::env::remove_var("PREFALL_THREADS");
+        report
+    };
+
+    let serial = run_with("1");
+    let two = run_with("2");
+    let eight = run_with("8");
+
+    assert_eq!(serial.cells.len(), 2);
+    // `ExperimentReport: PartialEq` compares every fold's metrics,
+    // confusion counts and per-segment f32 probabilities exactly.
+    assert_eq!(serial, two, "2 threads changed the report");
+    assert_eq!(serial, eight, "8 threads changed the report");
+}
+
+#[test]
+fn explicit_thread_override_does_not_change_results() {
+    let mut config = ExperimentConfig::fast();
+    config.cv.epochs = 2;
+    config.threads = Some(4);
+
+    std::env::set_var("PREFALL_THREADS", "1");
+    let overridden = Experiment::new(config.clone())
+        .run_recorded(&NoopRecorder)
+        .unwrap();
+    std::env::remove_var("PREFALL_THREADS");
+
+    config.threads = None;
+    let default = Experiment::new(config).run_recorded(&NoopRecorder).unwrap();
+    assert_eq!(overridden, default);
+}

@@ -1,0 +1,406 @@
+//! Hand-tuned inference kernels, bit-compatible with the layer
+//! implementations they accelerate.
+//!
+//! Every kernel here preserves the **per-output accumulation order** of
+//! the naive layer code: each output starts from its bias and adds
+//! `w[j] * x[j]` for `j` ascending, ReLU is `x.max(0.0)`, and max-pool
+//! compares candidates in tap order starting from `f32::NEG_INFINITY`.
+//! Register blocking only interleaves *independent* accumulators, so no
+//! float operation is reassociated and every kernel is exactly
+//! `f32::to_bits`-identical to its reference — the blackbox replay
+//! suite and `forward_traced_into` rely on this, and the proptests in
+//! `crates/nn/tests/conv_kernels.rs` assert it over random shapes.
+//!
+//! The [`set_reference_kernels`] switch forces the naive reference
+//! paths; the `perf` bench binary uses it to time the seed
+//! implementation against the blocked/fused one without rebuilding.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When `true`, [`Conv1d::forward`](crate::layers::Conv1d) and the
+/// workspace inference path fall back to the naive reference kernels.
+static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the naive reference kernels process-wide.
+/// Outputs are bit-identical either way; only speed changes.
+pub fn set_reference_kernels(on: bool) {
+    REFERENCE_KERNELS.store(on, Ordering::Relaxed);
+}
+
+/// Whether the naive reference kernels are currently forced.
+pub fn reference_kernels() -> bool {
+    REFERENCE_KERNELS.load(Ordering::Relaxed)
+}
+
+fn check_conv_dims(
+    input: &[f32],
+    weights: &[f32],
+    biases: &[f32],
+    time: usize,
+    in_ch: usize,
+    filters: usize,
+    kernel: usize,
+) -> usize {
+    assert!(kernel >= 1 && kernel <= time, "conv kernel/time mismatch");
+    let t_out = time - kernel + 1;
+    assert_eq!(input.len(), time * in_ch, "conv input length");
+    assert_eq!(
+        weights.len(),
+        filters * kernel * in_ch,
+        "conv weight length"
+    );
+    assert_eq!(biases.len(), filters, "conv bias length");
+    t_out
+}
+
+/// The naive triple loop — the reference every other conv kernel is
+/// validated against. Output layout `[T_out × F]`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_reference(
+    input: &[f32],
+    weights: &[f32],
+    biases: &[f32],
+    time: usize,
+    in_ch: usize,
+    filters: usize,
+    kernel: usize,
+    out: &mut [f32],
+) {
+    let t_out = check_conv_dims(input, weights, biases, time, in_ch, filters, kernel);
+    assert_eq!(out.len(), t_out * filters, "conv output length");
+    let (c, k) = (in_ch, kernel);
+    for t in 0..t_out {
+        let window = &input[t * c..(t + k) * c];
+        for f in 0..filters {
+            let wf = &weights[f * k * c..(f + 1) * k * c];
+            let mut acc = biases[f];
+            for (wv, xv) in wf.iter().zip(window) {
+                acc += wv * xv;
+            }
+            out[t * filters + f] = acc;
+        }
+    }
+}
+
+/// Register-blocked conv over the implicit im2col matrix.
+///
+/// Because the input is time-major, the K·C patch for output step `t`
+/// is the contiguous slice `input[t·C .. t·C + K·C]` — im2col needs no
+/// materialisation. The kernel processes two time rows × four filters
+/// per iteration with eight independent accumulators (each still
+/// summing `j` in ascending order), which shares every weight load
+/// across rows and every input load across filters.
+///
+/// Bit-identical to [`conv1d_reference`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_blocked(
+    input: &[f32],
+    weights: &[f32],
+    biases: &[f32],
+    time: usize,
+    in_ch: usize,
+    filters: usize,
+    kernel: usize,
+    out: &mut [f32],
+) {
+    let t_out = check_conv_dims(input, weights, biases, time, in_ch, filters, kernel);
+    assert_eq!(out.len(), t_out * filters, "conv output length");
+    let c = in_ch;
+    let kc = kernel * c;
+    let mut t = 0;
+    while t + 2 <= t_out {
+        let x0 = &input[t * c..t * c + kc];
+        let x1 = &input[(t + 1) * c..(t + 1) * c + kc];
+        let mut f = 0;
+        while f + 4 <= filters {
+            let w0 = &weights[f * kc..(f + 1) * kc];
+            let w1 = &weights[(f + 1) * kc..(f + 2) * kc];
+            let w2 = &weights[(f + 2) * kc..(f + 3) * kc];
+            let w3 = &weights[(f + 3) * kc..(f + 4) * kc];
+            let (mut a00, mut a01, mut a02, mut a03) =
+                (biases[f], biases[f + 1], biases[f + 2], biases[f + 3]);
+            let (mut a10, mut a11, mut a12, mut a13) = (a00, a01, a02, a03);
+            for j in 0..kc {
+                let (v0, v1) = (x0[j], x1[j]);
+                a00 += w0[j] * v0;
+                a10 += w0[j] * v1;
+                a01 += w1[j] * v0;
+                a11 += w1[j] * v1;
+                a02 += w2[j] * v0;
+                a12 += w2[j] * v1;
+                a03 += w3[j] * v0;
+                a13 += w3[j] * v1;
+            }
+            out[t * filters + f] = a00;
+            out[t * filters + f + 1] = a01;
+            out[t * filters + f + 2] = a02;
+            out[t * filters + f + 3] = a03;
+            out[(t + 1) * filters + f] = a10;
+            out[(t + 1) * filters + f + 1] = a11;
+            out[(t + 1) * filters + f + 2] = a12;
+            out[(t + 1) * filters + f + 3] = a13;
+            f += 4;
+        }
+        while f < filters {
+            let wf = &weights[f * kc..(f + 1) * kc];
+            let mut a0 = biases[f];
+            let mut a1 = a0;
+            for j in 0..kc {
+                a0 += wf[j] * x0[j];
+                a1 += wf[j] * x1[j];
+            }
+            out[t * filters + f] = a0;
+            out[(t + 1) * filters + f] = a1;
+            f += 1;
+        }
+        t += 2;
+    }
+    if t < t_out {
+        let x0 = &input[t * c..t * c + kc];
+        let mut f = 0;
+        while f + 4 <= filters {
+            let w0 = &weights[f * kc..(f + 1) * kc];
+            let w1 = &weights[(f + 1) * kc..(f + 2) * kc];
+            let w2 = &weights[(f + 2) * kc..(f + 3) * kc];
+            let w3 = &weights[(f + 3) * kc..(f + 4) * kc];
+            let (mut a0, mut a1, mut a2, mut a3) =
+                (biases[f], biases[f + 1], biases[f + 2], biases[f + 3]);
+            for j in 0..kc {
+                let v = x0[j];
+                a0 += w0[j] * v;
+                a1 += w1[j] * v;
+                a2 += w2[j] * v;
+                a3 += w3[j] * v;
+            }
+            out[t * filters + f] = a0;
+            out[t * filters + f + 1] = a1;
+            out[t * filters + f + 2] = a2;
+            out[t * filters + f + 3] = a3;
+            f += 4;
+        }
+        while f < filters {
+            let wf = &weights[f * kc..(f + 1) * kc];
+            let mut acc = biases[f];
+            for j in 0..kc {
+                acc += wf[j] * x0[j];
+            }
+            out[t * filters + f] = acc;
+            f += 1;
+        }
+    }
+}
+
+/// Fused conv + bias + ReLU + max-pool inference kernel: the pooled
+/// activation is produced without materialising the conv or ReLU
+/// planes. Output layout `[(T_out / pool) × F]` — conv steps past the
+/// last full pool window are skipped, exactly as the pool layer drops
+/// them.
+///
+/// Bit-identical to `Conv1d → Relu → MaxPool1d` applied in sequence.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_conv_relu_maxpool(
+    input: &[f32],
+    weights: &[f32],
+    biases: &[f32],
+    time: usize,
+    in_ch: usize,
+    filters: usize,
+    kernel: usize,
+    pool: usize,
+    out: &mut [f32],
+) {
+    let t_out = check_conv_dims(input, weights, biases, time, in_ch, filters, kernel);
+    assert!(pool >= 1 && pool <= t_out, "pool width out of range");
+    let p_out = t_out / pool;
+    assert_eq!(out.len(), p_out * filters, "fused output length");
+    let c = in_ch;
+    let kc = kernel * c;
+    for po in 0..p_out {
+        let mut f = 0;
+        while f + 4 <= filters {
+            let w0 = &weights[f * kc..(f + 1) * kc];
+            let w1 = &weights[(f + 1) * kc..(f + 2) * kc];
+            let w2 = &weights[(f + 2) * kc..(f + 3) * kc];
+            let w3 = &weights[(f + 3) * kc..(f + 4) * kc];
+            let (mut b0, mut b1, mut b2, mut b3) = (
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+            );
+            for s in 0..pool {
+                let t = po * pool + s;
+                let x = &input[t * c..t * c + kc];
+                let (mut a0, mut a1, mut a2, mut a3) =
+                    (biases[f], biases[f + 1], biases[f + 2], biases[f + 3]);
+                for j in 0..kc {
+                    let v = x[j];
+                    a0 += w0[j] * v;
+                    a1 += w1[j] * v;
+                    a2 += w2[j] * v;
+                    a3 += w3[j] * v;
+                }
+                let (r0, r1, r2, r3) = (a0.max(0.0), a1.max(0.0), a2.max(0.0), a3.max(0.0));
+                if r0 > b0 {
+                    b0 = r0;
+                }
+                if r1 > b1 {
+                    b1 = r1;
+                }
+                if r2 > b2 {
+                    b2 = r2;
+                }
+                if r3 > b3 {
+                    b3 = r3;
+                }
+            }
+            out[po * filters + f] = b0;
+            out[po * filters + f + 1] = b1;
+            out[po * filters + f + 2] = b2;
+            out[po * filters + f + 3] = b3;
+            f += 4;
+        }
+        while f < filters {
+            let wf = &weights[f * kc..(f + 1) * kc];
+            let mut best = f32::NEG_INFINITY;
+            for s in 0..pool {
+                let t = po * pool + s;
+                let x = &input[t * c..t * c + kc];
+                let mut acc = biases[f];
+                for j in 0..kc {
+                    acc += wf[j] * x[j];
+                }
+                let r = acc.max(0.0);
+                if r > best {
+                    best = r;
+                }
+            }
+            out[po * filters + f] = best;
+            f += 1;
+        }
+    }
+}
+
+/// Dense (fully connected) inference into a caller-provided buffer,
+/// four output rows at a time. Each output is `bias[o] + Σ w[o][j]·x[j]`
+/// with `j` ascending — bit-identical to `Dense::forward`.
+pub fn dense_forward(input: &[f32], weights: &[f32], biases: &[f32], out: &mut [f32]) {
+    let in_len = input.len();
+    let out_len = out.len();
+    assert_eq!(weights.len(), in_len * out_len, "dense weight length");
+    assert_eq!(biases.len(), out_len, "dense bias length");
+    let mut o = 0;
+    while o + 4 <= out_len {
+        let w0 = &weights[o * in_len..(o + 1) * in_len];
+        let w1 = &weights[(o + 1) * in_len..(o + 2) * in_len];
+        let w2 = &weights[(o + 2) * in_len..(o + 3) * in_len];
+        let w3 = &weights[(o + 3) * in_len..(o + 4) * in_len];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (j, &v) in input.iter().enumerate() {
+            a0 += w0[j] * v;
+            a1 += w1[j] * v;
+            a2 += w2[j] * v;
+            a3 += w3[j] * v;
+        }
+        out[o] = biases[o] + a0;
+        out[o + 1] = biases[o + 1] + a1;
+        out[o + 2] = biases[o + 2] + a2;
+        out[o + 3] = biases[o + 3] + a3;
+        o += 4;
+    }
+    while o < out_len {
+        let row = &weights[o * in_len..(o + 1) * in_len];
+        let mut acc = 0.0f32;
+        for (wv, xv) in row.iter().zip(input) {
+            acc += wv * xv;
+        }
+        out[o] = biases[o] + acc;
+        o += 1;
+    }
+}
+
+/// Standalone max-pool into a caller-provided buffer. Bit-identical to
+/// `MaxPool1d::forward` (same `>` comparisons in tap order).
+pub fn maxpool_forward(input: &[f32], ch: usize, pool: usize, out: &mut [f32]) {
+    assert!(ch > 0 && pool > 0, "pool dims must be positive");
+    let t_out = out.len() / ch;
+    assert_eq!(out.len(), t_out * ch, "pool output length");
+    assert!(input.len() >= t_out * pool * ch, "pool input too short");
+    for to in 0..t_out {
+        for c in 0..ch {
+            let mut best = f32::NEG_INFINITY;
+            for k in 0..pool {
+                let v = input[(to * pool + k) * ch + c];
+                if v > best {
+                    best = v;
+                }
+            }
+            out[to * ch + c] = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 40) as f32 / (1u64 << 23) as f32) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_bitwise_on_odd_shapes() {
+        // Shapes chosen to hit every block tail: odd t_out, filters not
+        // divisible by 4.
+        for (time, c, f, k) in [(7, 3, 5, 2), (9, 1, 4, 3), (4, 2, 7, 4), (5, 6, 1, 5)] {
+            let input = pseudo(time * c, 11);
+            let w = pseudo(f * k * c, 22);
+            let b = pseudo(f, 33);
+            let t_out = time - k + 1;
+            let mut reference = vec![0.0f32; t_out * f];
+            let mut blocked = vec![0.0f32; t_out * f];
+            conv1d_reference(&input, &w, &b, time, c, f, k, &mut reference);
+            conv1d_blocked(&input, &w, &b, time, c, f, k, &mut blocked);
+            let rb: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = blocked.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(rb, bb, "shape ({time},{c},{f},{k})");
+        }
+    }
+
+    #[test]
+    fn fused_matches_conv_relu_pool_composition_bitwise() {
+        let (time, c, f, k, pool) = (10, 3, 6, 3, 2);
+        let input = pseudo(time * c, 7);
+        let w = pseudo(f * k * c, 8);
+        let b = pseudo(f, 9);
+        let t_out = time - k + 1;
+        let mut conv = vec![0.0f32; t_out * f];
+        conv1d_reference(&input, &w, &b, time, c, f, k, &mut conv);
+        let relu: Vec<f32> = conv.iter().map(|&v| v.max(0.0)).collect();
+        let p_out = t_out / pool;
+        let mut pooled = vec![0.0f32; p_out * f];
+        maxpool_forward(&relu, f, pool, &mut pooled);
+        let mut fused = vec![0.0f32; p_out * f];
+        fused_conv_relu_maxpool(&input, &w, &b, time, c, f, k, pool, &mut fused);
+        let want: Vec<u32> = pooled.iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn reference_mode_switch_round_trips() {
+        assert!(!reference_kernels());
+        set_reference_kernels(true);
+        assert!(reference_kernels());
+        set_reference_kernels(false);
+        assert!(!reference_kernels());
+    }
+}

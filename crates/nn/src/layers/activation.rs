@@ -3,7 +3,7 @@
 use super::Layer;
 
 /// Rectified linear unit: `y = max(0, x)`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Relu {
     len: usize,
     mask: Vec<bool>,
@@ -55,6 +55,10 @@ impl Layer for Relu {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Logistic sigmoid: `y = 1 / (1 + e^{-x})`.
@@ -63,7 +67,7 @@ impl Layer for Relu {
 /// ([`crate::loss::WeightedBce`]), so networks built for training end in
 /// a bare dense layer; `Sigmoid` exists for inference-style networks and
 /// for the quantizer's final activation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sigmoid {
     len: usize,
     output_cache: Vec<f32>,
@@ -125,6 +129,10 @@ impl Layer for Sigmoid {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

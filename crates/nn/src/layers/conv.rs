@@ -2,13 +2,15 @@
 
 use super::Layer;
 use crate::init::{he_uniform, InitRng};
+use crate::kernels;
 use crate::param::Param;
+use crate::NnError;
 
 /// A 1-D convolution over time: input `[T × C]` (time-major), output
 /// `[(T − K + 1) × F]`, valid padding, stride 1.
 ///
 /// Weights are stored `[F × K × C]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv1d {
     time: usize,
     in_ch: usize,
@@ -22,16 +24,33 @@ pub struct Conv1d {
 impl Conv1d {
     /// Creates a convolution layer with zeroed weights.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `kernel > time` or any dimension is zero.
-    pub fn new(index: usize, time: usize, in_ch: usize, filters: usize, kernel: usize) -> Self {
-        assert!(
-            time > 0 && in_ch > 0 && filters > 0 && kernel > 0,
-            "conv1d dimensions must be positive"
-        );
-        assert!(kernel <= time, "conv1d kernel {kernel} exceeds time {time}");
-        Self {
+    /// Returns [`NnError::InvalidLayer`] when any dimension is zero or
+    /// `kernel > time`.
+    pub fn new(
+        index: usize,
+        time: usize,
+        in_ch: usize,
+        filters: usize,
+        kernel: usize,
+    ) -> Result<Self, NnError> {
+        if time == 0 || in_ch == 0 || filters == 0 || kernel == 0 {
+            return Err(NnError::InvalidLayer {
+                layer: "conv1d",
+                reason: format!(
+                    "dimensions must be positive \
+                     (time {time}, channels {in_ch}, filters {filters}, kernel {kernel})"
+                ),
+            });
+        }
+        if kernel > time {
+            return Err(NnError::InvalidLayer {
+                layer: "conv1d",
+                reason: format!("kernel {kernel} exceeds time {time}"),
+            });
+        }
+        Ok(Self {
             time,
             in_ch,
             filters,
@@ -42,7 +61,7 @@ impl Conv1d {
             ),
             b: Param::new(format!("conv{index}.b"), vec![0.0; filters]),
             input_cache: Vec::new(),
-        }
+        })
     }
 
     /// Output length along time.
@@ -97,19 +116,31 @@ impl Layer for Conv1d {
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
         assert_eq!(input.len(), self.input_len(), "conv1d input length");
         self.input_cache = input.to_vec();
-        let (c, k, f_n) = (self.in_ch, self.kernel, self.filters);
-        let t_out = self.out_time();
-        let mut out = vec![0.0f32; t_out * f_n];
-        for t in 0..t_out {
-            let window = &input[t * c..(t + k) * c];
-            for f in 0..f_n {
-                let wf = &self.w.w[f * k * c..(f + 1) * k * c];
-                let mut acc = self.b.w[f];
-                for (wv, xv) in wf.iter().zip(window) {
-                    acc += wv * xv;
-                }
-                out[t * f_n + f] = acc;
-            }
+        let mut out = vec![0.0f32; self.out_time() * self.filters];
+        // Both kernels are bit-identical; the switch only exists so the
+        // perf bench can time the naive path.
+        if kernels::reference_kernels() {
+            kernels::conv1d_reference(
+                input,
+                &self.w.w,
+                &self.b.w,
+                self.time,
+                self.in_ch,
+                self.filters,
+                self.kernel,
+                &mut out,
+            );
+        } else {
+            kernels::conv1d_blocked(
+                input,
+                &self.w.w,
+                &self.b.w,
+                self.time,
+                self.in_ch,
+                self.filters,
+                self.kernel,
+                &mut out,
+            );
         }
         out
     }
@@ -165,6 +196,10 @@ impl Layer for Conv1d {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +210,7 @@ mod tests {
     #[test]
     fn identity_kernel_shifts_channels() {
         // One filter picking channel 0 at kernel tap 0.
-        let mut conv = Conv1d::new(0, 4, 2, 1, 2);
+        let mut conv = Conv1d::new(0, 4, 2, 1, 2).unwrap();
         conv.w.w = vec![1.0, 0.0, 0.0, 0.0]; // [f=0][k=0][c=0]=1
         let input = vec![
             1.0, 10.0, // t=0
@@ -189,7 +224,7 @@ mod tests {
 
     #[test]
     fn averaging_kernel() {
-        let mut conv = Conv1d::new(0, 3, 1, 1, 3);
+        let mut conv = Conv1d::new(0, 3, 1, 1, 3).unwrap();
         conv.w.w = vec![1.0 / 3.0; 3];
         conv.b.w = vec![1.0];
         let out = conv.forward(&[3.0, 6.0, 9.0]);
@@ -199,7 +234,7 @@ mod tests {
     #[test]
     fn shapes_and_counts_match_paper_branch() {
         // The paper's 400 ms branch: 40×3 input, 16 filters, kernel 5.
-        let conv = Conv1d::new(0, 40, 3, 16, 5);
+        let conv = Conv1d::new(0, 40, 3, 16, 5).unwrap();
         assert_eq!(conv.input_len(), 120);
         assert_eq!(conv.out_time(), 36);
         assert_eq!(conv.output_len(), 576);
@@ -209,22 +244,36 @@ mod tests {
 
     #[test]
     fn gradient_check() {
-        let mut conv = Conv1d::new(0, 6, 2, 3, 3);
+        let mut conv = Conv1d::new(0, 6, 2, 3, 3).unwrap();
         conv.init_weights(&mut InitRng::new(5));
         let input: Vec<f32> = (0..12).map(|i| (i as f32 * 0.7).sin()).collect();
         check_layer(&mut conv, &input, 2e-2);
     }
 
     #[test]
-    #[should_panic(expected = "kernel")]
-    fn rejects_kernel_longer_than_time() {
-        let _ = Conv1d::new(0, 3, 1, 1, 5);
+    fn rejects_bad_dimensions_with_errors() {
+        let err = Conv1d::new(0, 3, 1, 1, 5).unwrap_err();
+        assert!(
+            matches!(&err, NnError::InvalidLayer { layer, reason }
+                if *layer == "conv1d" && reason.contains("kernel 5 exceeds time 3")),
+            "unexpected error: {err}"
+        );
+        for (time, in_ch, filters, kernel) in
+            [(0, 1, 1, 1), (3, 0, 1, 1), (3, 1, 0, 1), (3, 1, 1, 0)]
+        {
+            let err = Conv1d::new(0, time, in_ch, filters, kernel).unwrap_err();
+            assert!(
+                matches!(&err, NnError::InvalidLayer { reason, .. }
+                    if reason.contains("positive")),
+                "unexpected error: {err}"
+            );
+        }
     }
 
     #[test]
     #[should_panic(expected = "conv1d input length")]
     fn rejects_wrong_input_len() {
-        let mut conv = Conv1d::new(0, 4, 2, 1, 2);
+        let mut conv = Conv1d::new(0, 4, 2, 1, 2).unwrap();
         let _ = conv.forward(&[0.0; 7]);
     }
 }

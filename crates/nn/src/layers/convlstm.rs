@@ -16,7 +16,7 @@ use crate::param::Param;
 
 /// A convolutional LSTM over a `[T × S]` sequence (spatial length `S`,
 /// one input channel), with `F` filters and odd kernel `K`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ConvLstm {
     time: usize,
     /// Spatial length (the 9 sensor channels).
@@ -32,7 +32,7 @@ pub struct ConvLstm {
     cache: Option<Cache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Cache {
     xs: Vec<f32>,
     /// Activated gates per step `[T × 4 × S × F]`.
@@ -290,6 +290,10 @@ impl Layer for ConvLstm {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

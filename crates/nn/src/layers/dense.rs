@@ -7,7 +7,7 @@ use crate::param::Param;
 /// A fully connected (dense) layer: `y = W·x + b`.
 ///
 /// Weights are stored row-major `[out × in]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     in_len: usize,
     out_len: usize,
@@ -131,6 +131,10 @@ impl Layer for Dense {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -11,7 +11,7 @@ use crate::param::Param;
 /// Gate order in all stacked buffers: input `i`, forget `f`, candidate
 /// `g`, output `o`. The forget-gate bias is initialised to 1, the usual
 /// trick that stabilises early training.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Lstm {
     time: usize,
     in_ch: usize,
@@ -25,7 +25,7 @@ pub struct Lstm {
     cache: Option<Cache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Cache {
     xs: Vec<f32>,
     /// Per step: gates after nonlinearity `[T × 4H]`.
@@ -240,6 +240,10 @@ impl Layer for Lstm {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

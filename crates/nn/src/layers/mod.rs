@@ -13,6 +13,7 @@ mod lstm;
 mod pool;
 mod split;
 
+pub(crate) use activation::sigmoid as scalar_sigmoid;
 pub use activation::{Relu, Sigmoid};
 pub use conv::Conv1d;
 pub use convlstm::ConvLstm;
@@ -82,6 +83,17 @@ pub trait Layer: std::fmt::Debug + Send {
 
     /// Mutable dynamic-typing hook for the quantizer's calibration pass.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Deep-copies the layer behind the trait object. Enables
+    /// `Network: Clone`, which the parallel trainer uses to give each
+    /// worker its own forward/backward caches.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Numerical gradient checking helper shared by the layer tests.

@@ -5,7 +5,7 @@ use crate::param::Param;
 
 /// Max pooling over time: input `[T × C]`, output `[⌊T/p⌋ × C]`,
 /// non-overlapping windows of `p` steps per channel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool1d {
     time: usize,
     ch: usize,
@@ -108,6 +108,10 @@ impl Layer for MaxPool1d {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

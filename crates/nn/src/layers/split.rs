@@ -11,7 +11,7 @@ use crate::param::Param;
 
 /// One branch of a [`SplitConcat`]: a channel selection plus a stack of
 /// layers applied to the gathered `[T × |channels|]` sub-matrix.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Branch {
     channels: Vec<usize>,
     layers: Vec<Box<dyn Layer>>,
@@ -64,7 +64,7 @@ impl Branch {
 
 /// Splits `[T × C]` input into channel groups, runs one sub-network per
 /// group, and concatenates the flattened outputs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SplitConcat {
     time: usize,
     in_ch: usize,
@@ -223,6 +223,10 @@ impl Layer for SplitConcat {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +240,7 @@ mod tests {
         // layer; branch B takes channel 2 through conv+pool.
         let mut d = Dense::new(0, 8, 3);
         d.init_weights(&mut InitRng::new(1));
-        let mut c = Conv1d::new(1, 4, 1, 2, 2);
+        let mut c = Conv1d::new(1, 4, 1, 2, 2).unwrap();
         c.init_weights(&mut InitRng::new(2));
         let p = MaxPool1d::new(3, 2, 3);
         SplitConcat::new(
@@ -292,7 +296,7 @@ mod tests {
     fn paper_three_branch_architecture_shapes() {
         // n = 40 (400 ms), three n×3 branches, Conv1D(16, k=5) + MaxPool(2).
         let mk_branch = |idx: usize, sel: Vec<usize>| {
-            let conv = Conv1d::new(idx, 40, 3, 16, 5);
+            let conv = Conv1d::new(idx, 40, 3, 16, 5).unwrap();
             let relu = Relu::new(36 * 16);
             let pool = MaxPool1d::new(36, 16, 2);
             Branch::new(

@@ -39,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod network;
@@ -47,6 +48,7 @@ pub mod param;
 pub mod quant;
 pub mod serialize;
 pub mod train;
+pub mod workspace;
 
 mod error;
 

@@ -24,7 +24,7 @@ pub struct BranchStat {
 }
 
 impl BranchStat {
-    fn from_slice(xs: &[f32]) -> Self {
+    pub(crate) fn from_slice(xs: &[f32]) -> Self {
         let mut sq = 0.0f32;
         let mut abs = 0.0f32;
         let mut peak = 0.0f32;
@@ -79,7 +79,7 @@ impl BranchStat {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Network {
     layers: Vec<Box<dyn Layer>>,
     input_shape: Vec<usize>,
@@ -372,7 +372,7 @@ impl NetworkBuilder {
             });
         }
         let idx = self.bump();
-        let layer = Conv1d::new(idx, t, c, filters, kernel);
+        let layer = Conv1d::new(idx, t, c, filters, kernel)?;
         self.shape = vec![layer.out_time(), filters];
         self.layers.push(Box::new(layer));
         Ok(self)

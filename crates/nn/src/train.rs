@@ -8,8 +8,10 @@ use crate::loss::WeightedBce;
 use crate::network::Network;
 use crate::optim::{Optimizer, OptimizerKind};
 use crate::NnError;
+use prefall_par::Pool;
 use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -182,6 +184,27 @@ pub fn train_recorded(
         rec.gauge_set("train.params", net.param_count() as f64);
     }
 
+    // Parallel mini-batch gradient accumulation. The slot machinery is
+    // used at every thread count: each sample's gradient lands in its
+    // own per-sample slot and the slots are folded into the master
+    // network in sample order, so the trained weights are identical no
+    // matter how many workers ran (`PREFALL_THREADS=1,2,8` agree
+    // bit-for-bit).
+    let pool = Pool::from_env();
+    let mut flat_params = 0usize;
+    net.visit_params(&mut |p| flat_params += p.w.len());
+    let max_batch = config.batch_size.min(train_data.len());
+    let replica_count = pool.threads().min(max_batch).max(1);
+    let replicas: Mutex<Vec<Network>> =
+        Mutex::new((0..replica_count).map(|_| net.clone()).collect());
+    let grad_slots: Vec<Mutex<Vec<f32>>> = (0..max_batch)
+        .map(|_| Mutex::new(vec![0.0f32; flat_params]))
+        .collect();
+    let mut flat_w = vec![0.0f32; flat_params];
+    if rec.enabled() {
+        rec.gauge_set("train.threads", pool.threads() as f64);
+    }
+
     let mut optimizer = Optimizer::new(config.optimizer, config.learning_rate);
     let mut history = Vec::with_capacity(config.epochs);
     let mut best_val = f32::INFINITY;
@@ -196,17 +219,70 @@ pub fn train_recorded(
         let mut epoch_loss = 0.0f64;
 
         for batch in order.chunks(config.batch_size) {
-            net.zero_grads();
-            for &i in batch {
-                let logit = net.forward(&train_data.x[i])[0];
-                let y = train_data.y[i];
-                epoch_loss += f64::from(loss.loss(logit, y));
+            // Fan the batch's forward/backward passes out over the
+            // pool; each worker borrows a replica network for its
+            // caches and writes the per-sample gradient into that
+            // sample's slot.
+            let losses = pool.map(batch, |bi, &si| {
+                let mut replica = replicas
+                    .lock()
+                    .expect("replica stack poisoned")
+                    .pop()
+                    .expect("one replica per concurrent worker");
+                replica.zero_grads();
+                let logit = replica.forward(&train_data.x[si])[0];
+                let y = train_data.y[si];
                 let dl = loss.dloss_dlogit(logit, y);
-                let _ = net.backward(&[dl]);
+                let _ = replica.backward(&[dl]);
+                let mut slot = grad_slots[bi].lock().expect("grad slot poisoned");
+                let mut off = 0usize;
+                replica.visit_params(&mut |p| {
+                    let n = p.g.len();
+                    slot[off..off + n].copy_from_slice(&p.g);
+                    off += n;
+                });
+                drop(slot);
+                replicas
+                    .lock()
+                    .expect("replica stack poisoned")
+                    .push(replica);
+                f64::from(loss.loss(logit, y))
+            });
+            // Fold losses and gradients in sample order, exactly as the
+            // serial loop would have visited them.
+            for l in losses {
+                epoch_loss += l;
+            }
+            net.zero_grads();
+            for slot in grad_slots.iter().take(batch.len()) {
+                let slot = slot.lock().expect("grad slot poisoned");
+                let mut off = 0usize;
+                net.visit_params(&mut |p| {
+                    let n = p.g.len();
+                    for (g, s) in p.g.iter_mut().zip(&slot[off..off + n]) {
+                        *g += s;
+                    }
+                    off += n;
+                });
             }
             net.scale_grads(1.0 / batch.len() as f32);
             optimizer.begin_step();
             net.visit_params(&mut |p| optimizer.step(p));
+            // Push the stepped weights back out to every replica.
+            let mut off = 0usize;
+            net.visit_params(&mut |p| {
+                let n = p.w.len();
+                flat_w[off..off + n].copy_from_slice(&p.w);
+                off += n;
+            });
+            for replica in replicas.lock().expect("replica stack poisoned").iter_mut() {
+                let mut off = 0usize;
+                replica.visit_params(&mut |p| {
+                    let n = p.w.len();
+                    p.w.copy_from_slice(&flat_w[off..off + n]);
+                    off += n;
+                });
+            }
         }
         let train_loss = (epoch_loss / train_data.len() as f64) as f32;
 
@@ -262,6 +338,7 @@ pub fn train_recorded(
     if let Some(snap) = best_snapshot {
         net.restore(&snap);
     }
+    pool.publish(rec);
 
     Ok(TrainReport {
         epochs_run: history.len(),
@@ -525,6 +602,44 @@ mod tests {
             .train_loss
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trained_weights_are_identical_for_any_thread_count() {
+        let (xs, ys) = toy_data(64, 21);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            learning_rate: 0.01,
+            optimizer: OptimizerKind::Adam,
+            patience: None,
+            seed: 4,
+        };
+        let run = |threads: usize| {
+            std::env::set_var(prefall_par::THREADS_ENV, threads.to_string());
+            let mut net = Network::builder(vec![2])
+                .dense(6)
+                .unwrap()
+                .relu()
+                .dense(1)
+                .unwrap()
+                .build(13);
+            train(
+                &mut net,
+                DataRef::new(&xs, &ys),
+                None,
+                WeightedBce::unweighted(),
+                &cfg,
+            )
+            .unwrap();
+            std::env::remove_var(prefall_par::THREADS_ENV);
+            let mut bits = Vec::new();
+            net.visit_params(&mut |p| bits.extend(p.w.iter().map(|w| w.to_bits())));
+            bits
+        };
+        let w1 = run(1);
+        assert_eq!(w1, run(2), "2 threads diverged from 1");
+        assert_eq!(w1, run(8), "8 threads diverged from 1");
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! # prefall-par — deterministic fork-join parallelism
+//!
+//! A zero-dependency scoped worker pool built on [`std::thread::scope`].
+//! The build is offline, so there is no rayon here: this crate provides
+//! the small slice of it the workspace needs — a fork-join [`Pool::map`]
+//! and [`Pool::reduce`] with three hard guarantees:
+//!
+//! 1. **Determinism** — results are collected in input-index order, so a
+//!    `map` over independent items returns exactly what the serial loop
+//!    would. Callers that fold worker outputs in index order get
+//!    bit-identical results for any thread count (including 1).
+//! 2. **Panic propagation** — a panic inside a task halts the pool and
+//!    is re-raised on the calling thread with its original payload.
+//! 3. **Bounded workers** — a process-wide budget caps the number of
+//!    live extra workers, so nested `map` calls (experiment cells →
+//!    CV folds → gradient batches) degrade to inline execution instead
+//!    of oversubscribing the machine.
+//!
+//! Thread count resolution: explicit [`Pool::new`] wins, otherwise the
+//! `PREFALL_THREADS` environment variable, otherwise
+//! [`std::thread::available_parallelism`].
+//!
+//! Pool activity (tasks run, tasks stolen by spawned workers, worker
+//! idle time) is tracked in [`PoolStats`] and can be published as
+//! `par.*` telemetry counters via [`Pool::publish`], which the
+//! `prefall-obsd` `/metrics` and `/snapshot` endpoints then expose with
+//! no extra wiring.
+
+#![forbid(unsafe_code)]
+
+use prefall_telemetry::Recorder;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Environment variable overriding the worker count for pools created
+/// with [`Pool::from_env`] / [`Pool::with_override`].
+pub const THREADS_ENV: &str = "PREFALL_THREADS";
+
+/// Upper bound on configured threads; values above this are clamped.
+const MAX_THREADS: usize = 1024;
+
+/// Process-wide count of currently live *extra* workers (beyond the
+/// calling threads). Nested `map` calls observe workers reserved by
+/// their ancestors and fall back to inline execution when the budget
+/// is spent, which keeps cells × folds × batches from multiplying.
+static EXTRA_WORKERS_LIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Parses `PREFALL_THREADS`; `None` when unset, empty, zero, or not a
+/// number (the pool then falls back to the machine's parallelism).
+pub fn env_threads() -> Option<usize> {
+    let raw = std::env::var(THREADS_ENV).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n.min(MAX_THREADS)),
+        _ => None,
+    }
+}
+
+fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Cumulative activity counters for one [`Pool`].
+///
+/// All counters are monotone; [`Pool::publish`] emits deltas since the
+/// previous publish so repeated calls never double-count.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    maps: AtomicU64,
+    maps_inline: AtomicU64,
+    tasks: AtomicU64,
+    tasks_stolen: AtomicU64,
+    workers_spawned: AtomicU64,
+    idle_nanos: AtomicU64,
+    // High-water marks of what has already been published.
+    pub_maps: AtomicU64,
+    pub_maps_inline: AtomicU64,
+    pub_tasks: AtomicU64,
+    pub_tasks_stolen: AtomicU64,
+    pub_workers_spawned: AtomicU64,
+    pub_idle_nanos: AtomicU64,
+}
+
+/// Point-in-time copy of a pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Fork-join sections executed (parallel or inline).
+    pub maps: u64,
+    /// Fork-join sections that ran entirely on the calling thread
+    /// (single item, one configured thread, or budget exhausted).
+    pub maps_inline: u64,
+    /// Total tasks executed.
+    pub tasks: u64,
+    /// Tasks executed by spawned workers rather than the caller.
+    pub tasks_stolen: u64,
+    /// Worker threads spawned over the pool's lifetime.
+    pub workers_spawned: u64,
+    /// Nanoseconds spawned workers spent not running a task (wall time
+    /// minus busy time, summed over workers).
+    pub idle_nanos: u64,
+}
+
+impl PoolStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            maps: self.maps.load(Ordering::Relaxed),
+            maps_inline: self.maps_inline.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            idle_nanos: self.idle_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Releases reserved budget even when a task panics.
+struct BudgetGuard(usize);
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            EXTRA_WORKERS_LIVE.fetch_sub(self.0, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A fork-join worker pool. Creating one is cheap: threads are scoped
+/// to each [`Pool::map`] call, so an idle pool holds no OS resources.
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+    stats: PoolStats,
+}
+
+impl Pool {
+    /// A pool that uses up to `threads` threads per `map` (the caller
+    /// plus `threads - 1` spawned workers). Zero is treated as one.
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.clamp(1, MAX_THREADS),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// A pool sized from `PREFALL_THREADS`, falling back to the
+    /// machine's available parallelism.
+    pub fn from_env() -> Self {
+        Self::new(env_threads().unwrap_or_else(machine_threads))
+    }
+
+    /// A pool sized from an explicit override when present, otherwise
+    /// as [`Pool::from_env`].
+    pub fn with_override(threads: Option<usize>) -> Self {
+        match threads {
+            Some(n) => Self::new(n),
+            None => Self::from_env(),
+        }
+    }
+
+    /// Threads this pool may use per `map`, including the caller.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Emits counter deltas since the last publish as `par.*` counters.
+    pub fn publish(&self, rec: &dyn Recorder) {
+        if !rec.enabled() {
+            return;
+        }
+        let pairs: [(&str, &AtomicU64, &AtomicU64); 6] = [
+            ("par.maps", &self.stats.maps, &self.stats.pub_maps),
+            (
+                "par.maps_inline",
+                &self.stats.maps_inline,
+                &self.stats.pub_maps_inline,
+            ),
+            ("par.tasks", &self.stats.tasks, &self.stats.pub_tasks),
+            (
+                "par.tasks_stolen",
+                &self.stats.tasks_stolen,
+                &self.stats.pub_tasks_stolen,
+            ),
+            (
+                "par.workers_spawned",
+                &self.stats.workers_spawned,
+                &self.stats.pub_workers_spawned,
+            ),
+            (
+                "par.idle_nanos",
+                &self.stats.idle_nanos,
+                &self.stats.pub_idle_nanos,
+            ),
+        ];
+        for (name, cur, published) in pairs {
+            let now = cur.load(Ordering::Relaxed);
+            let prev = published.swap(now, Ordering::Relaxed);
+            let delta = now.saturating_sub(prev);
+            if delta > 0 {
+                rec.counter_add(name, delta);
+            }
+        }
+    }
+
+    /// Tries to reserve up to `desired` extra workers from the global
+    /// budget, bounded by this pool's own `threads - 1`.
+    fn acquire_extra(&self, desired: usize) -> BudgetGuard {
+        let cap = self.threads.saturating_sub(1);
+        let want = desired.min(cap);
+        if want == 0 {
+            return BudgetGuard(0);
+        }
+        let mut live = EXTRA_WORKERS_LIVE.load(Ordering::Acquire);
+        loop {
+            let avail = cap.saturating_sub(live);
+            let grant = want.min(avail);
+            if grant == 0 {
+                return BudgetGuard(0);
+            }
+            match EXTRA_WORKERS_LIVE.compare_exchange_weak(
+                live,
+                live + grant,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return BudgetGuard(grant),
+                Err(seen) => live = seen,
+            }
+        }
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**. `f` receives the item index and a reference to the item.
+    ///
+    /// Execution order across workers is nondeterministic, but because
+    /// each task depends only on its own input and results are placed
+    /// by index, the returned vector is identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic on the calling thread after all
+    /// workers have stopped.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.stats.maps.fetch_add(1, Ordering::Relaxed);
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let guard = if n > 1 {
+            self.acquire_extra(n - 1)
+        } else {
+            BudgetGuard(0)
+        };
+        let extra = guard.0;
+        self.stats.tasks.fetch_add(n as u64, Ordering::Relaxed);
+        if extra == 0 {
+            self.stats.maps_inline.fetch_add(1, Ordering::Relaxed);
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        self.stats
+            .workers_spawned
+            .fetch_add(extra as u64, Ordering::Relaxed);
+
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let halt = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+        let run = |stolen: bool| -> u64 {
+            let mut busy_nanos = 0u64;
+            loop {
+                if halt.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let started = Instant::now();
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                busy_nanos += started.elapsed().as_nanos() as u64;
+                match out {
+                    Ok(r) => {
+                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                        if stolen {
+                            self.stats.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(payload) => {
+                        let mut slot = panic_payload.lock().expect("panic slot poisoned");
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        halt.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            busy_nanos
+        };
+
+        std::thread::scope(|s| {
+            for _ in 0..extra {
+                s.spawn(|| {
+                    let started = Instant::now();
+                    let busy = run(true);
+                    let wall = started.elapsed().as_nanos() as u64;
+                    self.stats
+                        .idle_nanos
+                        .fetch_add(wall.saturating_sub(busy), Ordering::Relaxed);
+                });
+            }
+            run(false);
+        });
+        drop(guard);
+
+        if let Some(payload) = panic_payload.lock().expect("panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task must have produced a result")
+            })
+            .collect()
+    }
+
+    /// Maps every item and folds the results **in input-index order**.
+    /// Because the fold is sequential over an index-ordered vector, the
+    /// reduction is bit-identical to the serial loop whenever `fold`
+    /// itself is deterministic — even for non-associative float math.
+    pub fn reduce<T, R, F, G>(&self, items: &[T], map_fn: F, fold: G) -> Option<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        G: FnMut(R, R) -> R,
+    {
+        self.map(items, map_fn).into_iter().reduce(fold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..257).collect();
+        let got = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3 + 1
+        });
+        let want: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_matches_serial_for_any_thread_count() {
+        let items: Vec<f32> = (0..100).map(|i| i as f32 * 0.37).collect();
+        let serial: Vec<f32> = items.iter().map(|x| x.sin() * x).collect();
+        for threads in [1, 2, 8] {
+            let got = Pool::new(threads).map(&items, |_, x| x.sin() * x);
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_folds_in_index_order() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..10).collect();
+        let got = pool
+            .reduce(&items, |_, &x| x.to_string(), |a, b| a + "," + &b)
+            .unwrap();
+        assert_eq!(got, "0,1,2,3,4,5,6,7,8,9");
+        assert!(pool
+            .reduce(&[] as &[usize], |_, &x| x, |a, b| a + b)
+            .is_none());
+    }
+
+    #[test]
+    fn panic_propagates_with_original_payload() {
+        let pool = Pool::new(2);
+        let items: Vec<usize> = (0..16).collect();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == 3 {
+                    panic!("task 3 exploded");
+                }
+                x
+            });
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("task 3 exploded"), "payload lost: {msg:?}");
+
+        // The budget guard released its reservation on the panic path,
+        // so a fresh map can go parallel again.
+        let before = pool.stats().workers_spawned;
+        let got = pool.map(&items, |_, &x| x + 1);
+        assert_eq!(got[15], 16);
+        assert!(pool.stats().workers_spawned > before);
+    }
+
+    #[test]
+    fn nested_maps_fall_back_to_inline() {
+        let outer = Pool::new(2);
+        let items: Vec<usize> = (0..4).collect();
+        let got = outer.map(&items, |_, &x| {
+            let inner = Pool::new(8);
+            let inner_items: Vec<usize> = (0..8).collect();
+            let inner_got = inner.map(&inner_items, |_, &y| y * 10 + x);
+            assert_eq!(inner_items.len(), inner_got.len());
+            inner_got.into_iter().sum::<usize>()
+        });
+        let want: Vec<usize> = items
+            .iter()
+            .map(|&x| (0..8).map(|y| y * 10 + x).sum())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stats_count_tasks_and_inline_maps() {
+        let pool = Pool::new(1);
+        let items = [1, 2, 3];
+        let _ = pool.map(&items, |_, &x| x);
+        let s = pool.stats();
+        assert_eq!(s.maps, 1);
+        assert_eq!(s.maps_inline, 1);
+        assert_eq!(s.tasks, 3);
+        assert_eq!(s.tasks_stolen, 0);
+        assert_eq!(s.workers_spawned, 0);
+    }
+
+    #[test]
+    fn publish_emits_deltas_not_totals() {
+        #[derive(Debug, Default)]
+        struct CaptureRec(Mutex<Vec<(String, u64)>>);
+        impl Recorder for CaptureRec {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn counter_add(&self, name: &str, value: u64) {
+                self.0.lock().unwrap().push((name.to_owned(), value));
+            }
+            fn gauge_set(&self, _: &str, _: f64) {}
+            fn observe(&self, _: &str, _: f64) {}
+            fn event(&self, _: &str, _: &[(&str, prefall_telemetry::Value<'_>)]) {}
+        }
+        let pool = Pool::new(1);
+        let rec = CaptureRec::default();
+        let _ = pool.map(&[1, 2], |_, &x| x);
+        pool.publish(&rec);
+        let first: Vec<_> = rec.0.lock().unwrap().drain(..).collect();
+        assert!(first.contains(&("par.tasks".to_owned(), 2)));
+        let _ = pool.map(&[1], |_, &x| x);
+        pool.publish(&rec);
+        let second: Vec<_> = rec.0.lock().unwrap().drain(..).collect();
+        assert!(second.contains(&("par.tasks".to_owned(), 1)), "{second:?}");
+    }
+
+    #[test]
+    fn env_override_controls_from_env() {
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Pool::from_env().threads(), 3);
+        assert_eq!(Pool::with_override(Some(7)).threads(), 7);
+        assert_eq!(Pool::with_override(None).threads(), 3);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(Pool::from_env().threads() >= 1);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(Pool::from_env().threads() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(Pool::from_env().threads() >= 1);
+    }
+}

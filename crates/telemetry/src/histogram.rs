@@ -237,6 +237,11 @@ impl Histogram {
     }
 
     /// Number of observations.
+    /// The bucket upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
     pub fn count(&self) -> u64 {
         self.count
     }

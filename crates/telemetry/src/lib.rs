@@ -116,6 +116,26 @@ pub trait Recorder: Send + Sync + Debug {
 
     /// Emits a structured event.
     fn event(&self, name: &str, fields: &[(&str, Value<'_>)]);
+
+    /// Folds a frozen [`Snapshot`] into this recorder. Parallel workers
+    /// aggregate into private [`Registry`] instances and the fork-join
+    /// caller merges the per-worker snapshots back, in a deterministic
+    /// order, through this method.
+    ///
+    /// The default implementation replays counters and gauges through
+    /// the normal recording interface and **drops histograms** (their
+    /// individual observations are gone, so they cannot be replayed).
+    /// [`Registry`] overrides this with a full merge that preserves
+    /// histogram distributions; [`FanoutRecorder`] forwards to every
+    /// sink.
+    fn merge_snapshot(&self, snap: &Snapshot) {
+        for (name, delta) in &snap.counters {
+            self.counter_add(name, *delta);
+        }
+        for (name, value) in &snap.gauges {
+            self.gauge_set(name, *value);
+        }
+    }
 }
 
 /// The always-disabled recorder: every method is a no-op and
@@ -137,6 +157,8 @@ impl Recorder for NoopRecorder {
     fn observe(&self, _name: &str, _value: f64) {}
     #[inline]
     fn event(&self, _name: &str, _fields: &[(&str, Value<'_>)]) {}
+    #[inline]
+    fn merge_snapshot(&self, _snap: &Snapshot) {}
 }
 
 /// The shared no-op recorder, for defaulting `Arc<dyn Recorder>` fields
@@ -286,6 +308,11 @@ impl Recorder for FanoutRecorder {
     fn event(&self, name: &str, fields: &[(&str, Value<'_>)]) {
         for s in &self.sinks {
             s.event(name, fields);
+        }
+    }
+    fn merge_snapshot(&self, snap: &Snapshot) {
+        for s in &self.sinks {
+            s.merge_snapshot(snap);
         }
     }
 }

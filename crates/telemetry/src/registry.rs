@@ -16,6 +16,12 @@ struct Inner {
     /// latency default, keyed by metric name (must be registered before
     /// the first observation).
     layouts: BTreeMap<String, Vec<f64>>,
+    /// Histogram state absorbed from other registries via
+    /// [`Recorder::merge_snapshot`]. Live P² histograms cannot ingest a
+    /// frozen snapshot observation-by-observation, so merged-in
+    /// distributions are kept here and folded into [`Registry::snapshot`]
+    /// output bucket-wise.
+    absorbed: BTreeMap<String, HistogramSnapshot>,
     /// Structured events, in arrival order (name, fields).
     events: Vec<(String, Vec<(String, OwnedValue)>)>,
 }
@@ -80,14 +86,29 @@ impl Registry {
     /// snapshot — drain them with [`Registry::take_events`]).
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock().expect("registry poisoned");
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        for (k, h) in &inner.absorbed {
+            match histograms.get(k) {
+                Some(live) if live.bounds == h.bounds => {
+                    let merged = live.merge(h);
+                    histograms.insert(k.clone(), merged);
+                }
+                // Layout drifted after absorption: keep the live view
+                // rather than panic inside a telemetry read.
+                Some(_) => {}
+                None => {
+                    histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
         Snapshot {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(k, h)| (k.clone(), h.snapshot()))
-                .collect(),
+            histograms,
         }
     }
 
@@ -148,6 +169,41 @@ impl Recorder for Registry {
             .expect("registry poisoned")
             .events
             .push((name.to_string(), owned));
+    }
+
+    /// Full merge: counters add into live counters, gauges overwrite,
+    /// histogram snapshots accumulate in the absorbed side-table (and
+    /// appear merged in subsequent [`Registry::snapshot`] calls).
+    ///
+    /// An incoming histogram whose bucket layout differs from the state
+    /// already held under the same name is skipped — distributions over
+    /// different bucket schemes cannot be combined meaningfully and
+    /// [`HistogramSnapshot::merge`] would panic.
+    fn merge_snapshot(&self, snap: &Snapshot) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        for (name, delta) in &snap.counters {
+            *inner.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &snap.gauges {
+            inner.gauges.insert(name.clone(), *value);
+        }
+        for (name, h) in &snap.histograms {
+            if let Some(live) = inner.histograms.get(name) {
+                if live.bounds() != h.bounds.as_slice() {
+                    continue;
+                }
+            }
+            match inner.absorbed.get(name) {
+                Some(mine) if mine.bounds == h.bounds => {
+                    let merged = mine.merge(h);
+                    inner.absorbed.insert(name.clone(), merged);
+                }
+                Some(_) => {}
+                None => {
+                    inner.absorbed.insert(name.clone(), h.clone());
+                }
+            }
+        }
     }
 }
 
@@ -284,6 +340,67 @@ mod tests {
         let ab = a.snapshot().merge(&b.snapshot());
         let ba = b.snapshot().merge(&a.snapshot());
         assert_eq!(ab.counters, ba.counters);
+    }
+
+    #[test]
+    fn merge_snapshot_folds_worker_state_into_live_registry() {
+        let main = Registry::new();
+        main.counter_add("cv.folds", 1);
+        main.observe("fold_seconds", 0.010);
+
+        let worker = Registry::new();
+        worker.counter_add("cv.folds", 2);
+        worker.gauge_set("train.params", 123.0);
+        worker.observe("fold_seconds", 0.020);
+        worker.observe("fold_seconds", 0.030);
+
+        main.merge_snapshot(&worker.snapshot());
+        let snap = main.snapshot();
+        assert_eq!(snap.counters["cv.folds"], 3);
+        assert_eq!(snap.gauges["train.params"], 123.0);
+        assert_eq!(snap.histograms["fold_seconds"].count, 3);
+
+        // Merging via the registry equals merging the frozen snapshots.
+        let a = Registry::new();
+        a.counter_add("cv.folds", 1);
+        a.observe("fold_seconds", 0.010);
+        let by_snapshot = a.snapshot().merge(&worker.snapshot());
+        assert_eq!(snap, by_snapshot);
+
+        // Live observations continue to land on top of absorbed state.
+        main.observe("fold_seconds", 0.040);
+        assert_eq!(main.snapshot().histograms["fold_seconds"].count, 4);
+    }
+
+    #[test]
+    fn merge_snapshot_skips_mismatched_histogram_layouts() {
+        let main = Registry::new();
+        main.register_histogram("h", vec![1.0, 2.0]);
+        main.observe("h", 1.5);
+
+        let worker = Registry::new();
+        worker.register_histogram("h", vec![10.0, 20.0, 30.0]);
+        worker.observe("h", 15.0);
+
+        main.merge_snapshot(&worker.snapshot());
+        let snap = main.snapshot();
+        assert_eq!(snap.histograms["h"].count, 1, "mismatched layout dropped");
+        assert_eq!(snap.histograms["h"].bounds, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn default_merge_snapshot_replays_counters_and_gauges() {
+        use crate::FanoutRecorder;
+        use std::sync::Arc;
+        let a = Arc::new(Registry::new());
+        let fan = FanoutRecorder::new(vec![a.clone()]);
+        let worker = Registry::new();
+        worker.counter_add("c", 5);
+        worker.gauge_set("g", 2.5);
+        fan.merge_snapshot(&worker.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.gauges["g"], 2.5);
     }
 
     #[test]

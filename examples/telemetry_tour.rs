@@ -75,6 +75,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     print!("{}", summary::render(&run_registry.snapshot()));
 
+    // 3b. That experiment fanned its grid cells and CV folds out over
+    //     the `prefall-par` worker pool, and each task recorded into a
+    //     *private* registry: counters, gauges and histograms are
+    //     merged back into the outer recorder in task-index order when
+    //     the task joins (only events stream live), so the snapshot
+    //     above is deterministic for any PREFALL_THREADS — the same
+    //     associative Snapshot::merge from section 2, applied
+    //     automatically. The pool and the preprocessing cache publish
+    //     their own counters into the same snapshot:
+    println!("\n== 3b. per-worker telemetry, merged after join ==");
+    let snap = run_registry.snapshot();
+    for key in [
+        "par.maps",
+        "par.tasks",
+        "par.workers_spawned",
+        "cache.hits",
+        "cache.misses",
+        "cv.folds",
+    ] {
+        if let Some(v) = snap.counters.get(key) {
+            println!("  {key:<22} {v}");
+        }
+    }
+    println!("  (results are bit-identical for any worker count — crates/core/tests/thread_determinism.rs)");
+
     // 4. The JSONL stream round-trips through the bundled parser.
     println!("\n== 4. JSONL event stream ({}) ==", jsonl_path.display());
     let text = std::fs::read_to_string(&jsonl_path)?;

@@ -74,6 +74,33 @@ fn noop_recorder_push_sample_does_not_allocate() {
         "steady-state push_sample with the no-op recorder must not allocate"
     );
 
+    // The classification itself is allocation-free too: inference runs
+    // through the detector-owned workspace (fused conv+ReLU+pool and
+    // buffered dense kernels write into reusable scratch), and the
+    // window is assembled into a reusable segment buffer. Warm up with
+    // one classified window (first use sizes the buffers), then demand
+    // zero allocations across entire hop cycles *including* their
+    // classified windows.
+    let p = det.push_sample([0.01, -0.02, 1.0], [0.0, 0.1, 0.0]);
+    assert!(p.is_some(), "warm-up sample must complete the hop");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut classified = 0;
+    for _ in 0..2 * hop {
+        if det
+            .push_sample([0.01, -0.02, 1.0], [0.0, 0.1, 0.0])
+            .is_some()
+        {
+            classified += 1;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(classified, 2, "two hop cycles classify twice");
+    assert_eq!(
+        after - before,
+        0,
+        "a classified window on the workspace inference path must not allocate"
+    );
+
     // Same claim with the flight recorder armed: the tap path copies
     // fixed-size records into pre-allocated rings, so a steady-state
     // streaming sample still performs zero heap allocations, and a
