@@ -38,7 +38,7 @@ use prefall_core::pipeline::PipelineConfig;
 use prefall_dsp::segment::Overlap;
 use prefall_dsp::stats::Normalizer;
 use prefall_nn::kernels::set_reference_kernels;
-use prefall_telemetry::{Histogram, JsonValue, NoopRecorder, Recorder, Value};
+use prefall_telemetry::{Histogram, JsonValue, NoopRecorder, Recorder, TelemetryEnv, Value};
 use std::time::Instant;
 
 /// The output file; never clobbers `BENCH_telemetry.json`.
@@ -114,18 +114,23 @@ fn run_leg(
     config: &ExperimentConfig,
     threads: usize,
     rec: &dyn Recorder,
-) -> (ExperimentReport, f64) {
+) -> Result<(ExperimentReport, f64), String> {
     let mut cfg = config.clone();
     cfg.threads = Some(threads);
     let start = Instant::now();
-    let report = Experiment::new(cfg).run_recorded(rec).unwrap_or_else(|e| {
-        eprintln!("perf: experiment failed: {e}");
-        std::process::exit(1);
-    });
-    (report, start.elapsed().as_secs_f64())
+    let report = Experiment::new(cfg)
+        .run_recorded(rec)
+        .map_err(|e| format!("experiment failed: {e}"))?;
+    Ok((report, start.elapsed().as_secs_f64()))
 }
 
-fn main() {
+fn real_main() -> Result<(), String> {
+    let quiet = TelemetryEnv::from_env().quiet;
+    let say = |line: String| {
+        if !quiet {
+            println!("{line}");
+        }
+    };
     let (registry, rec) = telemetry_out::bench_recorder();
     let config = grid_config();
     let threads: usize = std::env::var("PREFALL_PERF_THREADS")
@@ -146,9 +151,10 @@ fn main() {
     // dumped snapshot describes only the optimised leg.
     set_reference_kernels(true);
     std::env::set_var("PREFALL_PREPROC_CACHE", "0");
-    let (report_a, serial_wall_s) = run_leg(&config, 1, &NoopRecorder);
+    let serial = run_leg(&config, 1, &NoopRecorder);
     set_reference_kernels(false);
     std::env::remove_var("PREFALL_PREPROC_CACHE");
+    let (report_a, serial_wall_s) = serial?;
 
     // Leg B: blocked/fused kernels, segment cache, worker pool.
     rec.event(
@@ -158,15 +164,15 @@ fn main() {
             ("phase", Value::from("parallel")),
         ],
     );
-    let (report_b, parallel_wall_s) = run_leg(&config, threads, rec.as_ref());
+    let (report_b, parallel_wall_s) = run_leg(&config, threads, rec.as_ref())?;
 
     // The contract that makes the ratio meaningful: same bits out.
     if report_a.cells != report_b.cells {
-        eprintln!(
-            "perf: FAST PATH DIVERGED — optimised run produced different \
-             cells than the reference serial run; refusing to report a speedup"
+        return Err(
+            "FAST PATH DIVERGED — optimised run produced different cells \
+             than the reference serial run; refusing to report a speedup"
+                .to_string(),
         );
-        std::process::exit(1);
     }
 
     let speedup = serial_wall_s / parallel_wall_s;
@@ -206,19 +212,25 @@ fn main() {
     registry.gauge_set("perf.infer_speedup", infer_speedup);
 
     let snap = registry.snapshot();
-    println!("=== perf: fast path vs seed-equivalent serial ===");
-    println!(
+    say("=== perf: fast path vs seed-equivalent serial ===".to_string());
+    say(format!(
         "grid         : {} cells ({} models × {} windows), {} folds, {} epochs",
         report_b.cells.len(),
         config.models.len(),
         config.windows_ms.len(),
         config.cv.folds,
         config.cv.epochs
-    );
-    println!("serial wall  : {serial_wall_s:8.2} s  (reference kernels, no cache, 1 thread)");
-    println!("parallel wall: {parallel_wall_s:8.2} s  (fused kernels, cache, {threads} threads)");
-    println!("speedup      : {speedup:8.2}×  (bit-identical cells — verified)");
-    println!("infer speedup: {infer_speedup:8.2}×  (fused workspace path vs reference, median of medians)");
+    ));
+    say(format!(
+        "serial wall  : {serial_wall_s:8.2} s  (reference kernels, no cache, 1 thread)"
+    ));
+    say(format!(
+        "parallel wall: {parallel_wall_s:8.2} s  (fused kernels, cache, {threads} threads)"
+    ));
+    say(format!(
+        "speedup      : {speedup:8.2}×  (bit-identical cells — verified)"
+    ));
+    say(format!("infer speedup: {infer_speedup:8.2}×  (fused workspace path vs reference, median of medians)"));
     for &window_ms in &[200.0, 300.0, 400.0] {
         let name = format!("detector.infer_w{}_seconds", window_ms as u32);
         let ratio = snap
@@ -227,18 +239,18 @@ fn main() {
             .copied()
             .unwrap_or(f64::NAN);
         if let Some(h) = snap.histograms.get(&name) {
-            println!(
+            say(format!(
                 "infer {window_ms:3.0} ms : {} windows, p50 {:7.1} µs  p95 {:7.1} µs  p99 {:7.1} µs  ({ratio:.2}× vs reference)",
                 h.count,
                 h.p50 * 1e6,
                 h.p95 * 1e6,
                 h.p99 * 1e6
-            );
+            ));
         }
     }
     for key in ["cache.hits", "cache.misses", "par.maps", "par.tasks"] {
         if let Some(v) = snap.counters.get(key) {
-            println!("{key:<13}: {v}");
+            say(format!("{key:<13}: {v}"));
         }
     }
 
@@ -259,4 +271,14 @@ fn main() {
             ),
         ],
     );
+    Ok(())
+}
+
+fn main() {
+    // All telemetry sinks (JSONL recorders flush on drop) live inside
+    // real_main, so an error path still flushes before the exit code.
+    if let Err(e) = real_main() {
+        eprintln!("perf: {e}");
+        std::process::exit(1);
+    }
 }

@@ -197,9 +197,18 @@ impl SegmentCache {
         if rec.enabled() {
             rec.counter_add(if hit { "cache.hits" } else { "cache.misses" }, 1);
         }
+        if hit && prefall_trace::armed() {
+            prefall_trace::instant(crate::tracenames::trace_names().cache_hit);
+        }
         // Compute outside the map lock; racing callers on the same key
-        // block here and share the first result.
-        Arc::clone(cell.get_or_init(|| Arc::new(pipeline.segment_set_recorded(trials, rec))))
+        // block here and share the first result. The fill span only
+        // covers an actual computation — a hit that merely clones the
+        // cached Arc stays span-free.
+        Arc::clone(cell.get_or_init(|| {
+            let _fill_span =
+                prefall_trace::trace_span!(crate::tracenames::trace_names().cache_fill);
+            Arc::new(pipeline.segment_set_recorded(trials, rec))
+        }))
     }
 }
 

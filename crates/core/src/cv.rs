@@ -354,6 +354,7 @@ pub fn run_cv_with_segments(
 
     let pool = Pool::from_env();
     let results = crate::worker::map_recorded(&pool, &splits, rec, |i, split, rec| {
+        let _fold_trace = prefall_trace::trace_span!(crate::tracenames::trace_names().fold);
         let fold_span = Span::enter(rec, "cv.fold_seconds");
         let train_set = full.filter_subjects(&split.train);
         let val_set = full.filter_subjects(&split.val);

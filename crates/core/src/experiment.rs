@@ -335,6 +335,7 @@ impl Experiment {
         let pool = Pool::with_override(self.config.threads);
         let results =
             crate::worker::map_recorded(&pool, &grid, rec, |i, &(model, window_ms), rec| {
+                let _cell_span = prefall_trace::trace_span!(crate::tracenames::trace_names().cell);
                 let started = std::time::Instant::now();
                 rec.event(
                     "experiment.cell_start",

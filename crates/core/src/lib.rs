@@ -71,6 +71,7 @@ pub mod threshold;
 pub mod tuning;
 
 mod error;
+mod tracenames;
 mod worker;
 
 pub use error::CoreError;

@@ -1,0 +1,24 @@
+//! Interned trace span names for the experiment layer. Initialised on
+//! the first *armed* event so the disarmed path never touches the
+//! interner.
+
+use std::sync::OnceLock;
+
+pub(crate) struct TraceNames {
+    pub cell: prefall_trace::NameId,
+    pub fold: prefall_trace::NameId,
+    pub merge: prefall_trace::NameId,
+    pub cache_fill: prefall_trace::NameId,
+    pub cache_hit: prefall_trace::NameId,
+}
+
+pub(crate) fn trace_names() -> &'static TraceNames {
+    static NAMES: OnceLock<TraceNames> = OnceLock::new();
+    NAMES.get_or_init(|| TraceNames {
+        cell: prefall_trace::intern("experiment.cell"),
+        fold: prefall_trace::intern("cv.fold"),
+        merge: prefall_trace::intern("experiment.merge"),
+        cache_fill: prefall_trace::intern("cache.fill"),
+        cache_hit: prefall_trace::intern("cache.hit"),
+    })
+}

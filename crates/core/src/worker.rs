@@ -77,6 +77,7 @@ where
         let r = f(i, item, &wrec);
         (r, wrec.into_snapshot())
     });
+    let _merge_span = prefall_trace::trace_span!(crate::tracenames::trace_names().merge);
     let mut out = Vec::with_capacity(results.len());
     for (r, snap) in results {
         rec.merge_snapshot(&snap);

@@ -23,6 +23,40 @@
 use crate::kernels;
 use crate::layers::{Conv1d, Dense, Layer, MaxPool1d, Relu, Sigmoid, SplitConcat};
 use crate::network::{BranchStat, Network};
+use std::sync::OnceLock;
+
+/// Interned trace span names for the forward-pass timeline. Initialised
+/// on the first *armed* span (via `trace_span!`'s armed check), so the
+/// disarmed hot path never touches the interner and the armed
+/// steady-state path performs zero allocations per span. Only the
+/// whole-pass `nn.infer` span records in coarse armed mode; per-kernel
+/// spans need `prefall_trace::set_detail(true)` — inside a ~30 µs
+/// forward pass the extra events would otherwise blow the ≤ 3 % armed
+/// overhead budget.
+struct TraceNames {
+    infer: prefall_trace::NameId,
+    split: prefall_trace::NameId,
+    fused: prefall_trace::NameId,
+    dense: prefall_trace::NameId,
+    relu: prefall_trace::NameId,
+    sigmoid: prefall_trace::NameId,
+    maxpool: prefall_trace::NameId,
+    conv: prefall_trace::NameId,
+}
+
+fn trace_names() -> &'static TraceNames {
+    static NAMES: OnceLock<TraceNames> = OnceLock::new();
+    NAMES.get_or_init(|| TraceNames {
+        infer: prefall_trace::intern("nn.infer"),
+        split: prefall_trace::intern("nn.split"),
+        fused: prefall_trace::intern("nn.fused_conv_relu_pool"),
+        dense: prefall_trace::intern("nn.dense"),
+        relu: prefall_trace::intern("nn.relu"),
+        sigmoid: prefall_trace::intern("nn.sigmoid"),
+        maxpool: prefall_trace::intern("nn.maxpool"),
+        conv: prefall_trace::intern("nn.conv"),
+    })
+}
 
 /// Reusable scratch buffers for [`Network::infer_scalar`].
 ///
@@ -77,6 +111,7 @@ fn step(rest: &[Box<dyn Layer>], cur: &[f32], nxt: &mut Vec<f32>) -> Option<usiz
                 && pool.in_time() == conv.out_time()
                 && rest[1].input_len() == conv.output_len()
             {
+                let _span = prefall_trace::trace_detail_span!(trace_names().fused);
                 nxt.resize(rest[2].output_len(), 0.0);
                 kernels::fused_conv_relu_maxpool(
                     cur,
@@ -95,26 +130,31 @@ fn step(rest: &[Box<dyn Layer>], cur: &[f32], nxt: &mut Vec<f32>) -> Option<usiz
     }
     let layer = &rest[0];
     if let Some(d) = layer.as_any().downcast_ref::<Dense>() {
+        let _span = prefall_trace::trace_detail_span!(trace_names().dense);
         nxt.resize(d.out_len(), 0.0);
         kernels::dense_forward(cur, d.weights(), d.biases(), nxt);
         return Some(1);
     }
     if layer.as_any().downcast_ref::<Relu>().is_some() {
+        let _span = prefall_trace::trace_detail_span!(trace_names().relu);
         nxt.clear();
         nxt.extend(cur.iter().map(|&x| x.max(0.0)));
         return Some(1);
     }
     if layer.as_any().downcast_ref::<Sigmoid>().is_some() {
+        let _span = prefall_trace::trace_detail_span!(trace_names().sigmoid);
         nxt.clear();
         nxt.extend(cur.iter().map(|&x| crate::layers::scalar_sigmoid(x)));
         return Some(1);
     }
     if let Some(p) = layer.as_any().downcast_ref::<MaxPool1d>() {
+        let _span = prefall_trace::trace_detail_span!(trace_names().maxpool);
         nxt.resize(p.output_len(), 0.0);
         kernels::maxpool_forward(cur, p.channels(), p.pool(), nxt);
         return Some(1);
     }
     if let Some(conv) = layer.as_any().downcast_ref::<Conv1d>() {
+        let _span = prefall_trace::trace_detail_span!(trace_names().conv);
         nxt.resize(conv.output_len(), 0.0);
         if kernels::reference_kernels() {
             kernels::conv1d_reference(
@@ -223,6 +263,7 @@ impl Network {
             return None;
         }
         assert_eq!(input.len(), self.input_len(), "network input length");
+        let _infer_span = prefall_trace::trace_span!(trace_names().infer);
         let layers = self.layers();
         let Workspace {
             buf_a,
@@ -242,6 +283,7 @@ impl Network {
                 } else {
                     (&*buf_b, &mut *buf_a)
                 };
+                let _split_span = prefall_trace::trace_detail_span!(trace_names().split);
                 nxt.clear();
                 let tap = stats.as_deref().is_some_and(|s| s.is_empty());
                 for (bi, branch) in split.branches().iter().enumerate() {
@@ -381,6 +423,27 @@ mod tests {
         let want = cnn.forward(&x)[0];
         let got = cnn.infer_scalar(&x, &mut ws).expect("supported");
         assert_eq!(want.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn armed_inference_decomposes_into_layer_spans() {
+        let net = cnn_like();
+        let x = wave(net.input_len());
+        let mut ws = Workspace::new();
+        let _ = prefall_trace::drain(); // isolate from other tests
+        prefall_trace::arm(4096);
+        prefall_trace::set_detail(true); // per-kernel spans are opt-in
+        let _ = net.infer_scalar(&x, &mut ws).expect("supported");
+        prefall_trace::disarm();
+        let attr = prefall_trace::drain().attribution();
+        // cnn_like: split(3 × fused conv/relu/pool) → dense → relu → dense.
+        assert!(attr.total("nn.infer").count >= 1);
+        assert!(attr.total("nn.split").count >= 1);
+        assert!(attr.total("nn.fused_conv_relu_pool").count >= 3);
+        assert!(attr.total("nn.dense").count >= 2);
+        // Layer time nests inside the infer span.
+        let infer = attr.total("nn.infer");
+        assert!(infer.self_ns <= infer.total_ns);
     }
 
     #[test]

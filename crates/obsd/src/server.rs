@@ -8,6 +8,7 @@
 //! | `GET /snapshot` | full registry snapshot as JSON, plus derived `guard` / `detector_mode` objects |
 //! | `GET /incidents` | summaries of recent incident dumps (with an [`IncidentSource`] attached) |
 //! | `GET /incidents/{id}` | one full incident dump as JSON |
+//! | `GET /trace` | the most recently drained Chrome trace (with a [`LastTrace`] attached) — save it and open in Perfetto |
 //!
 //! The server deliberately implements only what a scraper needs:
 //! `GET`/`HEAD`, `Connection: close`, `Content-Length` framing. There
@@ -19,6 +20,7 @@ use crate::health::HealthReport;
 use crate::incidents::IncidentSource;
 use crate::prometheus;
 use prefall_telemetry::{JsonValue, Registry, Snapshot};
+use prefall_trace::LastTrace;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -93,6 +95,26 @@ impl MetricsServer {
         config: ServerConfig,
         incidents: Option<Arc<dyn IncidentSource>>,
     ) -> std::io::Result<Self> {
+        Self::start_full(addr, registry, config, incidents, None)
+    }
+
+    /// The fully-wired form: [`MetricsServer::start_with_incidents`]
+    /// plus an optional [`LastTrace`] store. When attached, `/trace`
+    /// serves the most recently drained Chrome trace-event JSON —
+    /// whoever drains (a profile run, the streaming detector's
+    /// supervisor) publishes via [`LastTrace::store`] and any Perfetto
+    /// user pulls it over HTTP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (`EADDRINUSE`, permission, bad address).
+    pub fn start_full(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+        incidents: Option<Arc<dyn IncidentSource>>,
+        trace: Option<Arc<LastTrace>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept so the thread can notice the stop flag
@@ -102,7 +124,7 @@ impl MetricsServer {
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("prefall-obsd".to_string())
-            .spawn(move || serve_loop(listener, registry, config, incidents, thread_stop))
+            .spawn(move || serve_loop(listener, registry, config, incidents, trace, thread_stop))
             .expect("spawn exporter thread");
         Ok(Self {
             addr,
@@ -145,6 +167,7 @@ fn serve_loop(
     registry: Arc<Registry>,
     config: ServerConfig,
     incidents: Option<Arc<dyn IncidentSource>>,
+    trace: Option<Arc<LastTrace>>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::Relaxed) {
@@ -154,7 +177,13 @@ fn serve_loop(
                 // keeps the server single-threaded and unkillable by
                 // thread exhaustion. A stuck client is bounded by the
                 // read/write timeouts.
-                let _ = handle_connection(stream, &registry, &config, incidents.as_deref());
+                let _ = handle_connection(
+                    stream,
+                    &registry,
+                    &config,
+                    incidents.as_deref(),
+                    trace.as_deref(),
+                );
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -169,6 +198,7 @@ fn handle_connection(
     registry: &Registry,
     config: &ServerConfig,
     incidents: Option<&dyn IncidentSource>,
+    trace: Option<&LastTrace>,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -270,11 +300,27 @@ fn handle_connection(
                 ),
             }
         }
+        "/trace" => match trace.and_then(LastTrace::latest) {
+            Some(mut body) => {
+                body.push('\n');
+                (200, "OK", "application/json; charset=utf-8", body)
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                if trace.is_some() {
+                    "no trace drained yet\n".to_string()
+                } else {
+                    "no trace store attached\n".to_string()
+                },
+            ),
+        },
         "/" => (
             200,
             "OK",
             "text/plain; charset=utf-8",
-            "prefall-obsd: /metrics /healthz /snapshot /incidents\n".to_string(),
+            "prefall-obsd: /metrics /healthz /snapshot /incidents /trace\n".to_string(),
         ),
         _ => (
             404,
@@ -526,6 +572,44 @@ mod tests {
         assert_eq!(code, 503);
         assert!(body.contains("\"status\":\"degraded\""), "{body}");
         assert!(body.contains("\"faults_over_budget\":true"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_trace_when_attached_and_404s_otherwise() {
+        let registry = Arc::new(Registry::new());
+        let store = Arc::new(LastTrace::new());
+        let server = MetricsServer::start_full(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+            None,
+            Some(Arc::clone(&store)),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        // Attached but nothing drained yet.
+        let (code, body) = get(addr, "/trace");
+        assert_eq!(code, 404);
+        assert!(body.contains("no trace drained yet"), "{body}");
+
+        store.store("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}".to_string());
+        let (code, body) = get(addr, "/trace");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"traceEvents\""), "{body}");
+        server.shutdown();
+
+        // No store attached at all.
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/trace");
+        assert_eq!(code, 404);
+        assert!(body.contains("no trace store attached"), "{body}");
         server.shutdown();
     }
 

@@ -20,11 +20,20 @@
 //! `PREFALL_THREADS` environment variable, otherwise
 //! [`std::thread::available_parallelism`].
 //!
-//! Pool activity (tasks run, tasks stolen by spawned workers, worker
-//! idle time) is tracked in [`PoolStats`] and can be published as
-//! `par.*` telemetry counters via [`Pool::publish`], which the
-//! `prefall-obsd` `/metrics` and `/snapshot` endpoints then expose with
-//! no extra wiring.
+//! Pool activity (tasks run, tasks stolen by spawned workers, steal
+//! attempts, queue depth, fork-join barrier wait, worker idle time, and
+//! a task-granularity histogram) is tracked in [`PoolStats`] and can be
+//! published as `par.*` telemetry metrics via [`Pool::publish`], which
+//! the `prefall-obsd` `/metrics` and `/snapshot` endpoints then expose
+//! with no extra wiring.
+//!
+//! When `prefall-trace` is armed, every map also writes a timeline:
+//! a `par.map` span on the caller, one `par.task` span per task, a
+//! `par.worker` span per spawned worker, a `par.barrier` span covering
+//! the caller's join wait, and a `par.steal_fail` instant each time a
+//! worker finds the queue empty — which is what the `prefall-profile`
+//! attribution report decomposes into kernel / overhead / idle /
+//! barrier percentages.
 
 #![forbid(unsafe_code)]
 
@@ -32,7 +41,7 @@ use prefall_telemetry::Recorder;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Environment variable overriding the worker count for pools created
@@ -64,6 +73,51 @@ fn machine_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Upper edges (nanoseconds) of the task-granularity histogram buckets;
+/// the last bucket is everything above. Chosen around the regimes that
+/// matter for fork-join overhead: a sub-10 µs task is dominated by pool
+/// bookkeeping, a >10 ms task amortises it completely.
+pub const GRANULARITY_EDGES_NS: [u64; 5] = [10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// Telemetry counter names for the task-granularity buckets, matching
+/// [`GRANULARITY_EDGES_NS`] plus the overflow bucket.
+pub const GRANULARITY_NAMES: [&str; 6] = [
+    "par.tasks_le_10us",
+    "par.tasks_le_100us",
+    "par.tasks_le_1ms",
+    "par.tasks_le_10ms",
+    "par.tasks_le_100ms",
+    "par.tasks_gt_100ms",
+];
+
+fn granularity_bucket(dur_ns: u64) -> usize {
+    GRANULARITY_EDGES_NS
+        .iter()
+        .position(|&edge| dur_ns <= edge)
+        .unwrap_or(GRANULARITY_EDGES_NS.len())
+}
+
+/// Interned trace span names, initialised on the first *armed* event so
+/// the disarmed hot path never touches the interner.
+struct TraceNames {
+    map: prefall_trace::NameId,
+    task: prefall_trace::NameId,
+    worker: prefall_trace::NameId,
+    barrier: prefall_trace::NameId,
+    steal_fail: prefall_trace::NameId,
+}
+
+fn trace_names() -> &'static TraceNames {
+    static NAMES: OnceLock<TraceNames> = OnceLock::new();
+    NAMES.get_or_init(|| TraceNames {
+        map: prefall_trace::intern("par.map"),
+        task: prefall_trace::intern("par.task"),
+        worker: prefall_trace::intern("par.worker"),
+        barrier: prefall_trace::intern("par.barrier"),
+        steal_fail: prefall_trace::intern("par.steal_fail"),
+    })
+}
+
 /// Cumulative activity counters for one [`Pool`].
 ///
 /// All counters are monotone; [`Pool::publish`] emits deltas since the
@@ -74,15 +128,23 @@ pub struct PoolStats {
     maps_inline: AtomicU64,
     tasks: AtomicU64,
     tasks_stolen: AtomicU64,
+    steal_attempts: AtomicU64,
     workers_spawned: AtomicU64,
     idle_nanos: AtomicU64,
+    barrier_nanos: AtomicU64,
+    /// Largest queue depth (items per map) seen since the last publish.
+    queue_depth_hw: AtomicU64,
+    granularity: [AtomicU64; 6],
     // High-water marks of what has already been published.
     pub_maps: AtomicU64,
     pub_maps_inline: AtomicU64,
     pub_tasks: AtomicU64,
     pub_tasks_stolen: AtomicU64,
+    pub_steal_attempts: AtomicU64,
     pub_workers_spawned: AtomicU64,
     pub_idle_nanos: AtomicU64,
+    pub_barrier_nanos: AtomicU64,
+    pub_granularity: [AtomicU64; 6],
 }
 
 /// Point-in-time copy of a pool's counters.
@@ -97,23 +159,52 @@ pub struct StatsSnapshot {
     pub tasks: u64,
     /// Tasks executed by spawned workers rather than the caller.
     pub tasks_stolen: u64,
+    /// Queue-claim attempts by spawned workers, successful or not. The
+    /// difference `steal_attempts - tasks_stolen` is how often a worker
+    /// woke up to an already-empty queue.
+    pub steal_attempts: u64,
     /// Worker threads spawned over the pool's lifetime.
     pub workers_spawned: u64,
     /// Nanoseconds spawned workers spent not running a task (wall time
     /// minus busy time, summed over workers).
     pub idle_nanos: u64,
+    /// Nanoseconds the calling thread spent waiting at the fork-join
+    /// barrier after finishing its own share of the queue.
+    pub barrier_nanos: u64,
+    /// Largest queue depth (items handed to one `map`) since the last
+    /// [`Pool::publish`].
+    pub queue_depth_hw: u64,
+    /// Task-duration histogram; bucket edges are
+    /// [`GRANULARITY_EDGES_NS`] plus an overflow bucket.
+    pub granularity: [u64; 6],
 }
 
 impl PoolStats {
     fn snapshot(&self) -> StatsSnapshot {
+        let mut granularity = [0u64; 6];
+        for (out, b) in granularity.iter_mut().zip(&self.granularity) {
+            *out = b.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
             maps: self.maps.load(Ordering::Relaxed),
             maps_inline: self.maps_inline.load(Ordering::Relaxed),
             tasks: self.tasks.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
             idle_nanos: self.idle_nanos.load(Ordering::Relaxed),
+            barrier_nanos: self.barrier_nanos.load(Ordering::Relaxed),
+            queue_depth_hw: self.queue_depth_hw.load(Ordering::Relaxed),
+            granularity,
         }
+    }
+
+    fn note_task_duration(&self, dur_ns: u64) {
+        self.granularity[granularity_bucket(dur_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_hw.fetch_max(depth, Ordering::Relaxed);
     }
 }
 
@@ -171,12 +262,14 @@ impl Pool {
         self.stats.snapshot()
     }
 
-    /// Emits counter deltas since the last publish as `par.*` counters.
+    /// Emits counter deltas since the last publish as `par.*` counters,
+    /// plus the `par.queue_depth` gauge (high-water depth since the last
+    /// publish, then reset).
     pub fn publish(&self, rec: &dyn Recorder) {
         if !rec.enabled() {
             return;
         }
-        let pairs: [(&str, &AtomicU64, &AtomicU64); 6] = [
+        let mut pairs: Vec<(&str, &AtomicU64, &AtomicU64)> = vec![
             ("par.maps", &self.stats.maps, &self.stats.pub_maps),
             (
                 "par.maps_inline",
@@ -190,6 +283,11 @@ impl Pool {
                 &self.stats.pub_tasks_stolen,
             ),
             (
+                "par.steal_attempts",
+                &self.stats.steal_attempts,
+                &self.stats.pub_steal_attempts,
+            ),
+            (
                 "par.workers_spawned",
                 &self.stats.workers_spawned,
                 &self.stats.pub_workers_spawned,
@@ -199,7 +297,19 @@ impl Pool {
                 &self.stats.idle_nanos,
                 &self.stats.pub_idle_nanos,
             ),
+            (
+                "par.barrier_nanos",
+                &self.stats.barrier_nanos,
+                &self.stats.pub_barrier_nanos,
+            ),
         ];
+        for (i, name) in GRANULARITY_NAMES.iter().enumerate() {
+            pairs.push((
+                name,
+                &self.stats.granularity[i],
+                &self.stats.pub_granularity[i],
+            ));
+        }
         for (name, cur, published) in pairs {
             let now = cur.load(Ordering::Relaxed);
             let prev = published.swap(now, Ordering::Relaxed);
@@ -207,6 +317,10 @@ impl Pool {
             if delta > 0 {
                 rec.counter_add(name, delta);
             }
+        }
+        let depth = self.stats.queue_depth_hw.swap(0, Ordering::Relaxed);
+        if depth > 0 {
+            rec.gauge_set("par.queue_depth", depth as f64);
         }
     }
 
@@ -259,6 +373,8 @@ impl Pool {
         if n == 0 {
             return Vec::new();
         }
+        let _map_span = prefall_trace::trace_span!(trace_names().map);
+        self.stats.note_queue_depth(n as u64);
         let guard = if n > 1 {
             self.acquire_extra(n - 1)
         } else {
@@ -268,7 +384,18 @@ impl Pool {
         self.stats.tasks.fetch_add(n as u64, Ordering::Relaxed);
         if extra == 0 {
             self.stats.maps_inline.fetch_add(1, Ordering::Relaxed);
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let _task_span = prefall_trace::trace_span!(trace_names().task);
+                    let started = Instant::now();
+                    let r = f(i, t);
+                    self.stats
+                        .note_task_duration(started.elapsed().as_nanos() as u64);
+                    r
+                })
+                .collect();
         }
         self.stats
             .workers_spawned
@@ -285,13 +412,22 @@ impl Pool {
                 if halt.load(Ordering::Relaxed) {
                     break;
                 }
+                if stolen {
+                    self.stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
+                    if stolen && prefall_trace::armed() {
+                        prefall_trace::instant(trace_names().steal_fail);
+                    }
                     break;
                 }
+                let _task_span = prefall_trace::trace_span!(trace_names().task);
                 let started = Instant::now();
                 let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
-                busy_nanos += started.elapsed().as_nanos() as u64;
+                let dur_ns = started.elapsed().as_nanos() as u64;
+                busy_nanos += dur_ns;
+                self.stats.note_task_duration(dur_ns);
                 match out {
                     Ok(r) => {
                         *slots[i].lock().expect("result slot poisoned") = Some(r);
@@ -312,9 +448,11 @@ impl Pool {
             busy_nanos
         };
 
+        let mut barrier_started: Option<Instant> = None;
         std::thread::scope(|s| {
             for _ in 0..extra {
                 s.spawn(|| {
+                    let _worker_span = prefall_trace::trace_span!(trace_names().worker);
                     let started = Instant::now();
                     let busy = run(true);
                     let wall = started.elapsed().as_nanos() as u64;
@@ -324,7 +462,21 @@ impl Pool {
                 });
             }
             run(false);
+            // The caller has drained its share of the queue; everything
+            // from here until the scope joins is barrier wait.
+            if prefall_trace::armed() {
+                prefall_trace::begin(trace_names().barrier);
+            }
+            barrier_started = Some(Instant::now());
         });
+        if let Some(started) = barrier_started {
+            self.stats
+                .barrier_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if prefall_trace::armed() {
+            prefall_trace::end(trace_names().barrier);
+        }
         drop(guard);
 
         if let Some(payload) = panic_payload.lock().expect("panic slot poisoned").take() {
@@ -479,6 +631,89 @@ mod tests {
         pool.publish(&rec);
         let second: Vec<_> = rec.0.lock().unwrap().drain(..).collect();
         assert!(second.contains(&("par.tasks".to_owned(), 1)), "{second:?}");
+    }
+
+    #[test]
+    fn steal_and_queue_accounting_closes() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let _ = pool.map(&items, |_, &x| x * 2);
+        let s = pool.stats();
+        assert_eq!(s.queue_depth_hw, 64);
+        assert_eq!(
+            s.granularity.iter().sum::<u64>(),
+            s.tasks,
+            "every task lands in exactly one granularity bucket"
+        );
+        // In a panic-free map every spawned worker exits through one
+        // failed claim, so attempts = successful steals + one miss per
+        // worker — the identity the profile utilization math relies on.
+        assert_eq!(s.steal_attempts, s.tasks_stolen + s.workers_spawned);
+    }
+
+    #[test]
+    fn publish_emits_steal_attempts_and_queue_depth_gauge() {
+        #[derive(Debug, Default)]
+        struct GaugeRec {
+            counters: Mutex<Vec<(String, u64)>>,
+            gauges: Mutex<Vec<(String, f64)>>,
+        }
+        impl Recorder for GaugeRec {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn counter_add(&self, name: &str, value: u64) {
+                self.counters.lock().unwrap().push((name.to_owned(), value));
+            }
+            fn gauge_set(&self, name: &str, value: f64) {
+                self.gauges.lock().unwrap().push((name.to_owned(), value));
+            }
+            fn observe(&self, _: &str, _: f64) {}
+            fn event(&self, _: &str, _: &[(&str, prefall_telemetry::Value<'_>)]) {}
+        }
+        let pool = Pool::new(2);
+        let rec = GaugeRec::default();
+        let items: Vec<usize> = (0..32).collect();
+        let _ = pool.map(&items, |_, &x| x + 1);
+        pool.publish(&rec);
+        let counters = rec.counters.lock().unwrap().clone();
+        assert!(
+            counters.iter().any(|(n, _)| n == "par.steal_attempts"),
+            "{counters:?}"
+        );
+        assert!(
+            counters
+                .iter()
+                .any(|(n, _)| n.starts_with("par.tasks_le_") || n.starts_with("par.tasks_gt_")),
+            "granularity buckets published: {counters:?}"
+        );
+        let gauges = rec.gauges.lock().unwrap().clone();
+        assert!(
+            gauges.contains(&("par.queue_depth".to_owned(), 32.0)),
+            "{gauges:?}"
+        );
+        // The gauge resets after publish: a quiet interval re-arms it.
+        rec.gauges.lock().unwrap().clear();
+        pool.publish(&rec);
+        assert!(rec.gauges.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn armed_map_traces_tasks_and_barrier() {
+        let _t = prefall_trace::drain(); // isolate from other tests
+        prefall_trace::arm(4096);
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        let _ = pool.map(&items, |_, &x| x * x);
+        prefall_trace::disarm();
+        let tl = prefall_trace::drain();
+        let attr = tl.attribution();
+        // Other tests in this binary may run maps during the armed
+        // window, so assert lower bounds contributed by this map.
+        assert!(attr.total("par.map").count >= 1);
+        assert!(attr.total("par.task").count >= 16);
+        assert!(attr.total("par.barrier").count >= 1);
+        assert!(attr.total("par.worker").count >= 1, "workers spawned");
     }
 
     #[test]

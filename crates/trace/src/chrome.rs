@@ -1,0 +1,141 @@
+//! Chrome trace-event JSON rendering.
+//!
+//! Emits the object form (`{"traceEvents": […]}`) of the [trace event
+//! format] that Perfetto and `chrome://tracing` load directly: `B`/`E`
+//! duration events, thread-scoped `i` instants, and one `M` metadata
+//! record per thread carrying its label. Timestamps are microseconds
+//! (fractional, from the nanosecond ring timestamps).
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{EventKind, Timeline};
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `timeline` as a Chrome trace-event JSON document.
+pub fn to_chrome_json(timeline: &Timeline) -> String {
+    let mut out = String::with_capacity(64 + timeline.event_count() * 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    for thread in &timeline.threads {
+        push_sep(&mut out);
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        out.push_str(&thread.tid.to_string());
+        out.push_str(",\"args\":{\"name\":\"");
+        escape_into(&mut out, &thread.label);
+        out.push_str("\"}}");
+        for event in &thread.events {
+            let name = timeline
+                .names
+                .get(event.name as usize)
+                .map(String::as_str)
+                .unwrap_or("?");
+            let ph = match event.kind {
+                EventKind::Begin => "B",
+                EventKind::End => "E",
+                EventKind::Instant => "i",
+            };
+            push_sep(&mut out);
+            out.push_str("{\"name\":\"");
+            escape_into(&mut out, name);
+            out.push_str("\",\"ph\":\"");
+            out.push_str(ph);
+            out.push_str("\",\"pid\":1,\"tid\":");
+            out.push_str(&thread.tid.to_string());
+            out.push_str(",\"ts\":");
+            // Microseconds with nanosecond precision preserved.
+            let us = event.ts_ns / 1_000;
+            let frac = event.ts_ns % 1_000;
+            out.push_str(&us.to_string());
+            out.push('.');
+            out.push_str(&format!("{frac:03}"));
+            if event.kind == EventKind::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreadTimeline, TraceEvent};
+
+    fn timeline() -> Timeline {
+        Timeline {
+            names: vec!["nn.conv".to_string(), "mark\"x\"".to_string()],
+            threads: vec![ThreadTimeline {
+                tid: 3,
+                label: "worker-1".to_string(),
+                events: vec![
+                    TraceEvent {
+                        ts_ns: 1_234_567,
+                        name: 0,
+                        kind: EventKind::Begin,
+                    },
+                    TraceEvent {
+                        ts_ns: 2_000_001,
+                        name: 1,
+                        kind: EventKind::Instant,
+                    },
+                    TraceEvent {
+                        ts_ns: 2_500_000,
+                        name: 0,
+                        kind: EventKind::End,
+                    },
+                ],
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_all_phases_with_metadata() {
+        let json = to_chrome_json(&timeline());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"args\":{\"name\":\"worker-1\"}"));
+        assert!(
+            json.contains("\"name\":\"nn.conv\",\"ph\":\"B\",\"pid\":1,\"tid\":3,\"ts\":1234.567}")
+        );
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        // Name escaping survives.
+        assert!(json.contains("mark\\\"x\\\""));
+    }
+
+    #[test]
+    fn empty_timeline_is_valid() {
+        let tl = Timeline {
+            names: Vec::new(),
+            threads: Vec::new(),
+        };
+        assert_eq!(
+            to_chrome_json(&tl),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Wall-clock attribution: folds a drained [`Timeline`] into per-name
+//! and per-thread aggregates.
+//!
+//! Per thread, begin/end events are matched with a span stack. Each
+//! matched span contributes to its name's **total** time; **self** time
+//! subtracts the time spent in nested spans, so a `par.task` that
+//! spends most of its life inside `nn.dense` shows the overhead, not
+//! the kernel, as its self time. Unmatched events — a begin whose end
+//! was never written, or an end whose begin was overwritten by ring
+//! wraparound — are counted and skipped rather than guessed at, so a
+//! wrapped ring degrades attribution coverage, never correctness.
+
+use crate::{EventKind, Timeline};
+use std::collections::BTreeMap;
+
+/// Aggregate of one span name on one thread (or globally).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed (matched) spans, or marks for instants.
+    pub count: u64,
+    /// Total nanoseconds inside the span, nested spans included.
+    pub total_ns: u64,
+    /// Total nanoseconds minus time spent in nested spans.
+    pub self_ns: u64,
+}
+
+impl SpanAgg {
+    fn add(&mut self, total_ns: u64, self_ns: u64) {
+        self.count += 1;
+        self.total_ns += total_ns;
+        self.self_ns += self_ns;
+    }
+}
+
+/// One thread's attribution.
+#[derive(Debug, Clone)]
+pub struct ThreadReport {
+    /// Thread id as drained.
+    pub tid: u32,
+    /// Thread label as drained.
+    pub label: String,
+    /// Timestamp of the thread's first drained event.
+    pub first_ts_ns: u64,
+    /// Timestamp of the thread's last drained event.
+    pub last_ts_ns: u64,
+    /// Nanoseconds covered by *top-level* spans (depth 1), i.e. time
+    /// the thread was demonstrably inside traced work.
+    pub top_level_ns: u64,
+    /// Per-name aggregates (spans and instants).
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Begin events whose end never arrived plus end events whose begin
+    /// was lost (wraparound, disarm mid-span).
+    pub unmatched: u64,
+}
+
+/// The full attribution report.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Wall-clock span of the drained window: latest event minus
+    /// earliest event across all threads, in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-thread breakdowns, in tid order.
+    pub threads: Vec<ThreadReport>,
+}
+
+impl Attribution {
+    /// Sums one name's aggregate across all threads.
+    pub fn total(&self, name: &str) -> SpanAgg {
+        let mut agg = SpanAgg::default();
+        for t in &self.threads {
+            if let Some(s) = t.spans.get(name) {
+                agg.count += s.count;
+                agg.total_ns += s.total_ns;
+                agg.self_ns += s.self_ns;
+            }
+        }
+        agg
+    }
+
+    /// Sums the aggregates of every name for which `pred` holds.
+    pub fn total_matching(&self, pred: impl Fn(&str) -> bool) -> SpanAgg {
+        let mut agg = SpanAgg::default();
+        for t in &self.threads {
+            for (name, s) in &t.spans {
+                if pred(name) {
+                    agg.count += s.count;
+                    agg.total_ns += s.total_ns;
+                    agg.self_ns += s.self_ns;
+                }
+            }
+        }
+        agg
+    }
+
+    /// Every distinct span name seen, with its global aggregate, sorted
+    /// by descending total time.
+    pub fn by_total(&self) -> Vec<(String, SpanAgg)> {
+        let mut merged: BTreeMap<&str, SpanAgg> = BTreeMap::new();
+        for t in &self.threads {
+            for (name, s) in &t.spans {
+                let e = merged.entry(name.as_str()).or_default();
+                e.count += s.count;
+                e.total_ns += s.total_ns;
+                e.self_ns += s.self_ns;
+            }
+        }
+        let mut out: Vec<(String, SpanAgg)> = merged
+            .into_iter()
+            .map(|(n, a)| (n.to_string(), a))
+            .collect();
+        out.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+struct Open {
+    name: u32,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+/// Computes the attribution of a drained timeline.
+pub fn attribute(timeline: &Timeline) -> Attribution {
+    let name_of = |id: u32| {
+        timeline
+            .names
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    };
+    let mut threads = Vec::with_capacity(timeline.threads.len());
+    let mut min_ts = u64::MAX;
+    let mut max_ts = 0u64;
+    for t in &timeline.threads {
+        let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+        let mut stack: Vec<Open> = Vec::new();
+        let mut top_level_ns = 0u64;
+        let mut unmatched = 0u64;
+        for e in &t.events {
+            min_ts = min_ts.min(e.ts_ns);
+            max_ts = max_ts.max(e.ts_ns);
+            match e.kind {
+                EventKind::Begin => stack.push(Open {
+                    name: e.name,
+                    start_ns: e.ts_ns,
+                    child_ns: 0,
+                }),
+                EventKind::End => {
+                    // Pop until the matching begin: an unmatched inner
+                    // begin (its end lost to wraparound or disarm) is
+                    // discarded rather than letting the stack skew every
+                    // later span.
+                    let at = stack.iter().rposition(|o| o.name == e.name);
+                    match at {
+                        Some(pos) => {
+                            unmatched += (stack.len() - pos - 1) as u64;
+                            stack.truncate(pos + 1);
+                            let open = stack.pop().expect("pos is in range");
+                            let dur = e.ts_ns.saturating_sub(open.start_ns);
+                            spans
+                                .entry(name_of(open.name).to_string())
+                                .or_default()
+                                .add(dur, dur.saturating_sub(open.child_ns));
+                            match stack.last_mut() {
+                                Some(parent) => parent.child_ns += dur,
+                                None => top_level_ns += dur,
+                            }
+                        }
+                        None => unmatched += 1,
+                    }
+                }
+                EventKind::Instant => {
+                    spans.entry(name_of(e.name).to_string()).or_default().count += 1;
+                }
+            }
+        }
+        unmatched += stack.len() as u64;
+        let (first, last) = match (t.events.first(), t.events.last()) {
+            (Some(f), Some(l)) => (f.ts_ns, l.ts_ns),
+            _ => (0, 0),
+        };
+        threads.push(ThreadReport {
+            tid: t.tid,
+            label: t.label.clone(),
+            first_ts_ns: first,
+            last_ts_ns: last,
+            top_level_ns,
+            spans,
+            unmatched,
+        });
+    }
+    Attribution {
+        wall_ns: max_ts.saturating_sub(if min_ts == u64::MAX { 0 } else { min_ts }),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreadTimeline, TraceEvent};
+
+    fn ev(ts_ns: u64, name: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent { ts_ns, name, kind }
+    }
+
+    fn tl(names: &[&str], events: Vec<TraceEvent>) -> Timeline {
+        Timeline {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            threads: vec![ThreadTimeline {
+                tid: 1,
+                label: "main".to_string(),
+                events,
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn nested_spans_split_total_and_self() {
+        // task [0, 100] containing kernel [20, 80].
+        let timeline = tl(
+            &["task", "kernel"],
+            vec![
+                ev(0, 0, EventKind::Begin),
+                ev(20, 1, EventKind::Begin),
+                ev(80, 1, EventKind::End),
+                ev(100, 0, EventKind::End),
+            ],
+        );
+        let attr = attribute(&timeline);
+        let task = attr.total("task");
+        let kernel = attr.total("kernel");
+        assert_eq!(task.total_ns, 100);
+        assert_eq!(task.self_ns, 40);
+        assert_eq!(kernel.total_ns, 60);
+        assert_eq!(kernel.self_ns, 60);
+        assert_eq!(attr.threads[0].top_level_ns, 100);
+        assert_eq!(attr.wall_ns, 100);
+        assert_eq!(attr.threads[0].unmatched, 0);
+    }
+
+    #[test]
+    fn unmatched_events_are_skipped_not_guessed() {
+        // An end with no begin (wrapped away) and a begin with no end.
+        let timeline = tl(
+            &["a", "b"],
+            vec![
+                ev(10, 0, EventKind::End),
+                ev(20, 1, EventKind::Begin),
+                ev(30, 1, EventKind::End),
+                ev(40, 0, EventKind::Begin),
+            ],
+        );
+        let attr = attribute(&timeline);
+        assert_eq!(attr.total("a").count, 0, "torn span never counted");
+        assert_eq!(attr.total("b").total_ns, 10);
+        assert_eq!(attr.threads[0].unmatched, 2);
+    }
+
+    #[test]
+    fn interleaved_lost_end_does_not_skew_parent() {
+        // outer begins, inner begins (its end lost), outer ends: the
+        // inner open is discarded, outer still closes correctly.
+        let timeline = tl(
+            &["outer", "inner"],
+            vec![
+                ev(0, 0, EventKind::Begin),
+                ev(10, 1, EventKind::Begin),
+                ev(50, 0, EventKind::End),
+            ],
+        );
+        let attr = attribute(&timeline);
+        assert_eq!(attr.total("outer").total_ns, 50);
+        assert_eq!(attr.total("inner").count, 0);
+        assert_eq!(attr.threads[0].unmatched, 1);
+    }
+
+    #[test]
+    fn instants_count_without_duration() {
+        let timeline = tl(
+            &["mark"],
+            vec![ev(5, 0, EventKind::Instant), ev(9, 0, EventKind::Instant)],
+        );
+        let attr = attribute(&timeline);
+        let mark = attr.total("mark");
+        assert_eq!(mark.count, 2);
+        assert_eq!(mark.total_ns, 0);
+    }
+
+    #[test]
+    fn by_total_orders_descending() {
+        let timeline = tl(
+            &["short", "long"],
+            vec![
+                ev(0, 1, EventKind::Begin),
+                ev(100, 1, EventKind::End),
+                ev(100, 0, EventKind::Begin),
+                ev(110, 0, EventKind::End),
+            ],
+        );
+        let order = attribute(&timeline).by_total();
+        assert_eq!(order[0].0, "long");
+        assert_eq!(order[1].0, "short");
+    }
+}

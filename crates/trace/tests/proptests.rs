@@ -1,0 +1,160 @@
+//! Property tests for the trace ring buffer and name interner.
+//!
+//! The tracer's global arm/disarm state is shared across test threads,
+//! so every case that arms takes `test_guard()` first; `arm()` clears
+//! all registered rings, which also isolates cases from each other.
+
+use prefall_trace::{arm, begin, disarm, drain, end, instant, intern, EventKind, NameId};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn test_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A fixed pool of names so the interner table stays bounded across
+/// proptest cases.
+fn name_pool() -> &'static [NameId; 8] {
+    static POOL: OnceLock<[NameId; 8]> = OnceLock::new();
+    POOL.get_or_init(|| {
+        [
+            intern("prop.n0"),
+            intern("prop.n1"),
+            intern("prop.n2"),
+            intern("prop.n3"),
+            intern("prop.n4"),
+            intern("prop.n5"),
+            intern("prop.n6"),
+            intern("prop.n7"),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the capacity and however far the writer outruns it, a
+    /// drain returns exactly the newest `min(emitted, capacity)` events
+    /// in emission order (oldest first) and counts the rest as dropped.
+    #[test]
+    fn wraparound_drains_newest_suffix_oldest_first(
+        cap in 1usize..64,
+        emitted in 0usize..200,
+        name_seed in 0u64..1000,
+    ) {
+        let _guard = test_guard();
+        arm(cap);
+        let pool = name_pool();
+        let mut sequence: Vec<NameId> = Vec::with_capacity(emitted);
+        let mut s = name_seed.wrapping_mul(2654435761).wrapping_add(1);
+        for _ in 0..emitted {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let id = pool[(s % 8) as usize];
+            sequence.push(id);
+            instant(id);
+        }
+        disarm();
+        let tl = drain();
+        let kept = emitted.min(cap);
+        if emitted == 0 {
+            prop_assert_eq!(tl.event_count(), 0);
+        } else {
+            prop_assert_eq!(tl.threads.len(), 1, "only this thread recorded");
+            let t = &tl.threads[0];
+            prop_assert_eq!(t.events.len(), kept);
+            prop_assert_eq!(t.dropped, (emitted - kept) as u64);
+            // The drained slice is exactly the tail of the emitted
+            // sequence, in order, with monotonic timestamps.
+            let tail = &sequence[emitted - kept..];
+            for (ev, expect) in t.events.iter().zip(tail) {
+                prop_assert_eq!(ev.name, expect.index());
+                prop_assert_eq!(ev.kind, EventKind::Instant);
+            }
+            for pair in t.events.windows(2) {
+                prop_assert!(pair[0].ts_ns <= pair[1].ts_ns);
+            }
+        }
+    }
+
+    /// Well-nested spans survive wraparound without tearing: every
+    /// span the attribution counts is fully matched, and the unmatched
+    /// tally accounts exactly for the events wraparound chopped off.
+    #[test]
+    fn spans_are_never_torn_across_wraparound(
+        cap in 2usize..48,
+        depth in 1usize..6,
+        repeats in 1usize..20,
+    ) {
+        let _guard = test_guard();
+        arm(cap);
+        let pool = name_pool();
+        // `repeats` sequential stacks of `depth` nested spans.
+        for _ in 0..repeats {
+            for d in 0..depth {
+                begin(pool[d % 8]);
+            }
+            for d in (0..depth).rev() {
+                end(pool[d % 8]);
+            }
+        }
+        disarm();
+        let tl = drain();
+        let attr = tl.attribution();
+        let emitted = 2 * depth * repeats;
+        let kept = emitted.min(cap);
+        let matched: u64 = attr
+            .threads
+            .iter()
+            .flat_map(|t| t.spans.values())
+            .map(|s| s.count)
+            .sum();
+        let unmatched: u64 = attr.threads.iter().map(|t| t.unmatched).sum();
+        // Every kept event is either half of a matched pair or counted
+        // unmatched — nothing is silently invented or lost.
+        prop_assert_eq!(2 * matched + unmatched, kept as u64);
+        // Totals are internally consistent.
+        for t in &attr.threads {
+            for agg in t.spans.values() {
+                prop_assert!(agg.self_ns <= agg.total_ns);
+            }
+        }
+    }
+
+    /// Interning is a pure function of the string: any interleaving of
+    /// lookups (including from several threads) maps equal strings to
+    /// equal ids and distinct strings to distinct ids, and the drained
+    /// name table resolves every id back to its string.
+    #[test]
+    fn interning_is_stable_under_concurrency(seed in 0u64..10_000) {
+        let names: Vec<String> = (0..6).map(|i| format!("prop.stable{}", (seed % 97) * 6 + i)).collect();
+        let first: Vec<NameId> = names.iter().map(|n| intern(n)).collect();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let names = names.clone();
+                std::thread::spawn(move || names.iter().map(|n| intern(n)).collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            let ids = h.join().expect("intern thread panicked");
+            prop_assert_eq!(&ids, &first, "same strings, same ids, every thread");
+        }
+        for i in 0..first.len() {
+            for j in (i + 1)..first.len() {
+                prop_assert_ne!(first[i], first[j], "distinct strings, distinct ids");
+            }
+        }
+        let table = {
+            let _guard = test_guard();
+            drain().names
+        };
+        for (id, name) in first.iter().zip(&names) {
+            prop_assert_eq!(&table[id.index() as usize], name);
+        }
+    }
+}

@@ -238,5 +238,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "replay: bit_exact={} trigger_match={} over {} windows",
         report.bit_exact, report.trigger_match, report.windows_compared
     );
+
+    // 7. Spans vs. trace events — the two time lenses in this repo.
+    //    A telemetry `Span` observes one scope's duration into a
+    //    histogram: an *aggregate* answer (p50/p95 over thousands of
+    //    runs, cheap enough to leave on, what benchdiff gates). A
+    //    `prefall::trace` span writes begin/end events onto a
+    //    *timeline*: an individual answer (where did THIS millisecond
+    //    go, interleaved across threads, rendered in Perfetto). Same
+    //    scope, both lenses at once:
+    println!("\n== 7. spans (histograms) vs trace events (timelines) ==");
+    prefall::trace::arm(4096);
+    {
+        let _telemetry = Span::enter(registry.as_ref(), "tour.step_seconds");
+        let _trace = prefall::trace::trace_span!(prefall::trace::intern("tour.work"));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    prefall::trace::disarm();
+    let timeline = prefall::trace::drain();
+    let agg = timeline.attribution().total("tour.work");
+    println!(
+        "  histogram lens: tour.step_seconds count is now {}",
+        registry.snapshot().histograms["tour.step_seconds"].count
+    );
+    println!(
+        "  timeline lens : tour.work ran {} time(s) for {:.2} ms (drains to Chrome JSON)",
+        agg.count,
+        agg.total_ns as f64 / 1e6
+    );
+    println!("  full tour     : cargo run --release --example trace_tour");
     Ok(())
 }

@@ -14,6 +14,9 @@
 //!   baselines, cross-validation, event-level evaluation, airbag trigger.
 //! * [`telemetry`] — zero-dependency metrics/tracing: counters, gauges,
 //!   latency histograms, RAII spans, JSONL event streams.
+//! * [`trace`] — always-on timeline tracer: thread-local ring buffers
+//!   of fixed-size span events, drained into Chrome trace-event JSON
+//!   (Perfetto-loadable) and wall-clock attribution reports.
 //! * [`obsd`] — observability daemon: Prometheus `/metrics` exposition,
 //!   `/healthz` lead-time-budget probe, `/snapshot` JSON, served by a
 //!   hand-rolled HTTP listener.
@@ -47,3 +50,4 @@ pub use prefall_mcu as mcu;
 pub use prefall_nn as nn;
 pub use prefall_obsd as obsd;
 pub use prefall_telemetry as telemetry;
+pub use prefall_trace as trace;

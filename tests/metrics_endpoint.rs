@@ -108,6 +108,43 @@ fn snapshot_endpoint_serves_registry_json() {
 }
 
 #[test]
+fn trace_endpoint_serves_a_drained_timeline() {
+    // Record a real (tiny) timeline through the public tracing API,
+    // drain it to Chrome JSON, and serve it the way `prefall-profile`
+    // does: `LastTrace` attached via `start_full`.
+    prefall::trace::arm(256);
+    let span = prefall::trace::intern("e2e.trace_span");
+    {
+        let _g = prefall::trace::trace_span!(span);
+    }
+    prefall::trace::disarm();
+    let chrome = prefall::trace::drain().to_chrome_json();
+    assert!(chrome.contains("e2e.trace_span"), "span survives the drain");
+
+    let store = Arc::new(prefall::trace::LastTrace::new());
+    let server = MetricsServer::start_full(
+        "127.0.0.1:0",
+        Arc::new(Registry::new()),
+        ServerConfig::default(),
+        None,
+        Some(store.clone()),
+    )
+    .expect("server");
+
+    // Before any trace is published: 404, not an empty document.
+    let (status, _) = get(server.addr(), "/trace");
+    assert!(status.contains("404"), "{status}");
+
+    store.store(chrome);
+    let (status, body) = get(server.addr(), "/trace");
+    assert!(status.contains("200"), "{status}");
+    let doc = prefall::telemetry::JsonValue::parse(body.trim()).expect("valid JSON");
+    let events = doc.get("traceEvents").expect("traceEvents array");
+    let rendered = events.to_string();
+    assert!(rendered.contains("e2e.trace_span"), "{rendered}");
+}
+
+#[test]
 fn unknown_path_is_404_and_post_is_405() {
     let reg = Arc::new(Registry::new());
     let server = MetricsServer::start("127.0.0.1:0", reg, ServerConfig::default()).expect("server");

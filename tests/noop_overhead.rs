@@ -161,4 +161,52 @@ fn noop_recorder_push_sample_does_not_allocate() {
         "hop cycles with the flight recorder armed must not accumulate allocations"
     );
     assert_eq!(flight.incident_count(), 0, "no incident should have fired");
+
+    // Same claim with timeline tracing armed — in full per-kernel
+    // detail, the most event-dense configuration. Warm-up pays the
+    // one-time costs (ring registration for this thread, span-name
+    // interning through each crate's `OnceLock`); after that every
+    // begin/end writes one fixed-size record into the pre-allocated
+    // ring, so entire hop cycles *including* their traced
+    // classification allocate nothing.
+    let cfg = DetectorConfig {
+        pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+        threshold: 1.1, // never trigger: no incident dump mid-measurement
+        consecutive: 1,
+        guard: GuardConfig::default(),
+    };
+    let net = ModelKind::ProposedCnn.build(window, 9, 1).unwrap();
+    let mut det = StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap();
+    prefall_trace::arm(4096);
+    prefall_trace::set_detail(true);
+    for _ in 0..window + hop {
+        let _ = det.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut classified = 0;
+    for _ in 0..2 * hop {
+        if det
+            .push_sample([0.01, -0.02, 1.0], [0.0, 0.1, 0.0])
+            .is_some()
+        {
+            classified += 1;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    prefall_trace::disarm();
+    assert_eq!(classified, 2, "two hop cycles classify twice");
+    assert_eq!(
+        after - before,
+        0,
+        "armed detail tracing must write spans without allocating"
+    );
+
+    // The rings really did record the traced classifications.
+    let timeline = prefall_trace::drain();
+    let attr = timeline.attribution();
+    assert!(
+        attr.total("nn.infer").count >= 2,
+        "both traced classifications appear in the drained timeline"
+    );
 }
