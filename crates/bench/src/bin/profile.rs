@@ -378,8 +378,9 @@ fn real_main() -> Result<(), String> {
     registry.gauge_set("trace.grid_dropped", grid_timeline.dropped() as f64);
 
     let chrome = grid_timeline.to_chrome_json();
-    std::fs::write(CHROME_TRACE_PATH, &chrome)
-        .map_err(|e| format!("cannot write {CHROME_TRACE_PATH}: {e}"))?;
+    let chrome_path = prefall_bench::telemetry_out::out_path(CHROME_TRACE_PATH);
+    std::fs::write(&chrome_path, &chrome)
+        .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
     let last = Arc::new(LastTrace::new());
     last.store(chrome);
     // With PREFALL_METRICS_ADDR set, serve the drained trace (and the
@@ -533,12 +534,15 @@ fn real_main() -> Result<(), String> {
             ("workers".to_string(), worker_rows(&grid_timeline)),
             (
                 "chrome_trace".to_string(),
-                JsonValue::Str(CHROME_TRACE_PATH.to_string()),
+                JsonValue::Str(prefall_bench::telemetry_out::out_path(CHROME_TRACE_PATH)),
             ),
         ],
     );
     if !quiet {
-        eprintln!("profile: Chrome trace written to {CHROME_TRACE_PATH} (open at https://ui.perfetto.dev)");
+        eprintln!(
+            "profile: Chrome trace written to {} (open at https://ui.perfetto.dev)",
+            prefall_bench::telemetry_out::out_path(CHROME_TRACE_PATH)
+        );
     }
     Ok(())
 }

@@ -126,8 +126,27 @@ pub mod telemetry_out {
     use std::io::Write;
     use std::sync::Arc;
 
+    /// Directory every bench artifact lands in (gitignored; CI uploads
+    /// from here). Keeping artifacts out of the repo root means a bench
+    /// run never dirties `git status`.
+    pub const BENCH_OUT_DIR: &str = "bench-out";
+
     /// The file every bench binary writes its telemetry snapshot to.
     pub const BENCH_TELEMETRY_PATH: &str = "BENCH_telemetry.json";
+
+    /// `bench-out/<name>`, creating the directory on first use. Names
+    /// that already carry a directory component pass through untouched
+    /// (a caller that wants an explicit destination keeps it).
+    pub fn out_path(name: &str) -> String {
+        if name.contains('/') {
+            return name.to_string();
+        }
+        if let Err(e) = std::fs::create_dir_all(BENCH_OUT_DIR) {
+            eprintln!("bench: cannot create {BENCH_OUT_DIR}/: {e}");
+            return name.to_string();
+        }
+        format!("{BENCH_OUT_DIR}/{name}")
+    }
 
     /// The standard bench sinks: an aggregate [`Registry`] plus whatever
     /// progress recorder the environment asks for (stderr unless
@@ -151,11 +170,13 @@ pub mod telemetry_out {
         dump_to(BENCH_TELEMETRY_PATH, bench, snapshot, extra);
     }
 
-    /// Like [`dump`] but writing to an arbitrary path, for binaries
-    /// whose snapshot must not clobber `BENCH_telemetry.json` (e.g. the
-    /// `robustness` sweep writes `BENCH_robustness.json` so both can be
-    /// diffed against their own baselines).
+    /// Like [`dump`] but writing to an arbitrary file name, for
+    /// binaries whose snapshot must not clobber `BENCH_telemetry.json`
+    /// (e.g. the `robustness` sweep writes `BENCH_robustness.json` so
+    /// both can be diffed against their own baselines). Bare names are
+    /// routed into [`BENCH_OUT_DIR`].
     pub fn dump_to(path: &str, bench: &str, snapshot: &Snapshot, extra: Vec<(String, JsonValue)>) {
+        let path = &out_path(path);
         let mut fields = vec![("bench".to_string(), JsonValue::Str(bench.to_string()))];
         fields.extend(extra);
         if let JsonValue::Obj(sections) = snapshot.to_json() {

@@ -42,3 +42,13 @@ impl IncidentSource for FlightHandle {
         self.record_health(degraded, &format!("healthz reported {status}"));
     }
 }
+
+/// A quality-SLO breach (`prefall-watch` burn-rate alerting) asks the
+/// flight recorder for a forensic dump, so the sample/guard/score
+/// rings covering the breach window are preserved alongside the alert.
+impl prefall_watch::IncidentCapture for FlightHandle {
+    fn capture_incident(&self, reason: &str) -> Option<String> {
+        let dump = self.dump_now(&format!("slo breach: {reason}"));
+        Some(dump.id)
+    }
+}

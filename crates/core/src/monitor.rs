@@ -145,11 +145,16 @@ impl QualityMonitor {
 
         if trial.is_fall() {
             self.falls.events += 1;
+            // Unlabelled aggregates ride along so downstream consumers
+            // (the watch layer's SLO ratios) never parse label syntax.
+            rec.counter_add("quality.fall_events", 1);
             rec.counter_add(&format!("quality.fall_events{{task={task}}}"), 1);
             if triggered {
                 self.falls.flagged += 1;
+                rec.counter_add("quality.fall_detected", 1);
                 rec.counter_add(&format!("quality.fall_detected{{task={task}}}"), 1);
             } else {
+                rec.counter_add("quality.fall_missed", 1);
                 rec.counter_add(&format!("quality.fall_missed{{task={task}}}"), 1);
             }
             if let Some(lead) = outcome.lead_time_ms {
@@ -163,6 +168,7 @@ impl QualityMonitor {
             }
         } else {
             self.adls.events += 1;
+            rec.counter_add("quality.adl_events", 1);
             rec.counter_add(&format!("quality.adl_events{{task={task}}}"), 1);
             let group = match activity.risk_group {
                 Some(RiskGroup::Red) => {
@@ -177,6 +183,7 @@ impl QualityMonitor {
             };
             if outcome.false_activation {
                 self.adls.flagged += 1;
+                rec.counter_add("quality.adl_false_activations", 1);
                 rec.counter_add(&format!("quality.adl_false_activations{{task={task}}}"), 1);
                 rec.counter_add(&format!("quality.adl_false_activations{{risk={group}}}"), 1);
                 match activity.risk_group {
@@ -199,14 +206,17 @@ impl QualityMonitor {
         for (task, stats) in &report.fall_tasks {
             self.falls.events += stats.events as u64;
             self.falls.flagged += stats.flagged as u64;
+            rec.counter_add("quality.fall_events", stats.events as u64);
             rec.counter_add(
                 &format!("quality.fall_events{{task={task}}}"),
                 stats.events as u64,
             );
+            rec.counter_add("quality.fall_detected", stats.flagged as u64);
             rec.counter_add(
                 &format!("quality.fall_detected{{task={task}}}"),
                 stats.flagged as u64,
             );
+            rec.counter_add("quality.fall_missed", (stats.events - stats.flagged) as u64);
             rec.counter_add(
                 &format!("quality.fall_missed{{task={task}}}"),
                 (stats.events - stats.flagged) as u64,
@@ -215,10 +225,12 @@ impl QualityMonitor {
         for (task, stats) in &report.adl_tasks {
             self.adls.events += stats.events as u64;
             self.adls.flagged += stats.flagged as u64;
+            rec.counter_add("quality.adl_events", stats.events as u64);
             rec.counter_add(
                 &format!("quality.adl_events{{task={task}}}"),
                 stats.events as u64,
             );
+            rec.counter_add("quality.adl_false_activations", stats.flagged as u64);
             rec.counter_add(
                 &format!("quality.adl_false_activations{{task={task}}}"),
                 stats.flagged as u64,

@@ -47,10 +47,12 @@ pub mod health;
 pub mod incidents;
 pub mod prometheus;
 pub mod server;
+pub mod watch;
 
 pub use health::{HealthReport, HealthStatus};
 pub use incidents::IncidentSource;
 pub use server::{MetricsServer, ServerConfig};
+pub use watch::WatchSource;
 
 use prefall_telemetry::{Registry, TelemetryEnv};
 use std::sync::Arc;

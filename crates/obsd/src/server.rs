@@ -9,6 +9,9 @@
 //! | `GET /incidents` | summaries of recent incident dumps (with an [`IncidentSource`] attached) |
 //! | `GET /incidents/{id}` | one full incident dump as JSON |
 //! | `GET /trace` | the most recently drained Chrome trace (with a [`LastTrace`] attached) — save it and open in Perfetto |
+//! | `GET /tsdb?series=&window=` | windowed points of one sampled series, or the series catalogue (with a [`WatchSource`] attached) |
+//! | `GET /slo` | current SLO evaluation state: burn rates, firing flags |
+//! | `GET /alerts` | recent alert fire/resolve transitions |
 //!
 //! The server deliberately implements only what a scraper needs:
 //! `GET`/`HEAD`, `Connection: close`, `Content-Length` framing. There
@@ -19,6 +22,7 @@
 use crate::health::HealthReport;
 use crate::incidents::IncidentSource;
 use crate::prometheus;
+use crate::watch::WatchSource;
 use prefall_telemetry::{JsonValue, Registry, Snapshot};
 use prefall_trace::LastTrace;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -115,6 +119,25 @@ impl MetricsServer {
         incidents: Option<Arc<dyn IncidentSource>>,
         trace: Option<Arc<LastTrace>>,
     ) -> std::io::Result<Self> {
+        Self::start_with_watch(addr, registry, config, incidents, trace, None)
+    }
+
+    /// [`MetricsServer::start_full`] plus an optional [`WatchSource`].
+    /// When attached, `/tsdb`, `/slo` and `/alerts` serve the watch
+    /// layer's state, and a firing SLO flips `/healthz` to `503` with
+    /// the firing names listed under `"slo_firing"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (`EADDRINUSE`, permission, bad address).
+    pub fn start_with_watch(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+        incidents: Option<Arc<dyn IncidentSource>>,
+        trace: Option<Arc<LastTrace>>,
+        watch: Option<Arc<dyn WatchSource>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept so the thread can notice the stop flag
@@ -124,7 +147,17 @@ impl MetricsServer {
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("prefall-obsd".to_string())
-            .spawn(move || serve_loop(listener, registry, config, incidents, trace, thread_stop))
+            .spawn(move || {
+                serve_loop(
+                    listener,
+                    registry,
+                    config,
+                    incidents,
+                    trace,
+                    watch,
+                    thread_stop,
+                )
+            })
             .expect("spawn exporter thread");
         Ok(Self {
             addr,
@@ -168,8 +201,10 @@ fn serve_loop(
     config: ServerConfig,
     incidents: Option<Arc<dyn IncidentSource>>,
     trace: Option<Arc<LastTrace>>,
+    watch: Option<Arc<dyn WatchSource>>,
     stop: Arc<AtomicBool>,
 ) {
+    use prefall_telemetry::Recorder;
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -183,12 +218,19 @@ fn serve_loop(
                     &config,
                     incidents.as_deref(),
                     trace.as_deref(),
+                    watch.as_deref(),
                 );
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => {
+                // Real accept failures (EMFILE, ECONNABORTED storms)
+                // are invisible without a counter — a scraper just sees
+                // timeouts. Count them where /metrics can see them.
+                registry.counter_add("obsd.accept_errors", 1);
+                std::thread::sleep(Duration::from_millis(20));
+            }
         }
     }
 }
@@ -199,6 +241,7 @@ fn handle_connection(
     config: &ServerConfig,
     incidents: Option<&dyn IncidentSource>,
     trace: Option<&LastTrace>,
+    watch: Option<&dyn WatchSource>,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
@@ -237,7 +280,10 @@ fn handle_connection(
     }
 
     // Strip any query string: `/metrics?format=…` still serves metrics.
-    let route = path.split('?').next().unwrap_or(path);
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
     let (code, reason, content_type, body) = match route {
         "/metrics" => (
             200,
@@ -252,13 +298,31 @@ fn handle_connection(
                 config.min_budget_fraction,
                 config.max_fault_rate,
             );
-            let code = report.status.http_code();
+            let mut code = report.status.http_code();
+            let mut doc = report.to_json();
+            // A firing SLO degrades the probe even when the point-in-
+            // time snapshot looks fine: burn-rate breaches are exactly
+            // the failures a single snapshot can't see.
+            let firing = watch.map(|w| w.firing_slos()).unwrap_or_default();
+            if !firing.is_empty() {
+                code = 503;
+                if let JsonValue::Obj(fields) = &mut doc {
+                    fields.push((
+                        "slo_firing".to_string(),
+                        JsonValue::Arr(firing.into_iter().map(JsonValue::Str).collect()),
+                    ));
+                    for (k, v) in fields.iter_mut() {
+                        if k == "status" {
+                            *v = JsonValue::Str("degraded".to_string());
+                        }
+                    }
+                }
+            }
             let reason = if code == 200 {
                 "OK"
             } else {
                 "Service Unavailable"
             };
-            let doc = report.to_json();
             if let Some(src) = incidents {
                 src.on_health_status(code != 200, &doc);
             }
@@ -316,11 +380,70 @@ fn handle_connection(
                 },
             ),
         },
+        "/tsdb" => match watch {
+            Some(w) => {
+                let series = query_param(query, "series");
+                let window = query_param(query, "window").and_then(|s| s.parse::<f64>().ok());
+                match series {
+                    Some(name) => match w.tsdb_json(name, window) {
+                        Some(doc) => {
+                            let mut body = doc.to_string();
+                            body.push('\n');
+                            (200, "OK", "application/json; charset=utf-8", body)
+                        }
+                        None => (
+                            404,
+                            "Not Found",
+                            "text/plain; charset=utf-8",
+                            "unknown series\n".to_string(),
+                        ),
+                    },
+                    None => {
+                        let mut body = w.series_json().to_string();
+                        body.push('\n');
+                        (200, "OK", "application/json; charset=utf-8", body)
+                    }
+                }
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no watch source attached\n".to_string(),
+            ),
+        },
+        "/slo" => match watch {
+            Some(w) => {
+                let mut body = w.slo_json().to_string();
+                body.push('\n');
+                (200, "OK", "application/json; charset=utf-8", body)
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no watch source attached\n".to_string(),
+            ),
+        },
+        "/alerts" => match watch {
+            Some(w) => {
+                let mut body = w.alerts_json().to_string();
+                body.push('\n');
+                (200, "OK", "application/json; charset=utf-8", body)
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no watch source attached\n".to_string(),
+            ),
+        },
         "/" => (
             200,
             "OK",
             "text/plain; charset=utf-8",
-            "prefall-obsd: /metrics /healthz /snapshot /incidents /trace\n".to_string(),
+            "prefall-obsd: /metrics /healthz /snapshot /incidents /trace /tsdb?series=&window= /slo /alerts\n"
+                .to_string(),
         ),
         _ => (
             404,
@@ -369,6 +492,16 @@ fn snapshot_json(snap: &Snapshot) -> JsonValue {
         .collect();
     doc.push(("detector_mode".to_string(), JsonValue::Obj(mode)));
     JsonValue::Obj(doc)
+}
+
+/// The value of `key` in a raw query string (`a=1&b=2`). No percent
+/// decoding — series names here are metric identifiers, which never
+/// need it.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 fn respond(
@@ -610,6 +743,128 @@ mod tests {
         let (code, body) = get(server.addr(), "/trace");
         assert_eq!(code, 404);
         assert!(body.contains("no trace store attached"), "{body}");
+        server.shutdown();
+    }
+
+    /// A canned watch source for route tests.
+    #[derive(Debug)]
+    struct FakeWatch {
+        firing: Vec<String>,
+    }
+
+    impl crate::watch::WatchSource for FakeWatch {
+        fn tsdb_json(&self, series: &str, window_s: Option<f64>) -> Option<JsonValue> {
+            (series == "detector.windows").then(|| {
+                JsonValue::Obj(vec![
+                    ("series".to_string(), JsonValue::Str(series.to_string())),
+                    (
+                        "window_s".to_string(),
+                        JsonValue::F64(window_s.unwrap_or(-1.0)),
+                    ),
+                ])
+            })
+        }
+
+        fn series_json(&self) -> JsonValue {
+            JsonValue::Arr(vec![JsonValue::Str("detector.windows".to_string())])
+        }
+
+        fn slo_json(&self) -> JsonValue {
+            JsonValue::Arr(vec![])
+        }
+
+        fn alerts_json(&self) -> JsonValue {
+            JsonValue::Arr(vec![])
+        }
+
+        fn firing_slos(&self) -> Vec<String> {
+            self.firing.clone()
+        }
+    }
+
+    #[test]
+    fn serves_watch_routes_and_parses_query() {
+        let registry = Arc::new(Registry::new());
+        let watch = Arc::new(FakeWatch { firing: vec![] });
+        let server = MetricsServer::start_with_watch(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+            None,
+            None,
+            Some(watch as Arc<dyn crate::watch::WatchSource>),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/tsdb?series=detector.windows&window=60");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"window_s\":60.0"), "{body}");
+
+        let (code, body) = get(addr, "/tsdb");
+        assert_eq!(code, 200);
+        assert!(body.contains("detector.windows"), "{body}");
+
+        let (code, _) = get(addr, "/tsdb?series=nope");
+        assert_eq!(code, 404);
+
+        let (code, _) = get(addr, "/slo");
+        assert_eq!(code, 200);
+        let (code, _) = get(addr, "/alerts");
+        assert_eq!(code, 200);
+
+        // Healthy probe: no firing SLOs, snapshot fine.
+        let (code, _) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+
+        let (code, body) = get(addr, "/");
+        assert_eq!(code, 200);
+        for route in [
+            "/metrics",
+            "/healthz",
+            "/snapshot",
+            "/incidents",
+            "/trace",
+            "/tsdb",
+            "/slo",
+            "/alerts",
+        ] {
+            assert!(body.contains(route), "index missing {route}: {body}");
+        }
+        server.shutdown();
+
+        // Watch routes 404 without a source.
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/slo");
+        assert_eq!(code, 404);
+        assert!(body.contains("no watch source attached"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn firing_slo_degrades_healthz_and_names_the_slo() {
+        let registry = Arc::new(Registry::new());
+        let watch = Arc::new(FakeWatch {
+            firing: vec!["fa_rate".to_string()],
+        });
+        let server = MetricsServer::start_with_watch(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+            None,
+            None,
+            Some(watch as Arc<dyn crate::watch::WatchSource>),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/healthz");
+        assert_eq!(code, 503);
+        assert!(body.contains("\"slo_firing\":[\"fa_rate\"]"), "{body}");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
         server.shutdown();
     }
 

@@ -246,6 +246,16 @@ impl Histogram {
         self.count
     }
 
+    /// Per-bucket counts (`bounds.len() + 1` entries, last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of the recorded (finite) observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Streaming quantile estimate for one of [`TRACKED_QUANTILES`].
     pub fn quantile(&self, p: f64) -> f64 {
         self.quantiles
@@ -514,6 +524,73 @@ mod tests {
         assert_eq!(m.counts.iter().sum::<u64>(), 1000);
         assert!((m.quantile_from_buckets(0.5) - 0.5).abs() < 0.1);
         assert!((m.p50 - m.quantile_from_buckets(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_nan() {
+        let h = Histogram::linear(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_nan());
+        let snap = h.snapshot();
+        assert!(snap.p50.is_nan() && snap.p95.is_nan() && snap.p99.is_nan());
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert!(
+                snap.quantile_from_buckets(p).is_nan(),
+                "empty bucket quantile p{p} must be NaN"
+            );
+        }
+        assert!(snap.mean().is_nan());
+    }
+
+    #[test]
+    fn all_in_one_bucket_quantiles_interpolate_between_min_and_max() {
+        // Every observation lands in the (0.2, 0.4] bucket; quantiles
+        // must interpolate inside the *observed* range [0.25, 0.35],
+        // not the full bucket width.
+        let mut h = Histogram::linear(0.0, 1.0, 5);
+        for x in [0.25, 0.30, 0.35] {
+            h.observe(x);
+        }
+        let snap = h.snapshot();
+        for p in [0.1, 0.5, 0.9] {
+            let q = snap.quantile_from_buckets(p);
+            assert!(
+                (0.25..=0.35).contains(&q),
+                "p{p} = {q} escaped the observed range"
+            );
+        }
+        assert!(snap.quantile_from_buckets(0.5) <= snap.quantile_from_buckets(0.9));
+        // p≈1 approaches the observed max, never the bucket bound 0.4.
+        assert!((snap.quantile_from_buckets(1.0) - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_use_observed_max() {
+        // One in-range observation, three past the last bound: high
+        // quantiles come from the overflow bucket, whose upper edge is
+        // the observed max (there is no bound above it).
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.observe(0.5);
+        for x in [3.0, 5.0, 9.0] {
+            h.observe(x);
+        }
+        let snap = h.snapshot();
+        assert_eq!(*snap.counts.last().unwrap(), 3, "overflow holds 3");
+        let p99 = snap.quantile_from_buckets(0.99);
+        assert!(
+            p99 > 1.0 && p99 <= 9.0,
+            "p99 = {p99} must land inside the overflow bucket"
+        );
+        assert!((snap.quantile_from_buckets(1.0) - 9.0).abs() < 1e-9);
+        // Only overflow observations: every quantile still stays inside
+        // [last bound, max].
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.observe(2.0);
+        h.observe(4.0);
+        let snap = h.snapshot();
+        for p in [0.01, 0.5, 0.99] {
+            let q = snap.quantile_from_buckets(p);
+            assert!((1.0..=4.0).contains(&q), "p{p} = {q} outside overflow");
+        }
     }
 
     #[test]

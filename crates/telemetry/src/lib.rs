@@ -39,7 +39,7 @@ pub mod summary;
 pub use env::TelemetryEnv;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use jsonl::{JsonValue, JsonlRecorder, JsonlWriter};
-pub use registry::{Registry, Snapshot};
+pub use registry::{Registry, RegistryVisitor, Snapshot};
 
 use std::fmt::Debug;
 use std::sync::{Arc, OnceLock};

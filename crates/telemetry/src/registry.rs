@@ -116,6 +116,41 @@ impl Registry {
     pub fn take_events(&self) -> Vec<(String, Vec<(String, OwnedValue)>)> {
         std::mem::take(&mut self.inner.lock().expect("registry poisoned").events)
     }
+
+    /// Walks the live aggregate state under the lock **without
+    /// cloning**: every counter, gauge and live histogram is handed to
+    /// the visitor by reference. This is the allocation-free read path
+    /// samplers poll on a cadence — [`Registry::snapshot`] clones every
+    /// map and is the wrong tool for a per-second tick.
+    ///
+    /// Histogram state absorbed from merged worker snapshots is *not*
+    /// visited (folding it in would allocate); a process-lifetime
+    /// sampler watches the live registry its hot paths record into.
+    pub fn visit(&self, visitor: &mut dyn RegistryVisitor) {
+        let inner = self.inner.lock().expect("registry poisoned");
+        for (name, &value) in &inner.counters {
+            visitor.counter(name, value);
+        }
+        for (name, &value) in &inner.gauges {
+            visitor.gauge(name, value);
+        }
+        for (name, hist) in &inner.histograms {
+            visitor.histogram(name, hist);
+        }
+    }
+}
+
+/// Receiver for [`Registry::visit`]: one callback per live series, all
+/// borrowed, none allocating on the registry side.
+pub trait RegistryVisitor {
+    /// One monotone counter.
+    fn counter(&mut self, name: &str, value: u64);
+    /// One gauge (last written value).
+    fn gauge(&mut self, name: &str, value: f64);
+    /// One live histogram, borrowed under the registry lock — read
+    /// [`Histogram::count`], [`Histogram::sum`], [`Histogram::bounds`]
+    /// and [`Histogram::counts`] without copying.
+    fn histogram(&mut self, name: &str, hist: &Histogram);
 }
 
 impl Recorder for Registry {
@@ -401,6 +436,40 @@ mod tests {
         let snap = a.snapshot();
         assert_eq!(snap.counters["c"], 5);
         assert_eq!(snap.gauges["g"], 2.5);
+    }
+
+    #[test]
+    fn visit_walks_live_state_by_reference() {
+        let reg = Registry::new();
+        reg.counter_add("c", 7);
+        reg.gauge_set("g", 1.5);
+        reg.register_histogram("h", vec![1.0, 2.0]);
+        reg.observe("h", 1.5);
+
+        #[derive(Default)]
+        struct Collect {
+            counters: Vec<(String, u64)>,
+            gauges: Vec<(String, f64)>,
+            hist_counts: Vec<(String, u64)>,
+        }
+        impl RegistryVisitor for Collect {
+            fn counter(&mut self, name: &str, value: u64) {
+                self.counters.push((name.to_string(), value));
+            }
+            fn gauge(&mut self, name: &str, value: f64) {
+                self.gauges.push((name.to_string(), value));
+            }
+            fn histogram(&mut self, name: &str, hist: &Histogram) {
+                self.hist_counts.push((name.to_string(), hist.count()));
+                assert_eq!(hist.counts().iter().sum::<u64>(), 1);
+                assert!((hist.sum() - 1.5).abs() < 1e-12);
+            }
+        }
+        let mut v = Collect::default();
+        reg.visit(&mut v);
+        assert_eq!(v.counters, vec![("c".to_string(), 7)]);
+        assert_eq!(v.gauges, vec![("g".to_string(), 1.5)]);
+        assert_eq!(v.hist_counts, vec![("h".to_string(), 1)]);
     }
 
     #[test]

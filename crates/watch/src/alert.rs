@@ -1,0 +1,111 @@
+//! The alert sink: a bounded log of fire/resolve transitions, the
+//! telemetry events they emit, and the seam through which a quality
+//! SLO breach asks the blackbox for an incident dump.
+
+/// One alert transition, as kept in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Monotonic id (1-based, over the watch's lifetime).
+    pub id: u64,
+    /// SLO name that transitioned.
+    pub slo: String,
+    /// `true` = fired, `false` = resolved.
+    pub fired: bool,
+    /// Evaluation-clock time of the transition.
+    pub at: f64,
+    /// Short-window burn at the transition, when measurable.
+    pub burn_short: Option<f64>,
+    /// Short-window signal value at the transition, when measurable.
+    pub value_short: Option<f64>,
+    /// Whether an incident capture was requested (quality SLOs only).
+    pub incident_requested: bool,
+}
+
+/// Fixed-capacity alert history, oldest evicted first.
+#[derive(Debug)]
+pub struct AlertLog {
+    entries: Vec<Alert>,
+    cap: usize,
+    next_id: u64,
+    total_fired: u64,
+    total_resolved: u64,
+}
+
+impl AlertLog {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            next_id: 1,
+            total_fired: 0,
+            total_resolved: 0,
+        }
+    }
+
+    pub fn push(&mut self, mut alert: Alert) -> u64 {
+        alert.id = self.next_id;
+        self.next_id += 1;
+        if alert.fired {
+            self.total_fired += 1;
+        } else {
+            self.total_resolved += 1;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push(alert);
+        self.next_id - 1
+    }
+
+    /// Oldest → newest.
+    pub fn entries(&self) -> &[Alert] {
+        &self.entries
+    }
+
+    pub fn total_fired(&self) -> u64 {
+        self.total_fired
+    }
+
+    pub fn total_resolved(&self) -> u64 {
+        self.total_resolved
+    }
+}
+
+/// How the watch asks for a forensic dump when a quality SLO fires.
+/// Implemented by the blackbox's `FlightHandle`; the indirection keeps
+/// `prefall-watch` free of a blackbox (and hence core) dependency.
+pub trait IncidentCapture: Send + Sync {
+    /// Capture an incident dump now. `reason` names the firing SLO.
+    /// Returns an incident identifier when a dump was produced.
+    fn capture_incident(&self, reason: &str) -> Option<String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(slo: &str, fired: bool, at: f64) -> Alert {
+        Alert {
+            id: 0,
+            slo: slo.to_string(),
+            fired,
+            at,
+            burn_short: None,
+            value_short: None,
+            incident_requested: false,
+        }
+    }
+
+    #[test]
+    fn log_keeps_newest_entries_and_counts_transitions() {
+        let mut log = AlertLog::new(3);
+        for i in 0..5 {
+            log.push(alert("fa_rate", i % 2 == 0, i as f64));
+        }
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.entries()[0].id, 3);
+        assert_eq!(log.entries()[2].id, 5);
+        assert_eq!(log.total_fired(), 3);
+        assert_eq!(log.total_resolved(), 2);
+    }
+}

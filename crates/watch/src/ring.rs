@@ -1,0 +1,140 @@
+//! Fixed-capacity `(timestamp, value)` rings — the storage primitive
+//! behind every series in the store.
+//!
+//! All memory is allocated at construction; `push` overwrites the
+//! oldest point once full, so a series occupies a constant footprint
+//! for the life of the process and the sampling tick never touches the
+//! heap.
+
+/// A fixed-capacity ring of `(t, v)` points, oldest evicted first.
+#[derive(Debug, Clone)]
+pub struct PointRing {
+    ts: Box<[f64]>,
+    vs: Box<[f64]>,
+    /// Next write slot.
+    head: usize,
+    len: usize,
+}
+
+impl PointRing {
+    /// A ring holding at most `cap` points (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            ts: vec![0.0; cap].into_boxed_slice(),
+            vs: vec![0.0; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.ts.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a point, evicting the oldest when full. Never allocates.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.ts[self.head] = t;
+        self.vs[self.head] = v;
+        self.head = (self.head + 1) % self.capacity();
+        self.len = (self.len + 1).min(self.capacity());
+    }
+
+    /// The `i`-th point in time order (0 = oldest).
+    pub fn get(&self, i: usize) -> Option<(f64, f64)> {
+        if i >= self.len {
+            return None;
+        }
+        let cap = self.capacity();
+        let start = (self.head + cap - self.len) % cap;
+        let slot = (start + i) % cap;
+        Some((self.ts[slot], self.vs[slot]))
+    }
+
+    /// The most recent point.
+    pub fn latest(&self) -> Option<(f64, f64)> {
+        self.get(self.len.wrapping_sub(1))
+    }
+
+    /// Points oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        (0..self.len).map(move |i| self.get(i).expect("index in range"))
+    }
+
+    /// Index (time order) of the newest point with `t <= at`, i.e. the
+    /// value in force at time `at`. `None` when every held point is
+    /// newer.
+    pub fn index_at_or_before(&self, at: f64) -> Option<usize> {
+        // Rings are small (hundreds of points); a linear scan from the
+        // newest end is cache-friendly and allocation-free.
+        (0..self.len).rev().find(|&i| {
+            let (t, _) = self.get(i).expect("index in range");
+            t <= at
+        })
+    }
+
+    /// The baseline point for a window query ending `now`: the newest
+    /// point at or before `now - window`, falling back to the oldest
+    /// held point when the window reaches past retention.
+    pub fn baseline(&self, now: f64, window_s: f64) -> Option<(f64, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = self.index_at_or_before(now - window_s).unwrap_or(0);
+        self.get(idx)
+    }
+
+    /// The index pair `(baseline, end)` bounding the window
+    /// `[now - window_s, now]`: `end` is the newest point at or before
+    /// `now`, `baseline` the newest at or before the window start
+    /// (falling back to the oldest held point). `None` when no held
+    /// point is old enough to serve as the end.
+    pub fn window_indices(&self, now: f64, window_s: f64) -> Option<(usize, usize)> {
+        let end = self.index_at_or_before(now)?;
+        let base = self
+            .index_at_or_before(now - window_s)
+            .unwrap_or(0)
+            .min(end);
+        Some((base, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest_beyond_capacity() {
+        let mut r = PointRing::new(3);
+        for i in 0..5 {
+            r.push(i as f64, (i * 10) as f64);
+        }
+        assert_eq!(r.len(), 3);
+        let pts: Vec<_> = r.iter().collect();
+        assert_eq!(pts, vec![(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]);
+        assert_eq!(r.latest(), Some((4.0, 40.0)));
+    }
+
+    #[test]
+    fn baseline_picks_value_in_force_at_window_start() {
+        let mut r = PointRing::new(8);
+        for i in 0..6 {
+            r.push(i as f64, i as f64);
+        }
+        // Window [2, 5]: baseline is the point at t=2 exactly.
+        assert_eq!(r.baseline(5.0, 3.0), Some((2.0, 2.0)));
+        // Window start between samples: the newest point before it.
+        assert_eq!(r.baseline(5.0, 2.5), Some((2.0, 2.0)));
+        // Window reaching past retention: oldest held point.
+        assert_eq!(r.baseline(5.0, 100.0), Some((0.0, 0.0)));
+        assert_eq!(PointRing::new(4).baseline(5.0, 1.0), None);
+    }
+}

@@ -1,0 +1,507 @@
+//! The ring-buffer time-series store: one fixed-capacity series per
+//! telemetry metric, fed by [`TsStore::sample`] from a live
+//! [`Registry`] via the allocation-free visitor API.
+//!
+//! Counters and histograms are stored **cumulatively** — each tick
+//! appends the current running total — and rates / windowed quantiles
+//! are derived at query time from the difference between the newest
+//! point and the baseline point in force at the window start. This
+//! keeps the write path trivial (copy a few floats) and makes every
+//! windowed answer exact with respect to what was sampled.
+//!
+//! After a series' rings exist (first tick that sees the metric), a
+//! sampling tick performs **zero heap allocations** — asserted by the
+//! workspace's `noop_overhead` counting-allocator test.
+
+use crate::ring::PointRing;
+use prefall_telemetry::{Histogram, Registry, RegistryVisitor};
+use std::collections::BTreeMap;
+
+/// Store sizing and cadence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreConfig {
+    /// Seconds between samples (the background daemon's tick period,
+    /// and the spacing manual [`crate::Watch::tick_at`] callers should
+    /// roughly honour).
+    pub resolution_s: f64,
+    /// How far back queries can reach. Ring capacity is
+    /// `retention_s / resolution_s` points per series.
+    pub retention_s: f64,
+    /// Hard cap on distinct series (labelled metrics can fan out);
+    /// metrics beyond the cap are counted in
+    /// [`TsStore::dropped_series`] and skipped.
+    pub max_series: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            resolution_s: 1.0,
+            retention_s: 600.0,
+            max_series: 512,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Points each ring holds.
+    pub fn capacity(&self) -> usize {
+        ((self.retention_s / self.resolution_s).ceil() as usize).max(2)
+    }
+}
+
+/// What kind of telemetry metric a series mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl SeriesKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A histogram mirrored as parallel cumulative rings: observation
+/// count, sum, and one ring per bucket, sharing one timestamp ring so
+/// a windowed bucket delta is two index lookups per bucket.
+#[derive(Debug)]
+pub(crate) struct HistSeries {
+    bounds: Box<[f64]>,
+    /// `(t, cumulative count)` — also the shared time index.
+    count: PointRing,
+    sum: PointRing,
+    /// Cumulative per-bucket counts, `bounds.len() + 1` rings.
+    buckets: Vec<PointRing>,
+}
+
+impl HistSeries {
+    fn new(bounds: &[f64], cap: usize) -> Self {
+        Self {
+            bounds: bounds.to_vec().into_boxed_slice(),
+            count: PointRing::new(cap),
+            sum: PointRing::new(cap),
+            buckets: (0..=bounds.len()).map(|_| PointRing::new(cap)).collect(),
+        }
+    }
+
+    fn push(&mut self, t: f64, hist: &Histogram) {
+        self.count.push(t, hist.count() as f64);
+        self.sum.push(t, hist.sum());
+        for (ring, &c) in self.buckets.iter_mut().zip(hist.counts()) {
+            ring.push(t, c as f64);
+        }
+    }
+
+    /// Observations landing inside the window `[now - window_s, now]`
+    /// (exclusive of whatever the baseline sample had already seen).
+    pub(crate) fn window_count(&self, now: f64, window_s: f64) -> Option<f64> {
+        let (base, end) = self.count.window_indices(now, window_s)?;
+        let (_, v_end) = self.count.get(end)?;
+        let (_, v_base) = self.count.get(base)?;
+        Some((v_end - v_base).max(0.0))
+    }
+
+    /// Interpolated quantile of the observations inside the window,
+    /// derived from per-bucket deltas. Two passes over the bucket
+    /// rings, no allocation. Assumes non-negative observations (true
+    /// of every latency / lead-time / rate layout in this repo): the
+    /// first bucket's lower edge is 0 and the overflow bucket's upper
+    /// edge is taken as the last bound (tail values clamp there).
+    pub(crate) fn window_quantile(&self, q: f64, now: f64, window_s: f64) -> Option<f64> {
+        // All rings share the timestamp sequence, so one index pair
+        // bounds every bucket's delta.
+        let (base, end) = self.count.window_indices(now, window_s)?;
+        let delta = |ring: &PointRing| -> f64 {
+            let v_end = ring.get(end).map(|(_, v)| v).unwrap_or(0.0);
+            let v_base = ring.get(base).map(|(_, v)| v).unwrap_or(0.0);
+            (v_end - v_base).max(0.0)
+        };
+        let mut total = 0.0;
+        for ring in &self.buckets {
+            total += delta(ring);
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total;
+        let mut cum = 0.0;
+        for (i, ring) in self.buckets.iter().enumerate() {
+            let d = delta(ring);
+            if d <= 0.0 {
+                continue;
+            }
+            let next = cum + d;
+            if next >= target {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: no upper bound exists; clamp to
+                    // the last bound so the answer stays finite.
+                    self.bounds[self.bounds.len() - 1]
+                };
+                let frac = ((target - cum) / d).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            cum = next;
+        }
+        Some(self.bounds[self.bounds.len() - 1])
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum SeriesData {
+    Counter(PointRing),
+    Gauge(PointRing),
+    Hist(HistSeries),
+}
+
+impl SeriesData {
+    pub(crate) fn kind(&self) -> SeriesKind {
+        match self {
+            SeriesData::Counter(_) => SeriesKind::Counter,
+            SeriesData::Gauge(_) => SeriesKind::Gauge,
+            SeriesData::Hist(_) => SeriesKind::Histogram,
+        }
+    }
+}
+
+/// The in-process TSDB: named series over fixed-capacity rings.
+#[derive(Debug)]
+pub struct TsStore {
+    cfg: StoreConfig,
+    series: BTreeMap<String, SeriesData>,
+    dropped: u64,
+}
+
+impl TsStore {
+    pub fn new(cfg: StoreConfig) -> Self {
+        Self {
+            cfg,
+            series: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Distinct series currently held.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Metrics skipped because [`StoreConfig::max_series`] was reached.
+    pub fn dropped_series(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Samples every live metric of `registry` at time `now` (seconds,
+    /// on whatever clock the caller drives — wall for the daemon,
+    /// virtual for deterministic replays). Allocation-free for every
+    /// series that already has rings.
+    pub fn sample(&mut self, registry: &Registry, now: f64) {
+        let mut visitor = SampleVisitor { store: self, now };
+        registry.visit(&mut visitor);
+    }
+
+    fn room_for_new_series(&mut self) -> bool {
+        if self.series.len() >= self.cfg.max_series {
+            self.dropped += 1;
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Option<&SeriesData> {
+        self.series.get(name)
+    }
+
+    /// `(name, kind, points held)` for every series.
+    pub fn series_names(&self) -> Vec<(String, SeriesKind, usize)> {
+        self.series
+            .iter()
+            .map(|(name, data)| {
+                let n = match data {
+                    SeriesData::Counter(r) | SeriesData::Gauge(r) => r.len(),
+                    SeriesData::Hist(h) => h.count.len(),
+                };
+                (name.clone(), data.kind(), n)
+            })
+            .collect()
+    }
+
+    /// Raw points of a counter or gauge series inside the window
+    /// (histograms expose their cumulative observation count).
+    pub fn points(&self, name: &str, now: f64, window_s: f64) -> Option<Vec<(f64, f64)>> {
+        let ring = match self.get(name)? {
+            SeriesData::Counter(r) | SeriesData::Gauge(r) => r,
+            SeriesData::Hist(h) => &h.count,
+        };
+        let since = now - window_s;
+        Some(ring.iter().filter(|&(t, _)| t >= since).collect())
+    }
+
+    /// Windowed rate of a counter, in events per second: the increase
+    /// between the baseline point (in force at `now - window_s`) and
+    /// the newest point, divided by the time between them. `None` for
+    /// unknown / non-counter series or fewer than two points.
+    pub fn rate_per_s(&self, name: &str, now: f64, window_s: f64) -> Option<f64> {
+        let SeriesData::Counter(ring) = self.get(name)? else {
+            return None;
+        };
+        let (base, end) = ring.window_indices(now, window_s)?;
+        let (t1, v1) = ring.get(end)?;
+        let (t0, v0) = ring.get(base)?;
+        if t1 <= t0 {
+            return None;
+        }
+        Some(((v1 - v0).max(0.0)) / (t1 - t0))
+    }
+
+    /// Windowed increase of a counter (events inside the window).
+    pub fn increase(&self, name: &str, now: f64, window_s: f64) -> Option<f64> {
+        let SeriesData::Counter(ring) = self.get(name)? else {
+            return None;
+        };
+        let (base, end) = ring.window_indices(now, window_s)?;
+        let (_, v1) = ring.get(end)?;
+        let (_, v0) = ring.get(base)?;
+        Some((v1 - v0).max(0.0))
+    }
+
+    /// Latest value of a gauge series.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            SeriesData::Gauge(ring) => ring.latest().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Windowed interpolated quantile of a histogram series.
+    pub fn quantile(&self, name: &str, q: f64, now: f64, window_s: f64) -> Option<f64> {
+        match self.get(name)? {
+            SeriesData::Hist(h) => h.window_quantile(q, now, window_s),
+            _ => None,
+        }
+    }
+
+    /// Observations a histogram recorded inside the window.
+    pub fn window_count(&self, name: &str, now: f64, window_s: f64) -> Option<f64> {
+        match self.get(name)? {
+            SeriesData::Hist(h) => h.window_count(now, window_s),
+            _ => None,
+        }
+    }
+}
+
+struct SampleVisitor<'a> {
+    store: &'a mut TsStore,
+    now: f64,
+}
+
+impl RegistryVisitor for SampleVisitor<'_> {
+    fn counter(&mut self, name: &str, value: u64) {
+        if let Some(SeriesData::Counter(ring)) = self.store.series.get_mut(name) {
+            ring.push(self.now, value as f64);
+            return;
+        }
+        if self.store.series.contains_key(name) || !self.store.room_for_new_series() {
+            return;
+        }
+        let mut ring = PointRing::new(self.store.cfg.capacity());
+        ring.push(self.now, value as f64);
+        self.store
+            .series
+            .insert(name.to_string(), SeriesData::Counter(ring));
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        if let Some(SeriesData::Gauge(ring)) = self.store.series.get_mut(name) {
+            ring.push(self.now, value);
+            return;
+        }
+        if self.store.series.contains_key(name) || !self.store.room_for_new_series() {
+            return;
+        }
+        let mut ring = PointRing::new(self.store.cfg.capacity());
+        ring.push(self.now, value);
+        self.store
+            .series
+            .insert(name.to_string(), SeriesData::Gauge(ring));
+    }
+
+    fn histogram(&mut self, name: &str, hist: &Histogram) {
+        if let Some(SeriesData::Hist(series)) = self.store.series.get_mut(name) {
+            if series.bounds.as_ref() == hist.bounds() {
+                series.push(self.now, hist);
+                return;
+            }
+            // Layout changed under us (should not happen to a live
+            // histogram): restart the series with the new layout.
+            let mut fresh = HistSeries::new(hist.bounds(), self.store.cfg.capacity());
+            fresh.push(self.now, hist);
+            self.store
+                .series
+                .insert(name.to_string(), SeriesData::Hist(fresh));
+            return;
+        }
+        if self.store.series.contains_key(name) || !self.store.room_for_new_series() {
+            return;
+        }
+        let mut series = HistSeries::new(hist.bounds(), self.store.cfg.capacity());
+        series.push(self.now, hist);
+        self.store
+            .series
+            .insert(name.to_string(), SeriesData::Hist(series));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefall_telemetry::Recorder;
+
+    fn store_with(resolution_s: f64, retention_s: f64) -> TsStore {
+        TsStore::new(StoreConfig {
+            resolution_s,
+            retention_s,
+            max_series: 64,
+        })
+    }
+
+    #[test]
+    fn windowed_counter_rate_matches_hand_computed_values() {
+        let reg = Registry::new();
+        let mut store = store_with(1.0, 60.0);
+        // detector.windows grows by exactly 5 per second for 10 s.
+        for t in 0..=10u64 {
+            if t > 0 {
+                reg.counter_add("detector.windows", 5);
+            }
+            store.sample(&reg, t as f64);
+        }
+        // Window [5, 10]: baseline (5, 25), latest (10, 50) →
+        // (50-25)/(10-5) = 5 events/s.
+        let r = store.rate_per_s("detector.windows", 10.0, 5.0).unwrap();
+        assert!((r - 5.0).abs() < 1e-12, "rate {r}");
+        // Full history: (50-0)/10 = 5/s as well.
+        let r = store.rate_per_s("detector.windows", 10.0, 100.0).unwrap();
+        assert!((r - 5.0).abs() < 1e-12);
+        // Increase over the last 3 s: 15 events.
+        let inc = store.increase("detector.windows", 10.0, 3.0).unwrap();
+        assert!((inc - 15.0).abs() < 1e-12, "increase {inc}");
+    }
+
+    #[test]
+    fn burst_rate_is_localised_to_its_window() {
+        let reg = Registry::new();
+        let mut store = store_with(1.0, 120.0);
+        // Quiet for 30 s, a burst of 12 false activations in [30, 40],
+        // quiet again until t=60. A zero-delta add materialises the
+        // counter so the series exists from t=0.
+        reg.counter_add("detector.false_activations", 0);
+        for t in 0..=60u64 {
+            if (31..=40).contains(&t) {
+                reg.counter_add("detector.false_activations", 1);
+            }
+            if t == 35 {
+                reg.counter_add("detector.false_activations", 2);
+            }
+            store.sample(&reg, t as f64);
+        }
+        // Hand-computed: total = 12. Window [50,60] saw nothing.
+        assert_eq!(
+            store.increase("detector.false_activations", 60.0, 10.0),
+            Some(0.0)
+        );
+        // Window [30, 60] holds all 12 → 0.4/s → 1440/h.
+        let r = store
+            .rate_per_s("detector.false_activations", 60.0, 30.0)
+            .unwrap();
+        assert!((r - 12.0 / 30.0).abs() < 1e-12, "rate {r}");
+        // Window [25, 40] at now=40 holds all 12 → 12/15 per s.
+        let r = store
+            .rate_per_s("detector.false_activations", 40.0, 15.0)
+            .unwrap();
+        assert!((r - 12.0 / 15.0).abs() < 1e-12, "rate {r}");
+    }
+
+    #[test]
+    fn gauge_series_keeps_last_value_and_points() {
+        let reg = Registry::new();
+        let mut store = store_with(1.0, 10.0);
+        for t in 0..5u64 {
+            reg.gauge_set("par.queue_depth", t as f64 * 2.0);
+            store.sample(&reg, t as f64);
+        }
+        assert_eq!(store.gauge("par.queue_depth"), Some(8.0));
+        let pts = store.points("par.queue_depth", 4.0, 2.0).unwrap();
+        assert_eq!(pts, vec![(2.0, 4.0), (3.0, 6.0), (4.0, 8.0)]);
+    }
+
+    #[test]
+    fn windowed_histogram_quantile_sees_only_window_observations() {
+        let reg = Registry::new();
+        reg.register_histogram("detector.push_sample_seconds", vec![1e-5, 1e-4, 1e-3, 1e-2]);
+        let mut store = store_with(1.0, 120.0);
+        // 40 fast observations (~5 µs bucket) before t=10, then 20 slow
+        // (~5 ms bucket) during [10, 30].
+        for t in 0..=30u64 {
+            if t < 10 {
+                for _ in 0..4 {
+                    reg.observe("detector.push_sample_seconds", 5e-6);
+                }
+            } else if t < 30 {
+                reg.observe("detector.push_sample_seconds", 5e-3);
+            }
+            store.sample(&reg, t as f64);
+        }
+        // Window [10, 30] holds only slow observations: p99 lands in
+        // the (1e-3, 1e-2] bucket.
+        let p99 = store
+            .quantile("detector.push_sample_seconds", 0.99, 30.0, 20.0)
+            .unwrap();
+        assert!(p99 > 1e-3 && p99 <= 1e-2, "p99 {p99}");
+        // Full history: fast observations dominate (40 fast vs 20 slow)
+        // → p50 in the first bucket.
+        let p50 = store
+            .quantile("detector.push_sample_seconds", 0.5, 30.0, 1000.0)
+            .unwrap();
+        assert!(p50 <= 1e-5, "p50 {p50}");
+        // 19, not 20: the baseline sample at t=10 had already absorbed
+        // that second's slow observation.
+        let n = store
+            .window_count("detector.push_sample_seconds", 30.0, 20.0)
+            .unwrap();
+        assert!((n - 19.0).abs() < 1e-12, "count {n}");
+    }
+
+    #[test]
+    fn retention_caps_memory_and_series_cap_drops_extras() {
+        let reg = Registry::new();
+        let mut store = TsStore::new(StoreConfig {
+            resolution_s: 1.0,
+            retention_s: 5.0,
+            max_series: 2,
+        });
+        reg.counter_add("a", 1);
+        reg.counter_add("b", 1);
+        reg.counter_add("c", 1);
+        for t in 0..100u64 {
+            store.sample(&reg, t as f64);
+        }
+        assert_eq!(store.series_count(), 2);
+        assert!(store.dropped_series() > 0);
+        let pts = store.points("a", 99.0, 1e9).unwrap();
+        assert!(pts.len() <= store.config().capacity());
+    }
+}

@@ -267,5 +267,92 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         agg.total_ns as f64 / 1e6
     );
     println!("  full tour     : cargo run --release --example trace_tour");
+
+    // 8. The watch layer: a ring-buffer time-series store samples the
+    //    registry, SLOs evaluate as multi-window burn rates, and alert
+    //    transitions flow back into telemetry, /healthz, and (for
+    //    quality SLOs) the blackbox. Driven here on a virtual clock so
+    //    the whole fire → refractory → resolve lifecycle plays out in
+    //    milliseconds of wall time; `watch.spawn()` runs the same loop
+    //    against the wall clock in production.
+    println!("\n== 8. watch: SLO burn-rate alerting ==");
+    let watched = Arc::new(Registry::new());
+    let watch = Arc::new(prefall::watch::Watch::new(
+        watched.clone(),
+        prefall::watch::WatchConfig {
+            store: prefall::watch::StoreConfig::default(),
+            slos: vec![prefall::watch::SloSpec::new(
+                "fa_rate",
+                prefall::watch::SloObjective::CounterRateCeiling {
+                    counter: "detector.false_activations".into(),
+                    per_seconds: 3600.0,
+                    max: 30.0, // the paper's ≤30 false activations/hour
+                },
+            )
+            .windows(60.0, 15.0)
+            .burn(2.0, 1.0)
+            .hold(30.0, 15.0)],
+            alert_log_cap: 16,
+        },
+    ));
+    watched.counter_add("detector.false_activations", 0);
+    for t in 0..240u64 {
+        // Scripted stream: healthy for a minute, a false-activation
+        // storm for the next, then healthy again.
+        if (60..120).contains(&t) {
+            watched.counter_add("detector.false_activations", 1);
+        }
+        watch.tick_at(t as f64);
+    }
+    for a in watch.alerts() {
+        println!(
+            "  t={:>3.0}s  {} {} (short-window burn {:.1}x)",
+            a.at,
+            a.slo,
+            if a.fired { "FIRED" } else { "resolved" },
+            a.burn_short.unwrap_or(f64::NAN)
+        );
+    }
+
+    // The same state is queryable over HTTP: attach the watch as the
+    // server's WatchSource and /tsdb, /slo, /alerts go live (and a
+    // firing SLO would flip /healthz to 503, naming itself).
+    let slo_server = prefall::obsd::MetricsServer::start_with_watch(
+        "127.0.0.1:0",
+        watched.clone(),
+        prefall::obsd::ServerConfig::default(),
+        None,
+        None,
+        Some(watch.clone() as Arc<dyn prefall::obsd::WatchSource>),
+    )?;
+    let slo_body = {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(slo_server.addr())?;
+        write!(
+            s,
+            "GET /slo HTTP/1.1\r\nHost: tour\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut r = String::new();
+        s.read_to_string(&mut r)?;
+        r.split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default()
+    };
+    let slo_doc = JsonValue::parse(slo_body.trim())?;
+    let fa = match &slo_doc {
+        JsonValue::Arr(slos) => slos.first(),
+        _ => None,
+    }
+    .expect("one SLO configured");
+    println!(
+        "  {}/slo → fa_rate fired {} time(s), firing now: {}",
+        slo_server.url(),
+        fa.get("times_fired")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        fa.get("firing")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(true),
+    );
     Ok(())
 }

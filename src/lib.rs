@@ -27,6 +27,10 @@
 //!   samples, guard state and per-branch score attribution; versioned
 //!   incident dumps on trigger / missed fall / health degradation; and
 //!   deterministic bit-exact incident replay.
+//! * [`watch`] — in-process time-series store over the live registry,
+//!   declarative SLOs evaluated as multi-window burn rates, and an
+//!   alert sink that degrades `/healthz` and asks the blackbox for an
+//!   incident dump on quality breaches.
 //!
 //! # Quickstart
 //!
@@ -51,3 +55,4 @@ pub use prefall_nn as nn;
 pub use prefall_obsd as obsd;
 pub use prefall_telemetry as telemetry;
 pub use prefall_trace as trace;
+pub use prefall_watch as watch;

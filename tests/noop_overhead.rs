@@ -209,4 +209,36 @@ fn noop_recorder_push_sample_does_not_allocate() {
         attr.total("nn.infer").count >= 2,
         "both traced classifications appear in the drained timeline"
     );
+
+    // Finally, the watch sampler: after warm-up (first sight of each
+    // series creates its pre-sized rings), a tick over a stable
+    // registry is pure in-place work — the visitor reads counters and
+    // gauges by `&str` lookup, histogram buckets copy into fixed
+    // `Box<[f64]>` rings, and SLO evaluation is arithmetic over ring
+    // indices. No alert transitions occur (transitions are the one
+    // documented allocating path), so fifty ticks must allocate zero.
+    let registry = std::sync::Arc::new(prefall_telemetry::Registry::new());
+    registry.counter_add("detector.false_activations", 3);
+    registry.gauge_set("par.queue_depth", 2.0);
+    for i in 0..32 {
+        registry.observe("detector.push_sample_seconds", 1e-5 * (i + 1) as f64);
+    }
+    let watch = prefall_watch::Watch::new(
+        std::sync::Arc::clone(&registry),
+        prefall_watch::WatchConfig::production(),
+    );
+    for t in 0..3 {
+        watch.tick_at(t as f64); // warm-up: series creation allocates
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for t in 3..53 {
+        watch.tick_at(t as f64);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "a warm watch sampler tick must not allocate"
+    );
+    assert_eq!(watch.ticks(), 53);
 }
