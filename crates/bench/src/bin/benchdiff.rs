@@ -9,6 +9,8 @@
 //!   --lead-floor-ms <M>     absolute lead-time slack, ms (default 5)
 //!   --budget-drop <F>       budget-fraction drop allowed (default 0.05)
 //!   --speedup-pct <P>       speedup shrink allowed, % (default 25)
+//!   --throughput-pct <P>    throughput (`*_per_s`) shrink allowed, %
+//!                           (default 30)
 //!   --min-count <N>         observations needed before a histogram
 //!                           can gate (default 20)
 //! ```
@@ -22,7 +24,7 @@ fn usage() -> ! {
         "usage: benchdiff <baseline.json> <candidate.json> \
          [--latency-pct P] [--latency-floor-us U] \
          [--lead-pct P] [--lead-floor-ms M] [--budget-drop F] \
-         [--speedup-pct P] [--min-count N]"
+         [--speedup-pct P] [--throughput-pct P] [--min-count N]"
     );
     std::process::exit(2);
 }
@@ -47,6 +49,7 @@ fn parse_args() -> (String, String, Thresholds) {
             "--lead-floor-ms" => flag(&mut t.lead_floor_ms),
             "--budget-drop" => flag(&mut t.budget_drop),
             "--speedup-pct" => flag(&mut t.speedup_pct),
+            "--throughput-pct" => flag(&mut t.throughput_pct),
             "--min-count" => flag(&mut t.min_count),
             "-h" | "--help" => usage(),
             _ if arg.starts_with('-') => usage(),

@@ -164,6 +164,12 @@ pub struct Thresholds {
     /// only shrink gates. Generous by default: parallel speedup depends
     /// on the host's core count.
     pub speedup_pct: f64,
+    /// Relative shrink (in %) a throughput gauge or field (any metric
+    /// whose name ends in `_per_s`, e.g. the fleet's
+    /// `fleet.sessions_per_s`) may show — higher is better, so only
+    /// shrink gates, and generously: wall-clock throughput travels
+    /// between CI machines.
+    pub throughput_pct: f64,
     /// Minimum observation count (on both sides) before a histogram can
     /// gate at all. Tiny histograms — a 3-sample `normalize_seconds` —
     /// swing hundreds of percent run-to-run on the same machine from
@@ -180,6 +186,7 @@ impl Default for Thresholds {
             lead_floor_ms: 5.0,
             budget_drop: 0.05,
             speedup_pct: 25.0,
+            throughput_pct: 30.0,
             min_count: 20.0,
         }
     }
@@ -276,8 +283,16 @@ fn is_speedup(name: &str) -> bool {
     name.contains("speedup")
 }
 
+fn is_throughput(name: &str) -> bool {
+    name.ends_with("_per_s")
+}
+
 fn speedup_regressed(base: f64, cand: f64, t: &Thresholds) -> bool {
     base.is_finite() && cand.is_finite() && cand < base * (1.0 - t.speedup_pct / 100.0)
+}
+
+fn throughput_regressed(base: f64, cand: f64, t: &Thresholds) -> bool {
+    base.is_finite() && cand.is_finite() && cand < base * (1.0 - t.throughput_pct / 100.0)
 }
 
 fn latency_regressed(base: f64, cand: f64, t: &Thresholds) -> bool {
@@ -347,14 +362,18 @@ pub fn diff(base: &BenchSnapshot, cand: &BenchSnapshot, t: &Thresholds) -> DiffR
         }
     }
 
-    // Speedup gauges/fields: higher is better; only shrink past the
-    // threshold gates.
+    // Speedup and throughput gauges/fields: higher is better; only
+    // shrink past the respective threshold gates.
     for (section_base, section_cand) in [(&base.gauges, &cand.gauges), (&base.fields, &cand.fields)]
     {
         for (name, bv) in section_base {
-            if !is_speedup(name) {
+            let rule: fn(f64, f64, &Thresholds) -> bool = if is_speedup(name) {
+                speedup_regressed
+            } else if is_throughput(name) {
+                throughput_regressed
+            } else {
                 continue;
-            }
+            };
             let Some(cv) = section_cand.get(name) else {
                 report.unmatched.push(name.clone());
                 continue;
@@ -364,7 +383,7 @@ pub fn diff(base: &BenchSnapshot, cand: &BenchSnapshot, t: &Thresholds) -> DiffR
                 stat: "value",
                 base: *bv,
                 cand: *cv,
-                regression: speedup_regressed(*bv, *cv, t),
+                regression: rule(*bv, *cv, t),
             });
         }
     }
@@ -561,6 +580,40 @@ mod tests {
         });
         let fworse = tweaked(|s| {
             s.fields.insert("wall_speedup".to_string(), 1.0);
+        });
+        assert!(diff(&fbase, &fworse, &t).has_regressions());
+    }
+
+    #[test]
+    fn throughput_shrink_fails_but_growth_and_noise_pass() {
+        let t = Thresholds::default();
+        let with_tp = |v: f64| {
+            tweaked(move |s| {
+                s.gauges.insert("fleet.sessions_per_s".to_string(), v);
+            })
+        };
+        let base = with_tp(1000.0);
+
+        // −50 %: well past the 30 % gate.
+        let report = diff(&base, &with_tp(500.0), &t);
+        assert!(
+            report
+                .regressions()
+                .any(|d| d.metric == "fleet.sessions_per_s" && d.stat == "value"),
+            "{}",
+            report.render()
+        );
+
+        // −20 % is machine noise; growth is an improvement.
+        assert!(!diff(&base, &with_tp(800.0), &t).has_regressions());
+        assert!(!diff(&base, &with_tp(2000.0), &t).has_regressions());
+
+        // Throughput as a top-level field gates identically.
+        let fbase = tweaked(|s| {
+            s.fields.insert("batches_per_s".to_string(), 400.0);
+        });
+        let fworse = tweaked(|s| {
+            s.fields.insert("batches_per_s".to_string(), 100.0);
         });
         assert!(diff(&fbase, &fworse, &t).has_regressions());
     }

@@ -520,6 +520,10 @@ impl IncidentDump {
             suppressed_triggers: gs[9],
             engine_rejects: gs[10],
             windows: gs[11],
+            // Not part of the v1 wire format: grid regressions are a
+            // transport condition, invisible to the single-stream
+            // replay this dump feeds.
+            ts_regression: 0,
         };
         let blob_len = r.u32("model blob len")? as usize;
         r.need(blob_len, "model blob")?;

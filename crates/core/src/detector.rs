@@ -41,23 +41,29 @@
 //! masked or interpolated data is never trusted on its own —
 //! [`StreamingDetector::trigger_decision`] encodes this policy and
 //! [`AirbagController::step_with_detector`] applies it.
+//!
+//! # Fleet split
+//!
+//! [`StreamingDetector`] is the one-wearer face of a two-part core:
+//! an immutable [`ModelBundle`](crate::session::ModelBundle) (weights,
+//! normaliser, configuration) driving a poolable
+//! [`Session`](crate::session::Session) (guard, filters, window,
+//! scratch). A fleet server shares one bundle across thousands of
+//! sessions — see [`crate::session`].
 
 use crate::pipeline::{Pipeline, PipelineConfig};
-use crate::tap::{DetectorTap, SampleTapCtx, WindowTap};
+use crate::session::{EngineCtx, EngineRef, ModelBundle, Session, SessionCheckpoint, TickOutcome};
+use crate::tap::DetectorTap;
 use crate::CoreError;
-use prefall_dsp::biquad::SosFilter;
-use prefall_dsp::butterworth::Butterworth;
-use prefall_dsp::fusion::ComplementaryFilter;
 use prefall_dsp::stats::Normalizer;
-use prefall_imu::channel::{Channel, NUM_CHANNELS};
-use prefall_imu::trial::{Trial, FUSION_ALPHA};
-use prefall_imu::{AIRBAG_INFLATION_SAMPLES, SAMPLE_PERIOD_MS, SAMPLE_RATE_HZ};
+use prefall_imu::channel::Channel;
+use prefall_imu::trial::Trial;
+use prefall_imu::{AIRBAG_INFLATION_SAMPLES, SAMPLE_PERIOD_MS};
 use prefall_nn::kernels::reference_kernels;
 use prefall_nn::network::{BranchStat, Network};
 use prefall_nn::quant::QuantizedNetwork;
 use prefall_nn::workspace::Workspace;
-use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
-use std::collections::VecDeque;
+use prefall_telemetry::{NoopRecorder, Recorder, Value};
 use std::sync::Arc;
 
 /// Upper bounds (ms) for the `detector.lead_time_ms` histogram: 25 ms
@@ -203,6 +209,15 @@ pub struct GuardStatus {
     pub engine_rejects: u64,
     /// Windows classified through the guarded path.
     pub windows: u64,
+    /// Ticks delivered behind the grid (duplicate or reordered
+    /// batches) and dropped by [`Session::push_at`]. Counted, not a
+    /// fault: re-delivery is normal transport behaviour, and dropping
+    /// the stale tick is the correct (idempotent) response — so this
+    /// deliberately does not feed [`GuardStatus::faults`] or the
+    /// `/healthz` fault-rate budget.
+    ///
+    /// [`Session::push_at`]: crate::session::Session::push_at
+    pub ts_regression: u64,
 }
 
 impl GuardStatus {
@@ -234,21 +249,26 @@ const REST_SAMPLE: ([f32; 3], [f32; 3]) = ([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
 /// path.
 #[derive(Debug, Clone)]
 pub struct SampleGuard {
-    cfg: GuardConfig,
-    last_good: Option<([f32; 3], [f32; 3])>,
-    gap_run: usize,
-    pending_flush: bool,
-    axis_last: [f32; 6],
-    axis_run: [u32; 6],
-    bad_run: [u32; 2],
-    stuck: [bool; 2],
-    anomaly_age: u32,
-    mode: DetectorMode,
-    status: GuardStatus,
+    pub(crate) cfg: GuardConfig,
+    pub(crate) last_good: Option<([f32; 3], [f32; 3])>,
+    pub(crate) gap_run: usize,
+    pub(crate) pending_flush: bool,
+    pub(crate) axis_last: [f32; 6],
+    pub(crate) axis_run: [u32; 6],
+    pub(crate) bad_run: [u32; 2],
+    pub(crate) stuck: [bool; 2],
+    pub(crate) anomaly_age: u32,
+    pub(crate) mode: DetectorMode,
+    pub(crate) status: GuardStatus,
+    /// The next expected 100 Hz grid tick for explicitly-sequenced
+    /// ingest ([`crate::session::Session::push_at`]); the implicit
+    /// push paths keep it in step so a stream can switch to sequenced
+    /// delivery at any point.
+    pub(crate) next_tick: u64,
 }
 
 impl SampleGuard {
-    fn new(cfg: GuardConfig) -> Self {
+    pub(crate) fn new(cfg: GuardConfig) -> Self {
         Self {
             cfg,
             last_good: None,
@@ -261,11 +281,12 @@ impl SampleGuard {
             anomaly_age: u32::MAX,
             mode: DetectorMode::default(),
             status: GuardStatus::default(),
+            next_tick: 0,
         }
     }
 
     /// Clears per-stream state; cumulative counters survive.
-    fn reset_stream(&mut self) {
+    pub(crate) fn reset_stream(&mut self) {
         self.last_good = None;
         self.gap_run = 0;
         self.pending_flush = false;
@@ -275,15 +296,16 @@ impl SampleGuard {
         self.stuck = [false; 2];
         self.anomaly_age = u32::MAX;
         self.mode = DetectorMode::default();
+        self.next_tick = 0;
     }
 
     /// The sample used to bridge a gap.
-    fn fill_value(&self) -> ([f32; 3], [f32; 3]) {
+    pub(crate) fn fill_value(&self) -> ([f32; 3], [f32; 3]) {
         self.last_good.unwrap_or(REST_SAMPLE)
     }
 
     /// Validates one delivered sample, returning the cleaned values.
-    fn sanitize(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> ([f32; 3], [f32; 3]) {
+    pub(crate) fn sanitize(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> ([f32; 3], [f32; 3]) {
         self.status.samples += 1;
         self.gap_run = 0;
         let (fill_a, fill_g) = self.fill_value();
@@ -368,8 +390,8 @@ impl SampleGuard {
 
 /// Emits the change in each `guard.*` counter between two
 /// [`GuardStatus`] snapshots. Static names, no allocation.
-fn emit_guard_deltas(rec: &dyn Recorder, before: &GuardStatus, after: &GuardStatus) {
-    let pairs: [(&'static str, u64, u64); 12] = [
+pub(crate) fn emit_guard_deltas(rec: &dyn Recorder, before: &GuardStatus, after: &GuardStatus) {
+    let pairs: [(&'static str, u64, u64); 13] = [
         ("guard.samples", before.samples, after.samples),
         ("guard.nonfinite", before.nonfinite, after.nonfinite),
         ("guard.clamped", before.clamped, after.clamped),
@@ -404,6 +426,11 @@ fn emit_guard_deltas(rec: &dyn Recorder, before: &GuardStatus, after: &GuardStat
             "guard.engine_rejects",
             before.engine_rejects,
             after.engine_rejects,
+        ),
+        (
+            "guard.ts_regression",
+            before.ts_regression,
+            after.ts_regression,
         ),
         ("guard.faults", before.faults(), after.faults()),
     ];
@@ -559,6 +586,70 @@ impl Engine {
         let p = self.predict_proba_traced_in(segment, trace, ws);
         p.is_finite().then_some(p)
     }
+
+    /// [`Engine::predict_proba_in`] through `&self`, for fleet serving
+    /// where one engine is shared immutably across sessions: float
+    /// engines run the allocation-free scalar interpreter only
+    /// (bit-identical scores to the default exclusive path), quantized
+    /// engines score directly. Returns `None` for architectures the
+    /// interpreter cannot run (the LSTM/ConvLSTM baselines) — check
+    /// [`ModelBundle::supports_shared_inference`] once at construction
+    /// instead of discovering it per window.
+    ///
+    /// [`ModelBundle::supports_shared_inference`]:
+    ///     crate::session::ModelBundle::supports_shared_inference
+    pub fn predict_proba_shared(&self, segment: &[f32], ws: &mut Workspace) -> Option<f32> {
+        match self {
+            Engine::Float(n) => n.infer_scalar(segment, ws).map(prefall_nn::loss::sigmoid),
+            Engine::Quantized(q) => Some(q.predict_proba(segment)),
+        }
+    }
+
+    /// [`Engine::try_predict_proba_in`] through `&self` (see
+    /// [`Engine::predict_proba_shared`]). `None` means either a
+    /// non-finite segment or an unsupported architecture.
+    pub fn try_predict_proba_shared(&self, segment: &[f32], ws: &mut Workspace) -> Option<f32> {
+        if segment.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let p = self.predict_proba_shared(segment, ws)?;
+        p.is_finite().then_some(p)
+    }
+
+    /// [`Engine::predict_proba_traced_in`] through `&self` (see
+    /// [`Engine::predict_proba_shared`]). `trace` is cleared first and
+    /// left empty for quantized engines.
+    pub fn predict_proba_traced_shared(
+        &self,
+        segment: &[f32],
+        trace: &mut Vec<BranchStat>,
+        ws: &mut Workspace,
+    ) -> Option<f32> {
+        trace.clear();
+        match self {
+            Engine::Float(n) => n
+                .infer_scalar_traced(segment, ws, trace)
+                .map(prefall_nn::loss::sigmoid),
+            Engine::Quantized(q) => Some(q.predict_proba(segment)),
+        }
+    }
+
+    /// [`Engine::try_predict_proba_traced_in`] through `&self` (see
+    /// [`Engine::predict_proba_shared`]). `trace` is cleared even when
+    /// the segment is rejected.
+    pub fn try_predict_proba_traced_shared(
+        &self,
+        segment: &[f32],
+        trace: &mut Vec<BranchStat>,
+        ws: &mut Workspace,
+    ) -> Option<f32> {
+        trace.clear();
+        if segment.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let p = self.predict_proba_traced_shared(segment, trace, ws)?;
+        p.is_finite().then_some(p)
+    }
 }
 
 impl From<Network> for Engine {
@@ -574,25 +665,20 @@ impl From<QuantizedNetwork> for Engine {
 }
 
 /// A streaming pre-impact fall detector wrapping a trained network.
+///
+/// Internally this is a [`ModelBundle`] (the immutable model half)
+/// driving a single [`Session`] (the per-stream half) through the
+/// exclusive `&mut` engine path — the one-wearer special case of the
+/// fleet split in [`crate::session`], with behaviour bit-identical to
+/// the pre-split detector. [`StreamingDetector::into_parts`] releases
+/// the halves for fleet use.
+///
+/// [`ModelBundle`]: crate::session::ModelBundle
+/// [`Session`]: crate::session::Session
 #[derive(Debug)]
 pub struct StreamingDetector {
-    engine: Engine,
-    normalizer: Normalizer,
-    config: DetectorConfig,
-    filters: Vec<SosFilter>,
-    fusion: ComplementaryFilter,
-    window: VecDeque<[f32; NUM_CHANNELS]>,
-    samples_seen: usize,
-    positives_in_a_row: usize,
-    guard: SampleGuard,
-    rec: Arc<dyn Recorder>,
-    tap: Option<Box<dyn DetectorTap>>,
-    last_trace: Vec<BranchStat>,
-    published_mode: Option<DetectorMode>,
-    /// Reusable inference scratch: after the first classified window,
-    /// the hot path performs no heap allocation per window.
-    ws: Workspace,
-    scratch_seg: Vec<f32>,
+    bundle: ModelBundle,
+    session: Session,
 }
 
 impl StreamingDetector {
@@ -608,44 +694,50 @@ impl StreamingDetector {
         normalizer: Normalizer,
         config: DetectorConfig,
     ) -> Result<Self, CoreError> {
-        let engine = engine.into();
-        let window = config.pipeline.segmentation.window();
-        if engine.input_len() != window * NUM_CHANNELS {
-            return Err(CoreError::InvalidConfig {
-                reason: format!(
-                    "engine expects {} inputs, window provides {}",
-                    engine.input_len(),
-                    window * NUM_CHANNELS
-                ),
-            });
-        }
-        let design = Butterworth::lowpass(
-            config.pipeline.filter_order,
-            config.pipeline.filter_cutoff_hz,
-            SAMPLE_RATE_HZ,
-        )?;
-        Ok(Self {
-            engine,
-            normalizer,
-            config,
-            filters: (0..NUM_CHANNELS).map(|_| design.to_filter()).collect(),
-            fusion: ComplementaryFilter::new(SAMPLE_RATE_HZ, FUSION_ALPHA),
-            window: VecDeque::with_capacity(window),
-            samples_seen: 0,
-            positives_in_a_row: 0,
-            guard: SampleGuard::new(config.guard),
-            rec: prefall_telemetry::noop(),
-            tap: None,
-            last_trace: Vec::new(),
-            published_mode: None,
-            ws: Workspace::new(),
-            scratch_seg: Vec::with_capacity(window * NUM_CHANNELS),
-        })
+        let bundle = ModelBundle::new(engine, normalizer, config)?;
+        let session = bundle.new_session();
+        Ok(Self { bundle, session })
+    }
+
+    /// Reassembles a detector from a bundle and one of its sessions
+    /// (the inverse of [`StreamingDetector::into_parts`]).
+    pub fn from_parts(bundle: ModelBundle, session: Session) -> Self {
+        Self { bundle, session }
+    }
+
+    /// Releases the model/session halves for fleet use: share the
+    /// [`ModelBundle`](crate::session::ModelBundle) behind an `Arc`
+    /// and pool [`Session`](crate::session::Session)s against it.
+    pub fn into_parts(self) -> (ModelBundle, Session) {
+        (self.bundle, self.session)
+    }
+
+    /// The shared model half.
+    pub fn bundle(&self) -> &ModelBundle {
+        &self.bundle
+    }
+
+    /// The per-stream session half.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Splits the borrow: the exclusive engine context plus the
+    /// session it drives.
+    fn ctx_and_session(&mut self) -> (EngineCtx<'_>, &mut Session) {
+        let Self { bundle, session } = self;
+        (
+            EngineCtx {
+                engine: EngineRef::Exclusive(&mut bundle.engine),
+                normalizer: &bundle.normalizer,
+            },
+            session,
+        )
     }
 
     /// The configuration.
     pub fn config(&self) -> &DetectorConfig {
-        &self.config
+        self.bundle.config()
     }
 
     /// Installs a telemetry recorder. Every [`StreamingDetector::push_sample`]
@@ -654,7 +746,7 @@ impl StreamingDetector {
     /// `detector.windows` counter. The default is the shared no-op
     /// recorder, which never reads the clock.
     pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
-        self.rec = rec;
+        self.session.set_recorder(rec);
     }
 
     /// Installs a [`DetectorTap`]: a per-sample observer that sees
@@ -663,36 +755,24 @@ impl StreamingDetector {
     /// inference runs through the traced engine path — bit-identical
     /// scores, plus branch statistics. Replaces any previous tap.
     pub fn set_tap(&mut self, tap: Box<dyn DetectorTap>) {
-        self.tap = Some(tap);
+        self.session.set_tap(tap);
     }
 
     /// Removes and returns the installed tap, if any.
     pub fn take_tap(&mut self) -> Option<Box<dyn DetectorTap>> {
-        self.tap.take()
+        self.session.take_tap()
     }
 
     /// Whether a [`DetectorTap`] is currently installed.
     pub fn has_tap(&self) -> bool {
-        self.tap.is_some()
+        self.session.has_tap()
     }
 
     /// Resets all streaming state (filters, fusion, window, guard
     /// stream state). Cumulative [`GuardStatus`] counters survive —
     /// they describe the deployment, not one trial.
     pub fn reset(&mut self) {
-        for f in &mut self.filters {
-            f.reset();
-        }
-        self.fusion.reset();
-        self.window.clear();
-        self.samples_seen = 0;
-        self.positives_in_a_row = 0;
-        self.guard.reset_stream();
-        self.published_mode = None;
-        if let Some(mut tap) = self.tap.take() {
-            tap.on_stream_reset();
-            self.tap = Some(tap);
-        }
+        self.session.reset();
     }
 
     /// Replaces the guard configuration, resetting all guard state
@@ -700,25 +780,42 @@ impl StreamingDetector {
     /// detector be compared with the guard on and off without
     /// rebuilding the engine or re-running training.
     pub fn set_guard(&mut self, cfg: GuardConfig) {
-        self.config.guard = cfg;
-        self.guard = SampleGuard::new(cfg);
+        self.bundle.config.guard = cfg;
+        self.session.set_guard(cfg);
     }
 
     /// The currently active degraded modes.
     pub fn mode(&self) -> DetectorMode {
-        self.guard.mode
+        self.session.mode()
     }
 
     /// Cumulative guard intervention counters.
     pub fn guard_status(&self) -> GuardStatus {
-        self.guard.status
+        self.session.guard_status()
     }
 
     /// Whether the accelerometer branch currently confirms a fall-like
     /// event: accel magnitude left the 1 g rest band within the last
     /// [`GuardConfig::accel_confirm_window`] samples.
     pub fn accel_confirms(&self) -> bool {
-        self.guard.anomaly_age as usize <= self.config.guard.accel_confirm_window
+        self.session.accel_confirms()
+    }
+
+    /// Captures the complete per-stream state (see
+    /// [`Session::checkpoint`](crate::session::Session::checkpoint)).
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        self.session.checkpoint()
+    }
+
+    /// Restores state captured by [`StreamingDetector::checkpoint`]
+    /// (see [`Session::restore`](crate::session::Session::restore)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the checkpoint's
+    /// shape does not fit this detector's configuration.
+    pub fn restore(&mut self, ck: &SessionCheckpoint) -> Result<(), CoreError> {
+        self.session.restore(ck)
     }
 
     /// Feeds one raw 100 Hz sample (accelerometer in g, gyroscope in
@@ -734,13 +831,23 @@ impl StreamingDetector {
     /// layers launder it into a constant garbage score — the detector
     /// goes silently blind.
     pub fn push_sample(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> Option<f32> {
-        let prob = if self.config.guard.enabled {
-            self.push_guarded(accel, gyro, false)
-        } else {
-            self.push_raw(accel, gyro)
-        };
-        self.tap_after(accel, gyro, false, prob);
-        prob
+        let (mut ctx, session) = self.ctx_and_session();
+        session.push_sample_with(&mut ctx, accel, gyro)
+    }
+
+    /// Ingests a sample at an explicit 100 Hz grid tick, tolerating
+    /// duplicate, reordered and gap delivery (see
+    /// [`Session::push_at`](crate::session::Session::push_at)). Window
+    /// probabilities are appended to `out` in emission order.
+    pub fn push_at(
+        &mut self,
+        tick: u64,
+        accel: [f32; 3],
+        gyro: [f32; 3],
+        out: &mut Vec<f32>,
+    ) -> TickOutcome {
+        let (mut ctx, session) = self.ctx_and_session();
+        session.push_at_with(&mut ctx, tick, accel, gyro, Some(out), true)
     }
 
     /// Reports a missing grid tick (the sensor bus delivered nothing at
@@ -757,294 +864,8 @@ impl StreamingDetector {
     /// silently loses grid alignment — the failure mode the guard
     /// exists to prevent.
     pub fn push_missing(&mut self) -> Option<f32> {
-        if !self.config.guard.enabled {
-            // The naive path never learns a tick passed — but a tap
-            // still records the event so a replay stays faithful.
-            let (accel, gyro) = self.guard.fill_value();
-            self.tap_after(accel, gyro, true, None);
-            return None;
-        }
-        let before = self.guard.status;
-        self.guard.status.samples += 1;
-        self.guard.gap_run += 1;
-        let bridged = self.guard.gap_run <= self.config.guard.max_gap_fill;
-        if bridged {
-            self.guard.status.gaps_filled += 1;
-            if self.guard.mode.is_degraded() {
-                self.guard.status.degraded_samples += 1;
-            }
-        } else {
-            self.guard.status.gap_lost += 1;
-            self.guard.mode.stale = true;
-            self.guard.pending_flush = true;
-        }
-        if self.rec.enabled() {
-            let rec = Arc::clone(&self.rec);
-            // Emit only this method's own increments; the guarded push
-            // below emits its own deltas.
-            emit_guard_deltas(rec.as_ref(), &before, &self.guard.status);
-            self.publish_mode(rec.as_ref());
-        }
-        let (accel, gyro) = self.guard.fill_value();
-        let prob = if bridged {
-            self.push_guarded(accel, gyro, true)
-        } else {
-            None
-        };
-        self.tap_after(accel, gyro, true, prob);
-        prob
-    }
-
-    /// Invokes the installed tap (if any) for one completed ingest
-    /// event. Take/put-back keeps the borrow checker happy without an
-    /// allocation, and lets the tap live outside the detector's own
-    /// mutable state.
-    fn tap_after(&mut self, accel: [f32; 3], gyro: [f32; 3], missing: bool, prob: Option<f32>) {
-        let Some(mut tap) = self.tap.take() else {
-            return;
-        };
-        let window = prob.map(|score| WindowTap {
-            score,
-            armed: self.trigger_armed(),
-            decision: self.trigger_decision(),
-            attribution: self.last_trace.as_slice(),
-        });
-        tap.on_sample(&SampleTapCtx {
-            accel,
-            gyro,
-            missing,
-            mode: self.guard.mode,
-            guard: self.guard.status,
-            window,
-        });
-        self.tap = Some(tap);
-    }
-
-    /// Publishes `detector.mode.*` gauges (0/1) when the mode changed
-    /// since the last publish. Static names, no allocation.
-    fn publish_mode(&mut self, rec: &dyn Recorder) {
-        let m = self.guard.mode;
-        if self.published_mode == Some(m) {
-            return;
-        }
-        self.published_mode = Some(m);
-        let flag = |b: bool| if b { 1.0 } else { 0.0 };
-        rec.gauge_set("detector.mode.accel_degraded", flag(m.accel_degraded));
-        rec.gauge_set("detector.mode.gyro_degraded", flag(m.gyro_degraded));
-        rec.gauge_set("detector.mode.stale", flag(m.stale));
-        rec.gauge_set("detector.mode.degraded", flag(m.is_degraded()));
-    }
-
-    /// The hardened ingest path. `synthetic` marks a gap-fill sample,
-    /// which skips validation and watchdog updates (its values are the
-    /// already-clean hold sample and must not look "stuck").
-    fn push_guarded(&mut self, accel: [f32; 3], gyro: [f32; 3], synthetic: bool) -> Option<f32> {
-        // Cloning the Arc (one atomic bump, no allocation) frees `self`
-        // for the mutable streaming state below.
-        let rec = Arc::clone(&self.rec);
-        let _push_span = Span::enter(rec.as_ref(), "detector.push_sample_seconds");
-        let before = self.guard.status;
-
-        if self.guard.pending_flush && !synthetic {
-            // Real data after an unbridgeable gap: the window mixes
-            // pre- and post-gap time, so drop it and refill.
-            self.window.clear();
-            self.positives_in_a_row = 0;
-            self.guard.pending_flush = false;
-            self.guard.gap_run = 0;
-            self.guard.mode.stale = false;
-            self.guard.status.window_flushes += 1;
-        }
-
-        let (accel, gyro) = if synthetic {
-            (accel, gyro)
-        } else {
-            self.guard.sanitize(accel, gyro)
-        };
-
-        // Degraded gyro: run fusion accel-only so the Euler channels
-        // stay posture-driven instead of integrating garbage.
-        let fused_gyro = if self.guard.mode.gyro_degraded {
-            [0.0; 3]
-        } else {
-            gyro
-        };
-        let euler = self.fusion.update(
-            [
-                f64::from(accel[0]),
-                f64::from(accel[1]),
-                f64::from(accel[2]),
-            ],
-            [
-                f64::from(fused_gyro[0]),
-                f64::from(fused_gyro[1]),
-                f64::from(fused_gyro[2]),
-            ],
-        );
-        let raw = [
-            accel[0],
-            accel[1],
-            accel[2],
-            gyro[0],
-            gyro[1],
-            gyro[2],
-            euler.pitch as f32,
-            euler.roll as f32,
-            euler.yaw as f32,
-        ];
-        let mut row = [0.0f32; NUM_CHANNELS];
-        for (c, (f, &v)) in self.filters.iter_mut().zip(&raw).enumerate() {
-            row[c] = f.process(v);
-        }
-
-        let w = self.config.pipeline.segmentation.window();
-        if self.window.len() == w {
-            self.window.pop_front();
-        }
-        self.window.push_back(row);
-        self.samples_seen += 1;
-
-        let hop = self.config.pipeline.segmentation.hop();
-        let prob = if self.window.len() < w || !(self.samples_seen - w).is_multiple_of(hop) {
-            None
-        } else {
-            // Assemble, normalise, mask degraded channels, classify.
-            // The scratch buffer and workspace are taken out of `self`
-            // (both takes are allocation-free) so the engine can borrow
-            // them alongside the detector's own state.
-            let mut seg = std::mem::take(&mut self.scratch_seg);
-            let mut ws = std::mem::take(&mut self.ws);
-            seg.clear();
-            for r in &self.window {
-                seg.extend_from_slice(r);
-            }
-            self.normalizer.apply_in_place(&mut seg);
-            let mode = self.guard.mode;
-            if mode.accel_degraded || mode.gyro_degraded {
-                let from = if mode.accel_degraded { 0 } else { 3 };
-                let to = if mode.gyro_degraded { 6 } else { 3 };
-                for r in 0..w {
-                    for c in from..to {
-                        seg[r * NUM_CHANNELS + c] = 0.0;
-                    }
-                }
-            }
-            let p = {
-                let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
-                let scored = if self.tap.is_some() {
-                    self.engine
-                        .try_predict_proba_traced_in(&seg, &mut self.last_trace, &mut ws)
-                } else {
-                    self.engine.try_predict_proba_in(&seg, &mut ws)
-                };
-                match scored {
-                    Some(p) => p,
-                    None => {
-                        self.guard.status.engine_rejects += 1;
-                        0.0
-                    }
-                }
-            };
-            self.scratch_seg = seg;
-            self.ws = ws;
-            self.guard.status.windows += 1;
-            if mode.is_degraded() {
-                self.guard.status.degraded_windows += 1;
-            }
-            if rec.enabled() {
-                rec.counter_add("detector.windows", 1);
-            }
-            if p >= self.config.threshold {
-                self.positives_in_a_row += 1;
-            } else {
-                self.positives_in_a_row = 0;
-            }
-            if self.trigger_armed() && !self.guard_allows_trigger() {
-                self.guard.status.suppressed_triggers += 1;
-            }
-            Some(p)
-        };
-
-        if rec.enabled() {
-            emit_guard_deltas(rec.as_ref(), &before, &self.guard.status);
-            self.publish_mode(rec.as_ref());
-        }
-        prob
-    }
-
-    /// The legacy unhardened ingest, byte-for-byte the pre-guard
-    /// behaviour.
-    fn push_raw(&mut self, accel: [f32; 3], gyro: [f32; 3]) -> Option<f32> {
-        // Cloning the Arc (one atomic bump, no allocation) frees `self`
-        // for the mutable streaming state below.
-        let rec = Arc::clone(&self.rec);
-        let _push_span = Span::enter(rec.as_ref(), "detector.push_sample_seconds");
-        // On-edge sensor fusion, exactly like the acquisition firmware.
-        let euler = self.fusion.update(
-            [
-                f64::from(accel[0]),
-                f64::from(accel[1]),
-                f64::from(accel[2]),
-            ],
-            [f64::from(gyro[0]), f64::from(gyro[1]), f64::from(gyro[2])],
-        );
-        let raw = [
-            accel[0],
-            accel[1],
-            accel[2],
-            gyro[0],
-            gyro[1],
-            gyro[2],
-            euler.pitch as f32,
-            euler.roll as f32,
-            euler.yaw as f32,
-        ];
-        let mut row = [0.0f32; NUM_CHANNELS];
-        for (c, (f, &v)) in self.filters.iter_mut().zip(&raw).enumerate() {
-            row[c] = f.process(v);
-        }
-
-        let w = self.config.pipeline.segmentation.window();
-        if self.window.len() == w {
-            self.window.pop_front();
-        }
-        self.window.push_back(row);
-        self.samples_seen += 1;
-
-        let hop = self.config.pipeline.segmentation.hop();
-        if self.window.len() < w || !(self.samples_seen - w).is_multiple_of(hop) {
-            return None;
-        }
-
-        // Assemble, normalise, classify. Scratch reuse as in
-        // `push_guarded`: no per-window heap allocation.
-        let mut seg = std::mem::take(&mut self.scratch_seg);
-        let mut ws = std::mem::take(&mut self.ws);
-        seg.clear();
-        for r in &self.window {
-            seg.extend_from_slice(r);
-        }
-        self.normalizer.apply_in_place(&mut seg);
-        let prob = {
-            let _infer_span = Span::enter(rec.as_ref(), "detector.infer_seconds");
-            if self.tap.is_some() {
-                self.engine
-                    .predict_proba_traced_in(&seg, &mut self.last_trace, &mut ws)
-            } else {
-                self.engine.predict_proba_in(&seg, &mut ws)
-            }
-        };
-        self.scratch_seg = seg;
-        self.ws = ws;
-        if rec.enabled() {
-            rec.counter_add("detector.windows", 1);
-        }
-        if prob >= self.config.threshold {
-            self.positives_in_a_row += 1;
-        } else {
-            self.positives_in_a_row = 0;
-        }
-        Some(prob)
+        let (mut ctx, session) = self.ctx_and_session();
+        session.push_missing_with(&mut ctx)
     }
 
     /// Whether the trigger condition (N consecutive positive windows) is
@@ -1053,7 +874,7 @@ impl StreamingDetector {
     /// [`StreamingDetector::trigger_decision`] for the policy-aware
     /// check.
     pub fn trigger_armed(&self) -> bool {
-        self.positives_in_a_row >= self.config.consecutive
+        self.session.trigger_armed()
     }
 
     /// The policy-aware trigger: armed *and* permitted by the
@@ -1062,7 +883,7 @@ impl StreamingDetector {
     /// recently confirmed a dynamic event; a probability computed from
     /// masked or gap-filled data never fires the airbag on its own.
     pub fn trigger_decision(&self) -> bool {
-        self.trigger_armed() && self.guard_allows_trigger()
+        self.session.trigger_decision()
     }
 
     /// Notifies an installed [`DetectorTap`] that a trial finished
@@ -1071,21 +892,7 @@ impl StreamingDetector {
     /// sample-by-sample and the tap needs trial boundaries (e.g. the
     /// flight recorder classifying a missed fall).
     pub fn notify_trial_end(&mut self, trial: &Trial, outcome: &TrialOutcome) {
-        if let Some(mut tap) = self.tap.take() {
-            tap.on_trial_end(trial, outcome);
-            self.tap = Some(tap);
-        }
-    }
-
-    fn guard_allows_trigger(&self) -> bool {
-        if !self.config.guard.enabled {
-            return true;
-        }
-        let m = self.guard.mode;
-        if !m.is_degraded() {
-            return true;
-        }
-        !m.accel_degraded && !m.stale && self.accel_confirms()
+        self.session.notify_trial_end(trial, outcome);
     }
 }
 

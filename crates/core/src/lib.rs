@@ -27,6 +27,9 @@
 //!   normaliser + preprocessing configuration).
 //! * [`detector`] — the real-time streaming detector and the airbag
 //!   trigger controller (150 ms inflation model).
+//! * [`session`] — the fleet split of the detector: a shared immutable
+//!   `ModelBundle` plus compact poolable `Session`s with tick-sequenced
+//!   ingest and crash-safe checkpointing (used by `prefall-fleet`).
 //! * [`tap`] — per-sample observation hooks on the detector's ingest
 //!   path (used by the `prefall-blackbox` flight recorder).
 //! * [`phases`] — Fig. 1: fall-stage annotation of a trial.
@@ -66,6 +69,7 @@ pub mod monitor;
 pub mod persist;
 pub mod phases;
 pub mod pipeline;
+pub mod session;
 pub mod tap;
 pub mod threshold;
 pub mod tuning;

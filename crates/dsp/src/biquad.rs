@@ -113,6 +113,21 @@ impl Biquad {
         self.s1 = 0.0;
         self.s2 = 0.0;
     }
+
+    /// The internal delay-line state `(s1, s2)`.
+    ///
+    /// Together with [`Biquad::set_state`] this lets a streaming filter
+    /// be checkpointed mid-stream and resumed bit-identically (e.g. a
+    /// detector session that survives a reconnect with a warm window).
+    pub fn state(&self) -> (f64, f64) {
+        (self.s1, self.s2)
+    }
+
+    /// Restores the internal delay line captured by [`Biquad::state`].
+    pub fn set_state(&mut self, s1: f64, s2: f64) {
+        self.s1 = s1;
+        self.s2 = s2;
+    }
 }
 
 /// A cascade of second-order sections forming one higher-order filter.
@@ -164,6 +179,26 @@ impl SosFilter {
     /// `true` when every section is stable.
     pub fn is_stable(&self) -> bool {
         self.sections.iter().all(|s| s.coeffs().is_stable())
+    }
+
+    /// Appends every section's delay-line state `(s1, s2)` to `out`, in
+    /// processing order. Pairs with [`SosFilter::restore_state`] for
+    /// bit-exact mid-stream checkpoint/resume.
+    pub fn export_state(&self, out: &mut Vec<(f64, f64)>) {
+        out.extend(self.sections.iter().map(|s| s.state()));
+    }
+
+    /// Restores delay-line state captured by [`SosFilter::export_state`].
+    /// Returns `false` (leaving the filter untouched) when `state` does
+    /// not hold exactly one pair per section.
+    pub fn restore_state(&mut self, state: &[(f64, f64)]) -> bool {
+        if state.len() != self.sections.len() {
+            return false;
+        }
+        for (s, &(s1, s2)) in self.sections.iter_mut().zip(state) {
+            s.set_state(s1, s2);
+        }
+        true
     }
 
     /// Cascade frequency response at normalised angular frequency `omega`.

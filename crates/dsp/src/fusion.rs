@@ -88,6 +88,19 @@ impl ComplementaryFilter {
         self.initialised = false;
     }
 
+    /// Captures the fusion state for mid-stream checkpointing: the
+    /// current attitude and whether the accel bootstrap has happened.
+    pub fn state(&self) -> (EulerAngles, bool) {
+        (self.state, self.initialised)
+    }
+
+    /// Restores state captured by [`ComplementaryFilter::state`]; the
+    /// next [`ComplementaryFilter::update`] continues bit-identically.
+    pub fn restore(&mut self, angles: EulerAngles, initialised: bool) {
+        self.state = angles;
+        self.initialised = initialised;
+    }
+
     /// Processes one snapshot.
     ///
     /// `accel` is the specific force in any consistent unit (only the

@@ -19,7 +19,11 @@
 //!   swept over intensity are meaningfully monotone;
 //! * [`runner`] — streams a faulted trial through a hardened
 //!   [`StreamingDetector`], mapping dropped samples onto
-//!   [`StreamingDetector::push_missing`].
+//!   [`StreamingDetector::push_missing`];
+//! * [`net`] — the transport-level counterpart ([`NetFaultPlan`]):
+//!   stalls, partial writes, reorder/duplicate delivery, mid-batch
+//!   disconnects and reconnect storms, acted out by the fleet bench's
+//!   chaos load generator.
 //!
 //! [`Trial`]: prefall_imu::trial::Trial
 //! [`StreamingDetector`]: prefall_core::detector::StreamingDetector
@@ -45,10 +49,12 @@
 
 #![deny(missing_docs)]
 
+pub mod net;
 pub mod plan;
 pub mod runner;
 pub mod stream;
 
+pub use net::{NetActions, NetFault, NetFaultPlan};
 pub use plan::{Fault, FaultPlan, Sensor};
 pub use runner::run_on_faulted_trial;
 pub use stream::{FaultStream, SampleEvent};

@@ -1,0 +1,126 @@
+//! Sharded fleet ingest must never change results: batches fan out
+//! over the `prefall-par` pool, and every shard serves its wearers in
+//! input order against the immutable shared bundle — so replies are
+//! **bit-identical** for any thread count, and every clean stream
+//! matches the serial single-stream detector exactly. This extends the
+//! workspace-parallelism guarantee of `crates/core`'s
+//! `thread_determinism.rs` to the fleet serving layer.
+
+use prefall_core::detector::{DetectorConfig, GuardConfig, StreamingDetector};
+use prefall_core::models::ModelKind;
+use prefall_core::pipeline::PipelineConfig;
+use prefall_core::session::ModelBundle;
+use prefall_dsp::segment::Overlap;
+use prefall_dsp::stats::Normalizer;
+use prefall_fleet::{BatchSample, Fleet, FleetConfig, IngestBatch, IngestReply};
+
+fn detector_config() -> DetectorConfig {
+    DetectorConfig {
+        pipeline: PipelineConfig::paper(400.0, Overlap::Half),
+        threshold: 0.5,
+        consecutive: 3,
+        guard: GuardConfig::default(),
+    }
+}
+
+fn bundle() -> ModelBundle {
+    let cfg = detector_config();
+    let net = ModelKind::ProposedCnn
+        .build(cfg.pipeline.segmentation.window(), 9, 1)
+        .unwrap();
+    ModelBundle::new(net, Normalizer::identity(9), cfg).unwrap()
+}
+
+/// Deterministic, wearer-distinct motion.
+fn motion(wearer: u64, tick: u64) -> ([f32; 3], [f32; 3]) {
+    let w = wearer as f32;
+    let t = tick as f32 * 0.05;
+    (
+        [0.04 * (t + w).sin(), 0.02 * (t * 1.7).cos(), 1.0],
+        [
+            12.0 * (t + w * 0.3).sin(),
+            -7.0 * t.cos(),
+            3.0 * (w + 1.0).recip(),
+        ],
+    )
+}
+
+/// The interleaved workload: `wearers` streams, each `total` ticks,
+/// uplinked in `batch_len`-tick batches, all wearers mixed per round.
+fn workload(wearers: u64, total: u64, batch_len: u64) -> Vec<Vec<IngestBatch>> {
+    (0..total)
+        .step_by(batch_len as usize)
+        .map(|start| {
+            (0..wearers)
+                .map(|w| IngestBatch {
+                    wearer: w,
+                    seq: start,
+                    samples: (0..batch_len.min(total - start))
+                        .map(|i| {
+                            let (accel, gyro) = motion(w, start + i);
+                            BatchSample::Sample { accel, gyro }
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the workload on a fresh fleet with the given thread override
+/// and returns every reply round.
+fn run(threads: Option<usize>, rounds: &[Vec<IngestBatch>]) -> Vec<Vec<IngestReply>> {
+    let fleet = Fleet::new(
+        bundle(),
+        FleetConfig {
+            threads,
+            shards: 4,
+            ..FleetConfig::default()
+        },
+    );
+    rounds.iter().map(|r| fleet.ingest_many(r)).collect()
+}
+
+#[test]
+fn sharded_ingest_is_bit_identical_for_any_thread_count() {
+    let rounds = workload(8, 240, 30);
+    let serial = run(Some(1), &rounds);
+    let two = run(Some(2), &rounds);
+    let eight = run(Some(8), &rounds);
+    // `IngestReply: PartialEq` compares statuses, counts and the
+    // bit-exact `probs_bits` of every window of every wearer.
+    assert_eq!(serial, two, "2 threads changed fleet replies");
+    assert_eq!(serial, eight, "8 threads changed fleet replies");
+}
+
+#[test]
+fn every_clean_stream_matches_the_serial_detector_bitwise() {
+    let wearers = 5u64;
+    let total = 200u64;
+    let rounds = workload(wearers, total, 25);
+    let replies = run(Some(4), &rounds);
+
+    for w in 0..wearers {
+        let fleet_probs: Vec<u32> = replies
+            .iter()
+            .flatten()
+            .filter(|r| r.wearer == w)
+            .flat_map(|r| r.probs_bits.iter().copied())
+            .collect();
+
+        let net = ModelKind::ProposedCnn
+            .build(detector_config().pipeline.segmentation.window(), 9, 1)
+            .unwrap();
+        let mut det =
+            StreamingDetector::new(net, Normalizer::identity(9), detector_config()).unwrap();
+        let mut serial = Vec::new();
+        for t in 0..total {
+            let (a, g) = motion(w, t);
+            if let Some(p) = det.push_sample(a, g) {
+                serial.push(p.to_bits());
+            }
+        }
+        assert!(!serial.is_empty());
+        assert_eq!(fleet_probs, serial, "wearer {w} diverged from serial path");
+    }
+}

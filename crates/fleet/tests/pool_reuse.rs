@@ -1,0 +1,121 @@
+//! Property: no interleaving of acquire (ingest), release (reap) and
+//! resume across shards ever leaks a session or lets one wearer
+//! observe another's window contents.
+//!
+//! * **No leaks** — sessions only ever move between the active maps
+//!   and the free lists, so `created == active + free` holds after
+//!   every operation, and parked checkpoints never exceed their bound.
+//! * **Isolation** — after an arbitrary interleaving (including reaps
+//!   that recycle one wearer's buffers into another wearer's session),
+//!   every wearer's accumulated probability stream is bit-identical to
+//!   an uninterrupted run of that wearer alone. Any cross-session
+//!   contamination (a shared window, a dirty recycled buffer, a
+//!   misrouted batch) breaks the bit-equality.
+
+use prefall_core::detector::{DetectorConfig, GuardConfig};
+use prefall_core::models::ModelKind;
+use prefall_core::pipeline::PipelineConfig;
+use prefall_core::session::ModelBundle;
+use prefall_dsp::segment::Overlap;
+use prefall_dsp::stats::Normalizer;
+use prefall_fleet::{BatchSample, Fleet, FleetConfig, IngestBatch, IngestStatus};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn bundle() -> ModelBundle {
+    let cfg = DetectorConfig {
+        pipeline: PipelineConfig::paper(400.0, Overlap::Half),
+        threshold: 0.5,
+        consecutive: 3,
+        guard: GuardConfig::default(),
+    };
+    let net = ModelKind::ProposedCnn
+        .build(cfg.pipeline.segmentation.window(), 9, 1)
+        .unwrap();
+    ModelBundle::new(net, Normalizer::identity(9), cfg).unwrap()
+}
+
+/// Wearer-distinct deterministic motion: contamination between any two
+/// wearers' windows changes someone's probabilities.
+fn motion(wearer: u64, tick: u64) -> ([f32; 3], [f32; 3]) {
+    let w = wearer as f32 + 1.0;
+    let t = tick as f32 * 0.06;
+    (
+        [0.05 * (t * w).sin(), -0.04 * (t + w).cos(), 1.0],
+        [15.0 * (t + w).sin(), 6.0 * (t * w * 0.5).cos(), w],
+    )
+}
+
+fn batch(wearer: u64, seq: u64, len: u64) -> IngestBatch {
+    IngestBatch {
+        wearer,
+        seq,
+        samples: (0..len)
+            .map(|i| {
+                let (accel, gyro) = motion(wearer, seq + i);
+                BatchSample::Sample { accel, gyro }
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_acquire_release_reap_never_leaks_or_cross_contaminates(
+        ops in prop::collection::vec((0u64..4, 0usize..5), 4..28),
+        batch_len in 8u64..22,
+    ) {
+        let fleet = Fleet::new(bundle(), FleetConfig {
+            shards: 3,
+            max_parked: 8,
+            ..FleetConfig::default()
+        });
+
+        let mut next_seq: HashMap<u64, u64> = HashMap::new();
+        let mut probs: HashMap<u64, Vec<u32>> = HashMap::new();
+
+        for &(wearer, action) in &ops {
+            if action == 4 {
+                // Release: park every session and recycle its buffers.
+                fleet.reap_idle(Duration::ZERO);
+            } else {
+                let seq = *next_seq.get(&wearer).unwrap_or(&0);
+                let reply = fleet.ingest_one(&batch(wearer, seq, batch_len));
+                prop_assert_eq!(reply.status, IngestStatus::Accepted);
+                prop_assert!(!reply.regressed);
+                next_seq.insert(wearer, seq + batch_len);
+                probs.entry(wearer).or_default().extend(reply.probs_bits);
+            }
+
+            // Leak invariant after every single operation.
+            let s = fleet.stats();
+            prop_assert_eq!(
+                s.sessions_created,
+                (s.sessions_active + s.sessions_free) as u64,
+                "sessions leaked or double-counted"
+            );
+            prop_assert!(s.sessions_parked as u64 <= 8, "parked store unbounded");
+        }
+
+        // Isolation: each wearer alone, uninterrupted, must produce the
+        // identical bit stream.
+        for (&wearer, interleaved) in &probs {
+            let alone = Fleet::new(bundle(), FleetConfig::default());
+            let mut solo: Vec<u32> = Vec::new();
+            let mut seq = 0u64;
+            while seq < *next_seq.get(&wearer).unwrap_or(&0) {
+                solo.extend(alone.ingest_one(&batch(wearer, seq, batch_len)).probs_bits);
+                seq += batch_len;
+            }
+            prop_assert_eq!(
+                interleaved,
+                &solo,
+                "wearer {} observed another session's state",
+                wearer
+            );
+        }
+    }
+}

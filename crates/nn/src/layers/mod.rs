@@ -31,7 +31,12 @@ use crate::param::Param;
 /// `forward`, with a gradient of length [`Layer::output_len`]; it
 /// accumulates parameter gradients and returns the gradient w.r.t. the
 /// layer input.
-pub trait Layer: std::fmt::Debug + Send {
+///
+/// `Send + Sync` is part of the contract: layers are plain data (no
+/// interior mutability), so a `&Network` can be shared across threads
+/// — fleet serving classifies thousands of sessions against one set of
+/// weights through the `&self` scalar-inference path.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Short kind name (`"dense"`, `"conv1d"`, …).
     fn kind(&self) -> &'static str;
 

@@ -1,0 +1,22 @@
+//! Serving fleet-server statistics over HTTP.
+//!
+//! Like [`IncidentSource`](crate::incidents::IncidentSource) and
+//! [`WatchSource`](crate::watch::WatchSource), this is a seam: the
+//! multi-stream session registry lives in `prefall-fleet`, which
+//! depends on this crate — so the exporter consumes a small
+//! `JsonValue`-shaped view that the fleet handle implements, and
+//! [`MetricsServer::start_with_fleet`] plugs it into the `/fleet`
+//! route.
+//!
+//! [`MetricsServer::start_with_fleet`]: crate::server::MetricsServer::start_with_fleet
+
+use prefall_telemetry::JsonValue;
+
+/// A provider of fleet serving state for the `/fleet` route:
+/// sessions active/parked/free, queue depth high-water, shed and
+/// reject totals. Implementations must be internally synchronised and
+/// cheap to call from the serving thread.
+pub trait FleetSource: Send + Sync {
+    /// The current fleet stats document.
+    fn fleet_json(&self) -> JsonValue;
+}

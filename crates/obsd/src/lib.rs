@@ -43,13 +43,17 @@
 //! [`Snapshot`]: prefall_telemetry::Snapshot
 //! [`Registry`]: prefall_telemetry::Registry
 
+pub mod fleet;
 pub mod health;
+pub mod http;
 pub mod incidents;
 pub mod prometheus;
 pub mod server;
 pub mod watch;
 
+pub use fleet::FleetSource;
 pub use health::{HealthReport, HealthStatus};
+pub use http::HttpRequest;
 pub use incidents::IncidentSource;
 pub use server::{MetricsServer, ServerConfig};
 pub use watch::WatchSource;

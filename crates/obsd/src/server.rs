@@ -1,5 +1,5 @@
 //! A hand-rolled HTTP/1.1 exporter on [`std::net::TcpListener`]: one
-//! background thread, a shared [`Registry`], three routes.
+//! background thread, a shared [`Registry`], a handful of routes.
 //!
 //! | route | serves |
 //! |---|---|
@@ -12,25 +12,34 @@
 //! | `GET /tsdb?series=&window=` | windowed points of one sampled series, or the series catalogue (with a [`WatchSource`] attached) |
 //! | `GET /slo` | current SLO evaluation state: burn rates, firing flags |
 //! | `GET /alerts` | recent alert fire/resolve transitions |
+//! | `GET /fleet` | multi-stream session registry stats (with a [`FleetSource`] attached) |
 //!
 //! The server deliberately implements only what a scraper needs:
-//! `GET`/`HEAD`, `Connection: close`, `Content-Length` framing. There
-//! is no TLS, keep-alive, or chunking — it binds to loopback in every
-//! shipped configuration and a real deployment would sit it behind the
-//! service mesh anyway.
+//! `GET`/`HEAD`, `Connection: close`, `Content-Length` framing — the
+//! shared dialect in [`crate::http`]. There is no TLS, keep-alive, or
+//! chunking — it binds to loopback in every shipped configuration and
+//! a real deployment would sit it behind the service mesh anyway.
+//!
+//! Every connection runs under [`ServerConfig::conn_deadline`]: a
+//! client that dials in and trickles its request one byte at a time
+//! (slowloris) is cut off when the budget runs out — the serving
+//! thread is single and serial, so one stuck socket would otherwise
+//! blind every scraper. Cut-offs are counted as `obsd.conn_timeouts`.
 
+use crate::fleet::FleetSource;
 use crate::health::HealthReport;
+use crate::http;
 use crate::incidents::IncidentSource;
 use crate::prometheus;
 use crate::watch::WatchSource;
 use prefall_telemetry::{JsonValue, Registry, Snapshot};
 use prefall_trace::LastTrace;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Exporter configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +55,10 @@ pub struct ServerConfig {
     /// Maximum acceptable sensor fault rate (`guard.faults` per
     /// `guard.samples`) before `/healthz` degrades.
     pub max_fault_rate: f64,
+    /// Wall-clock budget for one whole connection (request read +
+    /// response write). A scraper finishes in milliseconds; a
+    /// slowloris is cut off here and counted as `obsd.conn_timeouts`.
+    pub conn_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -55,8 +68,18 @@ impl Default for ServerConfig {
             budget_ms: 150.0,
             min_budget_fraction: 0.9,
             max_fault_rate: 0.05,
+            conn_deadline: Duration::from_secs(5),
         }
     }
+}
+
+/// The optional providers a fully-wired exporter serves from.
+#[derive(Default)]
+struct Sources {
+    incidents: Option<Arc<dyn IncidentSource>>,
+    trace: Option<Arc<LastTrace>>,
+    watch: Option<Arc<dyn WatchSource>>,
+    fleet: Option<Arc<dyn FleetSource>>,
 }
 
 /// A running metrics endpoint. Dropping the handle stops the listener
@@ -138,6 +161,26 @@ impl MetricsServer {
         trace: Option<Arc<LastTrace>>,
         watch: Option<Arc<dyn WatchSource>>,
     ) -> std::io::Result<Self> {
+        Self::start_with_fleet(addr, registry, config, incidents, trace, watch, None)
+    }
+
+    /// [`MetricsServer::start_with_watch`] plus an optional
+    /// [`FleetSource`]. When attached, `/fleet` serves the session
+    /// registry's live stats (sessions active/parked/free, queue
+    /// high-water, shed and reject totals).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (`EADDRINUSE`, permission, bad address).
+    pub fn start_with_fleet(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+        incidents: Option<Arc<dyn IncidentSource>>,
+        trace: Option<Arc<LastTrace>>,
+        watch: Option<Arc<dyn WatchSource>>,
+        fleet: Option<Arc<dyn FleetSource>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept so the thread can notice the stop flag
@@ -145,19 +188,15 @@ impl MetricsServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        let sources = Sources {
+            incidents,
+            trace,
+            watch,
+            fleet,
+        };
         let handle = std::thread::Builder::new()
             .name("prefall-obsd".to_string())
-            .spawn(move || {
-                serve_loop(
-                    listener,
-                    registry,
-                    config,
-                    incidents,
-                    trace,
-                    watch,
-                    thread_stop,
-                )
-            })
+            .spawn(move || serve_loop(listener, registry, config, sources, thread_stop))
             .expect("spawn exporter thread");
         Ok(Self {
             addr,
@@ -199,9 +238,7 @@ fn serve_loop(
     listener: TcpListener,
     registry: Arc<Registry>,
     config: ServerConfig,
-    incidents: Option<Arc<dyn IncidentSource>>,
-    trace: Option<Arc<LastTrace>>,
-    watch: Option<Arc<dyn WatchSource>>,
+    sources: Sources,
     stop: Arc<AtomicBool>,
 ) {
     use prefall_telemetry::Recorder;
@@ -211,15 +248,8 @@ fn serve_loop(
                 // Scrapes are small and rare; handling them serially
                 // keeps the server single-threaded and unkillable by
                 // thread exhaustion. A stuck client is bounded by the
-                // read/write timeouts.
-                let _ = handle_connection(
-                    stream,
-                    &registry,
-                    &config,
-                    incidents.as_deref(),
-                    trace.as_deref(),
-                    watch.as_deref(),
-                );
+                // per-connection deadline.
+                let _ = handle_connection(stream, &registry, &config, &sources);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -239,37 +269,39 @@ fn handle_connection(
     stream: TcpStream,
     registry: &Registry,
     config: &ServerConfig,
-    incidents: Option<&dyn IncidentSource>,
-    trace: Option<&LastTrace>,
-    watch: Option<&dyn WatchSource>,
+    sources: &Sources,
 ) -> std::io::Result<()> {
+    use prefall_telemetry::Recorder;
+    let incidents = sources.incidents.as_deref();
+    let trace = sources.trace.as_deref();
+    let watch = sources.watch.as_deref();
+    let fleet = sources.fleet.as_deref();
+
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(config.conn_deadline))?;
+    // The whole exchange — however slowly the client dribbles it —
+    // must fit in one deadline. `read_request` re-arms the socket
+    // timeout with the remaining budget before every read.
+    let deadline = Instant::now() + config.conn_deadline;
     let mut reader = BufReader::new(stream);
-
-    let mut request_line = String::new();
-    // Cap the request line; a scraper's is tens of bytes.
-    reader.by_ref().take(4096).read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-
-    // Drain (bounded) headers so well-behaved clients see a clean close.
-    let mut header = String::new();
-    for _ in 0..64 {
-        header.clear();
-        if reader.by_ref().take(4096).read_line(&mut header)? == 0
-            || header == "\r\n"
-            || header == "\n"
-        {
-            break;
+    let request = match http::read_request(&mut reader, deadline, 4096) {
+        Ok(Some(request)) => request,
+        // Peer closed before sending anything: nothing to do.
+        Ok(None) => return Ok(()),
+        Err(e) => {
+            if http::is_timeout(&e) {
+                // The slowloris counter: connections cut off mid-read.
+                registry.counter_add("obsd.conn_timeouts", 1);
+            }
+            return Err(e);
         }
-    }
+    };
+    let method = request.method.as_str();
+    let path = request.path.as_str();
 
     let mut stream = reader.into_inner();
     if method != "GET" && method != "HEAD" {
-        return respond(
+        return http::respond(
             &mut stream,
             405,
             "Method Not Allowed",
@@ -438,11 +470,24 @@ fn handle_connection(
                 "no watch source attached\n".to_string(),
             ),
         },
+        "/fleet" => match fleet {
+            Some(f) => {
+                let mut body = f.fleet_json().to_string();
+                body.push('\n');
+                (200, "OK", "application/json; charset=utf-8", body)
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no fleet source attached\n".to_string(),
+            ),
+        },
         "/" => (
             200,
             "OK",
             "text/plain; charset=utf-8",
-            "prefall-obsd: /metrics /healthz /snapshot /incidents /trace /tsdb?series=&window= /slo /alerts\n"
+            "prefall-obsd: /metrics /healthz /snapshot /incidents /trace /tsdb?series=&window= /slo /alerts /fleet\n"
                 .to_string(),
         ),
         _ => (
@@ -452,7 +497,7 @@ fn handle_connection(
             "not found\n".to_string(),
         ),
     };
-    respond(
+    http::respond(
         &mut stream,
         code,
         reason,
@@ -504,29 +549,11 @@ fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
     })
 }
 
-fn respond(
-    stream: &mut TcpStream,
-    code: u16,
-    reason: &str,
-    content_type: &str,
-    body: &str,
-    head_only: bool,
-) -> std::io::Result<()> {
-    let header = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(header.as_bytes())?;
-    if !head_only {
-        stream.write_all(body.as_bytes())?;
-    }
-    stream.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use prefall_telemetry::Recorder;
+    use std::io::{Read, Write};
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -828,6 +855,7 @@ mod tests {
             "/tsdb",
             "/slo",
             "/alerts",
+            "/fleet",
         ] {
             assert!(body.contains(route), "index missing {route}: {body}");
         }
@@ -890,5 +918,89 @@ mod tests {
         registry.counter_add("live.updates", 1);
         let (_, body) = get(addr, "/metrics");
         assert!(body.contains("prefall_live_updates_total 1"), "{body}");
+    }
+
+    /// A canned fleet source for the `/fleet` route test.
+    #[derive(Debug)]
+    struct FakeFleet;
+
+    impl FleetSource for FakeFleet {
+        fn fleet_json(&self) -> JsonValue {
+            JsonValue::Obj(vec![("sessions_active".to_string(), JsonValue::U64(3))])
+        }
+    }
+
+    #[test]
+    fn serves_fleet_stats_when_attached_and_404s_otherwise() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::start_with_fleet(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+            None,
+            None,
+            None,
+            Some(Arc::new(FakeFleet) as Arc<dyn FleetSource>),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/fleet");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"sessions_active\":3"), "{body}");
+        server.shutdown();
+
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/fleet");
+        assert_eq!(code, 404);
+        assert!(body.contains("no fleet source attached"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slowloris_connections_are_cut_at_the_deadline_and_counted() {
+        let registry = Arc::new(Registry::new());
+        let config = ServerConfig {
+            conn_deadline: Duration::from_millis(200),
+            ..ServerConfig::default()
+        };
+        let server =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&registry), config).expect("bind");
+        let addr = server.addr();
+
+        // The attack: dial in and never finish the request line. The
+        // serving thread is serial, so before the deadline existed
+        // this pinned every scraper for the full socket timeout.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metr").unwrap();
+        stream.flush().unwrap();
+        let start = Instant::now();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = Vec::new();
+        let n = stream.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server must hang up without a response");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cut-off must be deadline-bounded, took {:?}",
+            start.elapsed()
+        );
+
+        // The thread survived the attack and counted it.
+        let (code, _) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counters
+                .get("obsd.conn_timeouts")
+                .copied(),
+            Some(1)
+        );
+        server.shutdown();
     }
 }

@@ -155,6 +155,29 @@ impl WatchConfig {
                     min_den: 100.0,
                 },
             ),
+            // Fleet serving: shedding is an honest degraded mode, but
+            // more than 1 % of windows skipping inference means the
+            // fleet is under-provisioned, not just riding out a spike.
+            SloSpec::new(
+                "fleet_shed_rate",
+                SloObjective::RatioCeiling {
+                    num: "fleet.shed_windows".into(),
+                    den: "fleet.windows".into(),
+                    max: 0.01,
+                    min_den: 100.0,
+                },
+            ),
+            // Per-batch ingest latency: a wearer's batch must clear the
+            // sharded pipeline well inside the airbag budget.
+            SloSpec::new(
+                "fleet_ingest_p99",
+                SloObjective::QuantileCeiling {
+                    histogram: "fleet.ingest_seconds".into(),
+                    q: 0.99,
+                    max: 5e-3,
+                    min_count: 100.0,
+                },
+            ),
         ];
         Self {
             store: StoreConfig::default(),

@@ -31,6 +31,11 @@
 //!   declarative SLOs evaluated as multi-window burn rates, and an
 //!   alert sink that degrades `/healthz` and asks the blackbox for an
 //!   incident dump on quality breaches.
+//! * [`fleet`] — fault-tolerant multi-stream serving: a sharded
+//!   session pool over one shared model, batched tick-sequenced
+//!   ingest with backpressure and load shedding, a supervisor that
+//!   parks idle sessions as checkpoints, and a hand-rolled TCP ingest
+//!   server with per-connection deadlines.
 //!
 //! # Quickstart
 //!
@@ -49,6 +54,7 @@ pub use prefall_blackbox as blackbox;
 pub use prefall_core as core;
 pub use prefall_dsp as dsp;
 pub use prefall_faults as faults;
+pub use prefall_fleet as fleet;
 pub use prefall_imu as imu;
 pub use prefall_mcu as mcu;
 pub use prefall_nn as nn;

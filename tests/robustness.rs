@@ -81,6 +81,83 @@ fn hardened_detector_survives_the_acceptance_plan() {
 }
 
 #[test]
+fn non_monotone_ticks_are_counted_and_recoverable() {
+    use prefall::core::session::ModelBundle;
+
+    let cfg = DetectorConfig::paper_400ms();
+    let w = cfg.pipeline.segmentation.window();
+    let net = ModelKind::ProposedCnn.build(w, 9, 7).unwrap();
+    let bundle = ModelBundle::new(net, Normalizer::identity(9), cfg).unwrap();
+    let registry = Arc::new(Registry::new());
+
+    // Every axis varies, so the stuck-axis watchdog stays quiet.
+    let sample = |t: u64| {
+        let x = t as f32 * 0.04;
+        (
+            [0.03 * x.sin(), 0.02 * x.cos(), 1.0 + 0.01 * (2.0 * x).sin()],
+            [
+                10.0 * x.cos(),
+                -4.0 * (0.7 * x).sin(),
+                0.5 * (1.3 * x).cos(),
+            ],
+        )
+    };
+
+    // A clean sequenced stream, as the bit-exact reference.
+    let mut clean = bundle.new_session();
+    let mut clean_probs = Vec::new();
+    for t in 0..3 * w as u64 {
+        let (a, g) = sample(t);
+        clean.push_at(&bundle, t, a, g, &mut clean_probs);
+    }
+
+    // The same stream with the transport re-delivering old ticks: a
+    // duplicate batch and an out-of-order straggler arrive mid-stream.
+    let mut session = bundle.new_session();
+    session.set_recorder(registry.clone());
+    let mut probs = Vec::new();
+    let mut regressions = 0u64;
+    for t in 0..3 * w as u64 {
+        let (a, g) = sample(t);
+        let out = session.push_at(&bundle, t, a, g, &mut probs);
+        assert!(!out.regressed, "in-order ticks must not count");
+        if t == 50 {
+            // Re-delivery of ticks 30..40 (behind the grid).
+            for stale in 30..40 {
+                let (a, g) = sample(stale);
+                let out = session.push_at(&bundle, stale, a, g, &mut probs);
+                assert!(out.regressed, "stale tick must be flagged");
+                assert_eq!(out.windows, 0, "stale tick must not classify");
+                regressions += 1;
+            }
+        }
+    }
+
+    // Counted as its own recoverable condition...
+    let status = session.guard_status();
+    assert_eq!(status.ts_regression, regressions);
+    // ...that is *not* a fault: re-delivery is normal transport
+    // behaviour and must not burn the /healthz fault-rate budget.
+    assert_eq!(status.faults(), 0);
+    // ...and the stream recovered bit-identically: the stale ticks
+    // were dropped, not smeared into the gap-bridging math.
+    let bits = |v: &[f32]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&probs), bits(&clean_probs));
+
+    // Scrape-visible like every other guard counter.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counters.get("guard.ts_regression").copied(),
+        Some(regressions)
+    );
+    let text = prometheus::render(&snap, "prefall");
+    assert!(
+        text.contains("prefall_guard_ts_regression_total"),
+        "ts_regression missing from /metrics:\n{text}"
+    );
+}
+
+#[test]
 fn unhardened_path_fails_the_acceptance_plan() {
     let falls = fall_trials();
     let plan = acceptance_plan();
