@@ -11,6 +11,8 @@
 //!   --speedup-pct <P>       speedup shrink allowed, % (default 25)
 //!   --throughput-pct <P>    throughput (`*_per_s`) shrink allowed, %
 //!                           (default 30)
+//!   --drift-abs <F>         absolute clean-leg drift PSI growth
+//!                           (`drift.clean_*_psi`) allowed (default 0.05)
 //!   --min-count <N>         observations needed before a histogram
 //!                           can gate (default 20)
 //! ```
@@ -24,7 +26,8 @@ fn usage() -> ! {
         "usage: benchdiff <baseline.json> <candidate.json> \
          [--latency-pct P] [--latency-floor-us U] \
          [--lead-pct P] [--lead-floor-ms M] [--budget-drop F] \
-         [--speedup-pct P] [--throughput-pct P] [--min-count N]"
+         [--speedup-pct P] [--throughput-pct P] [--drift-abs F] \
+         [--min-count N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +53,7 @@ fn parse_args() -> (String, String, Thresholds) {
             "--budget-drop" => flag(&mut t.budget_drop),
             "--speedup-pct" => flag(&mut t.speedup_pct),
             "--throughput-pct" => flag(&mut t.throughput_pct),
+            "--drift-abs" => flag(&mut t.drift_abs),
             "--min-count" => flag(&mut t.min_count),
             "-h" | "--help" => usage(),
             _ if arg.starts_with('-') => usage(),

@@ -16,6 +16,11 @@
 //! * **budget fraction** (`falls_lead_ge_budget / triggered_falls` from
 //!   the snapshot's top-level fields): an absolute drop beyond the
 //!   configured slack fails.
+//! * **clean-leg drift** (gauges/fields named `drift.clean_*_psi`):
+//!   PSI of a healthy replay against the committed reference
+//!   fingerprint. Growth past an *absolute* allowance fails — PSI is
+//!   already a normalized divergence, so a relative gate on a
+//!   near-zero baseline would be meaningless noise.
 
 use prefall_telemetry::JsonValue;
 use std::collections::BTreeMap;
@@ -170,6 +175,14 @@ pub struct Thresholds {
     /// shrink gates, and generously: wall-clock throughput travels
     /// between CI machines.
     pub throughput_pct: f64,
+    /// Absolute PSI growth a clean-leg drift gauge or field (any
+    /// metric named `drift.clean_*_psi`) may show. Absolute, not
+    /// relative: the clean baseline sits near zero by construction, so
+    /// percentage change is meaningless — what matters is how much
+    /// divergence a healthy replay accumulated against the committed
+    /// reference. 0.05 is a quarter of the conventional 0.2 "moderate
+    /// shift" reading.
+    pub drift_abs: f64,
     /// Minimum observation count (on both sides) before a histogram can
     /// gate at all. Tiny histograms — a 3-sample `normalize_seconds` —
     /// swing hundreds of percent run-to-run on the same machine from
@@ -187,6 +200,7 @@ impl Default for Thresholds {
             budget_drop: 0.05,
             speedup_pct: 25.0,
             throughput_pct: 30.0,
+            drift_abs: 0.05,
             min_count: 20.0,
         }
     }
@@ -287,6 +301,14 @@ fn is_throughput(name: &str) -> bool {
     name.ends_with("_per_s")
 }
 
+fn is_clean_drift(name: &str) -> bool {
+    name.starts_with("drift.clean_") && name.ends_with("_psi")
+}
+
+fn drift_regressed(base: f64, cand: f64, t: &Thresholds) -> bool {
+    base.is_finite() && cand.is_finite() && cand - base > t.drift_abs
+}
+
 fn speedup_regressed(base: f64, cand: f64, t: &Thresholds) -> bool {
     base.is_finite() && cand.is_finite() && cand < base * (1.0 - t.speedup_pct / 100.0)
 }
@@ -363,7 +385,8 @@ pub fn diff(base: &BenchSnapshot, cand: &BenchSnapshot, t: &Thresholds) -> DiffR
     }
 
     // Speedup and throughput gauges/fields: higher is better; only
-    // shrink past the respective threshold gates.
+    // shrink past the respective threshold gates. Clean-leg drift PSI:
+    // lower is better; only absolute growth gates.
     for (section_base, section_cand) in [(&base.gauges, &cand.gauges), (&base.fields, &cand.fields)]
     {
         for (name, bv) in section_base {
@@ -371,6 +394,8 @@ pub fn diff(base: &BenchSnapshot, cand: &BenchSnapshot, t: &Thresholds) -> DiffR
                 speedup_regressed
             } else if is_throughput(name) {
                 throughput_regressed
+            } else if is_clean_drift(name) {
+                drift_regressed
             } else {
                 continue;
             };
@@ -614,6 +639,52 @@ mod tests {
         });
         let fworse = tweaked(|s| {
             s.fields.insert("batches_per_s".to_string(), 100.0);
+        });
+        assert!(diff(&fbase, &fworse, &t).has_regressions());
+    }
+
+    #[test]
+    fn clean_drift_growth_fails_absolutely_shrink_and_noise_pass() {
+        let t = Thresholds::default();
+        let with_psi = |v: f64| {
+            tweaked(move |s| {
+                s.gauges.insert("drift.clean_input_psi".to_string(), v);
+            })
+        };
+        // A healthy clean leg sits near zero.
+        let base = with_psi(0.004);
+
+        // +0.2 PSI: a healthy replay now diverges from the reference —
+        // the sketches, the pipeline, or the generator changed.
+        let report = diff(&base, &with_psi(0.204), &t);
+        assert!(
+            report
+                .regressions()
+                .any(|d| d.metric == "drift.clean_input_psi" && d.stat == "value"),
+            "{}",
+            report.render()
+        );
+
+        // +0.03 is inside the absolute allowance even though it is a
+        // +750 % relative change; shrink is an improvement.
+        assert!(!diff(&base, &with_psi(0.034), &t).has_regressions());
+        assert!(!diff(&base, &with_psi(0.0), &t).has_regressions());
+
+        // Non-clean drift gauges (the live monitor's own output during
+        // the storm legs) never gate.
+        let storm = |v: f64| {
+            tweaked(move |s| {
+                s.gauges.insert("drift.input_psi".to_string(), v);
+            })
+        };
+        assert!(!diff(&storm(0.1), &storm(6.0), &t).has_regressions());
+
+        // Clean drift as a top-level field gates identically.
+        let fbase = tweaked(|s| {
+            s.fields.insert("drift.clean_score_psi".to_string(), 0.01);
+        });
+        let fworse = tweaked(|s| {
+            s.fields.insert("drift.clean_score_psi".to_string(), 0.30);
         });
         assert!(diff(&fbase, &fworse, &t).has_regressions());
     }

@@ -21,6 +21,7 @@
 //! lead-time regressions — the CI gate against the committed baseline.
 
 pub mod diff;
+pub mod driftref;
 
 /// The paper's Table III values (%, macro-averaged), for side-by-side
 /// printing: `(model, window_ms, accuracy, precision, recall, f1)`.

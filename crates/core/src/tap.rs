@@ -82,3 +82,58 @@ pub trait DetectorTap: std::fmt::Debug + Send {
     /// runner), with the final outcome.
     fn on_trial_end(&mut self, _trial: &Trial, _outcome: &TrialOutcome) {}
 }
+
+/// Fans one tap slot out to several observers, in installation order.
+///
+/// The detector holds exactly one tap, but deployments often want
+/// more — a flight recorder *and* a drift monitor, say. A fanout is
+/// itself a tap: its callbacks forward to every child, allocate
+/// nothing per call, and inherit the children's discipline (each child
+/// must honour the per-sample no-allocation contract on its own).
+#[derive(Debug, Default)]
+pub struct TapFanout {
+    taps: Vec<Box<dyn DetectorTap>>,
+}
+
+impl TapFanout {
+    /// A fanout over the given taps.
+    pub fn new(taps: Vec<Box<dyn DetectorTap>>) -> Self {
+        Self { taps }
+    }
+
+    /// Adds another observer (builder style).
+    pub fn with(mut self, tap: Box<dyn DetectorTap>) -> Self {
+        self.taps.push(tap);
+        self
+    }
+
+    /// How many observers the fanout forwards to.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Whether the fanout has no observers.
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+}
+
+impl DetectorTap for TapFanout {
+    fn on_sample(&mut self, ctx: &SampleTapCtx<'_>) {
+        for tap in self.taps.iter_mut() {
+            tap.on_sample(ctx);
+        }
+    }
+
+    fn on_stream_reset(&mut self) {
+        for tap in self.taps.iter_mut() {
+            tap.on_stream_reset();
+        }
+    }
+
+    fn on_trial_end(&mut self, trial: &Trial, outcome: &TrialOutcome) {
+        for tap in self.taps.iter_mut() {
+            tap.on_trial_end(trial, outcome);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the drift sketches: merge is exactly
+//! associative and commutative (bit-level equality, not epsilon), and
+//! the fixed-bin quantile sketch stays within one bin width of the
+//! exact empirical quantile on random streams.
+//!
+//! These are the algebraic facts the fleet wiring leans on — a
+//! fleet-wide fingerprint merged shard-by-shard on 8 threads must
+//! serialize to the same bytes as the serial merge.
+
+use prefall_drift::sketch::{AxisSketch, FeatureRange, BINS};
+use prefall_drift::Fingerprint;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random stream in [lo, hi], with occasional
+/// out-of-range and non-finite values mixed in to exercise clamping
+/// and skipping.
+fn gen_stream(len: usize, seed: u64, range: &FeatureRange) -> Vec<f64> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            match s % 97 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => range.hi + 50.0,
+                3 => range.lo - 50.0,
+                _ => range.lo + (s % 100_000) as f64 / 100_000.0 * range.width(),
+            }
+        })
+        .collect()
+}
+
+fn sketch_of(values: &[f64], range: &FeatureRange) -> AxisSketch {
+    let mut s = AxisSketch::new();
+    for &v in values {
+        s.observe(range, v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), field for field.
+    #[test]
+    fn merge_is_associative(
+        la in 0usize..200,
+        lb in 0usize..200,
+        lc in 0usize..200,
+        seed in 0u64..10_000,
+    ) {
+        let range = FeatureRange::new(-16.0, 16.0);
+        let a = sketch_of(&gen_stream(la, seed, &range), &range);
+        let b = sketch_of(&gen_stream(lb, seed ^ 0xA5A5, &range), &range);
+        let c = sketch_of(&gen_stream(lc, seed ^ 0x5A5A, &range), &range);
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊔ b == b ⊔ a, and merging equals single-stream feeding.
+    #[test]
+    fn merge_is_commutative_and_lossless(
+        la in 0usize..300,
+        lb in 0usize..300,
+        seed in 0u64..10_000,
+    ) {
+        let range = FeatureRange::new(0.0, 1.0);
+        let sa = gen_stream(la, seed, &range);
+        let sb = gen_stream(lb, seed ^ 0xBEEF, &range);
+
+        let a = sketch_of(&sa, &range);
+        let b = sketch_of(&sb, &range);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Feeding one sketch the concatenated stream gives the same
+        // result: merging loses nothing.
+        let mut whole: Vec<f64> = sa;
+        whole.extend_from_slice(&sb);
+        let single = sketch_of(&whole, &range);
+        prop_assert_eq!(ab, single);
+    }
+
+    /// Fingerprint merge order does not change the serialized bytes —
+    /// the property the fleet's 1/2/8-thread bit-identity gate rides
+    /// on.
+    #[test]
+    fn fingerprint_merge_bytes_are_order_independent(
+        parts in 2usize..6,
+        per_part in 1usize..80,
+        seed in 0u64..10_000,
+    ) {
+        let mut fps: Vec<Fingerprint> = Vec::new();
+        let mut s = seed | 1;
+        for p in 0..parts {
+            let mut fp = Fingerprint::new();
+            for i in 0..per_part {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let t = (p * 1000 + i) as f64 * 0.13 + (s % 7) as f64;
+                fp.observe_sample(
+                    [t.sin() as f32, t.cos() as f32 * 0.2, 1.0],
+                    [(t * 1.9).sin() as f32 * 8.0, 0.0, (t * 0.4).cos() as f32],
+                );
+                if i % 3 == 0 {
+                    fp.observe_score((0.5 + 0.4 * t.sin()) as f32);
+                    fp.observe_shares(&[0.4, 0.35, 0.25]);
+                }
+            }
+            fps.push(fp);
+        }
+        let mut forward = Fingerprint::new();
+        for fp in &fps {
+            forward.merge(fp);
+        }
+        let mut backward = Fingerprint::new();
+        for fp in fps.iter().rev() {
+            backward.merge(fp);
+        }
+        prop_assert_eq!(forward.to_bytes(), backward.to_bytes());
+    }
+
+    /// The sketch quantile is within one bin width (plus quantization
+    /// slack) of the exact empirical quantile at the same rank.
+    #[test]
+    fn quantiles_are_within_one_bin_of_exact(
+        len in 1usize..500,
+        seed in 0u64..10_000,
+        lo in -20.0f64..0.0,
+        span in 0.5f64..40.0,
+    ) {
+        let range = FeatureRange::new(lo, lo + span);
+        // Finite, in-range values only: the bound is about the
+        // histogram's resolution, not about clamping semantics.
+        let mut s = seed | 1;
+        let values: Vec<f64> = (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                range.lo + (s % 1_000_000) as f64 / 1_000_000.0 * range.width()
+            })
+            .collect();
+        let sketch = sketch_of(&values, &range);
+        let mut sorted = values;
+        sorted.sort_by(f64::total_cmp);
+        for phi in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let rank = (phi * (sorted.len() - 1) as f64).round() as usize;
+            let exact = sorted[rank];
+            let approx = sketch.quantile(&range, phi).unwrap();
+            let bound = range.bin_width() + 2.0 * range.width() / (1 << 20) as f64;
+            prop_assert!(
+                (approx - exact).abs() <= bound,
+                "phi {} approx {} exact {} bound {} (len {}, {} bins)",
+                phi, approx, exact, bound, sorted.len(), BINS
+            );
+        }
+    }
+}

@@ -85,7 +85,8 @@ pub use server::FleetServer;
 
 use prefall_core::session::{ModelBundle, Session, SessionCheckpoint};
 use prefall_core::CoreError;
-use prefall_obsd::FleetSource;
+use prefall_drift::{compare, drift_doc, Fingerprint};
+use prefall_obsd::{DriftSource, FleetSource};
 use prefall_par::Pool;
 use prefall_telemetry::{JsonValue, Recorder};
 use std::collections::{HashMap, VecDeque};
@@ -157,6 +158,12 @@ impl Default for FleetConfig {
 struct Slot {
     session: Session,
     last_used: Instant,
+    /// Per-wearer drift fingerprint (raw inputs + window scores).
+    /// Fleet sessions run untapped, so the attribution-share section
+    /// stays empty and contributes zero PSI by design. The sketch is
+    /// heap-free, so slots keep their zero-steady-state-allocation
+    /// property.
+    sketch: Fingerprint,
 }
 
 /// One registry shard: its own lock, active map, recycled-session free
@@ -169,6 +176,10 @@ struct Shard {
     /// Reused per-batch probability scratch, so steady-state ingest
     /// does not allocate inside the shard lock.
     scratch: Vec<f32>,
+    /// Drift evidence of wearers whose sessions were parked or
+    /// recycled, merged in [`Fleet::reap_idle`] so the fleet-wide
+    /// fingerprint never forgets samples it already saw.
+    retired: Fingerprint,
 }
 
 impl Shard {
@@ -179,6 +190,7 @@ impl Shard {
             parked: HashMap::new(),
             parked_order: VecDeque::new(),
             scratch: Vec::new(),
+            retired: Fingerprint::new(),
         }
     }
 }
@@ -300,6 +312,13 @@ pub struct Fleet {
     totals: Totals,
     pressure: AtomicUsize,
     queue_depth_hw: AtomicUsize,
+    drift: Mutex<DriftRef>,
+}
+
+/// The committed drift reference (if any) and its alarm ceiling.
+struct DriftRef {
+    reference: Option<Fingerprint>,
+    alarm_psi: f64,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -350,6 +369,10 @@ impl Fleet {
             totals: Totals::default(),
             pressure: AtomicUsize::new(0),
             queue_depth_hw: AtomicUsize::new(0),
+            drift: Mutex::new(DriftRef {
+                reference: None,
+                alarm_psi: prefall_drift::DriftConfig::default().alarm_psi,
+            }),
             cfg,
         }
     }
@@ -514,6 +537,7 @@ impl Fleet {
                     Slot {
                         session,
                         last_used: Instant::now(),
+                        sketch: Fingerprint::new(),
                     },
                 );
             } else if shard.active.len() >= self.per_shard_cap {
@@ -542,6 +566,7 @@ impl Fleet {
                     Slot {
                         session,
                         last_used: Instant::now(),
+                        sketch: Fingerprint::new(),
                     },
                 );
             }
@@ -588,6 +613,11 @@ impl Fleet {
                     }
                 }
                 BatchSample::Sample { accel, gyro } => {
+                    // Fold only fresh ticks into the drift sketch:
+                    // overlapping re-deliveries must not double-weight
+                    // the distribution (decided *before* the push,
+                    // which advances the grid).
+                    let fresh = tick >= session.next_tick();
                     if shed {
                         let o = session.push_at_shed(&self.bundle, tick, accel, gyro);
                         windows += o.windows as u64;
@@ -600,8 +630,16 @@ impl Fleet {
                         shed_windows += o.shed_windows as u64;
                         regressed |= o.regressed;
                     }
+                    if fresh {
+                        slot.sketch.observe_sample(accel, gyro);
+                    }
                 }
             }
+        }
+        // Window scores (gap-fill windows included — they are real
+        // classifier outputs) feed the score-distribution sketch.
+        for &p in shard.scratch.iter() {
+            slot.sketch.observe_score(p);
         }
         self.bump(&self.totals.windows, "fleet.windows", windows);
         self.bump(
@@ -647,6 +685,9 @@ impl Fleet {
                 .collect();
             for wearer in expired {
                 let mut slot = s.active.remove(&wearer).expect("listed above");
+                // The wearer's drift evidence outlives the session:
+                // merged into the shard accumulator before recycling.
+                s.retired.merge(&slot.sketch);
                 if self.parked_per_shard > 0 {
                     let ck = slot.session.checkpoint();
                     if s.parked.insert(wearer, ck).is_none() {
@@ -752,7 +793,8 @@ impl Fleet {
 
     /// Publishes the gauge-shaped stats (`fleet.sessions_active`,
     /// `fleet.sessions_parked`, `fleet.queue_depth` high-water) to the
-    /// recorder.
+    /// recorder, plus the `drift.*` gauges when a reference
+    /// fingerprint has been committed.
     pub fn publish_gauges(&self) {
         let stats = self.stats();
         self.rec
@@ -765,6 +807,72 @@ impl Fleet {
             .gauge_set("fleet.queue_depth_hw", stats.queue_depth_hw as f64);
         self.rec
             .gauge_set("fleet.shed_total", stats.shed_windows as f64);
+        self.publish_drift_gauges();
+    }
+
+    /// Commits the training-distribution reference the fleet's live
+    /// fingerprint is scored against, and the PSI ceiling above which
+    /// `drift.alarm` reads 1. Until a reference is set, the `drift.*`
+    /// gauges are not published and `/drift` reports scores of zero.
+    pub fn set_drift_reference(&self, reference: Fingerprint, alarm_psi: f64) {
+        let mut d = self.drift.lock().expect("drift lock");
+        d.reference = Some(reference);
+        d.alarm_psi = alarm_psi;
+    }
+
+    /// The fleet-wide drift fingerprint: every active wearer's sketch
+    /// merged with each shard's retired accumulator. Sketch merges are
+    /// exact integer operations, so the serialized bytes are identical
+    /// for any shard/thread interleaving that consumed the same
+    /// samples.
+    pub fn fleet_fingerprint(&self) -> Fingerprint {
+        let mut total = Fingerprint::new();
+        for shard in &self.shards {
+            let s = shard.lock().expect("shard lock");
+            total.merge(&s.retired);
+            for slot in s.active.values() {
+                total.merge(&slot.sketch);
+            }
+        }
+        total
+    }
+
+    /// One wearer's live drift fingerprint, or `None` when the wearer
+    /// has no active session (a parked wearer's evidence lives on in
+    /// the fleet-wide view, not per tenant).
+    pub fn tenant_fingerprint(&self, wearer: u64) -> Option<Fingerprint> {
+        let shard = self.shards[self.shard_index(wearer)]
+            .lock()
+            .expect("shard lock");
+        shard.active.get(&wearer).map(|slot| slot.sketch.clone())
+    }
+
+    /// Scores the fleet-wide fingerprint against the committed
+    /// reference and publishes the same `drift.*` gauge names the
+    /// single-detector `DriftMonitor` uses, so the watch drift SLOs
+    /// apply unchanged to both deployment shapes. No-op without a
+    /// reference.
+    fn publish_drift_gauges(&self) {
+        let (reference, alarm_psi) = {
+            let d = self.drift.lock().expect("drift lock");
+            match &d.reference {
+                Some(r) => (r.clone(), d.alarm_psi),
+                None => return,
+            }
+        };
+        let live = self.fleet_fingerprint();
+        let score = compare(&reference, &live);
+        self.rec.gauge_set("drift.input_psi", score.input_psi);
+        self.rec.gauge_set("drift.score_psi", score.score_psi);
+        self.rec
+            .gauge_set("drift.attribution_psi", score.attribution_psi);
+        self.rec.gauge_set("drift.input_shift", score.input_shift);
+        self.rec.gauge_set("drift.score_shift", score.score_shift);
+        self.rec.gauge_set("drift.samples", score.samples as f64);
+        self.rec.gauge_set(
+            "drift.alarm",
+            if score.alarmed(alarm_psi) { 1.0 } else { 0.0 },
+        );
     }
 
     /// Starts the background supervisor: every
@@ -801,6 +909,20 @@ impl Fleet {
 impl FleetSource for Fleet {
     fn fleet_json(&self) -> JsonValue {
         self.stats().to_json()
+    }
+}
+
+impl DriftSource for Fleet {
+    fn drift_json(&self, tenant: Option<u64>) -> Option<JsonValue> {
+        let (reference, alarm_psi) = {
+            let d = self.drift.lock().expect("drift lock");
+            (d.reference.clone(), d.alarm_psi)
+        };
+        let live = match tenant {
+            Some(wearer) => self.tenant_fingerprint(wearer)?,
+            None => self.fleet_fingerprint(),
+        };
+        Some(drift_doc(reference.as_ref(), &live, alarm_psi))
     }
 }
 
@@ -1144,6 +1266,107 @@ mod tests {
             doc.get("sessions_active").and_then(JsonValue::as_u64),
             Some(1)
         );
+    }
+
+    #[test]
+    fn fleet_fingerprint_merges_tenant_views_and_survives_reaping() {
+        let f = fleet(FleetConfig::default());
+        for &w in &[1u64, 2, 3] {
+            let _ = f.ingest_one(&batch_for(w, 0, 100));
+        }
+        // Fleet-wide view == the merge of every tenant view.
+        let mut manual = Fingerprint::new();
+        for &w in &[1u64, 2, 3] {
+            manual.merge(&f.tenant_fingerprint(w).expect("active tenant"));
+        }
+        let whole = f.fleet_fingerprint();
+        assert_eq!(whole.to_bytes(), manual.to_bytes());
+        assert_eq!(whole.samples(), 300);
+        assert!(whole.windows() > 0, "window scores folded");
+
+        // Parking a wearer moves its evidence into the shard
+        // accumulator: the tenant view disappears, the fleet-wide
+        // fingerprint is unchanged.
+        assert_eq!(f.reap_idle(Duration::ZERO), 3);
+        assert!(f.tenant_fingerprint(1).is_none());
+        assert_eq!(f.fleet_fingerprint().to_bytes(), whole.to_bytes());
+    }
+
+    #[test]
+    fn duplicate_deliveries_do_not_double_count_drift_evidence() {
+        let f = fleet(FleetConfig::default());
+        let b = batch_for(7, 0, 60);
+        let _ = f.ingest_one(&b);
+        let once = f.fleet_fingerprint();
+        // Exact re-delivery and an overlapping retransmit: only the
+        // genuinely fresh ticks (60..80) may add evidence.
+        let _ = f.ingest_one(&b);
+        assert_eq!(f.fleet_fingerprint().to_bytes(), once.to_bytes());
+        let _ = f.ingest_one(&batch_for(7, 40, 40));
+        assert_eq!(f.fleet_fingerprint().samples(), 80);
+    }
+
+    #[test]
+    fn fleet_fingerprint_is_bit_identical_across_thread_counts() {
+        let mut bytes: Vec<Vec<u8>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let f = fleet(FleetConfig {
+                threads: Some(threads),
+                ..FleetConfig::default()
+            });
+            for start in (0..200u64).step_by(25) {
+                let batches: Vec<IngestBatch> = (0..9).map(|w| batch_for(w, start, 25)).collect();
+                let _ = f.ingest_many(&batches);
+            }
+            bytes.push(f.fleet_fingerprint().to_bytes());
+        }
+        assert_eq!(bytes[0], bytes[1]);
+        assert_eq!(bytes[1], bytes[2]);
+    }
+
+    #[test]
+    fn drift_source_serves_global_and_tenant_documents() {
+        let f = fleet(FleetConfig::default());
+        let _ = f.ingest_one(&batch_for(1, 0, 120));
+        let _ = f.ingest_one(&batch_for(2, 0, 120));
+
+        // Reference = the fleet's own distribution: no alarm.
+        f.set_drift_reference(f.fleet_fingerprint(), 0.25);
+        let doc = f.drift_json(None).expect("global view");
+        assert!(matches!(doc.get("reference"), Some(JsonValue::Bool(true))));
+        assert!(matches!(doc.get("alarm"), Some(JsonValue::Bool(false))));
+        assert_eq!(doc.get("samples").and_then(JsonValue::as_u64), Some(240));
+
+        let tenant = f.drift_json(Some(1)).expect("tenant view");
+        assert_eq!(tenant.get("samples").and_then(JsonValue::as_u64), Some(120));
+        assert!(f.drift_json(Some(99)).is_none(), "unknown tenant is 404");
+    }
+
+    #[test]
+    fn drift_gauges_publish_once_a_reference_is_committed() {
+        use prefall_telemetry::Registry;
+        let mut f = fleet(FleetConfig::default());
+        let reg = Arc::new(Registry::new());
+        f.set_recorder(reg.clone());
+        let _ = f.ingest_one(&batch_for(3, 0, 100));
+
+        f.publish_gauges();
+        assert!(
+            !reg.snapshot().gauges.contains_key("drift.input_psi"),
+            "no reference, no drift gauges"
+        );
+        f.set_drift_reference(f.fleet_fingerprint(), 0.25);
+        f.publish_gauges();
+        let snap = reg.snapshot();
+        for g in [
+            "drift.input_psi",
+            "drift.score_psi",
+            "drift.samples",
+            "drift.alarm",
+        ] {
+            assert!(snap.gauges.contains_key(g), "missing {g}");
+        }
+        assert_eq!(snap.gauges["drift.alarm"], 0.0);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! [`Snapshot`]: prefall_telemetry::Snapshot
 //! [`Registry`]: prefall_telemetry::Registry
 
+pub mod drift;
 pub mod fleet;
 pub mod health;
 pub mod http;
@@ -51,6 +52,7 @@ pub mod prometheus;
 pub mod server;
 pub mod watch;
 
+pub use drift::DriftSource;
 pub use fleet::FleetSource;
 pub use health::{HealthReport, HealthStatus};
 pub use http::HttpRequest;

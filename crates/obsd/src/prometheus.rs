@@ -15,6 +15,11 @@
 //!   `_bucket{le="…"}` series, `_sum` and `_count`; non-finite
 //!   observations count toward `_count` and the `+Inf` bucket only,
 //!   matching [`prefall_telemetry::Histogram`]'s bucket semantics.
+//!
+//! Every family carries a `# HELP` line (naming the original dotted
+//! registry key) ahead of its `# TYPE` line, so scrapers and humans
+//! reading a raw `/metrics` page get the metric kind and provenance
+//! without guessing.
 
 use prefall_telemetry::{HistogramSnapshot, Snapshot};
 use std::collections::BTreeMap;
@@ -122,9 +127,12 @@ fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> St
 }
 
 /// One family: every series of a sanitised base name, grouped so the
-/// `# TYPE` header is emitted exactly once per family even when names
-/// collide after sanitisation.
+/// `# HELP` / `# TYPE` headers are emitted exactly once per family
+/// even when names collide after sanitisation.
 struct Family<T> {
+    /// The first dotted registry key that mapped here, quoted in the
+    /// `# HELP` line as the metric's provenance.
+    raw_base: String,
     series: Vec<(Vec<(String, String)>, T)>,
 }
 
@@ -138,11 +146,29 @@ fn group_families<'a, T: Clone>(
         let name = format!("{namespace}_{}", sanitize_name(base));
         families
             .entry(name)
-            .or_insert_with(|| Family { series: Vec::new() })
+            .or_insert_with(|| Family {
+                raw_base: base.to_string(),
+                series: Vec::new(),
+            })
             .series
             .push((labels, value));
     }
     families
+}
+
+/// Escapes a `# HELP` text: the exposition format requires `\` → `\\`
+/// and newline → `\n` (registry keys are normally tame, but a hostile
+/// one must not be able to split a comment line).
+fn escape_help(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders a [`Snapshot`] in Prometheus text exposition format.
@@ -157,6 +183,10 @@ pub fn render(snapshot: &Snapshot, namespace: &str) -> String {
     for (name, family) in
         group_families(snapshot.counters.iter().map(|(k, v)| (k, *v)), ns.as_str())
     {
+        out.push_str(&format!(
+            "# HELP {name}_total Monotone total of the `{}` telemetry counter.\n",
+            escape_help(&family.raw_base)
+        ));
         out.push_str(&format!("# TYPE {name}_total counter\n"));
         for (labels, v) in &family.series {
             out.push_str(&format!(
@@ -168,6 +198,10 @@ pub fn render(snapshot: &Snapshot, namespace: &str) -> String {
 
     for (name, family) in group_families(snapshot.gauges.iter().map(|(k, v)| (k, *v)), ns.as_str())
     {
+        out.push_str(&format!(
+            "# HELP {name} Current value of the `{}` telemetry gauge.\n",
+            escape_help(&family.raw_base)
+        ));
         out.push_str(&format!("# TYPE {name} gauge\n"));
         for (labels, v) in &family.series {
             out.push_str(&format!(
@@ -179,6 +213,10 @@ pub fn render(snapshot: &Snapshot, namespace: &str) -> String {
     }
 
     for (name, family) in group_families(snapshot.histograms.iter(), ns.as_str()) {
+        out.push_str(&format!(
+            "# HELP {name} Distribution of `{}` telemetry observations.\n",
+            escape_help(&family.raw_base)
+        ));
         out.push_str(&format!("# TYPE {name} histogram\n"));
         for (labels, h) in &family.series {
             render_histogram(&mut out, &name, labels, h);
@@ -289,6 +327,22 @@ mod tests {
 
         assert!(text.contains("# TYPE prefall_detector_windows_total counter"));
         assert!(text.contains("prefall_detector_windows_total 7"));
+        // Every family leads with a HELP line naming the dotted origin,
+        // immediately followed by its TYPE line.
+        assert!(
+            text.contains(
+                "# HELP prefall_detector_windows_total Monotone total of the `detector.windows` telemetry counter.\n# TYPE prefall_detector_windows_total counter"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP prefall_train_learning_rate Current value of the `train.learning_rate` telemetry gauge."),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP prefall_lat Distribution of `lat` telemetry observations."),
+            "{text}"
+        );
         assert!(text.contains("prefall_quality_fall_events_total{task=\"39\"} 2"));
         assert!(text.contains("# TYPE prefall_train_learning_rate gauge"));
         assert!(text.contains("prefall_train_learning_rate 0.001"));
@@ -321,6 +375,7 @@ mod tests {
         reg.counter_add("a_b", 2);
         let text = render(&reg.snapshot(), "p");
         assert_eq!(text.matches("# TYPE p_a_b_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP p_a_b_total").count(), 1);
         let samples = text
             .lines()
             .filter(|l| l.starts_with("p_a_b_total "))

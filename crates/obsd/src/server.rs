@@ -13,6 +13,7 @@
 //! | `GET /slo` | current SLO evaluation state: burn rates, firing flags |
 //! | `GET /alerts` | recent alert fire/resolve transitions |
 //! | `GET /fleet` | multi-stream session registry stats (with a [`FleetSource`] attached) |
+//! | `GET /drift?tenant=` | drift fingerprint scores, fleet-wide or per tenant (with a [`DriftSource`] attached) |
 //!
 //! The server deliberately implements only what a scraper needs:
 //! `GET`/`HEAD`, `Connection: close`, `Content-Length` framing — the
@@ -26,6 +27,7 @@
 //! thread is single and serial, so one stuck socket would otherwise
 //! blind every scraper. Cut-offs are counted as `obsd.conn_timeouts`.
 
+use crate::drift::DriftSource;
 use crate::fleet::FleetSource;
 use crate::health::HealthReport;
 use crate::http;
@@ -80,6 +82,7 @@ struct Sources {
     trace: Option<Arc<LastTrace>>,
     watch: Option<Arc<dyn WatchSource>>,
     fleet: Option<Arc<dyn FleetSource>>,
+    drift: Option<Arc<dyn DriftSource>>,
 }
 
 /// A running metrics endpoint. Dropping the handle stops the listener
@@ -181,6 +184,28 @@ impl MetricsServer {
         watch: Option<Arc<dyn WatchSource>>,
         fleet: Option<Arc<dyn FleetSource>>,
     ) -> std::io::Result<Self> {
+        Self::start_with_drift(addr, registry, config, incidents, trace, watch, fleet, None)
+    }
+
+    /// The outermost constructor: [`MetricsServer::start_with_fleet`]
+    /// plus an optional [`DriftSource`]. When attached, `/drift`
+    /// serves the global fingerprint-vs-reference scores and
+    /// `/drift?tenant=<wearer>` the per-tenant view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (`EADDRINUSE`, permission, bad address).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_drift(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        config: ServerConfig,
+        incidents: Option<Arc<dyn IncidentSource>>,
+        trace: Option<Arc<LastTrace>>,
+        watch: Option<Arc<dyn WatchSource>>,
+        fleet: Option<Arc<dyn FleetSource>>,
+        drift: Option<Arc<dyn DriftSource>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept so the thread can notice the stop flag
@@ -193,6 +218,7 @@ impl MetricsServer {
             trace,
             watch,
             fleet,
+            drift,
         };
         let handle = std::thread::Builder::new()
             .name("prefall-obsd".to_string())
@@ -276,6 +302,7 @@ fn handle_connection(
     let trace = sources.trace.as_deref();
     let watch = sources.watch.as_deref();
     let fleet = sources.fleet.as_deref();
+    let drift = sources.drift.as_deref();
 
     stream.set_nonblocking(false)?;
     stream.set_write_timeout(Some(config.conn_deadline))?;
@@ -483,11 +510,43 @@ fn handle_connection(
                 "no fleet source attached\n".to_string(),
             ),
         },
+        "/drift" => match drift {
+            Some(d) => {
+                let tenant = query_param(query, "tenant");
+                match tenant.map(|t| t.parse::<u64>()) {
+                    Some(Err(_)) => (
+                        400,
+                        "Bad Request",
+                        "text/plain; charset=utf-8",
+                        "tenant must be an unsigned integer\n".to_string(),
+                    ),
+                    parsed => match d.drift_json(parsed.and_then(Result::ok)) {
+                        Some(doc) => {
+                            let mut body = doc.to_string();
+                            body.push('\n');
+                            (200, "OK", "application/json; charset=utf-8", body)
+                        }
+                        None => (
+                            404,
+                            "Not Found",
+                            "text/plain; charset=utf-8",
+                            "unknown tenant\n".to_string(),
+                        ),
+                    },
+                }
+            }
+            None => (
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no drift source attached\n".to_string(),
+            ),
+        },
         "/" => (
             200,
             "OK",
             "text/plain; charset=utf-8",
-            "prefall-obsd: /metrics /healthz /snapshot /incidents /trace /tsdb?series=&window= /slo /alerts /fleet\n"
+            "prefall-obsd: /metrics /healthz /snapshot /incidents /trace /tsdb?series=&window= /slo /alerts /fleet /drift?tenant=\n"
                 .to_string(),
         ),
         _ => (
@@ -856,6 +915,7 @@ mod tests {
             "/slo",
             "/alerts",
             "/fleet",
+            "/drift",
         ] {
             assert!(body.contains(route), "index missing {route}: {body}");
         }
@@ -957,6 +1017,71 @@ mod tests {
         let (code, body) = get(server.addr(), "/fleet");
         assert_eq!(code, 404);
         assert!(body.contains("no fleet source attached"), "{body}");
+        server.shutdown();
+    }
+
+    /// A canned drift source: knows tenant 7 and the global view.
+    #[derive(Debug)]
+    struct FakeDrift;
+
+    impl DriftSource for FakeDrift {
+        fn drift_json(&self, tenant: Option<u64>) -> Option<JsonValue> {
+            match tenant {
+                None => Some(JsonValue::Obj(vec![(
+                    "input_psi".to_string(),
+                    JsonValue::F64(0.01),
+                )])),
+                Some(7) => Some(JsonValue::Obj(vec![(
+                    "tenant".to_string(),
+                    JsonValue::U64(7),
+                )])),
+                Some(_) => None,
+            }
+        }
+    }
+
+    #[test]
+    fn serves_drift_views_with_tenant_validation() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::start_with_drift(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+            None,
+            None,
+            None,
+            None,
+            Some(Arc::new(FakeDrift) as Arc<dyn DriftSource>),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/drift");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"input_psi\":0.01"), "{body}");
+
+        let (code, body) = get(addr, "/drift?tenant=7");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"tenant\":7"), "{body}");
+
+        let (code, body) = get(addr, "/drift?tenant=99");
+        assert_eq!(code, 404);
+        assert!(body.contains("unknown tenant"), "{body}");
+
+        let (code, body) = get(addr, "/drift?tenant=bogus");
+        assert_eq!(code, 400);
+        assert!(body.contains("unsigned integer"), "{body}");
+        server.shutdown();
+
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            ServerConfig::default(),
+        )
+        .expect("bind");
+        let (code, body) = get(server.addr(), "/drift");
+        assert_eq!(code, 404);
+        assert!(body.contains("no drift source attached"), "{body}");
         server.shutdown();
     }
 

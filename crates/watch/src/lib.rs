@@ -106,6 +106,8 @@ impl WatchConfig {
     /// | `ingest_p99` | p99 `detector.push_sample_seconds` ≤ 5 ms |
     /// | `lead_time_p10` | p10 lead time ≥ 150 ms (quality) |
     /// | `degraded_rate` | ≤ 5 % of guard samples degraded |
+    /// | `input_drift` | mean `drift.input_psi` ≤ 0.25 (quality) |
+    /// | `score_drift` | mean `drift.score_shift` ≤ 0.15 (quality) |
     pub fn production() -> Self {
         let slos = vec![
             SloSpec::new(
@@ -178,6 +180,42 @@ impl WatchConfig {
                     min_count: 100.0,
                 },
             ),
+            // Label-free validity: the drift monitor publishes drift
+            // scores of the live input / score distributions against
+            // the committed training-set fingerprint. A sustained
+            // input PSI past 0.25 (the conventional "major shift"
+            // reading) means the model is being asked about a
+            // population it was not trained on — a quality breach even
+            // though every latency SLO may be green, so firing
+            // captures an incident dump. The score section pages on
+            // quantile displacement, not PSI: the sliding view holds
+            // only a few hundred window scores, and at that sample
+            // size a handful of windows landing in reference-empty
+            // histogram bins swings PSI by whole points (the floored
+            // log ratio dominates), while the 10th–90th percentiles
+            // are stable on healthy streams. `drift.score_psi` stays
+            // published as an advisory gauge. The gauges only exist
+            // once a reference fingerprint is committed; until then
+            // these SLOs see no data and stay quiet. Burn 1.0: the
+            // ceiling *is* the alarm line.
+            SloSpec::new(
+                "input_drift",
+                SloObjective::GaugeCeiling {
+                    gauge: "drift.input_psi".into(),
+                    max: 0.25,
+                },
+            )
+            .burn(1.0, 0.8)
+            .quality(),
+            SloSpec::new(
+                "score_drift",
+                SloObjective::GaugeCeiling {
+                    gauge: "drift.score_shift".into(),
+                    max: 0.15,
+                },
+            )
+            .burn(1.0, 0.8)
+            .quality(),
         ];
         Self {
             store: StoreConfig::default(),

@@ -55,6 +55,10 @@ pub enum SloObjective {
         min: f64,
         min_count: f64,
     },
+    /// The windowed mean of a gauge must stay at or below `max`
+    /// (e.g. the `drift.input_psi` score published by the drift
+    /// monitor). Windows with no sampled points yield no data.
+    GaugeCeiling { gauge: String, max: f64 },
 }
 
 impl SloObjective {
@@ -100,6 +104,7 @@ impl SloObjective {
                 }
                 store.quantile(histogram, *q, now, window_s)
             }
+            SloObjective::GaugeCeiling { gauge, .. } => store.gauge_mean(gauge, now, window_s),
         }
     }
 
@@ -110,7 +115,8 @@ impl SloObjective {
         match self {
             SloObjective::CounterRateCeiling { max, .. }
             | SloObjective::RatioCeiling { max, .. }
-            | SloObjective::QuantileCeiling { max, .. } => {
+            | SloObjective::QuantileCeiling { max, .. }
+            | SloObjective::GaugeCeiling { max, .. } => {
                 if *max <= 0.0 {
                     if value > 0.0 {
                         f64::INFINITY
@@ -136,7 +142,8 @@ impl SloObjective {
         match self {
             SloObjective::CounterRateCeiling { max, .. }
             | SloObjective::RatioCeiling { max, .. }
-            | SloObjective::QuantileCeiling { max, .. } => *max,
+            | SloObjective::QuantileCeiling { max, .. }
+            | SloObjective::GaugeCeiling { max, .. } => *max,
             SloObjective::RatioFloor { min, .. } | SloObjective::QuantileFloor { min, .. } => *min,
         }
     }
@@ -148,6 +155,7 @@ impl SloObjective {
             SloObjective::RatioFloor { .. } => "ratio_floor",
             SloObjective::QuantileCeiling { .. } => "quantile_ceiling",
             SloObjective::QuantileFloor { .. } => "quantile_floor",
+            SloObjective::GaugeCeiling { .. } => "gauge_ceiling",
         }
     }
 }
@@ -406,6 +414,59 @@ mod tests {
             }
         }
         assert!(resolved, "idle alert must resolve");
+    }
+
+    #[test]
+    fn gauge_ceiling_fires_on_sustained_drift_and_stays_quiet_without_data() {
+        let reg = Registry::new();
+        let mut store = TsStore::new(StoreConfig {
+            resolution_s: 1.0,
+            retention_s: 300.0,
+            max_series: 16,
+        });
+        let spec = SloSpec::new(
+            "input_drift",
+            SloObjective::GaugeCeiling {
+                gauge: "drift.input_psi".into(),
+                max: 0.25,
+            },
+        )
+        .windows(60.0, 15.0)
+        .burn(1.0, 0.8)
+        .hold(20.0, 10.0);
+        let mut state = SloState::default();
+
+        // No reference committed → the gauge never published → the SLO
+        // must never fire on missing data.
+        for t in 0..30u64 {
+            store.sample(&reg, t as f64);
+            assert_eq!(
+                evaluate(&spec, &mut state, &store, t as f64),
+                SloTransition::None
+            );
+        }
+
+        // Healthy drift scores, then a sustained breach past 0.25.
+        let mut fired_at = None;
+        let mut resolved_at = None;
+        for t in 30..=300u64 {
+            let psi = if (100..180).contains(&t) { 0.6 } else { 0.02 };
+            reg.gauge_set("drift.input_psi", psi);
+            store.sample(&reg, t as f64);
+            match evaluate(&spec, &mut state, &store, t as f64) {
+                SloTransition::Fired if fired_at.is_none() => fired_at = Some(t),
+                SloTransition::Resolved if resolved_at.is_none() => resolved_at = Some(t),
+                _ => {}
+            }
+        }
+        let fired = fired_at.expect("sustained drift must fire");
+        // The 60 s long-window mean needs enough 0.6 points to cross
+        // 0.25 — roughly 25 s into the breach.
+        assert!((100..180).contains(&fired), "fired at {fired}");
+        let resolved = resolved_at.expect("must resolve after drift subsides");
+        assert!(resolved > 180, "resolved at {resolved}");
+        assert_eq!(state.times_fired, 1);
+        assert!(!state.firing);
     }
 
     #[test]

@@ -286,6 +286,31 @@ impl TsStore {
         }
     }
 
+    /// Windowed mean of a gauge series: the average of the sampled
+    /// points with `t >= now - window_s`. Unlike counters there is no
+    /// cumulative baseline to difference, so the mean weights each
+    /// retained sample equally. `None` for unknown / non-gauge series
+    /// or when the window holds no points.
+    pub fn gauge_mean(&self, name: &str, now: f64, window_s: f64) -> Option<f64> {
+        let SeriesData::Gauge(ring) = self.get(name)? else {
+            return None;
+        };
+        let since = now - window_s;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for (t, v) in ring.iter() {
+            if t >= since {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
     /// Windowed interpolated quantile of a histogram series.
     pub fn quantile(&self, name: &str, q: f64, now: f64, window_s: f64) -> Option<f64> {
         match self.get(name)? {
@@ -483,6 +508,28 @@ mod tests {
             .window_count("detector.push_sample_seconds", 30.0, 20.0)
             .unwrap();
         assert!((n - 19.0).abs() < 1e-12, "count {n}");
+    }
+
+    #[test]
+    fn gauge_mean_averages_only_the_window() {
+        let reg = Registry::new();
+        let mut store = store_with(1.0, 60.0);
+        // 0,2,4,...,18 over t=0..10.
+        for t in 0..10u64 {
+            reg.gauge_set("drift.input_psi", t as f64 * 2.0);
+            store.sample(&reg, t as f64);
+        }
+        // Window [6, 9]: points 12, 14, 16, 18 → mean 15.
+        let m = store.gauge_mean("drift.input_psi", 9.0, 3.0).unwrap();
+        assert!((m - 15.0).abs() < 1e-12, "mean {m}");
+        // Whole history: mean of 0..=18 step 2 = 9.
+        let m = store.gauge_mean("drift.input_psi", 9.0, 100.0).unwrap();
+        assert!((m - 9.0).abs() < 1e-12, "mean {m}");
+        // Empty window and non-gauge series give no data.
+        assert!(store.gauge_mean("drift.input_psi", 100.0, 1.0).is_none());
+        reg.counter_add("a", 1);
+        store.sample(&reg, 10.0);
+        assert!(store.gauge_mean("a", 10.0, 100.0).is_none());
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Tour of `prefall-telemetry`: recorders, RAII spans, counters, gauges,
 //! latency histograms, the mergeable registry snapshot, the rendered
 //! summary table, the JSONL event stream — first hand-rolled, then
-//! attached to a real instrumented experiment — and finally the
-//! `prefall-obsd` exporter serving it all over HTTP.
+//! attached to a real instrumented experiment — then the
+//! `prefall-obsd` exporter serving it all over HTTP, the flight
+//! recorder's incident forensics, watch SLO burn-rate alerting, and
+//! label-free drift fingerprints scoring a live stream against a
+//! committed reference.
 //!
 //! ```text
 //! cargo run --release --example telemetry_tour
@@ -351,6 +354,146 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .and_then(JsonValue::as_u64)
             .unwrap_or(0),
         fa.get("firing")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(true),
+    );
+
+    // 9. Drift: label-free model & data health. Accuracy needs labels,
+    //    and a deployed fall detector has none — so instead a
+    //    `DriftMonitor` taps the streaming detector and folds every
+    //    accepted sample, window score and branch attribution into
+    //    integer-quantized sketches (a *fingerprint*: fixed-size,
+    //    mergeable, bit-deterministic). The live view is scored
+    //    against a reference fingerprint with PSI (population
+    //    stability index — how much the binned distribution moved) and
+    //    quantile shift (how far the deciles slid), published as
+    //    `drift.*` gauges.
+    println!("\n== 9. drift: label-free model & data health ==");
+    let drift_detector =
+        || -> Result<prefall::core::detector::StreamingDetector, Box<dyn std::error::Error>> {
+            let cfg = prefall::core::detector::DetectorConfig::paper_400ms();
+            let window = cfg.pipeline.segmentation.window();
+            Ok(prefall::core::detector::StreamingDetector::new(
+                prefall::core::models::ModelKind::ProposedCnn.build(window, 9, 7)?,
+                prefall::dsp::stats::Normalizer::identity(9),
+                cfg,
+            )?)
+        };
+    let motion = |t: u64| -> ([f32; 3], [f32; 3]) {
+        let x = t as f32 * 0.07;
+        (
+            [0.02 * x.sin(), -0.03 * (x * 0.9).cos(), 1.0],
+            [6.0 * (x * 1.3).sin(), -4.0 * x.cos(), 1.5 * (x * 0.4).sin()],
+        )
+    };
+
+    // The reference: stream healthy motion through a monitored
+    // detector and export its lifetime fingerprint. Everything is
+    // seeded and integer-binned, so a rebuild is byte-identical — the
+    // repo commits one as ci/drift_reference.pfdf and CI re-derives it
+    // (`prefall-fingerprint verify`).
+    let build_reference = || -> Result<prefall::drift::Fingerprint, Box<dyn std::error::Error>> {
+        let mut det = drift_detector()?;
+        let handle = prefall::drift::DriftMonitor::install(&mut det, Default::default());
+        for t in 0..2000u64 {
+            let (a, g) = motion(t);
+            let _ = det.push_sample(a, g);
+        }
+        Ok(handle.fingerprint())
+    };
+    let reference = build_reference()?;
+    assert_eq!(
+        reference.to_bytes(),
+        build_reference()?.to_bytes(),
+        "fingerprints are bit-deterministic"
+    );
+    println!(
+        "  reference: {} samples, {} windows, {} bytes serialized (rebuild is byte-identical)",
+        reference.samples(),
+        reference.windows(),
+        reference.to_bytes().len()
+    );
+
+    // A live monitor scoring against that reference: the same motion
+    // distribution stays quiet...
+    let mut live_det = drift_detector()?;
+    let live = prefall::drift::DriftMonitor::install(&mut live_det, Default::default());
+    live.set_recorder(watched.clone());
+    live.set_reference(reference.clone());
+    for t in 0..2000u64 {
+        let (a, g) = motion(t);
+        let _ = live_det.push_sample(a, g);
+    }
+    let quiet = live.publish_now().expect("reference set, so scored");
+    println!(
+        "  matching stream : input PSI {:.4}, score shift {:.4} → alarmed: {}",
+        quiet.input_psi,
+        quiet.score_shift,
+        live.alarmed()
+    );
+
+    // ...and a degraded sensor (gyro railed at +30 rad/s) alarms, with
+    // no labels involved.
+    let mut railed_det = drift_detector()?;
+    let railed = prefall::drift::DriftMonitor::install(&mut railed_det, Default::default());
+    railed.set_reference(reference);
+    for t in 0..2000u64 {
+        let (a, _) = motion(t);
+        let _ = railed_det.push_sample(a, [30.0, 30.0, 30.0]);
+    }
+    let loud = railed.publish_now().expect("scored");
+    println!(
+        "  railed gyro     : input PSI {:.4}, score shift {:.4} → alarmed: {}",
+        loud.input_psi,
+        loud.score_shift,
+        railed.alarmed()
+    );
+
+    // The gauges close the loop with section 8: the production
+    // WatchConfig carries input_drift (mean drift.input_psi ≤ 0.25)
+    // and score_drift (mean drift.score_shift ≤ 0.15) quality SLOs,
+    // so sustained drift burns through the budget, flips /healthz, and
+    // captures a blackbox incident — the chain the `prefall-drift`
+    // bench replays end to end. The same state is served over HTTP:
+    // a DriftHandle is a DriftSource, and the fleet registry serves
+    // per-tenant views at /drift?tenant=<id>.
+    let drift_server = prefall::obsd::MetricsServer::start_with_drift(
+        "127.0.0.1:0",
+        watched.clone(),
+        prefall::obsd::ServerConfig::default(),
+        None,
+        None,
+        None,
+        None,
+        Some(Arc::new(live.clone()) as Arc<dyn prefall::obsd::DriftSource>),
+    )?;
+    let drift_body = {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(drift_server.addr())?;
+        write!(
+            s,
+            "GET /drift HTTP/1.1\r\nHost: tour\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut r = String::new();
+        s.read_to_string(&mut r)?;
+        r.split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default()
+    };
+    let drift_doc = JsonValue::parse(drift_body.trim())?;
+    println!(
+        "  {}/drift → samples {}, input_psi {:.4}, alarm {}",
+        drift_server.url(),
+        drift_doc
+            .get("samples")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        drift_doc
+            .get("input_psi")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(f64::NAN),
+        drift_doc
+            .get("alarm")
             .and_then(JsonValue::as_bool)
             .unwrap_or(true),
     );

@@ -31,6 +31,10 @@
 //!   declarative SLOs evaluated as multi-window burn rates, and an
 //!   alert sink that degrades `/healthz` and asks the blackbox for an
 //!   incident dump on quality breaches.
+//! * [`drift`] — label-free model & data health: integer-quantized
+//!   feature/score sketches merged into mergeable fingerprints, PSI and
+//!   quantile-shift scoring against a committed reference, and a
+//!   zero-alloc detector tap that publishes `drift.*` gauges.
 //! * [`fleet`] — fault-tolerant multi-stream serving: a sharded
 //!   session pool over one shared model, batched tick-sequenced
 //!   ingest with backpressure and load shedding, a supervisor that
@@ -52,6 +56,7 @@
 
 pub use prefall_blackbox as blackbox;
 pub use prefall_core as core;
+pub use prefall_drift as drift;
 pub use prefall_dsp as dsp;
 pub use prefall_faults as faults;
 pub use prefall_fleet as fleet;

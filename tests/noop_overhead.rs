@@ -12,6 +12,7 @@ use prefall_blackbox::{FlightConfig, FlightRecorder};
 use prefall_core::detector::{DetectorConfig, GuardConfig, StreamingDetector};
 use prefall_core::models::ModelKind;
 use prefall_core::pipeline::PipelineConfig;
+use prefall_drift::{DriftConfig, DriftMonitor, Fingerprint};
 use prefall_dsp::segment::Overlap;
 use prefall_dsp::stats::Normalizer;
 use prefall_telemetry::{NoopRecorder, Recorder};
@@ -161,6 +162,73 @@ fn noop_recorder_push_sample_does_not_allocate() {
         "hop cycles with the flight recorder armed must not accumulate allocations"
     );
     assert_eq!(flight.incident_count(), 0, "no incident should have fired");
+
+    // Same claim with the drift monitor armed and scoring: every
+    // sketch is fixed-size and updated in place, branch shares fold
+    // through a stack array, epoch rotation is a `mem::swap`, and the
+    // rescore (forced every window via `publish_every: 1`, with a
+    // reference set so `compare` actually runs) merges into a
+    // pre-allocated scratch fingerprint and publishes through static
+    // gauge names. Steady-state streaming allocates zero; full hop
+    // cycles — each including a traced classification *and* a rescore
+    // against the reference — allocate nothing beyond their first.
+    let cfg = DetectorConfig {
+        pipeline: PipelineConfig::paper(200.0, Overlap::Half),
+        threshold: 1.1, // never trigger: no incident path mid-measurement
+        consecutive: 1,
+        guard: GuardConfig::default(),
+    };
+    let net = ModelKind::ProposedCnn.build(window, 9, 1).unwrap();
+    let mut det = StreamingDetector::new(net, Normalizer::identity(9), cfg).unwrap();
+    let handle = DriftMonitor::install(
+        &mut det,
+        DriftConfig {
+            publish_every: 1,
+            ..DriftConfig::default()
+        },
+    );
+    // A small but non-empty reference so the PSI/quantile comparison
+    // paths all execute.
+    handle.set_reference({
+        let mut reference = Fingerprint::new();
+        for t in 0..200u64 {
+            let x = t as f32 * 0.07;
+            reference.observe_sample(
+                [0.02 * x.sin(), -0.03 * x.cos(), 1.0],
+                [0.5 * x.sin(), -0.4 * x.cos(), 0.1],
+            );
+        }
+        reference.observe_score(0.01);
+        reference
+    });
+
+    for _ in 0..window + hop {
+        let _ = det.push_sample([0.0, 0.0, 1.0], [0.0, 0.0, 0.0]);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..hop - 1 {
+        let p = det.push_sample([0.01, -0.02, 1.0], [0.0, 0.1, 0.0]);
+        assert!(p.is_none(), "these samples must not complete a hop");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state push_sample with the drift monitor armed must not allocate"
+    );
+
+    let first = measure_cycle(&mut det);
+    let second = measure_cycle(&mut det);
+    assert_eq!(
+        first, second,
+        "hop cycles with the drift monitor armed and scoring must not \
+         accumulate allocations"
+    );
+    assert!(
+        handle.score().is_some(),
+        "the armed monitor really did rescore during the measurement"
+    );
 
     // Same claim with timeline tracing armed — in full per-kernel
     // detail, the most event-dense configuration. Warm-up pays the
