@@ -20,9 +20,10 @@
 //!    1, 2 and 8 worker threads must export byte-identical merged
 //!    fingerprints: the integer sketches make merge order invisible.
 //! 4. **Arming overhead** — interleaved armed/unarmed rounds on one
-//!    detector; the drift tap may cost the classified push path at
-//!    most a few percent (`drift.arming_speedup`, CI-gated by
-//!    `benchdiff --speedup-pct 3`).
+//!    detector; the drift tap's fixed ~3 µs cost may eat at most about
+//!    a fifth of a classified push now that the packed-kernel
+//!    workspace path halved the unarmed denominator
+//!    (`drift.arming_speedup`, CI-gated by `benchdiff --speedup-pct 3`).
 //! 5. **Drift → SLO → incident** — one steady wearer (a single ADL
 //!    trial cycled, scored against its own in-run fingerprint, so the
 //!    sliding view is stationary) on a virtual clock: clean to 300 s,
@@ -347,7 +348,12 @@ fn main() {
         armed_med * 1e6,
         speedup
     );
-    if speedup < 0.85 {
+    // Re-derived when the packed-kernel workspace path cut the unarmed
+    // classified push from ~31 µs to ~14 µs: the tap's absolute cost is
+    // unchanged (~3 µs) but it is now a larger fraction of a much
+    // cheaper push. Observed spread on the 1-CPU box is 0.82–0.84; the
+    // committed baseline holds 0.82 and this hard floor sits below it.
+    if speedup < 0.78 {
         fail(
             "overhead",
             format!(

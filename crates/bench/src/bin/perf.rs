@@ -7,7 +7,8 @@
 //!   (`PREFALL_PREPROC_CACHE=0`), one worker thread. This is the code
 //!   path the repo shipped before the fast path existed.
 //! * **leg B — optimised**: blocked/fused kernels, segment cache on,
-//!   `PREFALL_PERF_THREADS` workers (default 4).
+//!   `PREFALL_PERF_THREADS` workers (falls back to `PREFALL_THREADS`,
+//!   then 4 — the CI matrix drives this leg at 1/2/4 threads).
 //!
 //! The two reports must be **bit-identical** (the fast path's core
 //! guarantee; the binary exits non-zero if any cell differs), so the
@@ -27,7 +28,7 @@
 //! PREFALL_EPOCHS=8 PREFALL_KFALL=6 cargo run --release -p prefall-bench --bin perf
 //! ```
 //!
-//! Output: `BENCH_perf.json` (kept separate from `BENCH_telemetry.json`
+//! Output: `bench-out/BENCH_perf.json` (kept separate from `BENCH_telemetry.json`
 //! so both gates diff against their own baselines).
 
 use prefall_bench::telemetry_out;
@@ -134,9 +135,15 @@ fn real_main() -> Result<(), String> {
     let (registry, rec) = telemetry_out::bench_recorder();
     let config = grid_config();
     let threads: usize = std::env::var("PREFALL_PERF_THREADS")
+        .or_else(|_| std::env::var("PREFALL_THREADS"))
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
+    // The env var is consumed: nested CV/train pools resolve
+    // `PREFALL_THREADS` ahead of the inherited map budget, so leaving
+    // it set would silently parallelise leg A's inner loops and
+    // corrupt the serial baseline.
+    std::env::remove_var("PREFALL_THREADS");
     rec.event(
         "bench.phase",
         &[

@@ -653,7 +653,11 @@ impl Engine {
 }
 
 impl From<Network> for Engine {
-    fn from(n: Network) -> Self {
+    fn from(mut n: Network) -> Self {
+        // Weights are settled once a network becomes a detector engine:
+        // build the interleaved conv/dense packs now so the streaming
+        // workspace path classifies with zero per-window allocations.
+        n.prepare_inference();
         Engine::Float(n)
     }
 }

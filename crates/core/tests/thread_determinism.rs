@@ -1,6 +1,7 @@
 //! Workspace parallelism must never change results: the experiment
 //! grid, the CV folds and the mini-batch trainer all fan out over
-//! `PREFALL_THREADS` workers, and every one of them is constructed so
+//! `PREFALL_THREADS` workers — nested, through the shared
+//! work-stealing scheduler — and every one of them is constructed so
 //! the outcome is **bit-identical** for any thread count (independent
 //! seeded tasks, index-ordered collection, per-sample gradient slots).
 
@@ -34,6 +35,37 @@ fn experiment_report_is_bit_identical_for_any_thread_count() {
     // confusion counts and per-segment f32 probabilities exactly.
     assert_eq!(serial, two, "2 threads changed the report");
     assert_eq!(serial, eight, "8 threads changed the report");
+}
+
+#[test]
+fn nested_maps_are_bit_identical_for_any_thread_count() {
+    // The work-stealing scheduler shares one set of deques across
+    // nested sessions: an outer map's chunks and an inner map's chunks
+    // interleave, and a parked worker may steal either. f32 sums must
+    // not care — each inner map folds its partials in item order into
+    // a pre-sized slot, so the bits depend only on the data, never on
+    // which worker ran which chunk.
+    let run_with = |threads: usize| -> Vec<u32> {
+        let outer_pool = prefall_par::Pool::new(threads);
+        let cells: Vec<usize> = (0..24).collect();
+        outer_pool.map(&cells, |_, &cell| {
+            // `from_env` inherits the enclosing map's thread budget, so
+            // the inner fan-out follows the same setting under test.
+            let inner_pool = prefall_par::Pool::from_env();
+            let items: Vec<usize> = (0..257).collect();
+            let parts = inner_pool.map(&items, |_, &i| {
+                let x = ((cell * 1009 + i * 31) % 97) as f32 / 97.0;
+                (x * 1.618_034 + 0.5).sin() * (i as f32 + 1.0).sqrt()
+            });
+            parts.iter().fold(0.0f32, |acc, p| acc + p).to_bits()
+        })
+    };
+
+    let serial = run_with(1);
+    let two = run_with(2);
+    let eight = run_with(8);
+    assert_eq!(serial, two, "2 threads changed nested-map bits");
+    assert_eq!(serial, eight, "8 threads changed nested-map bits");
 }
 
 #[test]

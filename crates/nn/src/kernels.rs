@@ -82,14 +82,45 @@ pub fn conv1d_reference(
     }
 }
 
-/// Register-blocked conv over the implicit im2col matrix.
+/// Repacks a conv (or any `[F × taps]` row-major) weight tensor into
+/// the filter-interleaved layout the blocked kernels consume: groups of
+/// eight filters, tap-major within the group (`packed[j·8 + l]` = tap
+/// `j` of the group's filter `l`). Remainder filters (`F % 8`) are not
+/// packed — the kernels read them from the raw weights. One pass over
+/// `F·K·C` floats; layers cache the result against a weight revision so
+/// steady-state inference never repacks (or allocates).
+pub fn pack_conv_weights(weights: &[f32], in_ch: usize, filters: usize, kernel: usize) -> Vec<f32> {
+    let kc = kernel * in_ch;
+    const G: usize = 8;
+    let groups = filters / G;
+    assert!(weights.len() >= filters * kc, "conv weight length");
+    let mut packed = vec![0.0f32; groups * kc * G];
+    for g in 0..groups {
+        let dst = &mut packed[g * kc * G..(g + 1) * kc * G];
+        for l in 0..G {
+            let src = &weights[(g * G + l) * kc..(g * G + l + 1) * kc];
+            for (j, &w) in src.iter().enumerate() {
+                dst[j * G + l] = w;
+            }
+        }
+    }
+    packed
+}
+
+/// Register-blocked conv over the implicit im2col matrix, with the
+/// weights repacked filter-interleaved per call.
 ///
 /// Because the input is time-major, the K·C patch for output step `t`
 /// is the contiguous slice `input[t·C .. t·C + K·C]` — im2col needs no
-/// materialisation. The kernel processes two time rows × four filters
-/// per iteration with eight independent accumulators (each still
-/// summing `j` in ascending order), which shares every weight load
-/// across rows and every input load across filters.
+/// materialisation. The weight tensor is first transposed into groups
+/// of eight filters with tap-major layout (`packed[j·8 + l]` = tap `j`
+/// of filter `l`), one pass over `F·K·C` floats. That turns the hot
+/// loop's weight access into contiguous eight-lane loads with the
+/// input value broadcast across lanes, which the compiler vectorises
+/// as elementwise multiply-then-add. Each lane is one filter's own
+/// accumulator summing `j` in ascending order, and Rust never fuses
+/// multiply-add, so every output's rounding sequence is exactly the
+/// reference chain.
 ///
 /// Bit-identical to [`conv1d_reference`].
 #[allow(clippy::too_many_arguments)]
@@ -107,41 +138,32 @@ pub fn conv1d_blocked(
     assert_eq!(out.len(), t_out * filters, "conv output length");
     let c = in_ch;
     let kc = kernel * c;
+    const G: usize = 8;
+    let groups = filters / G;
+    let packed = pack_conv_weights(weights, in_ch, filters, kernel);
     let mut t = 0;
     while t + 2 <= t_out {
         let x0 = &input[t * c..t * c + kc];
         let x1 = &input[(t + 1) * c..(t + 1) * c + kc];
-        let mut f = 0;
-        while f + 4 <= filters {
-            let w0 = &weights[f * kc..(f + 1) * kc];
-            let w1 = &weights[(f + 1) * kc..(f + 2) * kc];
-            let w2 = &weights[(f + 2) * kc..(f + 3) * kc];
-            let w3 = &weights[(f + 3) * kc..(f + 4) * kc];
-            let (mut a00, mut a01, mut a02, mut a03) =
-                (biases[f], biases[f + 1], biases[f + 2], biases[f + 3]);
-            let (mut a10, mut a11, mut a12, mut a13) = (a00, a01, a02, a03);
+        for g in 0..groups {
+            let w = &packed[g * kc * G..(g + 1) * kc * G];
+            let f = g * G;
+            let mut a0 = [0.0f32; G];
+            let mut a1 = [0.0f32; G];
+            a0.copy_from_slice(&biases[f..f + G]);
+            a1.copy_from_slice(&biases[f..f + G]);
             for j in 0..kc {
+                let wj = &w[j * G..(j + 1) * G];
                 let (v0, v1) = (x0[j], x1[j]);
-                a00 += w0[j] * v0;
-                a10 += w0[j] * v1;
-                a01 += w1[j] * v0;
-                a11 += w1[j] * v1;
-                a02 += w2[j] * v0;
-                a12 += w2[j] * v1;
-                a03 += w3[j] * v0;
-                a13 += w3[j] * v1;
+                for l in 0..G {
+                    a0[l] += wj[l] * v0;
+                    a1[l] += wj[l] * v1;
+                }
             }
-            out[t * filters + f] = a00;
-            out[t * filters + f + 1] = a01;
-            out[t * filters + f + 2] = a02;
-            out[t * filters + f + 3] = a03;
-            out[(t + 1) * filters + f] = a10;
-            out[(t + 1) * filters + f + 1] = a11;
-            out[(t + 1) * filters + f + 2] = a12;
-            out[(t + 1) * filters + f + 3] = a13;
-            f += 4;
+            out[t * filters + f..t * filters + f + G].copy_from_slice(&a0);
+            out[(t + 1) * filters + f..(t + 1) * filters + f + G].copy_from_slice(&a1);
         }
-        while f < filters {
+        for f in groups * G..filters {
             let wf = &weights[f * kc..(f + 1) * kc];
             let mut a0 = biases[f];
             let mut a1 = a0;
@@ -151,41 +173,32 @@ pub fn conv1d_blocked(
             }
             out[t * filters + f] = a0;
             out[(t + 1) * filters + f] = a1;
-            f += 1;
         }
         t += 2;
     }
     if t < t_out {
         let x0 = &input[t * c..t * c + kc];
-        let mut f = 0;
-        while f + 4 <= filters {
-            let w0 = &weights[f * kc..(f + 1) * kc];
-            let w1 = &weights[(f + 1) * kc..(f + 2) * kc];
-            let w2 = &weights[(f + 2) * kc..(f + 3) * kc];
-            let w3 = &weights[(f + 3) * kc..(f + 4) * kc];
-            let (mut a0, mut a1, mut a2, mut a3) =
-                (biases[f], biases[f + 1], biases[f + 2], biases[f + 3]);
+        for g in 0..groups {
+            let w = &packed[g * kc * G..(g + 1) * kc * G];
+            let f = g * G;
+            let mut a0 = [0.0f32; G];
+            a0.copy_from_slice(&biases[f..f + G]);
             for j in 0..kc {
-                let v = x0[j];
-                a0 += w0[j] * v;
-                a1 += w1[j] * v;
-                a2 += w2[j] * v;
-                a3 += w3[j] * v;
+                let wj = &w[j * G..(j + 1) * G];
+                let v0 = x0[j];
+                for l in 0..G {
+                    a0[l] += wj[l] * v0;
+                }
             }
-            out[t * filters + f] = a0;
-            out[t * filters + f + 1] = a1;
-            out[t * filters + f + 2] = a2;
-            out[t * filters + f + 3] = a3;
-            f += 4;
+            out[t * filters + f..t * filters + f + G].copy_from_slice(&a0);
         }
-        while f < filters {
+        for f in groups * G..filters {
             let wf = &weights[f * kc..(f + 1) * kc];
             let mut acc = biases[f];
             for j in 0..kc {
                 acc += wf[j] * x0[j];
             }
             out[t * filters + f] = acc;
-            f += 1;
         }
     }
 }
@@ -195,6 +208,11 @@ pub fn conv1d_blocked(
 /// planes. Output layout `[(T_out / pool) × F]` — conv steps past the
 /// last full pool window are skipped, exactly as the pool layer drops
 /// them.
+///
+/// Uses the same filter-interleaved weight packing as
+/// [`conv1d_blocked`], so the convolution inner loop vectorises as
+/// eight-lane multiply-then-add; ReLU and the pool max are applied
+/// per lane in the reference tap order.
 ///
 /// Bit-identical to `Conv1d → Relu → MaxPool1d` applied in sequence.
 #[allow(clippy::too_many_arguments)]
@@ -209,58 +227,67 @@ pub fn fused_conv_relu_maxpool(
     pool: usize,
     out: &mut [f32],
 ) {
+    let packed = pack_conv_weights(weights, in_ch, filters, kernel);
+    fused_conv_relu_maxpool_packed(
+        input, weights, &packed, biases, time, in_ch, filters, kernel, pool, out,
+    );
+}
+
+/// [`fused_conv_relu_maxpool`] against a caller-provided
+/// [`pack_conv_weights`] pack — the allocation-free form the streaming
+/// workspace path uses with the layer's cached pack. `weights` is still
+/// read for the `F % 8` remainder filters.
+///
+/// Bit-identical to the allocating wrapper (same loops, same pack).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_conv_relu_maxpool_packed(
+    input: &[f32],
+    weights: &[f32],
+    packed: &[f32],
+    biases: &[f32],
+    time: usize,
+    in_ch: usize,
+    filters: usize,
+    kernel: usize,
+    pool: usize,
+    out: &mut [f32],
+) {
     let t_out = check_conv_dims(input, weights, biases, time, in_ch, filters, kernel);
     assert!(pool >= 1 && pool <= t_out, "pool width out of range");
     let p_out = t_out / pool;
     assert_eq!(out.len(), p_out * filters, "fused output length");
     let c = in_ch;
     let kc = kernel * c;
+    const G: usize = 8;
+    let groups = filters / G;
+    assert_eq!(packed.len(), groups * kc * G, "conv pack length");
     for po in 0..p_out {
-        let mut f = 0;
-        while f + 4 <= filters {
-            let w0 = &weights[f * kc..(f + 1) * kc];
-            let w1 = &weights[(f + 1) * kc..(f + 2) * kc];
-            let w2 = &weights[(f + 2) * kc..(f + 3) * kc];
-            let w3 = &weights[(f + 3) * kc..(f + 4) * kc];
-            let (mut b0, mut b1, mut b2, mut b3) = (
-                f32::NEG_INFINITY,
-                f32::NEG_INFINITY,
-                f32::NEG_INFINITY,
-                f32::NEG_INFINITY,
-            );
+        for g in 0..groups {
+            let w = &packed[g * kc * G..(g + 1) * kc * G];
+            let f = g * G;
+            let mut best = [f32::NEG_INFINITY; G];
             for s in 0..pool {
                 let t = po * pool + s;
                 let x = &input[t * c..t * c + kc];
-                let (mut a0, mut a1, mut a2, mut a3) =
-                    (biases[f], biases[f + 1], biases[f + 2], biases[f + 3]);
+                let mut a = [0.0f32; G];
+                a.copy_from_slice(&biases[f..f + G]);
                 for j in 0..kc {
+                    let wj = &w[j * G..(j + 1) * G];
                     let v = x[j];
-                    a0 += w0[j] * v;
-                    a1 += w1[j] * v;
-                    a2 += w2[j] * v;
-                    a3 += w3[j] * v;
+                    for l in 0..G {
+                        a[l] += wj[l] * v;
+                    }
                 }
-                let (r0, r1, r2, r3) = (a0.max(0.0), a1.max(0.0), a2.max(0.0), a3.max(0.0));
-                if r0 > b0 {
-                    b0 = r0;
-                }
-                if r1 > b1 {
-                    b1 = r1;
-                }
-                if r2 > b2 {
-                    b2 = r2;
-                }
-                if r3 > b3 {
-                    b3 = r3;
+                for l in 0..G {
+                    let r = a[l].max(0.0);
+                    if r > best[l] {
+                        best[l] = r;
+                    }
                 }
             }
-            out[po * filters + f] = b0;
-            out[po * filters + f + 1] = b1;
-            out[po * filters + f + 2] = b2;
-            out[po * filters + f + 3] = b3;
-            f += 4;
+            out[po * filters + f..po * filters + f + G].copy_from_slice(&best);
         }
-        while f < filters {
+        for f in groups * G..filters {
             let wf = &weights[f * kc..(f + 1) * kc];
             let mut best = f32::NEG_INFINITY;
             for s in 0..pool {
@@ -276,20 +303,53 @@ pub fn fused_conv_relu_maxpool(
                 }
             }
             out[po * filters + f] = best;
-            f += 1;
         }
     }
 }
 
 /// Dense (fully connected) inference into a caller-provided buffer,
-/// four output rows at a time. Each output is `bias[o] + Σ w[o][j]·x[j]`
-/// with `j` ascending — bit-identical to `Dense::forward`.
+/// eight output rows at a time (falling to four, then one, on the
+/// tail). Each output is `bias[o] + Σ w[o][j]·x[j]` with `j` ascending —
+/// the accumulators are independent, so the blocking hides FMA latency
+/// without reassociating any sum, and the result is bit-identical to
+/// `Dense::forward`.
 pub fn dense_forward(input: &[f32], weights: &[f32], biases: &[f32], out: &mut [f32]) {
     let in_len = input.len();
     let out_len = out.len();
     assert_eq!(weights.len(), in_len * out_len, "dense weight length");
     assert_eq!(biases.len(), out_len, "dense bias length");
     let mut o = 0;
+    while o + 8 <= out_len {
+        let w0 = &weights[o * in_len..(o + 1) * in_len];
+        let w1 = &weights[(o + 1) * in_len..(o + 2) * in_len];
+        let w2 = &weights[(o + 2) * in_len..(o + 3) * in_len];
+        let w3 = &weights[(o + 3) * in_len..(o + 4) * in_len];
+        let w4 = &weights[(o + 4) * in_len..(o + 5) * in_len];
+        let w5 = &weights[(o + 5) * in_len..(o + 6) * in_len];
+        let w6 = &weights[(o + 6) * in_len..(o + 7) * in_len];
+        let w7 = &weights[(o + 7) * in_len..(o + 8) * in_len];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut a4, mut a5, mut a6, mut a7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (j, &v) in input.iter().enumerate() {
+            a0 += w0[j] * v;
+            a1 += w1[j] * v;
+            a2 += w2[j] * v;
+            a3 += w3[j] * v;
+            a4 += w4[j] * v;
+            a5 += w5[j] * v;
+            a6 += w6[j] * v;
+            a7 += w7[j] * v;
+        }
+        out[o] = biases[o] + a0;
+        out[o + 1] = biases[o + 1] + a1;
+        out[o + 2] = biases[o + 2] + a2;
+        out[o + 3] = biases[o + 3] + a3;
+        out[o + 4] = biases[o + 4] + a4;
+        out[o + 5] = biases[o + 5] + a5;
+        out[o + 6] = biases[o + 6] + a6;
+        out[o + 7] = biases[o + 7] + a7;
+        o += 8;
+    }
     while o + 4 <= out_len {
         let w0 = &weights[o * in_len..(o + 1) * in_len];
         let w1 = &weights[(o + 1) * in_len..(o + 2) * in_len];
@@ -316,6 +376,75 @@ pub fn dense_forward(input: &[f32], weights: &[f32], biases: &[f32], out: &mut [
         }
         out[o] = biases[o] + acc;
         o += 1;
+    }
+}
+
+/// Transposes a row-major `[out × in]` dense weight matrix into
+/// eight-output-interleaved groups (`packed[g·in·8 + j·8 + l]` = column
+/// `j` of output `g·8 + l`) for [`dense_forward_packed`]. Outputs past
+/// the last full group of eight are not packed; the packed kernel reads
+/// them from the row-major matrix. Packing costs one pass over the
+/// matrix — the same work as a single mat-vec — so it only pays when
+/// the pack is reused across many forward calls (the [`crate::layers::Dense`]
+/// layer caches it against a weight revision counter).
+pub fn pack_dense_weights(weights: &[f32], in_len: usize, out_len: usize) -> Vec<f32> {
+    assert_eq!(weights.len(), in_len * out_len, "dense weight length");
+    const G: usize = 8;
+    let groups = out_len / G;
+    let mut packed = vec![0.0f32; groups * in_len * G];
+    for g in 0..groups {
+        let dst = &mut packed[g * in_len * G..(g + 1) * in_len * G];
+        for l in 0..G {
+            let src = &weights[(g * G + l) * in_len..(g * G + l + 1) * in_len];
+            for (j, &w) in src.iter().enumerate() {
+                dst[j * G + l] = w;
+            }
+        }
+    }
+    packed
+}
+
+/// [`dense_forward`] over a weight pack built by [`pack_dense_weights`].
+/// The interleaved layout turns the weight access into contiguous
+/// eight-lane loads with the input value broadcast, which vectorises as
+/// elementwise multiply-then-add; each lane is still one output's own
+/// accumulator summing `j` ascending from `0.0` with the bias added
+/// last, so the bits match [`dense_forward`] exactly.
+pub fn dense_forward_packed(
+    input: &[f32],
+    weights: &[f32],
+    packed: &[f32],
+    biases: &[f32],
+    out: &mut [f32],
+) {
+    let in_len = input.len();
+    let out_len = out.len();
+    assert_eq!(weights.len(), in_len * out_len, "dense weight length");
+    assert_eq!(biases.len(), out_len, "dense bias length");
+    const G: usize = 8;
+    let groups = out_len / G;
+    assert_eq!(packed.len(), groups * in_len * G, "dense pack length");
+    for g in 0..groups {
+        let w = &packed[g * in_len * G..(g + 1) * in_len * G];
+        let o = g * G;
+        let mut a = [0.0f32; G];
+        for (j, &v) in input.iter().enumerate() {
+            let wj = &w[j * G..(j + 1) * G];
+            for l in 0..G {
+                a[l] += wj[l] * v;
+            }
+        }
+        for l in 0..G {
+            out[o + l] = biases[o + l] + a[l];
+        }
+    }
+    for o in groups * G..out_len {
+        let row = &weights[o * in_len..(o + 1) * in_len];
+        let mut acc = 0.0f32;
+        for (wv, xv) in row.iter().zip(input) {
+            acc += wv * xv;
+        }
+        out[o] = biases[o] + acc;
     }
 }
 

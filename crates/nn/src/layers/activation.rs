@@ -34,7 +34,8 @@ impl Layer for Relu {
 
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
         assert_eq!(input.len(), self.len, "relu input length");
-        self.mask = input.iter().map(|&x| x > 0.0).collect();
+        self.mask.clear();
+        self.mask.extend(input.iter().map(|&x| x > 0.0));
         input.iter().map(|&x| x.max(0.0)).collect()
     }
 

@@ -19,6 +19,9 @@ pub struct Conv1d {
     w: Param,
     b: Param,
     input_cache: Vec<f32>,
+    packed: Vec<f32>,
+    packed_rev: u64,
+    rev: u64,
 }
 
 impl Conv1d {
@@ -61,6 +64,9 @@ impl Conv1d {
             ),
             b: Param::new(format!("conv{index}.b"), vec![0.0; filters]),
             input_cache: Vec::new(),
+            packed: Vec::new(),
+            packed_rev: 0,
+            rev: 1,
         })
     }
 
@@ -98,6 +104,25 @@ impl Conv1d {
     pub fn biases(&self) -> &[f32] {
         &self.b.w
     }
+
+    /// Rebuilds the filter-interleaved weight pack if the weights have
+    /// changed since the last build (or were never packed). Layers with
+    /// fewer than eight filters gain nothing from packing and stay
+    /// unpacked.
+    pub fn ensure_packed(&mut self) {
+        if self.filters >= 8 && self.packed_rev != self.rev {
+            self.packed =
+                kernels::pack_conv_weights(&self.w.w, self.in_ch, self.filters, self.kernel);
+            self.packed_rev = self.rev;
+        }
+    }
+
+    /// The cached weight pack, if it is current for the present
+    /// weights — `None` means the caller must use an unpacked kernel
+    /// (or call [`Conv1d::ensure_packed`] first).
+    pub fn fresh_pack(&self) -> Option<&[f32]> {
+        (self.filters >= 8 && self.packed_rev == self.rev).then_some(&self.packed[..])
+    }
 }
 
 impl Layer for Conv1d {
@@ -115,7 +140,8 @@ impl Layer for Conv1d {
 
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
         assert_eq!(input.len(), self.input_len(), "conv1d input length");
-        self.input_cache = input.to_vec();
+        self.input_cache.clear();
+        self.input_cache.extend_from_slice(input);
         let mut out = vec![0.0f32; self.out_time() * self.filters];
         // Both kernels are bit-identical; the switch only exists so the
         // perf bench can time the naive path.
@@ -151,6 +177,33 @@ impl Layer for Conv1d {
         let (c, k, f_n) = (self.in_ch, self.kernel, self.filters);
         let t_out = self.out_time();
         let mut grad_in = vec![0.0f32; self.input_len()];
+        if !kernels::reference_kernels() {
+            // Slice-zipped variant of the reference loop below: same
+            // (t, f, j) visit order and per-element expressions, so the
+            // accumulation chains — and therefore the bits — match. The
+            // zips just drop the per-access bounds checks.
+            for t in 0..t_out {
+                let base = t * c;
+                let xs = &self.input_cache[base..base + k * c];
+                let gi = &mut grad_in[base..base + k * c];
+                for f in 0..f_n {
+                    let go = grad_out[t * f_n + f];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    self.b.g[f] += go;
+                    let wf = &self.w.w[f * k * c..(f + 1) * k * c];
+                    let gf = &mut self.w.g[f * k * c..(f + 1) * k * c];
+                    for (((gf_v, &wv), &xv), gi_v) in
+                        gf.iter_mut().zip(wf).zip(xs).zip(gi.iter_mut())
+                    {
+                        *gf_v += go * xv;
+                        *gi_v += go * wv;
+                    }
+                }
+            }
+            return grad_in;
+        }
         for t in 0..t_out {
             let base = t * c;
             for f in 0..f_n {
@@ -174,11 +227,14 @@ impl Layer for Conv1d {
         let fan_in = self.kernel * self.in_ch;
         self.w.w = he_uniform(rng, fan_in, self.filters * fan_in);
         self.b.w = vec![0.0; self.filters];
+        self.rev += 1;
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+        // The visitor held `&mut` to the weights; assume they changed.
+        self.rev += 1;
     }
 
     fn param_count(&self) -> usize {

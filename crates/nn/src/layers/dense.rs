@@ -2,11 +2,22 @@
 
 use super::Layer;
 use crate::init::{he_uniform, InitRng};
+use crate::kernels;
 use crate::param::Param;
 
 /// A fully connected (dense) layer: `y = W·x + b`.
 ///
 /// Weights are stored row-major `[out × in]`.
+///
+/// The weight gradient of one sample is the outer product
+/// `grad_out ⊗ input` — a rank-1 matrix the trainer never needs
+/// materialised per sample. In *factored-gradient* mode
+/// ([`Dense::set_fast_grad`]) `backward` therefore skips every `w.g` /
+/// `b.g` write and instead caches `grad_out`; the trainer reads the
+/// `(grad_out, input)` pair via [`Dense::rank1_grad`] and folds whole
+/// batches at once through [`Dense::fold_rank1_batch`], which
+/// reconstructs exactly the per-element accumulation chains the naive
+/// per-sample fold would have produced.
 #[derive(Debug, Clone)]
 pub struct Dense {
     in_len: usize,
@@ -14,6 +25,20 @@ pub struct Dense {
     w: Param,
     b: Param,
     input_cache: Vec<f32>,
+    /// Factored-gradient mode: `backward` caches `grad_out` instead of
+    /// accumulating `w.g`/`b.g`.
+    fast_grad: bool,
+    /// `grad_out` of the most recent `backward` in factored mode.
+    last_go: Vec<f32>,
+    /// Interleaved weight pack (see [`kernels::pack_dense_weights`]),
+    /// valid while `packed_rev == rev`.
+    packed: Vec<f32>,
+    /// Weight revision the pack was built from.
+    packed_rev: u64,
+    /// Bumped whenever the weights may have changed (`visit_params`,
+    /// `init_weights`). Weight mutation must go through those paths for
+    /// the pack cache to stay coherent.
+    rev: u64,
 }
 
 impl Dense {
@@ -28,7 +53,31 @@ impl Dense {
             w: Param::new(format!("dense{index}.w"), vec![0.0; in_len * out_len]),
             b: Param::new(format!("dense{index}.b"), vec![0.0; out_len]),
             input_cache: Vec::new(),
+            fast_grad: false,
+            last_go: Vec::new(),
+            packed: Vec::new(),
+            packed_rev: 0,
+            rev: 1,
         }
+    }
+
+    /// Rebuilds the interleaved weight pack if the weights changed
+    /// since the last build; a no-op when the pack is already fresh.
+    /// Only layers with at least one full group of eight outputs pack.
+    pub fn ensure_packed(&mut self) {
+        if self.out_len >= 8 && self.packed_rev != self.rev {
+            self.packed = kernels::pack_dense_weights(&self.w.w, self.in_len, self.out_len);
+            self.packed_rev = self.rev;
+        }
+    }
+
+    /// The interleaved weight pack, if it is up to date with the
+    /// current weights. The immutable workspace inference path uses
+    /// this when a prior forward (or
+    /// [`crate::network::Network::prepare_inference`]) already paid for
+    /// the pack; `None` means fall back to the unpacked kernel.
+    pub fn fresh_pack(&self) -> Option<&[f32]> {
+        (self.out_len >= 8 && self.packed_rev == self.rev).then_some(&self.packed[..])
     }
 
     /// Immutable view of the weight matrix (row-major `[out × in]`).
@@ -61,6 +110,47 @@ impl Dense {
     pub fn out_len(&self) -> usize {
         self.out_len
     }
+
+    /// Switches factored-gradient mode on or off (see the type docs).
+    pub fn set_fast_grad(&mut self, on: bool) {
+        self.fast_grad = on;
+    }
+
+    /// The `(grad_out, input)` factors of the last sample's weight
+    /// gradient, valid after a factored-mode `backward`.
+    pub fn rank1_grad(&self) -> (&[f32], &[f32]) {
+        (&self.last_go, &self.input_cache)
+    }
+
+    /// Accumulates a batch of factored gradients into `w.g` / `b.g`.
+    ///
+    /// Each contribution is `(grad_out, input, input_finite)`. The loop
+    /// runs param-major for locality, but every gradient *element* still
+    /// sees its per-sample terms in slice order — the same chains as
+    /// folding per-sample dense gradients one sample at a time, so the
+    /// result is bit-identical to the reference fold. Rows with
+    /// `grad_out[o] == 0.0` are skipped: their terms are `±0.0 · x`,
+    /// which cannot move a running sum (the sum can never be `-0.0`) —
+    /// unless `x` is non-finite, which is what the flag guards.
+    pub fn fold_rank1_batch(&mut self, contribs: &[(&[f32], &[f32], bool)]) {
+        for (go, _, _) in contribs {
+            for (bg, &g) in self.b.g.iter_mut().zip(*go) {
+                *bg += g;
+            }
+        }
+        for o in 0..self.out_len {
+            let row = &mut self.w.g[o * self.in_len..(o + 1) * self.in_len];
+            for (go, x, finite) in contribs {
+                let g = go[o];
+                if g == 0.0 && *finite {
+                    continue;
+                }
+                for (rv, &xv) in row.iter_mut().zip(*x) {
+                    *rv += g * xv;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for Dense {
@@ -78,15 +168,29 @@ impl Layer for Dense {
 
     fn forward(&mut self, input: &[f32]) -> Vec<f32> {
         assert_eq!(input.len(), self.in_len, "dense input length");
-        self.input_cache = input.to_vec();
+        self.input_cache.clear();
+        self.input_cache.extend_from_slice(input);
         let mut out = self.b.w.clone();
-        for (o, out_v) in out.iter_mut().enumerate() {
-            let row = &self.w.w[o * self.in_len..(o + 1) * self.in_len];
-            let mut acc = 0.0f32;
-            for (wv, xv) in row.iter().zip(input) {
-                acc += wv * xv;
+        if kernels::reference_kernels() {
+            for (o, out_v) in out.iter_mut().enumerate() {
+                let row = &self.w.w[o * self.in_len..(o + 1) * self.in_len];
+                let mut acc = 0.0f32;
+                for (wv, xv) in row.iter().zip(input) {
+                    acc += wv * xv;
+                }
+                *out_v += acc;
             }
-            *out_v += acc;
+        } else if self.out_len >= 8 {
+            // Interleaved-pack kernel, bit-identical to the loop above
+            // (each output's accumulator still sums `j` ascending from
+            // 0.0). The pack is cached across calls and rebuilt only
+            // when the weights change, so its cost amortises over a
+            // whole batch of forwards.
+            self.ensure_packed();
+            kernels::dense_forward_packed(input, &self.w.w, &self.packed, &self.b.w, &mut out);
+        } else {
+            // Register-blocked, bit-identical to the loop above.
+            kernels::dense_forward(input, &self.w.w, &self.b.w, &mut out);
         }
         out
     }
@@ -95,6 +199,24 @@ impl Layer for Dense {
         assert_eq!(grad_out.len(), self.out_len, "dense grad length");
         assert_eq!(self.input_cache.len(), self.in_len, "forward not called");
         let mut grad_in = vec![0.0f32; self.in_len];
+        if self.fast_grad {
+            // Factored mode: cache grad_out for the trainer's rank-1
+            // fold instead of materialising the outer product, and skip
+            // zero rows of the input gradient (their `±0·w` terms
+            // cannot change a running sum that is never `-0.0`).
+            self.last_go.clear();
+            self.last_go.extend_from_slice(grad_out);
+            for (o, &go) in grad_out.iter().enumerate() {
+                if go == 0.0 {
+                    continue;
+                }
+                let row_w = &self.w.w[o * self.in_len..(o + 1) * self.in_len];
+                for (gi, &wv) in grad_in.iter_mut().zip(row_w) {
+                    *gi += go * wv;
+                }
+            }
+            return grad_in;
+        }
         for (o, &go) in grad_out.iter().enumerate() {
             self.b.g[o] += go;
             let row_w = &self.w.w[o * self.in_len..(o + 1) * self.in_len];
@@ -110,11 +232,14 @@ impl Layer for Dense {
     fn init_weights(&mut self, rng: &mut InitRng) {
         self.w.w = he_uniform(rng, self.in_len, self.in_len * self.out_len);
         self.b.w = vec![0.0; self.out_len];
+        self.rev += 1;
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+        // The visitor held `&mut` to the weights; assume they changed.
+        self.rev += 1;
     }
 
     fn param_count(&self) -> usize {

@@ -130,6 +130,35 @@ impl Network {
         &mut self.layers
     }
 
+    /// Pre-builds the interleaved dense and conv weight packs —
+    /// including inside [`SplitConcat`](crate::layers::SplitConcat)
+    /// branches — so the immutable
+    /// [`Network::infer_scalar`](crate::workspace) path can use the
+    /// packed kernels without allocating. Call after the weights settle
+    /// (post-training, or before an evaluation sweep); without it
+    /// inference falls back to the unpacked — still bit-identical —
+    /// kernels, which repack (and allocate) per call on the fused conv
+    /// path.
+    pub fn prepare_inference(&mut self) {
+        fn prep(layers: &mut [Box<dyn Layer>]) {
+            for layer in layers {
+                if let Some(d) = layer.as_any_mut().downcast_mut::<crate::layers::Dense>() {
+                    d.ensure_packed();
+                } else if let Some(c) = layer.as_any_mut().downcast_mut::<crate::layers::Conv1d>() {
+                    c.ensure_packed();
+                } else if let Some(s) = layer
+                    .as_any_mut()
+                    .downcast_mut::<crate::layers::SplitConcat>()
+                {
+                    for branch in s.branches_mut() {
+                        prep(branch.layers_mut());
+                    }
+                }
+            }
+        }
+        prep(&mut self.layers);
+    }
+
     /// Forward pass for one sample.
     ///
     /// # Panics

@@ -69,9 +69,13 @@ impl Optimizer {
                     }
                 } else {
                     p.ensure_state();
-                    for i in 0..p.w.len() {
-                        p.s1[i] = momentum * p.s1[i] + p.g[i];
-                        p.w[i] -= self.lr * p.s1[i];
+                    // Lockstep iterators instead of indexing: no bounds
+                    // checks, so the loop auto-vectorises. Every element
+                    // computes the exact same scalar expression — the
+                    // update is bit-identical to the indexed loop.
+                    for ((w, &g), s1) in p.w.iter_mut().zip(&p.g).zip(&mut p.s1) {
+                        *s1 = momentum * *s1 + g;
+                        *w -= self.lr * *s1;
                     }
                 }
             }
@@ -81,13 +85,15 @@ impl Optimizer {
                 let t = self.t.max(1) as i32;
                 let bc1 = 1.0 - b1.powi(t);
                 let bc2 = 1.0 - b2.powi(t);
-                for i in 0..p.w.len() {
-                    let g = p.g[i];
-                    p.s1[i] = b1 * p.s1[i] + (1.0 - b1) * g;
-                    p.s2[i] = b2 * p.s2[i] + (1.0 - b2) * g * g;
-                    let m_hat = p.s1[i] / bc1;
-                    let v_hat = p.s2[i] / bc2;
-                    p.w[i] -= self.lr * m_hat / (v_hat.sqrt() + eps);
+                // Lockstep iterators (see the SGD arm): elementwise and
+                // bit-identical, but free of bounds checks so the
+                // sqrt/div chain vectorises.
+                for (((w, &g), s1), s2) in p.w.iter_mut().zip(&p.g).zip(&mut p.s1).zip(&mut p.s2) {
+                    *s1 = b1 * *s1 + (1.0 - b1) * g;
+                    *s2 = b2 * *s2 + (1.0 - b2) * g * g;
+                    let m_hat = *s1 / bc1;
+                    let v_hat = *s2 / bc2;
+                    *w -= self.lr * m_hat / (v_hat.sqrt() + eps);
                 }
             }
         }

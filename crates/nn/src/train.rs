@@ -4,14 +4,17 @@
 //! validation loss with patience 20, restoring the best epoch's weights;
 //! class weights and output-bias initialisation handle the imbalance.
 
+use crate::kernels;
+use crate::layers::Dense;
 use crate::loss::WeightedBce;
 use crate::network::Network;
 use crate::optim::{Optimizer, OptimizerKind};
+use crate::workspace::Workspace;
 use crate::NnError;
 use prefall_par::Pool;
 use prefall_telemetry::{NoopRecorder, Recorder, Span, Value};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -100,6 +103,195 @@ impl<'a> DataRef<'a> {
     pub fn is_empty(&self) -> bool {
         self.x.is_empty()
     }
+}
+
+/// One top-level [`Dense`] layer's segment of a factored gradient slot.
+struct DenseSeg {
+    /// Index into [`Network::layers`].
+    layer: usize,
+    out_len: usize,
+    in_len: usize,
+    /// Offset of the cached `grad_out` (`out_len` floats).
+    go_off: usize,
+    /// Offset of the cached input (`in_len` floats).
+    x_off: usize,
+    /// Offset of the input-finiteness flag (1.0 = finite).
+    flag_off: usize,
+}
+
+/// Layout of a per-sample gradient slot on the factored fast path:
+/// non-dense ("aux") gradients stored flat in layer order, followed by
+/// each top-level dense layer's `(grad_out, input, finite)` factors.
+/// For the paper's CNN this shrinks a slot from ~65 k floats (dominated
+/// by dense weight matrices) to ~2.6 k.
+struct FastLayout {
+    aux_len: usize,
+    dense: Vec<DenseSeg>,
+    slot_len: usize,
+}
+
+impl FastLayout {
+    fn of(net: &mut Network) -> Self {
+        let mut aux_len = 0usize;
+        let mut dims = Vec::new();
+        for (li, layer) in net.layers_mut().iter_mut().enumerate() {
+            if let Some(d) = layer.as_any().downcast_ref::<Dense>() {
+                dims.push((li, d.out_len(), d.in_len()));
+            } else {
+                layer.visit_params(&mut |p| aux_len += p.g.len());
+            }
+        }
+        let mut off = aux_len;
+        let dense = dims
+            .into_iter()
+            .map(|(layer, out_len, in_len)| {
+                let go_off = off;
+                let x_off = go_off + out_len;
+                let flag_off = x_off + in_len;
+                off = flag_off + 1;
+                DenseSeg {
+                    layer,
+                    out_len,
+                    in_len,
+                    go_off,
+                    x_off,
+                    flag_off,
+                }
+            })
+            .collect();
+        FastLayout {
+            aux_len,
+            dense,
+            slot_len: off,
+        }
+    }
+}
+
+/// Zeroes every gradient except top-level dense ones — in factored mode
+/// the dense grads of a replica are never written, so they stay at
+/// their initial zero and need no per-sample sweep.
+fn zero_aux_grads(net: &mut Network) {
+    for layer in net.layers_mut() {
+        if layer.as_any().downcast_ref::<Dense>().is_some() {
+            continue;
+        }
+        layer.visit_params(&mut |p| p.g.iter_mut().for_each(|g| *g = 0.0));
+    }
+}
+
+/// Copies a replica's per-sample gradient into `slot` using the
+/// factored layout: aux grads flat, dense grads as rank-1 factors.
+fn export_fast_slot(replica: &mut Network, layout: &FastLayout, slot: &mut [f32]) {
+    let mut off = 0usize;
+    let mut di = 0usize;
+    for (li, layer) in replica.layers_mut().iter_mut().enumerate() {
+        if di < layout.dense.len() && layout.dense[di].layer == li {
+            let seg = &layout.dense[di];
+            let d = layer
+                .as_any()
+                .downcast_ref::<Dense>()
+                .expect("layout marks a dense layer");
+            let (go, x) = d.rank1_grad();
+            slot[seg.go_off..seg.go_off + seg.out_len].copy_from_slice(go);
+            slot[seg.x_off..seg.x_off + seg.in_len].copy_from_slice(x);
+            slot[seg.flag_off] = if x.iter().all(|v| v.is_finite()) {
+                1.0
+            } else {
+                0.0
+            };
+            di += 1;
+        } else {
+            layer.visit_params(&mut |p| {
+                slot[off..off + p.g.len()].copy_from_slice(&p.g);
+                off += p.g.len();
+            });
+        }
+    }
+    debug_assert_eq!(off, layout.aux_len);
+}
+
+/// Folds a batch of factored slots into the master network's grads, in
+/// sample (slice) order per gradient element — bit-identical to folding
+/// the flat per-sample slots one at a time.
+fn fold_fast_slots(net: &mut Network, layout: &FastLayout, slots: &[&[f32]]) {
+    let mut off = 0usize;
+    let mut di = 0usize;
+    for (li, layer) in net.layers_mut().iter_mut().enumerate() {
+        if di < layout.dense.len() && layout.dense[di].layer == li {
+            let seg = &layout.dense[di];
+            let contribs: Vec<(&[f32], &[f32], bool)> = slots
+                .iter()
+                .map(|s| {
+                    (
+                        &s[seg.go_off..seg.go_off + seg.out_len],
+                        &s[seg.x_off..seg.x_off + seg.in_len],
+                        s[seg.flag_off] != 0.0,
+                    )
+                })
+                .collect();
+            layer
+                .as_any_mut()
+                .downcast_mut::<Dense>()
+                .expect("layout marks a dense layer")
+                .fold_rank1_batch(&contribs);
+            di += 1;
+        } else {
+            layer.visit_params(&mut |p| {
+                let n = p.g.len();
+                for slot in slots {
+                    for (g, v) in p.g.iter_mut().zip(&slot[off..off + n]) {
+                        *g += v;
+                    }
+                }
+                off += n;
+            });
+        }
+    }
+    debug_assert_eq!(off, layout.aux_len);
+}
+
+/// A worker-side copy of the master network plus the master weight
+/// version it last synced to. Replicas sync lazily: a stale replica
+/// copies the master's flat weights the moment a worker borrows it, so
+/// replicas that sat idle for a batch (common when task coarsening puts
+/// a whole batch on one worker) never pay the broadcast.
+struct Replica {
+    net: Network,
+    synced_to: u64,
+}
+
+/// Borrows a replica network for one sample: sweep for any free one
+/// starting at the calling thread's home replica, fall back to blocking
+/// on it. The home replica is keyed by scheduler worker identity (the
+/// helping caller thread gets slot 0, workers get 1..), so each thread
+/// keeps reusing one replica's memory instead of cycling through all of
+/// them — that keeps the replica's weights and caches hot and means an
+/// idle replica is never synced. Which replica serves a sample is
+/// irrelevant to the result — all replicas sync to the same master
+/// weights and are zeroed before use.
+fn lock_replica(replicas: &[Mutex<Replica>]) -> MutexGuard<'_, Replica> {
+    let home = prefall_par::worker_index().map_or(0, |i| i + 1) % replicas.len();
+    for k in 0..replicas.len() {
+        if let Ok(g) = replicas[(home + k) % replicas.len()].try_lock() {
+            return g;
+        }
+    }
+    replicas[home].lock().expect("replica poisoned")
+}
+
+/// Brings a stale replica up to the master weight version by copying the
+/// flattened master weights in. No-op when already current.
+fn sync_replica(replica: &mut Replica, flat_w: &[f32], version: u64) {
+    if replica.synced_to == version {
+        return;
+    }
+    let mut off = 0usize;
+    replica.net.visit_params(&mut |p| {
+        let n = p.w.len();
+        p.w.copy_from_slice(&flat_w[off..off + n]);
+        off += n;
+    });
+    replica.synced_to = version;
 }
 
 /// A tiny deterministic shuffler (xorshift) for epoch ordering.
@@ -193,14 +385,35 @@ pub fn train_recorded(
     let pool = Pool::from_env();
     let mut flat_params = 0usize;
     net.visit_params(&mut |p| flat_params += p.w.len());
+    // The factored fast path skips materialising dense weight gradients
+    // per sample; it is bit-identical to the flat reference fold and
+    // only disabled together with the reference kernels.
+    let fast = !kernels::reference_kernels();
+    let layout = fast.then(|| FastLayout::of(net));
+    let slot_len = layout.as_ref().map_or(flat_params, |l| l.slot_len);
     let max_batch = config.batch_size.min(train_data.len());
     let replica_count = pool.threads().min(max_batch).max(1);
-    let replicas: Mutex<Vec<Network>> =
-        Mutex::new((0..replica_count).map(|_| net.clone()).collect());
+    let replicas: Vec<Mutex<Replica>> = (0..replica_count)
+        .map(|_| {
+            let mut r = net.clone();
+            if fast {
+                for layer in r.layers_mut() {
+                    if let Some(d) = layer.as_any_mut().downcast_mut::<Dense>() {
+                        d.set_fast_grad(true);
+                    }
+                }
+            }
+            Mutex::new(Replica {
+                net: r,
+                synced_to: 0,
+            })
+        })
+        .collect();
     let grad_slots: Vec<Mutex<Vec<f32>>> = (0..max_batch)
-        .map(|_| Mutex::new(vec![0.0f32; flat_params]))
+        .map(|_| Mutex::new(vec![0.0f32; slot_len]))
         .collect();
     let mut flat_w = vec![0.0f32; flat_params];
+    let mut version = 0u64;
     if rec.enabled() {
         rec.gauge_set("train.threads", pool.threads() as f64);
     }
@@ -220,69 +433,87 @@ pub fn train_recorded(
 
         for batch in order.chunks(config.batch_size) {
             // Fan the batch's forward/backward passes out over the
-            // pool; each worker borrows a replica network for its
-            // caches and writes the per-sample gradient into that
-            // sample's slot.
-            let losses = pool.map(batch, |bi, &si| {
-                let mut replica = replicas
-                    .lock()
-                    .expect("replica stack poisoned")
-                    .pop()
-                    .expect("one replica per concurrent worker");
-                replica.zero_grads();
-                let logit = replica.forward(&train_data.x[si])[0];
-                let y = train_data.y[si];
-                let dl = loss.dloss_dlogit(logit, y);
-                let _ = replica.backward(&[dl]);
-                let mut slot = grad_slots[bi].lock().expect("grad slot poisoned");
-                let mut off = 0usize;
-                replica.visit_params(&mut |p| {
-                    let n = p.g.len();
-                    slot[off..off + n].copy_from_slice(&p.g);
-                    off += n;
-                });
-                drop(slot);
-                replicas
-                    .lock()
-                    .expect("replica stack poisoned")
-                    .push(replica);
-                f64::from(loss.loss(logit, y))
-            });
+            // pool; each chunk borrows a replica network once (keyed to
+            // the worker running it, so the same weight arrays stay hot
+            // in that worker's cache) and every sample in the chunk
+            // reuses it as its arena, writing the per-sample gradient
+            // into that sample's slot.
+            let losses = pool.map_init(
+                batch,
+                || {
+                    let mut replica = lock_replica(&replicas);
+                    sync_replica(&mut replica, &flat_w, version);
+                    replica
+                },
+                |replica, bi, &si| {
+                    let replica = &mut replica.net;
+                    match &layout {
+                        Some(_) => zero_aux_grads(replica),
+                        None => replica.zero_grads(),
+                    }
+                    let logit = replica.forward(&train_data.x[si])[0];
+                    let y = train_data.y[si];
+                    let dl = loss.dloss_dlogit(logit, y);
+                    let _ = replica.backward(&[dl]);
+                    let mut slot = grad_slots[bi].lock().expect("grad slot poisoned");
+                    match &layout {
+                        Some(l) => export_fast_slot(replica, l, &mut slot),
+                        None => {
+                            let mut off = 0usize;
+                            replica.visit_params(&mut |p| {
+                                let n = p.g.len();
+                                slot[off..off + n].copy_from_slice(&p.g);
+                                off += n;
+                            });
+                        }
+                    }
+                    f64::from(loss.loss(logit, y))
+                },
+            );
             // Fold losses and gradients in sample order, exactly as the
             // serial loop would have visited them.
             for l in losses {
                 epoch_loss += l;
             }
             net.zero_grads();
-            for slot in grad_slots.iter().take(batch.len()) {
-                let slot = slot.lock().expect("grad slot poisoned");
-                let mut off = 0usize;
-                net.visit_params(&mut |p| {
-                    let n = p.g.len();
-                    for (g, s) in p.g.iter_mut().zip(&slot[off..off + n]) {
-                        *g += s;
+            let guards: Vec<MutexGuard<'_, Vec<f32>>> = grad_slots
+                .iter()
+                .take(batch.len())
+                .map(|s| s.lock().expect("grad slot poisoned"))
+                .collect();
+            match &layout {
+                Some(l) => {
+                    let views: Vec<&[f32]> = guards.iter().map(|g| g.as_slice()).collect();
+                    fold_fast_slots(net, l, &views);
+                }
+                None => {
+                    for slot in &guards {
+                        let mut off = 0usize;
+                        net.visit_params(&mut |p| {
+                            let n = p.g.len();
+                            for (g, s) in p.g.iter_mut().zip(&slot[off..off + n]) {
+                                *g += s;
+                            }
+                            off += n;
+                        });
                     }
-                    off += n;
-                });
+                }
             }
+            drop(guards);
             net.scale_grads(1.0 / batch.len() as f32);
             optimizer.begin_step();
             net.visit_params(&mut |p| optimizer.step(p));
-            // Push the stepped weights back out to every replica.
+            // Publish the stepped weights: flatten once and bump the
+            // version. Replicas pick the new weights up lazily the next
+            // time a worker borrows them (`sync_replica`), so idle
+            // replicas cost nothing per batch.
             let mut off = 0usize;
             net.visit_params(&mut |p| {
                 let n = p.w.len();
                 flat_w[off..off + n].copy_from_slice(&p.w);
                 off += n;
             });
-            for replica in replicas.lock().expect("replica stack poisoned").iter_mut() {
-                let mut off = 0usize;
-                replica.visit_params(&mut |p| {
-                    let n = p.w.len();
-                    p.w.copy_from_slice(&flat_w[off..off + n]);
-                    off += n;
-                });
-            }
+            version += 1;
         }
         let train_loss = (epoch_loss / train_data.len() as f64) as f32;
 
@@ -348,14 +579,29 @@ pub fn train_recorded(
     })
 }
 
+/// One logit: the workspace interpreter when fast kernels are allowed
+/// and the architecture supports it, the allocating forward otherwise.
+/// Bit-identical either way.
+fn logit_of(net: &mut Network, x: &[f32], ws: &mut Workspace, fast: bool) -> f32 {
+    let ws_logit = if fast { net.infer_scalar(x, ws) } else { None };
+    ws_logit.unwrap_or_else(|| net.forward(x)[0])
+}
+
 /// Mean weighted loss of a network over a dataset (no gradients).
 pub fn evaluate_loss(net: &mut Network, data: DataRef<'_>, loss: WeightedBce) -> f32 {
     if data.is_empty() {
         return 0.0;
     }
+    let fast = !kernels::reference_kernels();
+    if fast {
+        // One pack rebuild up front so every sample in the sweep hits
+        // the packed dense kernel (bit-identical either way).
+        net.prepare_inference();
+    }
+    let mut ws = Workspace::new();
     let mut total = 0.0f64;
     for (x, &y) in data.x.iter().zip(data.y) {
-        let logit = net.forward(x)[0];
+        let logit = logit_of(net, x, &mut ws, fast);
         total += f64::from(loss.loss(logit, y));
     }
     (total / data.len() as f64) as f32
@@ -363,8 +609,13 @@ pub fn evaluate_loss(net: &mut Network, data: DataRef<'_>, loss: WeightedBce) ->
 
 /// Sigmoid probabilities of a network over a dataset.
 pub fn predict_proba(net: &mut Network, xs: &[Vec<f32>]) -> Vec<f32> {
+    let fast = !kernels::reference_kernels();
+    if fast {
+        net.prepare_inference();
+    }
+    let mut ws = Workspace::new();
     xs.iter()
-        .map(|x| crate::loss::sigmoid(net.forward(x)[0]))
+        .map(|x| crate::loss::sigmoid(logit_of(net, x, &mut ws, fast)))
         .collect()
 }
 

@@ -113,17 +113,35 @@ fn step(rest: &[Box<dyn Layer>], cur: &[f32], nxt: &mut Vec<f32>) -> Option<usiz
             {
                 let _span = prefall_trace::trace_detail_span!(trace_names().fused);
                 nxt.resize(rest[2].output_len(), 0.0);
-                kernels::fused_conv_relu_maxpool(
-                    cur,
-                    conv.weights(),
-                    conv.biases(),
-                    conv.in_time(),
-                    conv.in_channels(),
-                    conv.filters(),
-                    conv.kernel(),
-                    pool.pool(),
-                    nxt,
-                );
+                // A current cached pack keeps the hot path
+                // allocation-free; a stale/absent one falls back to the
+                // packing wrapper (bit-identical, allocates the pack).
+                if let Some(packed) = conv.fresh_pack() {
+                    kernels::fused_conv_relu_maxpool_packed(
+                        cur,
+                        conv.weights(),
+                        packed,
+                        conv.biases(),
+                        conv.in_time(),
+                        conv.in_channels(),
+                        conv.filters(),
+                        conv.kernel(),
+                        pool.pool(),
+                        nxt,
+                    );
+                } else {
+                    kernels::fused_conv_relu_maxpool(
+                        cur,
+                        conv.weights(),
+                        conv.biases(),
+                        conv.in_time(),
+                        conv.in_channels(),
+                        conv.filters(),
+                        conv.kernel(),
+                        pool.pool(),
+                        nxt,
+                    );
+                }
                 return Some(3);
             }
         }
@@ -132,7 +150,11 @@ fn step(rest: &[Box<dyn Layer>], cur: &[f32], nxt: &mut Vec<f32>) -> Option<usiz
     if let Some(d) = layer.as_any().downcast_ref::<Dense>() {
         let _span = prefall_trace::trace_detail_span!(trace_names().dense);
         nxt.resize(d.out_len(), 0.0);
-        kernels::dense_forward(cur, d.weights(), d.biases(), nxt);
+        if let Some(packed) = d.fresh_pack() {
+            kernels::dense_forward_packed(cur, d.weights(), packed, d.biases(), nxt);
+        } else {
+            kernels::dense_forward(cur, d.weights(), d.biases(), nxt);
+        }
         return Some(1);
     }
     if layer.as_any().downcast_ref::<Relu>().is_some() {

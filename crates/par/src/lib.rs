@@ -1,47 +1,68 @@
-//! # prefall-par — deterministic fork-join parallelism
+//! # prefall-par — deterministic work-stealing parallelism
 //!
-//! A zero-dependency scoped worker pool built on [`std::thread::scope`].
-//! The build is offline, so there is no rayon here: this crate provides
-//! the small slice of it the workspace needs — a fork-join [`Pool::map`]
-//! and [`Pool::reduce`] with three hard guarantees:
+//! A zero-dependency persistent work-stealing scheduler. The build is
+//! offline, so there is no rayon here: this crate provides the slice of
+//! it the workspace needs — [`Pool::map`] / [`Pool::map_init`] /
+//! [`Pool::reduce`] over a process-wide pool of long-lived workers —
+//! with three hard guarantees:
 //!
-//! 1. **Determinism** — results are collected in input-index order, so a
+//! 1. **Determinism** — results land in pre-sized indexed slots, so a
 //!    `map` over independent items returns exactly what the serial loop
-//!    would. Callers that fold worker outputs in index order get
-//!    bit-identical results for any thread count (including 1).
-//! 2. **Panic propagation** — a panic inside a task halts the pool and
-//!    is re-raised on the calling thread with its original payload.
-//! 3. **Bounded workers** — a process-wide budget caps the number of
-//!    live extra workers, so nested `map` calls (experiment cells →
-//!    CV folds → gradient batches) degrade to inline execution instead
-//!    of oversubscribing the machine.
+//!    would, for any thread count and any steal interleaving. Callers
+//!    that fold worker outputs in index order get bit-identical results
+//!    for any thread count (including 1).
+//! 2. **Panic propagation** — a panic inside a task halts the session
+//!    and is re-raised on the calling thread with its original payload;
+//!    the scheduler itself survives and the pool stays usable.
+//! 3. **Nested fan-out** — a `map` issued from inside another map's
+//!    task enqueues real work onto the scheduler (the worker runs its
+//!    own sub-tasks LIFO while thieves relieve it FIFO) instead of
+//!    degrading to inline execution. [`Pool::from_env`] inside a task
+//!    inherits the enclosing pool's thread budget, so one
+//!    `ExperimentConfig::threads` setting governs the whole cell → CV
+//!    fold → gradient-batch tree — including pinning it fully serial
+//!    with one thread.
 //!
-//! Thread count resolution: explicit [`Pool::new`] wins, otherwise the
-//! `PREFALL_THREADS` environment variable, otherwise
-//! [`std::thread::available_parallelism`].
+//! ## Task coarsening
 //!
-//! Pool activity (tasks run, tasks stolen by spawned workers, steal
-//! attempts, queue depth, fork-join barrier wait, worker idle time, and
-//! a task-granularity histogram) is tracked in [`PoolStats`] and can be
-//! published as `par.*` telemetry metrics via [`Pool::publish`], which
-//! the `prefall-obsd` `/metrics` and `/snapshot` endpoints then expose
-//! with no extra wiring.
+//! Tiny tasks are batched into chunks sized from a calibrated per-task
+//! cost estimate (an EWMA each pool maintains from its own measured
+//! maps, target ≈250 µs per chunk), so the grid's ~100k sub-millisecond
+//! tasks pay scheduler overhead per *chunk*, not per task. Maps whose
+//! estimated total work is under ~60 µs run inline on the caller —
+//! those are the only maps that should show up in `par.maps_inline`.
 //!
-//! When `prefall-trace` is armed, every map also writes a timeline:
-//! a `par.map` span on the caller, one `par.task` span per task, a
-//! `par.worker` span per spawned worker, a `par.barrier` span covering
-//! the caller's join wait, and a `par.steal_fail` instant each time a
-//! worker finds the queue empty — which is what the `prefall-profile`
+//! Thread count resolution for [`Pool::from_env`]: the
+//! `PREFALL_THREADS` environment variable, otherwise the enclosing map
+//! task's budget, otherwise [`std::thread::available_parallelism`].
+//! Explicit [`Pool::new`] always wins.
+//!
+//! Pool activity (maps, tasks, coarsened tasks, local pops vs steals,
+//! steal attempts, queue depth, chunk size, barrier wait, worker parks
+//! and idle time, and a task-granularity histogram) is tracked in
+//! [`PoolStats`] and can be published as `par.*` telemetry metrics via
+//! [`Pool::publish`], which the `prefall-obsd` `/metrics` and
+//! `/snapshot` endpoints then expose with no extra wiring.
+//!
+//! When `prefall-trace` is armed, every map also writes a timeline: a
+//! `par.map` span on the caller, one `par.task` span per executed
+//! chunk, a `par.worker` span per worker busy-episode, a `par.barrier`
+//! span covering the caller's help-and-wait loop, `par.steal_fail`
+//! instants on empty sweeps, and `par.park` / `par.unpark` instants
+//! around worker sleeps — which is what the `prefall-profile`
 //! attribution report decomposes into kernel / overhead / idle /
 //! barrier percentages.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+
+mod scheduler;
+mod session;
+
+pub use scheduler::worker_index;
 
 use prefall_telemetry::Recorder;
-use std::any::Any;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Environment variable overriding the worker count for pools created
@@ -51,14 +72,33 @@ pub const THREADS_ENV: &str = "PREFALL_THREADS";
 /// Upper bound on configured threads; values above this are clamped.
 const MAX_THREADS: usize = 1024;
 
-/// Process-wide count of currently live *extra* workers (beyond the
-/// calling threads). Nested `map` calls observe workers reserved by
-/// their ancestors and fall back to inline execution when the budget
-/// is spent, which keeps cells × folds × batches from multiplying.
-static EXTRA_WORKERS_LIVE: AtomicUsize = AtomicUsize::new(0);
+/// Upper bound on spawned scheduler workers. A pool with more threads
+/// than this still works — its chunks just share these deques.
+pub(crate) const MAX_WORKERS: usize = 64;
+
+/// Coarsening target: aim each chunk at roughly this much work, so
+/// per-chunk scheduler overhead (one deque pop, one slot batch) stays
+/// well under a percent. The target is per *hardware context*: when the
+/// thread budget oversubscribes the machine the target is multiplied by
+/// the oversubscription factor, because extra chunks cannot run
+/// concurrently anyway — they only add steal traffic and context
+/// switches.
+const TARGET_CHUNK_NS: u64 = 250_000;
+
+/// Chunks are capped at `items / (balance_threads * OVERSUBSCRIBE)` so
+/// every map yields at least a few chunks per *hardware* thread for
+/// stealing to balance, even when the cost estimate asks for huge
+/// chunks. `balance_threads = min(threads, machine)`: logical workers
+/// beyond the machine's parallelism cannot shorten the critical path,
+/// so they earn no extra splits.
+const OVERSUBSCRIBE: usize = 4;
+
+/// Maps whose estimated *total* work is under this run inline on the
+/// caller: enqueueing would cost more than it parallelises.
+const SMALL_MAP_NS: u64 = 60_000;
 
 /// Parses `PREFALL_THREADS`; `None` when unset, empty, zero, or not a
-/// number (the pool then falls back to the machine's parallelism).
+/// number (the pool then falls back to inherited or machine threads).
 pub fn env_threads() -> Option<usize> {
     let raw = std::env::var(THREADS_ENV).ok()?;
     match raw.trim().parse::<usize>() {
@@ -73,10 +113,23 @@ fn machine_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// How many of `threads` can actually run at once
+/// (`min(threads, machine)`), and by what factor the budget
+/// oversubscribes the machine (`ceil(threads / machine)`, ≥ 1). The
+/// coarsener splits for the former and scales its per-chunk work target
+/// by the latter; the push path skips eager wakeups entirely when the
+/// factor exceeds one.
+pub(crate) fn balance_and_oversubscription(threads: usize) -> (usize, u64) {
+    let hw = machine_threads().max(1);
+    (threads.min(hw).max(1), threads.div_ceil(hw).max(1) as u64)
+}
+
 /// Upper edges (nanoseconds) of the task-granularity histogram buckets;
 /// the last bucket is everything above. Chosen around the regimes that
-/// matter for fork-join overhead: a sub-10 µs task is dominated by pool
-/// bookkeeping, a >10 ms task amortises it completely.
+/// matter for scheduling overhead: a sub-10 µs task is dominated by
+/// bookkeeping, a >10 ms task amortises it completely. Under coarsening
+/// the buckets count executed *chunks* for parallel maps and individual
+/// items for inline maps.
 pub const GRANULARITY_EDGES_NS: [u64; 5] = [10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
 
 /// Telemetry counter names for the task-granularity buckets, matching
@@ -99,15 +152,17 @@ fn granularity_bucket(dur_ns: u64) -> usize {
 
 /// Interned trace span names, initialised on the first *armed* event so
 /// the disarmed hot path never touches the interner.
-struct TraceNames {
-    map: prefall_trace::NameId,
-    task: prefall_trace::NameId,
-    worker: prefall_trace::NameId,
-    barrier: prefall_trace::NameId,
-    steal_fail: prefall_trace::NameId,
+pub(crate) struct TraceNames {
+    pub(crate) map: prefall_trace::NameId,
+    pub(crate) task: prefall_trace::NameId,
+    pub(crate) worker: prefall_trace::NameId,
+    pub(crate) barrier: prefall_trace::NameId,
+    pub(crate) steal_fail: prefall_trace::NameId,
+    pub(crate) park: prefall_trace::NameId,
+    pub(crate) unpark: prefall_trace::NameId,
 }
 
-fn trace_names() -> &'static TraceNames {
+pub(crate) fn trace_names() -> &'static TraceNames {
     static NAMES: OnceLock<TraceNames> = OnceLock::new();
     NAMES.get_or_init(|| TraceNames {
         map: prefall_trace::intern("par.map"),
@@ -115,10 +170,13 @@ fn trace_names() -> &'static TraceNames {
         worker: prefall_trace::intern("par.worker"),
         barrier: prefall_trace::intern("par.barrier"),
         steal_fail: prefall_trace::intern("par.steal_fail"),
+        park: prefall_trace::intern("par.park"),
+        unpark: prefall_trace::intern("par.unpark"),
     })
 }
 
-/// Cumulative activity counters for one [`Pool`].
+/// Cumulative activity counters for one [`Pool`], plus the pool's
+/// calibrated per-task cost estimate.
 ///
 /// All counters are monotone; [`Pool::publish`] emits deltas since the
 /// previous publish so repeated calls never double-count.
@@ -127,55 +185,74 @@ pub struct PoolStats {
     maps: AtomicU64,
     maps_inline: AtomicU64,
     tasks: AtomicU64,
-    tasks_stolen: AtomicU64,
-    steal_attempts: AtomicU64,
-    workers_spawned: AtomicU64,
-    idle_nanos: AtomicU64,
-    barrier_nanos: AtomicU64,
-    /// Largest queue depth (items per map) seen since the last publish.
+    tasks_coarsened: AtomicU64,
+    pub(crate) local_pops: AtomicU64,
+    pub(crate) tasks_stolen: AtomicU64,
+    pub(crate) barrier_nanos: AtomicU64,
+    /// Largest per-deque depth (chunks) seen since the last publish.
     queue_depth_hw: AtomicU64,
+    /// Chunk size chosen by the most recent parallel map.
+    chunk_size_last: AtomicU64,
+    /// EWMA of measured nanoseconds per task, feeding the coarsener.
+    cost_est_ns: AtomicU64,
     granularity: [AtomicU64; 6],
     // High-water marks of what has already been published.
     pub_maps: AtomicU64,
     pub_maps_inline: AtomicU64,
     pub_tasks: AtomicU64,
+    pub_tasks_coarsened: AtomicU64,
+    pub_local_pops: AtomicU64,
     pub_tasks_stolen: AtomicU64,
-    pub_steal_attempts: AtomicU64,
-    pub_workers_spawned: AtomicU64,
-    pub_idle_nanos: AtomicU64,
     pub_barrier_nanos: AtomicU64,
     pub_granularity: [AtomicU64; 6],
 }
 
-/// Point-in-time copy of a pool's counters.
+/// Point-in-time copy of a pool's counters. Scheduler-wide fields
+/// (steals, workers, parks, idle) come from the shared scheduler and
+/// cover all pools in the process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Fork-join sections executed (parallel or inline).
     pub maps: u64,
     /// Fork-join sections that ran entirely on the calling thread
-    /// (single item, one configured thread, or budget exhausted).
+    /// (single item, one configured thread, or estimated total work too
+    /// small to be worth enqueueing).
     pub maps_inline: u64,
-    /// Total tasks executed.
+    /// Total tasks (items) executed.
     pub tasks: u64,
-    /// Tasks executed by spawned workers rather than the caller.
+    /// Items that were batched into a chunk with at least one other
+    /// item, i.e. items whose scheduling cost was amortised.
+    pub tasks_coarsened: u64,
+    /// Items executed from a deque by its owner, or reclaimed by the
+    /// session's own caller — work that never crossed threads.
+    pub local_pops: u64,
+    /// Items executed by a thread other than the session caller after
+    /// crossing deques — genuine steals.
     pub tasks_stolen: u64,
-    /// Queue-claim attempts by spawned workers, successful or not. The
-    /// difference `steal_attempts - tasks_stolen` is how often a worker
-    /// woke up to an already-empty queue.
+    /// Steal sweeps over foreign deques, successful or not, by any
+    /// thread in the process (scheduler-wide).
     pub steal_attempts: u64,
-    /// Worker threads spawned over the pool's lifetime.
+    /// Persistent worker threads spawned so far (scheduler-wide; they
+    /// are reused for the rest of the process).
     pub workers_spawned: u64,
-    /// Nanoseconds spawned workers spent not running a task (wall time
-    /// minus busy time, summed over workers).
+    /// Times any thread parked on the scheduler's lot (scheduler-wide).
+    pub parks: u64,
+    /// Parks that ended by notification rather than timeout
+    /// (scheduler-wide).
+    pub unparks: u64,
+    /// Nanoseconds workers spent parked (scheduler-wide).
     pub idle_nanos: u64,
-    /// Nanoseconds the calling thread spent waiting at the fork-join
-    /// barrier after finishing its own share of the queue.
+    /// Nanoseconds this pool's callers spent in the help-and-wait loop
+    /// *not* executing tasks — the residual fork-join barrier.
     pub barrier_nanos: u64,
-    /// Largest queue depth (items handed to one `map`) since the last
+    /// Largest per-deque depth in chunks since the last
     /// [`Pool::publish`].
     pub queue_depth_hw: u64,
+    /// Chunk size chosen by this pool's most recent parallel map.
+    pub chunk_size: u64,
     /// Task-duration histogram; bucket edges are
-    /// [`GRANULARITY_EDGES_NS`] plus an overflow bucket.
+    /// [`GRANULARITY_EDGES_NS`] plus an overflow bucket. Counts chunks
+    /// for parallel maps, items for inline maps.
     pub granularity: [u64; 6],
 }
 
@@ -185,42 +262,60 @@ impl PoolStats {
         for (out, b) in granularity.iter_mut().zip(&self.granularity) {
             *out = b.load(Ordering::Relaxed);
         }
+        let sched = &scheduler::Scheduler::get().stats;
         StatsSnapshot {
             maps: self.maps.load(Ordering::Relaxed),
             maps_inline: self.maps_inline.load(Ordering::Relaxed),
             tasks: self.tasks.load(Ordering::Relaxed),
+            tasks_coarsened: self.tasks_coarsened.load(Ordering::Relaxed),
+            local_pops: self.local_pops.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
-            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
-            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
-            idle_nanos: self.idle_nanos.load(Ordering::Relaxed),
+            steal_attempts: sched.steal_attempts.load(Ordering::Relaxed),
+            workers_spawned: sched.workers_spawned.load(Ordering::Relaxed),
+            parks: sched.parks.load(Ordering::Relaxed),
+            unparks: sched.unparks.load(Ordering::Relaxed),
+            idle_nanos: sched.idle_nanos.load(Ordering::Relaxed),
             barrier_nanos: self.barrier_nanos.load(Ordering::Relaxed),
             queue_depth_hw: self.queue_depth_hw.load(Ordering::Relaxed),
+            chunk_size: self.chunk_size_last.load(Ordering::Relaxed),
             granularity,
         }
     }
 
-    fn note_task_duration(&self, dur_ns: u64) {
+    pub(crate) fn note_task_duration(&self, dur_ns: u64) {
         self.granularity[granularity_bucket(dur_ns)].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn note_queue_depth(&self, depth: u64) {
+    pub(crate) fn note_queue_depth(&self, depth: u64) {
         self.queue_depth_hw.fetch_max(depth, Ordering::Relaxed);
     }
-}
 
-/// Releases reserved budget even when a task panics.
-struct BudgetGuard(usize);
-
-impl Drop for BudgetGuard {
-    fn drop(&mut self) {
-        if self.0 > 0 {
-            EXTRA_WORKERS_LIVE.fetch_sub(self.0, Ordering::AcqRel);
-        }
+    /// Folds a fresh per-task cost measurement into the EWMA the
+    /// coarsener reads. Floored at 1 ns so "measurably free" is still
+    /// distinguishable from "never measured" (0).
+    pub(crate) fn update_cost_estimate(&self, per_task_ns: u64) {
+        let m = per_task_ns.max(1);
+        let old = self.cost_est_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { m } else { (3 * old + m) / 4 };
+        self.cost_est_ns.store(new, Ordering::Relaxed);
     }
 }
 
-/// A fork-join worker pool. Creating one is cheap: threads are scoped
-/// to each [`Pool::map`] call, so an idle pool holds no OS resources.
+/// Emits `now - mark` as a counter and advances the mark; the swap
+/// makes each increment publish exactly once even with many callers.
+fn publish_delta(rec: &dyn Recorder, name: &str, cur: &AtomicU64, mark: &AtomicU64) {
+    let now = cur.load(Ordering::Relaxed);
+    let prev = mark.swap(now, Ordering::Relaxed);
+    let delta = now.saturating_sub(prev);
+    if delta > 0 {
+        rec.counter_add(name, delta);
+    }
+}
+
+/// A handle onto the process-wide work-stealing scheduler. Creating one
+/// is cheap — it is a thread budget plus a stats block; the worker
+/// threads are shared, spawned on first use, and reused for the rest of
+/// the process.
 #[derive(Debug)]
 pub struct Pool {
     threads: usize,
@@ -229,7 +324,7 @@ pub struct Pool {
 
 impl Pool {
     /// A pool that uses up to `threads` threads per `map` (the caller
-    /// plus `threads - 1` spawned workers). Zero is treated as one.
+    /// plus shared scheduler workers). Zero is treated as one.
     pub fn new(threads: usize) -> Self {
         Pool {
             threads: threads.clamp(1, MAX_THREADS),
@@ -237,10 +332,15 @@ impl Pool {
         }
     }
 
-    /// A pool sized from `PREFALL_THREADS`, falling back to the
-    /// machine's available parallelism.
+    /// A pool sized from `PREFALL_THREADS`, else the thread budget of
+    /// the map task this call is running inside (so nested pools follow
+    /// the experiment's setting), else the machine's parallelism.
     pub fn from_env() -> Self {
-        Self::new(env_threads().unwrap_or_else(machine_threads))
+        Self::new(
+            env_threads()
+                .or_else(scheduler::inherited_threads)
+                .unwrap_or_else(machine_threads),
+        )
     }
 
     /// A pool sized from an explicit override when present, otherwise
@@ -263,96 +363,63 @@ impl Pool {
     }
 
     /// Emits counter deltas since the last publish as `par.*` counters,
-    /// plus the `par.queue_depth` gauge (high-water depth since the last
-    /// publish, then reset).
+    /// plus the `par.queue_depth` gauge (high-water depth since the
+    /// last publish, then reset) and the `par.chunk_size` gauge (most
+    /// recent coarsening decision). Scheduler-wide counters (steals,
+    /// workers, parks, idle) are published through process-global
+    /// marks, so across any number of pools each increment is emitted
+    /// exactly once.
     pub fn publish(&self, rec: &dyn Recorder) {
         if !rec.enabled() {
             return;
         }
+        let s = &self.stats;
         let mut pairs: Vec<(&str, &AtomicU64, &AtomicU64)> = vec![
-            ("par.maps", &self.stats.maps, &self.stats.pub_maps),
+            ("par.maps", &s.maps, &s.pub_maps),
+            ("par.maps_inline", &s.maps_inline, &s.pub_maps_inline),
+            ("par.tasks", &s.tasks, &s.pub_tasks),
             (
-                "par.maps_inline",
-                &self.stats.maps_inline,
-                &self.stats.pub_maps_inline,
+                "par.tasks_coarsened",
+                &s.tasks_coarsened,
+                &s.pub_tasks_coarsened,
             ),
-            ("par.tasks", &self.stats.tasks, &self.stats.pub_tasks),
-            (
-                "par.tasks_stolen",
-                &self.stats.tasks_stolen,
-                &self.stats.pub_tasks_stolen,
-            ),
-            (
-                "par.steal_attempts",
-                &self.stats.steal_attempts,
-                &self.stats.pub_steal_attempts,
-            ),
-            (
-                "par.workers_spawned",
-                &self.stats.workers_spawned,
-                &self.stats.pub_workers_spawned,
-            ),
-            (
-                "par.idle_nanos",
-                &self.stats.idle_nanos,
-                &self.stats.pub_idle_nanos,
-            ),
-            (
-                "par.barrier_nanos",
-                &self.stats.barrier_nanos,
-                &self.stats.pub_barrier_nanos,
-            ),
+            ("par.local_pops", &s.local_pops, &s.pub_local_pops),
+            ("par.tasks_stolen", &s.tasks_stolen, &s.pub_tasks_stolen),
+            ("par.barrier_nanos", &s.barrier_nanos, &s.pub_barrier_nanos),
         ];
         for (i, name) in GRANULARITY_NAMES.iter().enumerate() {
-            pairs.push((
-                name,
-                &self.stats.granularity[i],
-                &self.stats.pub_granularity[i],
-            ));
+            pairs.push((name, &s.granularity[i], &s.pub_granularity[i]));
         }
-        for (name, cur, published) in pairs {
-            let now = cur.load(Ordering::Relaxed);
-            let prev = published.swap(now, Ordering::Relaxed);
-            let delta = now.saturating_sub(prev);
-            if delta > 0 {
-                rec.counter_add(name, delta);
-            }
+        let sched = &scheduler::Scheduler::get().stats;
+        pairs.push((
+            "par.steal_attempts",
+            &sched.steal_attempts,
+            &sched.pub_steal_attempts,
+        ));
+        pairs.push((
+            "par.workers_spawned",
+            &sched.workers_spawned,
+            &sched.pub_workers_spawned,
+        ));
+        pairs.push(("par.parks", &sched.parks, &sched.pub_parks));
+        pairs.push(("par.unparks", &sched.unparks, &sched.pub_unparks));
+        pairs.push(("par.idle_nanos", &sched.idle_nanos, &sched.pub_idle_nanos));
+        for (name, cur, mark) in pairs {
+            publish_delta(rec, name, cur, mark);
         }
-        let depth = self.stats.queue_depth_hw.swap(0, Ordering::Relaxed);
+        let depth = s.queue_depth_hw.swap(0, Ordering::Relaxed);
         if depth > 0 {
             rec.gauge_set("par.queue_depth", depth as f64);
         }
-    }
-
-    /// Tries to reserve up to `desired` extra workers from the global
-    /// budget, bounded by this pool's own `threads - 1`.
-    fn acquire_extra(&self, desired: usize) -> BudgetGuard {
-        let cap = self.threads.saturating_sub(1);
-        let want = desired.min(cap);
-        if want == 0 {
-            return BudgetGuard(0);
-        }
-        let mut live = EXTRA_WORKERS_LIVE.load(Ordering::Acquire);
-        loop {
-            let avail = cap.saturating_sub(live);
-            let grant = want.min(avail);
-            if grant == 0 {
-                return BudgetGuard(0);
-            }
-            match EXTRA_WORKERS_LIVE.compare_exchange_weak(
-                live,
-                live + grant,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return BudgetGuard(grant),
-                Err(seen) => live = seen,
-            }
+        let chunk = s.chunk_size_last.load(Ordering::Relaxed);
+        if chunk > 0 {
+            rec.gauge_set("par.chunk_size", chunk as f64);
         }
     }
 
     /// Applies `f` to every item and returns the results **in input
-    /// order**. `f` receives the item index and a reference to the item.
+    /// order**. `f` receives the item index and a reference to the
+    /// item.
     ///
     /// Execution order across workers is nondeterministic, but because
     /// each task depends only on its own input and results are placed
@@ -360,13 +427,28 @@ impl Pool {
     ///
     /// # Panics
     ///
-    /// Re-raises the first task panic on the calling thread after all
-    /// workers have stopped.
+    /// Re-raises the first task panic on the calling thread after the
+    /// whole session has drained.
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_init(items, || (), move |(), i, t| f(i, t))
+    }
+
+    /// Like [`Pool::map`], but each chunk of items first builds a
+    /// scratch state with `init` and every call of `f` within the chunk
+    /// reuses it — per-worker arenas without per-task allocation. The
+    /// state must not influence results if determinism is required:
+    /// chunk boundaries depend on the calibrated cost estimate.
+    pub fn map_init<T, R, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
     {
         self.stats.maps.fetch_add(1, Ordering::Relaxed);
         let n = items.len();
@@ -374,122 +456,69 @@ impl Pool {
             return Vec::new();
         }
         let _map_span = prefall_trace::trace_span!(trace_names().map);
-        self.stats.note_queue_depth(n as u64);
-        let guard = if n > 1 {
-            self.acquire_extra(n - 1)
-        } else {
-            BudgetGuard(0)
-        };
-        let extra = guard.0;
         self.stats.tasks.fetch_add(n as u64, Ordering::Relaxed);
-        if extra == 0 {
+        let est = self.stats.cost_est_ns.load(Ordering::Relaxed);
+        let small = est > 0 && est.saturating_mul(n as u64) < SMALL_MAP_NS;
+        if self.threads <= 1 || n <= 1 || small {
             self.stats.maps_inline.fetch_add(1, Ordering::Relaxed);
-            return items
+            return self.run_inline(items, &init, &f);
+        }
+        let (balance, over) = balance_and_oversubscription(self.threads);
+        let max_chunk = if balance <= 1 {
+            // One hardware context: splitting balances nothing, so the
+            // cost target alone decides (and an uncalibrated map stays
+            // whole).
+            n
+        } else {
+            n.div_ceil(balance * OVERSUBSCRIBE).max(1)
+        };
+        let chunk = match over.saturating_mul(TARGET_CHUNK_NS).checked_div(est) {
+            // Uncalibrated: one chunk per slot is the best guess.
+            None => max_chunk,
+            Some(per_chunk) => (per_chunk as usize).clamp(1, max_chunk),
+        };
+        self.stats
+            .chunk_size_last
+            .store(chunk as u64, Ordering::Relaxed);
+        if chunk >= 2 {
+            let full = n / chunk;
+            let rem = n % chunk;
+            let coarsened = (full * chunk + if rem >= 2 { rem } else { 0 }) as u64;
+            self.stats
+                .tasks_coarsened
+                .fetch_add(coarsened, Ordering::Relaxed);
+        }
+        session::run_map(&self.stats, self.threads, items, chunk, &init, &f)
+    }
+
+    /// Serial execution on the caller, with the same spans, granularity
+    /// accounting and cost calibration as the parallel path (here per
+    /// item, since there are no chunks).
+    fn run_inline<T, R, S, I, F>(&self, items: &[T], init: &I, f: &F) -> Vec<R>
+    where
+        I: Fn() -> S,
+        F: Fn(&mut S, usize, &T) -> R,
+    {
+        scheduler::with_inherited_threads(self.threads, || {
+            let mut state = init();
+            let mut busy = 0u64;
+            let out = items
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
                     let _task_span = prefall_trace::trace_span!(trace_names().task);
                     let started = Instant::now();
-                    let r = f(i, t);
-                    self.stats
-                        .note_task_duration(started.elapsed().as_nanos() as u64);
+                    let r = f(&mut state, i, t);
+                    let dur_ns = started.elapsed().as_nanos() as u64;
+                    busy += dur_ns;
+                    self.stats.note_task_duration(dur_ns);
                     r
                 })
                 .collect();
-        }
-        self.stats
-            .workers_spawned
-            .fetch_add(extra as u64, Ordering::Relaxed);
-
-        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let halt = AtomicBool::new(false);
-        let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-
-        let run = |stolen: bool| -> u64 {
-            let mut busy_nanos = 0u64;
-            loop {
-                if halt.load(Ordering::Relaxed) {
-                    break;
-                }
-                if stolen {
-                    self.stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    if stolen && prefall_trace::armed() {
-                        prefall_trace::instant(trace_names().steal_fail);
-                    }
-                    break;
-                }
-                let _task_span = prefall_trace::trace_span!(trace_names().task);
-                let started = Instant::now();
-                let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
-                let dur_ns = started.elapsed().as_nanos() as u64;
-                busy_nanos += dur_ns;
-                self.stats.note_task_duration(dur_ns);
-                match out {
-                    Ok(r) => {
-                        *slots[i].lock().expect("result slot poisoned") = Some(r);
-                        if stolen {
-                            self.stats.tasks_stolen.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    Err(payload) => {
-                        let mut slot = panic_payload.lock().expect("panic slot poisoned");
-                        if slot.is_none() {
-                            *slot = Some(payload);
-                        }
-                        halt.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                }
-            }
-            busy_nanos
-        };
-
-        let mut barrier_started: Option<Instant> = None;
-        std::thread::scope(|s| {
-            for _ in 0..extra {
-                s.spawn(|| {
-                    let _worker_span = prefall_trace::trace_span!(trace_names().worker);
-                    let started = Instant::now();
-                    let busy = run(true);
-                    let wall = started.elapsed().as_nanos() as u64;
-                    self.stats
-                        .idle_nanos
-                        .fetch_add(wall.saturating_sub(busy), Ordering::Relaxed);
-                });
-            }
-            run(false);
-            // The caller has drained its share of the queue; everything
-            // from here until the scope joins is barrier wait.
-            if prefall_trace::armed() {
-                prefall_trace::begin(trace_names().barrier);
-            }
-            barrier_started = Some(Instant::now());
-        });
-        if let Some(started) = barrier_started {
             self.stats
-                .barrier_nanos
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
-        if prefall_trace::armed() {
-            prefall_trace::end(trace_names().barrier);
-        }
-        drop(guard);
-
-        if let Some(payload) = panic_payload.lock().expect("panic slot poisoned").take() {
-            resume_unwind(payload);
-        }
-        slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every task must have produced a result")
-            })
-            .collect()
+                .update_cost_estimate(busy / (items.len() as u64).max(1));
+            out
+        })
     }
 
     /// Maps every item and folds the results **in input-index order**.
@@ -510,6 +539,8 @@ impl Pool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::Mutex;
 
     #[test]
     fn map_preserves_input_order() {
@@ -531,6 +562,23 @@ mod tests {
             let got = Pool::new(threads).map(&items, |_, x| x.sin() * x);
             assert_eq!(got, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn map_init_builds_state_per_chunk_and_matches_serial() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..200).collect();
+        let got = pool.map_init(
+            &items,
+            || Vec::<u8>::with_capacity(64),
+            |scratch, i, &x| {
+                scratch.clear();
+                scratch.extend(std::iter::repeat_n(1u8, x % 7));
+                i * 2 + scratch.len()
+            },
+        );
+        let want: Vec<usize> = items.iter().map(|&x| x * 2 + x % 7).collect();
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -567,28 +615,31 @@ mod tests {
             .unwrap_or_default();
         assert!(msg.contains("task 3 exploded"), "payload lost: {msg:?}");
 
-        // The budget guard released its reservation on the panic path,
-        // so a fresh map can go parallel again.
-        let before = pool.stats().workers_spawned;
+        // The scheduler survives a panicking session: the same pool can
+        // immediately run another map to completion.
         let got = pool.map(&items, |_, &x| x + 1);
         assert_eq!(got[15], 16);
-        assert!(pool.stats().workers_spawned > before);
+        assert_eq!(got.len(), 16);
     }
 
     #[test]
-    fn nested_maps_fall_back_to_inline() {
-        let outer = Pool::new(2);
+    fn nested_maps_fan_out_and_inherit_thread_budget() {
+        let outer = Pool::new(4);
         let items: Vec<usize> = (0..4).collect();
         let got = outer.map(&items, |_, &x| {
-            let inner = Pool::new(8);
-            let inner_items: Vec<usize> = (0..8).collect();
+            // Inside a task the enclosing budget is visible, so a
+            // nested `from_env` pool (when the env var is unset) sizes
+            // itself to the experiment setting instead of the machine.
+            assert_eq!(crate::scheduler::inherited_threads(), Some(4));
+            let inner = Pool::new(2);
+            let inner_items: Vec<usize> = (0..64).collect();
             let inner_got = inner.map(&inner_items, |_, &y| y * 10 + x);
             assert_eq!(inner_items.len(), inner_got.len());
             inner_got.into_iter().sum::<usize>()
         });
         let want: Vec<usize> = items
             .iter()
-            .map(|&x| (0..8).map(|y| y * 10 + x).sum())
+            .map(|&x| (0..64).map(|y| y * 10 + x).sum())
             .collect();
         assert_eq!(got, want);
     }
@@ -603,7 +654,58 @@ mod tests {
         assert_eq!(s.maps_inline, 1);
         assert_eq!(s.tasks, 3);
         assert_eq!(s.tasks_stolen, 0);
-        assert_eq!(s.workers_spawned, 0);
+        assert_eq!(s.local_pops, 0, "inline items never touch a deque");
+    }
+
+    #[test]
+    fn coarsening_batches_unknown_cost_then_inlines_known_tiny_maps() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..1000).collect();
+        // First map: no cost estimate yet, so chunks are sized by the
+        // machine-aware oversubscription cap — e.g. ceil(1000 / (4
+        // threads * 4)) = 63 on a ≥4-core machine, the whole map on a
+        // single-core one.
+        let (balance, _) = balance_and_oversubscription(4);
+        let want_chunk = if balance <= 1 {
+            1000
+        } else {
+            1000usize.div_ceil(balance * OVERSUBSCRIBE) as u64
+        };
+        let _ = pool.map(&items, |_, &x| x + 1);
+        let s = pool.stats();
+        assert_eq!(s.maps_inline, 0);
+        assert_eq!(s.chunk_size, want_chunk);
+        assert!(
+            s.tasks_coarsened >= 900,
+            "nearly all items batched: {}",
+            s.tasks_coarsened
+        );
+        assert_eq!(
+            s.local_pops + s.tasks_stolen,
+            1000,
+            "every chunked item popped exactly once"
+        );
+        // Second map: the measured per-item cost is now known to be
+        // tiny, so a small map runs inline instead of enqueueing.
+        let small: Vec<usize> = (0..8).collect();
+        let _ = pool.map(&small, |_, &x| x);
+        let s2 = pool.stats();
+        assert_eq!(s2.maps_inline, 1, "tiny known-cost map stays inline");
+    }
+
+    #[test]
+    fn granularity_counts_chunks_not_items_for_parallel_maps() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..256).collect();
+        let _ = pool.map(&items, |_, &x| x * 2);
+        let s = pool.stats();
+        let buckets: u64 = s.granularity.iter().sum();
+        assert!(buckets >= 1);
+        assert!(
+            buckets < s.tasks,
+            "coarsened map records per-chunk durations ({buckets} buckets for {} tasks)",
+            s.tasks
+        );
     }
 
     #[test]
@@ -634,25 +736,7 @@ mod tests {
     }
 
     #[test]
-    fn steal_and_queue_accounting_closes() {
-        let pool = Pool::new(4);
-        let items: Vec<usize> = (0..64).collect();
-        let _ = pool.map(&items, |_, &x| x * 2);
-        let s = pool.stats();
-        assert_eq!(s.queue_depth_hw, 64);
-        assert_eq!(
-            s.granularity.iter().sum::<u64>(),
-            s.tasks,
-            "every task lands in exactly one granularity bucket"
-        );
-        // In a panic-free map every spawned worker exits through one
-        // failed claim, so attempts = successful steals + one miss per
-        // worker — the identity the profile utilization math relies on.
-        assert_eq!(s.steal_attempts, s.tasks_stolen + s.workers_spawned);
-    }
-
-    #[test]
-    fn publish_emits_steal_attempts_and_queue_depth_gauge() {
+    fn publish_emits_queue_depth_and_chunk_size_gauges() {
         #[derive(Debug, Default)]
         struct GaugeRec {
             counters: Mutex<Vec<(String, u64)>>,
@@ -673,29 +757,44 @@ mod tests {
         }
         let pool = Pool::new(2);
         let rec = GaugeRec::default();
-        let items: Vec<usize> = (0..32).collect();
+        let items: Vec<usize> = (0..64).collect();
         let _ = pool.map(&items, |_, &x| x + 1);
         pool.publish(&rec);
         let counters = rec.counters.lock().unwrap().clone();
-        assert!(
-            counters.iter().any(|(n, _)| n == "par.steal_attempts"),
-            "{counters:?}"
-        );
         assert!(
             counters
                 .iter()
                 .any(|(n, _)| n.starts_with("par.tasks_le_") || n.starts_with("par.tasks_gt_")),
             "granularity buckets published: {counters:?}"
         );
+        assert!(
+            counters
+                .iter()
+                .any(|(n, v)| n == "par.local_pops" || (n == "par.tasks_stolen" && *v > 0)),
+            "pop provenance published: {counters:?}"
+        );
         let gauges = rec.gauges.lock().unwrap().clone();
         assert!(
-            gauges.contains(&("par.queue_depth".to_owned(), 32.0)),
+            gauges
+                .iter()
+                .any(|(n, v)| n == "par.queue_depth" && *v > 0.0),
             "{gauges:?}"
         );
-        // The gauge resets after publish: a quiet interval re-arms it.
+        assert!(
+            gauges
+                .iter()
+                .any(|(n, v)| n == "par.chunk_size" && *v >= 1.0),
+            "{gauges:?}"
+        );
+        // The depth gauge resets after publish: a quiet interval
+        // re-arms it (chunk_size keeps reporting the last decision).
         rec.gauges.lock().unwrap().clear();
         pool.publish(&rec);
-        assert!(rec.gauges.lock().unwrap().is_empty());
+        let gauges = rec.gauges.lock().unwrap().clone();
+        assert!(
+            !gauges.iter().any(|(n, _)| n == "par.queue_depth"),
+            "{gauges:?}"
+        );
     }
 
     #[test]
@@ -711,9 +810,8 @@ mod tests {
         // Other tests in this binary may run maps during the armed
         // window, so assert lower bounds contributed by this map.
         assert!(attr.total("par.map").count >= 1);
-        assert!(attr.total("par.task").count >= 16);
+        assert!(attr.total("par.task").count >= 1);
         assert!(attr.total("par.barrier").count >= 1);
-        assert!(attr.total("par.worker").count >= 1, "workers spawned");
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The process-wide persistent scheduler: long-lived workers, one
+//! chunked deque per worker, and a generation-counted park lot.
+//!
+//! Workers are spawned lazily (up to [`crate::MAX_WORKERS`]) the first
+//! time a pool needs them and then live for the rest of the process,
+//! parked on a condvar when there is nothing to run. Each worker owns a
+//! deque of [`JobRef`]s: the owner pops **LIFO** from the back (hot
+//! cache, nested sessions drain depth-first), thieves — other workers
+//! and helping callers — steal **FIFO** from the front (oldest, largest
+//! remaining work first). There is no pool affinity: a pool only decides
+//! how many deques it seeds; any idle thread may steal any job, which is
+//! what keeps the machine busy across nested sessions. Determinism does
+//! not care who runs a chunk, because results land in indexed slots
+//! (see [`crate::session`]).
+//!
+//! The park lot is a mutex-guarded generation counter plus a condvar.
+//! [`Scheduler::notify`] bumps the generation under the lock;
+//! [`Scheduler::park`] re-checks the generation after acquiring the
+//! lock and before waiting, so a wakeup between "queue looked empty"
+//! and "went to sleep" is never lost. Parks are additionally
+//! timeout-bounded, so even an impossible lost wakeup only costs one
+//! timeout, never liveness.
+
+use crate::session::JobRef;
+use crate::{PoolStats, MAX_WORKERS};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps between queue sweeps.
+const WORKER_PARK: Duration = Duration::from_millis(10);
+
+/// How long a caller waiting on its session latch sleeps between
+/// sweeps. Short, because the caller returns the map's results.
+pub(crate) const CALLER_PARK: Duration = Duration::from_micros(500);
+
+thread_local! {
+    /// This thread's deque index, or `usize::MAX` on non-worker threads.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Thread budget of the innermost enclosing map task (0 = none).
+    /// `Pool::from_env` reads this so nested pools created inside a
+    /// task inherit the experiment's thread count instead of the
+    /// machine's — including inheriting *serial* when the outer pool
+    /// is pinned to one thread.
+    static INHERITED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Thread budget inherited from an enclosing map task, if any.
+pub(crate) fn inherited_threads() -> Option<usize> {
+    let t = INHERITED_THREADS.with(Cell::get);
+    (t != 0).then_some(t)
+}
+
+/// The calling thread's scheduler worker index, or `None` on threads
+/// that are not scheduler workers (the process main thread, test
+/// threads, callers helping from inside `Pool::map`). Map callbacks can
+/// use this to key per-thread scratch state — e.g. always borrowing the
+/// same replica network from a pool of replicas — so a thread touches
+/// one replica's memory instead of cycling through all of them.
+pub fn worker_index() -> Option<usize> {
+    let i = WORKER_INDEX.with(Cell::get);
+    (i != usize::MAX).then_some(i)
+}
+
+/// Runs `f` with the inherited thread budget set to `threads`,
+/// restoring the previous value afterwards (panic-safe).
+pub(crate) fn with_inherited_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INHERITED_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = INHERITED_THREADS.with(|c| c.replace(threads));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Scheduler-global counters. These belong to the process, not to any
+/// one [`crate::Pool`]; publish marks live here too so that however
+/// many pools publish, each global delta is emitted exactly once.
+#[derive(Debug, Default)]
+pub(crate) struct SchedStats {
+    pub(crate) steal_attempts: AtomicU64,
+    pub(crate) workers_spawned: AtomicU64,
+    pub(crate) parks: AtomicU64,
+    pub(crate) unparks: AtomicU64,
+    pub(crate) idle_nanos: AtomicU64,
+    pub(crate) pub_steal_attempts: AtomicU64,
+    pub(crate) pub_workers_spawned: AtomicU64,
+    pub(crate) pub_parks: AtomicU64,
+    pub(crate) pub_unparks: AtomicU64,
+    pub(crate) pub_idle_nanos: AtomicU64,
+}
+
+pub(crate) struct Scheduler {
+    /// One deque per worker slot; slots beyond `spawned` are never
+    /// seeded. Owner pops back, thieves pop front.
+    deques: [Mutex<VecDeque<JobRef>>; MAX_WORKERS],
+    /// Worker threads spawned so far; only grows.
+    spawned: AtomicUsize,
+    spawn_lock: Mutex<()>,
+    /// Park-lot generation; bumped on every notify.
+    lot: Mutex<u64>,
+    cond: Condvar,
+    pub(crate) stats: SchedStats,
+}
+
+impl Scheduler {
+    pub(crate) fn get() -> &'static Scheduler {
+        static SCHED: OnceLock<Scheduler> = OnceLock::new();
+        SCHED.get_or_init(|| Scheduler {
+            deques: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+            spawned: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
+            lot: Mutex::new(0),
+            cond: Condvar::new(),
+            stats: SchedStats::default(),
+        })
+    }
+
+    /// Current park-lot generation. Read *before* the final empty sweep
+    /// so that any notify racing with the sweep invalidates the
+    /// subsequent [`Scheduler::park`] call.
+    pub(crate) fn generation(&self) -> u64 {
+        *self.lot.lock().expect("park lot poisoned")
+    }
+
+    /// Wakes every parked thread (a session latch hit zero and its
+    /// caller may be parked — the caller *must* wake, and `notify_one`
+    /// could hand the wakeup to a worker instead).
+    pub(crate) fn notify(&self) {
+        let mut gen = self.lot.lock().expect("park lot poisoned");
+        *gen = gen.wrapping_add(1);
+        self.cond.notify_all();
+    }
+
+    /// Wakes at most `jobs` parked threads for freshly pushed work.
+    /// Waking fewer threads than `notify_all` would is safe: every job
+    /// is eventually run by whoever holds it, by any woken thief, or by
+    /// the pushing caller itself (its latch wait loop sweeps the
+    /// deques), and parked workers re-sweep on a bounded timeout. On an
+    /// oversubscribed machine this avoids waking workers that would
+    /// only contend for the CPU, find the queues drained, and park
+    /// again.
+    pub(crate) fn notify_jobs(&self, jobs: usize) {
+        let mut gen = self.lot.lock().expect("park lot poisoned");
+        *gen = gen.wrapping_add(1);
+        if jobs >= self.spawned.load(Ordering::Relaxed) {
+            self.cond.notify_all();
+        } else {
+            for _ in 0..jobs {
+                self.cond.notify_one();
+            }
+        }
+    }
+
+    /// Sleeps until notified past generation `seen` or until `timeout`,
+    /// whichever comes first; returns the time actually slept.
+    pub(crate) fn park(&self, seen: u64, timeout: Duration) -> Duration {
+        let started = Instant::now();
+        self.stats.parks.fetch_add(1, Ordering::Relaxed);
+        if prefall_trace::armed() {
+            prefall_trace::instant(crate::trace_names().park);
+        }
+        let guard = self.lot.lock().expect("park lot poisoned");
+        if *guard == seen {
+            let (guard, _timed_out) = self
+                .cond
+                .wait_timeout(guard, timeout)
+                .expect("park lot poisoned");
+            let notified = *guard != seen;
+            drop(guard);
+            if notified {
+                self.stats.unparks.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            drop(guard);
+            self.stats.unparks.fetch_add(1, Ordering::Relaxed);
+        }
+        if prefall_trace::armed() {
+            prefall_trace::instant(crate::trace_names().unpark);
+        }
+        started.elapsed()
+    }
+
+    /// Spawns workers until at least `want` exist (bounded by
+    /// [`MAX_WORKERS`]). Idempotent and cheap once satisfied.
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        if self.spawned.load(Ordering::Acquire) >= want {
+            return;
+        }
+        let _guard = self.spawn_lock.lock().expect("spawn lock poisoned");
+        let have = self.spawned.load(Ordering::Acquire);
+        for index in have..want {
+            std::thread::Builder::new()
+                .name(format!("prefall-par-{index}"))
+                .spawn(move || self.worker_loop(index))
+                .expect("failed to spawn scheduler worker");
+            self.stats.workers_spawned.fetch_add(1, Ordering::Relaxed);
+        }
+        if want > have {
+            self.spawned.store(want, Ordering::Release);
+        }
+    }
+
+    /// Seeds `jobs` for a session with thread budget `threads`. A
+    /// worker keeps its whole session on its own deque (LIFO pop runs
+    /// it depth-first, thieves relieve it from the front); an external
+    /// caller deals round-robin across the first `threads - 1` deques.
+    pub(crate) fn push_jobs(
+        &'static self,
+        jobs: impl Iterator<Item = JobRef>,
+        threads: usize,
+        stats: &PoolStats,
+    ) {
+        let want = threads.saturating_sub(1).clamp(1, MAX_WORKERS);
+        self.ensure_workers(want);
+        let me = WORKER_INDEX.with(Cell::get);
+        let mut max_depth = 0u64;
+        let mut pushed = 0usize;
+        if me != usize::MAX {
+            let mut deque = self.deques[me].lock().expect("deque poisoned");
+            for job in jobs {
+                deque.push_back(job);
+                pushed += 1;
+            }
+            max_depth = deque.len() as u64;
+        } else {
+            let lanes = want.min(self.spawned.load(Ordering::Acquire)).max(1);
+            let mut lane = 0usize;
+            for job in jobs {
+                let mut deque = self.deques[lane].lock().expect("deque poisoned");
+                deque.push_back(job);
+                max_depth = max_depth.max(deque.len() as u64);
+                drop(deque);
+                lane = (lane + 1) % lanes;
+                pushed += 1;
+            }
+        }
+        stats.note_queue_depth(max_depth);
+        // On an oversubscribed machine (thread budget > hardware
+        // contexts) an eager wakeup cannot add parallelism — a woken
+        // worker only preempts the pushing thread, which will run the
+        // jobs itself while waiting on its latch. Workers still pick up
+        // queued chunks on their bounded park timeout, so long maps get
+        // relieved and nothing is ever stranded.
+        let (_, over) = crate::balance_and_oversubscription(threads.max(1));
+        if over <= 1 {
+            self.notify_jobs(pushed);
+        }
+    }
+
+    /// Pops one runnable job: the current thread's own deque first
+    /// (back — LIFO), then a FIFO steal sweep over the other deques.
+    /// The returned flag says the job crossed deques; the session
+    /// refines that into local-vs-stolen using the caller's identity.
+    pub(crate) fn find_job(&self) -> Option<(JobRef, bool)> {
+        let n = self.spawned.load(Ordering::Acquire);
+        let me = WORKER_INDEX.with(Cell::get);
+        if me < n {
+            if let Some(job) = self.deques[me].lock().expect("deque poisoned").pop_back() {
+                return Some((job, false));
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        self.stats.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        let start = if me < n { (me + 1) % n } else { 0 };
+        for k in 0..n {
+            let idx = (start + k) % n;
+            if idx == me {
+                continue;
+            }
+            if let Some(job) = self.deques[idx].lock().expect("deque poisoned").pop_front() {
+                return Some((job, true));
+            }
+        }
+        if prefall_trace::armed() {
+            prefall_trace::instant(crate::trace_names().steal_fail);
+        }
+        None
+    }
+
+    /// Body of a persistent worker: drain everything reachable, then
+    /// park. One `par.worker` span covers each busy episode
+    /// (unpark-to-park), so profile attribution sees worker wall time
+    /// only while the worker actually holds work.
+    fn worker_loop(&'static self, index: usize) {
+        WORKER_INDEX.with(|c| c.set(index));
+        loop {
+            let gen = self.generation();
+            if let Some((job, stolen)) = self.find_job() {
+                let tracing = prefall_trace::armed();
+                if tracing {
+                    prefall_trace::begin(crate::trace_names().worker);
+                }
+                job.execute(stolen);
+                while let Some((job, stolen)) = self.find_job() {
+                    job.execute(stolen);
+                }
+                if tracing {
+                    prefall_trace::end(crate::trace_names().worker);
+                }
+            } else {
+                let slept = self.park(gen, WORKER_PARK);
+                self.stats
+                    .idle_nanos
+                    .fetch_add(slept.as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Lifetime-erased map sessions — the one module allowed to use
+//! `unsafe`.
+//!
+//! A [`crate::Pool::map`] call chunks its items into [`ChunkJob`]s that
+//! live on the **caller's stack frame** and hands the scheduler raw
+//! [`JobRef`] pointers to them (the rayon idiom: jobs are cheap because
+//! they are never boxed). The erasure is sound because of one protocol,
+//! upheld by [`run_map`] and enforced by the completion latch:
+//!
+//! * every `JobRef` pushed to a deque is popped and executed exactly
+//!   once (executors never drop a popped job on the floor — a halted
+//!   session still *runs* its remaining chunks, they just skip the
+//!   user closure), and
+//! * `run_map` does not return — and therefore the stack frame holding
+//!   the jobs, the slots and the latch does not die — until the latch
+//!   has counted every chunk down, and
+//! * a chunk's final latch decrement is its **last** touch of session
+//!   memory; after that the executing thread only notifies the global
+//!   (static) park lot.
+//!
+//! Everything else (deques, parking, stats) is safe code in
+//! [`crate::scheduler`].
+
+#![allow(unsafe_code)]
+
+use crate::scheduler::{self, Scheduler};
+use crate::PoolStats;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// A type-erased pointer to a [`Job`] living on some caller's stack.
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const (), bool),
+}
+
+// SAFETY: a JobRef is only ever created by `run_map`, which keeps the
+// pointee alive and un-moved until the session latch confirms the job
+// ran. The job's `execute` synchronises its effects through atomics and
+// mutexes, so sending the raw pointer between threads is sound.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erases `job`. Caller must keep `*job` alive and in place until
+    /// the job has executed.
+    unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        JobRef {
+            data: job as *const (),
+            exec: J::execute,
+        }
+    }
+
+    /// Runs the job. `stolen` records whether the popper took it from a
+    /// deque it does not own.
+    pub(crate) fn execute(self, stolen: bool) {
+        // SAFETY: see `JobRef::new` — the session protocol guarantees
+        // the pointee is alive and executed exactly once.
+        unsafe { (self.exec)(self.data, stolen) }
+    }
+}
+
+/// A stack job: `execute` reconstitutes the concrete type.
+trait Job {
+    /// # Safety
+    ///
+    /// `this` must be the pointer a [`JobRef::new`] erased, still alive.
+    unsafe fn execute(this: *const (), stolen: bool);
+}
+
+/// State shared by every chunk of one map session. Lives on the
+/// caller's stack for the duration of [`run_map`].
+struct Shared<'a, T, R, S, I, F> {
+    items: &'a [T],
+    init: &'a I,
+    f: &'a F,
+    slots: &'a [Mutex<Option<R>>],
+    /// Chunks not yet finished; the session is over at zero.
+    latch: AtomicUsize,
+    halt: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Total nanoseconds spent inside chunk bodies (feeds the cost
+    /// estimator and the caller's barrier accounting).
+    busy_ns: AtomicU64,
+    stats: &'a PoolStats,
+    /// The owning pool's thread budget, inherited by nested pools.
+    threads: usize,
+    caller: ThreadId,
+    _state: std::marker::PhantomData<fn() -> S>,
+}
+
+/// One contiguous slice of the map, executed as a single task.
+struct ChunkJob<'a, T, R, S, I, F> {
+    shared: &'a Shared<'a, T, R, S, I, F>,
+    start: usize,
+    end: usize,
+}
+
+impl<T, R, S, I, F> ChunkJob<'_, T, R, S, I, F>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    fn run(&self, stolen: bool) {
+        let sh = self.shared;
+        let len = (self.end - self.start) as u64;
+        // A pop by the session's own caller is a local reclaim even
+        // when it came off another worker's deque.
+        let stolen = stolen && std::thread::current().id() != sh.caller;
+        if stolen {
+            sh.stats.tasks_stolen.fetch_add(len, Ordering::Relaxed);
+        } else {
+            sh.stats.local_pops.fetch_add(len, Ordering::Relaxed);
+        }
+        if !sh.halt.load(Ordering::Relaxed) {
+            let _task_span = prefall_trace::trace_span!(crate::trace_names().task);
+            let started = Instant::now();
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                scheduler::with_inherited_threads(sh.threads, || {
+                    let mut state = (sh.init)();
+                    for i in self.start..self.end {
+                        if sh.halt.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let r = (sh.f)(&mut state, i, &sh.items[i]);
+                        *sh.slots[i].lock().expect("result slot poisoned") = Some(r);
+                    }
+                })
+            }));
+            let dur_ns = started.elapsed().as_nanos() as u64;
+            sh.stats.note_task_duration(dur_ns);
+            sh.busy_ns.fetch_add(dur_ns, Ordering::Relaxed);
+            if let Err(payload) = out {
+                let mut slot = sh.panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                sh.halt.store(true, Ordering::Relaxed);
+            }
+        }
+        // The final touch of session memory: once the latch hits zero
+        // the caller's frame may unwind, so only the (static) park lot
+        // is touched afterwards.
+        if sh.latch.fetch_sub(1, Ordering::Release) == 1 {
+            Scheduler::get().notify();
+        }
+    }
+}
+
+impl<T, R, S, I, F> Job for ChunkJob<'_, T, R, S, I, F>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    unsafe fn execute(this: *const (), stolen: bool) {
+        // SAFETY: `this` was erased from a live `ChunkJob` of exactly
+        // this monomorphisation by `run_map`.
+        let job = &*(this as *const Self);
+        job.run(stolen);
+    }
+}
+
+/// Runs `f` over `items` in chunks of `chunk` on the global scheduler,
+/// returning results in input order. The calling thread seeds the
+/// participating deques, then helps execute until the latch clears —
+/// parking (briefly, generation-checked) only when no work is
+/// runnable anywhere.
+pub(crate) fn run_map<T, R, S, I, F>(
+    stats: &PoolStats,
+    threads: usize,
+    items: &[T],
+    chunk: usize,
+    init: &I,
+    f: &F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let sched = Scheduler::get();
+    let n = items.len();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let n_chunks = n.div_ceil(chunk);
+    let shared = Shared {
+        items,
+        init,
+        f,
+        slots: &slots,
+        latch: AtomicUsize::new(n_chunks),
+        halt: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        busy_ns: AtomicU64::new(0),
+        stats,
+        threads,
+        caller: std::thread::current().id(),
+        _state: std::marker::PhantomData,
+    };
+    let mut jobs: Vec<ChunkJob<'_, T, R, S, I, F>> = Vec::with_capacity(n_chunks);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        jobs.push(ChunkJob {
+            shared: &shared,
+            start,
+            end,
+        });
+        start = end;
+    }
+    debug_assert_eq!(jobs.len(), n_chunks);
+
+    // Seed the deques. A worker keeps its own chunks (LIFO pop runs
+    // them soonest, thieves take the oldest); an external caller deals
+    // them round-robin across the participating workers.
+    {
+        let refs = jobs
+            .iter()
+            // SAFETY: `jobs` and `shared` outlive the session — this
+            // function only returns after the latch confirms every
+            // chunk executed.
+            .map(|job| unsafe { JobRef::new(job as *const _) });
+        sched.push_jobs(refs, threads, stats);
+    }
+
+    // Help until every chunk is done. Executing foreign work while
+    // waiting is fine — it keeps the machine busy and cannot delay the
+    // latch more than parking would.
+    let barrier_armed = prefall_trace::armed();
+    if barrier_armed {
+        prefall_trace::begin(crate::trace_names().barrier);
+    }
+    let wait_started = Instant::now();
+    let mut helped_ns = 0u64;
+    while shared.latch.load(Ordering::Acquire) != 0 {
+        if let Some((job, stolen)) = sched.find_job() {
+            let t0 = Instant::now();
+            job.execute(stolen);
+            helped_ns += t0.elapsed().as_nanos() as u64;
+            continue;
+        }
+        let gen = sched.generation();
+        if shared.latch.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        sched.park(gen, scheduler::CALLER_PARK);
+    }
+    if barrier_armed {
+        prefall_trace::end(crate::trace_names().barrier);
+    }
+    stats.barrier_nanos.fetch_add(
+        (wait_started.elapsed().as_nanos() as u64).saturating_sub(helped_ns),
+        Ordering::Relaxed,
+    );
+
+    let measured = shared.busy_ns.load(Ordering::Relaxed);
+    stats.update_cost_estimate(measured / (n as u64).max(1));
+
+    if let Some(payload) = shared.panic.lock().expect("panic slot poisoned").take() {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task must have produced a result")
+        })
+        .collect()
+}

@@ -1,0 +1,121 @@
+//! Property tests for the work-stealing scheduler: whatever the item
+//! count, thread budget, chunking decision or steal interleaving, a map
+//! session never loses a task, never runs one twice, and always returns
+//! results in input order.
+
+use prefall_par::Pool;
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every item is executed exactly once (no lost tasks, no
+    /// duplicates) and its result lands in its own slot, for any item
+    /// count and thread budget.
+    #[test]
+    fn push_pop_steal_runs_every_task_exactly_once(
+        n in 0usize..700,
+        threads in 1usize..9,
+    ) {
+        let pool = Pool::new(threads);
+        let items: Vec<usize> = (0..n).collect();
+        let runs: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let got = pool.map(&items, |i, &x| {
+            runs[i].fetch_add(1, Ordering::Relaxed);
+            x * 7 + 3
+        });
+        prop_assert_eq!(got.len(), n);
+        for (i, r) in got.iter().enumerate() {
+            prop_assert_eq!(*r, i * 7 + 3);
+            prop_assert_eq!(runs[i].load(Ordering::Relaxed), 1);
+        }
+    }
+
+    /// Nested sessions keep the exactly-once guarantee: inner maps
+    /// enqueue onto the same deques as the outer map's chunks, and
+    /// every inner item still runs once, in order.
+    #[test]
+    fn nested_sessions_never_lose_or_duplicate(
+        outer_n in 1usize..12,
+        inner_n in 0usize..80,
+        threads in 1usize..9,
+    ) {
+        let pool = Pool::new(threads);
+        let items: Vec<usize> = (0..outer_n).collect();
+        let runs: Vec<AtomicU64> = (0..outer_n * inner_n).map(|_| AtomicU64::new(0)).collect();
+        let got = pool.map(&items, |_, &x| {
+            let inner = Pool::from_env();
+            let inner_items: Vec<usize> = (0..inner_n).collect();
+            let inner_got = inner.map(&inner_items, |_, &y| {
+                runs[x * inner_n + y].fetch_add(1, Ordering::Relaxed);
+                x * 1000 + y
+            });
+            inner_got.iter().sum::<usize>()
+        });
+        for (x, sum) in got.iter().enumerate() {
+            let want: usize = (0..inner_n).map(|y| x * 1000 + y).sum();
+            prop_assert_eq!(*sum, want);
+        }
+        for r in &runs {
+            prop_assert_eq!(r.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    /// Several threads driving independent sessions through the shared
+    /// scheduler at once stay isolated: each session gets exactly its
+    /// own results back.
+    #[test]
+    fn concurrent_sessions_stay_isolated(
+        n in 1usize..200,
+        drivers in 1usize..5,
+        threads in 2usize..6,
+    ) {
+        let results: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|d| {
+                    s.spawn(move || {
+                        let pool = Pool::new(threads);
+                        let items: Vec<usize> = (0..n).collect();
+                        pool.map(&items, move |_, &x| x * drivers + d)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (d, got) in results.iter().enumerate() {
+            prop_assert_eq!(got.len(), n);
+            for (i, r) in got.iter().enumerate() {
+                prop_assert_eq!(*r, i * drivers + d);
+            }
+        }
+    }
+
+    /// A panic at an arbitrary item halts the session, propagates, and
+    /// leaves the scheduler fully usable for the next map.
+    #[test]
+    fn panic_at_any_index_keeps_scheduler_usable(
+        n in 1usize..120,
+        bad in 0usize..120,
+        threads in 1usize..6,
+    ) {
+        prop_assume!(bad < n);
+        let pool = Pool::new(threads);
+        let items: Vec<usize> = (0..n).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                if x == bad {
+                    panic!("boom at {x}");
+                }
+                x
+            });
+        }));
+        prop_assert!(err.is_err());
+        let got = pool.map(&items, |_, &x| x + 1);
+        prop_assert_eq!(got.len(), n);
+        for (i, r) in got.iter().enumerate() {
+            prop_assert_eq!(*r, i + 1);
+        }
+    }
+}

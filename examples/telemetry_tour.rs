@@ -79,19 +79,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", summary::render(&run_registry.snapshot()));
 
     // 3b. That experiment fanned its grid cells and CV folds out over
-    //     the `prefall-par` worker pool, and each task recorded into a
-    //     *private* registry: counters, gauges and histograms are
-    //     merged back into the outer recorder in task-index order when
-    //     the task joins (only events stream live), so the snapshot
-    //     above is deterministic for any PREFALL_THREADS — the same
-    //     associative Snapshot::merge from section 2, applied
-    //     automatically. The pool and the preprocessing cache publish
-    //     their own counters into the same snapshot:
+    //     the `prefall-par` work-stealing scheduler, and each task
+    //     recorded into a *private* registry: counters, gauges and
+    //     histograms are merged back into the outer recorder in
+    //     task-index order when the task joins (only events stream
+    //     live), so the snapshot above is deterministic for any
+    //     PREFALL_THREADS — the same associative Snapshot::merge from
+    //     section 2, applied automatically. The scheduler and the
+    //     preprocessing cache publish their own counters into the same
+    //     snapshot. Reading the par.* story:
+    //
+    //     * `par.tasks_coarsened` / `par.chunk_size` — how many tiny
+    //       tasks were batched into ~250 µs chunks, and the last chunk
+    //       size the calibrated cost estimate picked. If coarsening is
+    //       near zero on a big grid, the cost estimate is broken and
+    //       per-task overhead is eating the speedup.
+    //     * `par.local_pops` vs `par.tasks_stolen` — deque traffic
+    //       split into cache-friendly owner pops and cross-worker
+    //       steals. Healthy runs are overwhelmingly local; stolen > 0
+    //       shows balancing actually happens.
+    //     * `par.maps_inline` — maps the scheduler refused to split
+    //       because the whole map costs less than a split would. Only
+    //       genuinely small maps should land here.
+    //     * `par.parks` / `par.unparks` — workers sleeping between
+    //       sessions instead of spinning (each also emits a trace
+    //       instant on the prefall-trace timeline).
     println!("\n== 3b. per-worker telemetry, merged after join ==");
     let snap = run_registry.snapshot();
     for key in [
         "par.maps",
+        "par.maps_inline",
         "par.tasks",
+        "par.tasks_coarsened",
+        "par.local_pops",
+        "par.tasks_stolen",
         "par.workers_spawned",
         "cache.hits",
         "cache.misses",
@@ -100,6 +121,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(v) = snap.counters.get(key) {
             println!("  {key:<22} {v}");
         }
+    }
+    if let Some(v) = snap.gauges.get("par.chunk_size") {
+        println!("  {:<22} {v}", "par.chunk_size");
     }
     println!("  (results are bit-identical for any worker count — crates/core/tests/thread_determinism.rs)");
 
